@@ -1,0 +1,108 @@
+// Microbenchmarks of the numeric substrate (google-benchmark): matmul,
+// softmax, the two LiPFormer attentions and a full model forward. These
+// quantify where forward time goes and back the efficiency claims with
+// kernel-level numbers.
+
+#include <benchmark/benchmark.h>
+
+#include "core/base_predictor.h"
+#include "core/lipformer.h"
+#include "data/synthetic.h"
+#include "nn/attention.h"
+#include "tensor/ops.h"
+
+namespace lipformer {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, rng);
+  Tensor b = Tensor::Randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_BatchedMatMul(benchmark::State& state) {
+  Rng rng(1);
+  Tensor a = Tensor::Randn({64, 16, 64}, rng);
+  Tensor b = Tensor::Randn({64, 64, 64}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+}
+BENCHMARK(BM_BatchedMatMul);
+
+void BM_Softmax(benchmark::State& state) {
+  Rng rng(2);
+  Tensor x = Tensor::Randn({64, 128, 128}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Softmax(x, -1));
+  }
+}
+BENCHMARK(BM_Softmax);
+
+void BM_SelfAttention(benchmark::State& state) {
+  const int64_t s = state.range(0);
+  Rng rng(3);
+  MultiHeadSelfAttention attn(64, 4, rng);
+  attn.SetTraining(false);
+  Variable x(Tensor::Randn({8, s, 64}, rng));
+  NoGradGuard ng;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attn.Forward(x));
+  }
+}
+BENCHMARK(BM_SelfAttention)->Arg(24)->Arg(96)->Arg(336);
+
+void BM_BasePredictorForward(benchmark::State& state) {
+  const int64_t t = state.range(0);
+  BasePredictorConfig config;
+  config.input_len = t;
+  config.pred_len = 96;
+  config.patch_len = t % 48 == 0 ? 48 : 24;
+  config.hidden_dim = 64;
+  config.dropout = 0.0f;
+  Rng rng(4);
+  BasePredictor base(config, rng);
+  base.SetTraining(false);
+  Variable x(Tensor::Randn({56, t}, rng));  // 8 windows x 7 channels
+  NoGradGuard ng;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(base.Forward(x));
+  }
+}
+BENCHMARK(BM_BasePredictorForward)->Arg(96)->Arg(192)->Arg(336);
+
+void BM_LiPFormerTrainStep(benchmark::State& state) {
+  SeasonalConfig gen;
+  gen.steps = 600;
+  gen.channels = 7;
+  TimeSeries series = GenerateSeasonal(gen);
+  WindowDataset::Options options;
+  options.input_len = 96;
+  options.pred_len = 24;
+  WindowDataset data(series, options);
+  LiPFormerConfig config;
+  config.input_len = 96;
+  config.pred_len = 24;
+  config.channels = 7;
+  config.patch_len = 24;
+  config.hidden_dim = 64;
+  LiPFormer model(config);
+  Batch batch = data.MakeBatch(Split::kTrain, {0, 1, 2, 3, 4, 5, 6, 7});
+  for (auto _ : state) {
+    model.ZeroGrad();
+    Variable pred = model.Forward(batch);
+    MseLoss(pred, batch.y).Backward();
+  }
+}
+BENCHMARK(BM_LiPFormerTrainStep);
+
+}  // namespace
+}  // namespace lipformer
+
+BENCHMARK_MAIN();

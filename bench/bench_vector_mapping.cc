@@ -1,0 +1,50 @@
+// Extra ablation (DESIGN.md section 5): how should the Vector Mapping of
+// Eq. 8 realize its "learnable linear layer"? Compares the repository
+// default (shared Linear(L->L) + per-channel gain) against the literal
+// Linear(L -> L*c) and a gain-only variant, on the Electri-Price stand-in,
+// reporting both accuracy and the parameter cost of the mapping.
+
+#include <cstdio>
+
+#include "bench_util/experiment.h"
+#include "bench_util/table_printer.h"
+
+using namespace lipformer;  // NOLINT
+
+int main(int argc, char** argv) {
+  BenchEnv env = ParseBenchArgs(argc, argv);
+  DatasetSpec spec = MakeDataset("electri_price", env.data_scale);
+  const std::vector<int64_t> horizons =
+      env.full ? std::vector<int64_t>{96, 192}
+               : std::vector<int64_t>{24, 48};
+
+  struct VariantSpec {
+    const char* name;
+    VectorMappingKind kind;
+  };
+  const VariantSpec variants[] = {
+      {"SharedLinear+Gain", VectorMappingKind::kSharedLinearWithGain},
+      {"PerChannelLinear", VectorMappingKind::kPerChannelLinear},
+      {"GainOnly", VectorMappingKind::kGainOnly},
+  };
+
+  TablePrinter table({"Mapping", "L", "MSE", "MAE", "Params"});
+  for (const VariantSpec& variant : variants) {
+    for (int64_t horizon : horizons) {
+      LiPFormerConfig config;
+      config.hidden_dim = env.hidden_dim;
+      config.patch_len = env.patch_len;
+      config.vector_mapping = variant.kind;
+      RunResult r = RunLiPFormer(spec, env, horizon,
+                                 /*use_covariates=*/true, &config);
+      table.AddRow({variant.name, std::to_string(horizon),
+                    FmtFloat(r.test.mse), FmtFloat(r.test.mae),
+                    FormatCount(static_cast<double>(r.profile.parameters))});
+      std::fprintf(stderr, "[vecmap] %s L=%lld mse=%.3f\n", variant.name,
+                   static_cast<long long>(horizon), r.test.mse);
+    }
+  }
+  table.Print("Vector Mapping ablation (Electri-Price)");
+  (void)table.WriteCsv(ResultsPath(env, "vector_mapping_ablation"));
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Weak-data enriching on a covariate-driven dataset (the Electri-Price
+// scenario from the paper): contrastively pre-train the dual encoder on
+// future-known covariates, freeze the Covariate Encoder, attach it to
+// LiPFormer, and compare against the same backbone without weak labels.
+//
+//   ./build/examples/energy_price_covariates
+
+#include <cstdio>
+
+#include "core/lipformer.h"
+#include "data/registry.h"
+#include "train/trainer.h"
+
+using namespace lipformer;  // NOLINT: example brevity
+
+int main() {
+  DatasetSpec spec = MakeDataset("electri_price", /*scale=*/0.1);
+  const auto& schema = spec.series.covariate_schema;
+  std::printf("dataset %s: %lld steps, %lld channels, %lld numeric + %lld "
+              "categorical future covariates\n",
+              spec.name.c_str(),
+              static_cast<long long>(spec.series.steps()),
+              static_cast<long long>(spec.series.channels()),
+              static_cast<long long>(schema.num_numeric()),
+              static_cast<long long>(schema.num_categorical()));
+
+  WindowDataset::Options window_options;
+  window_options.input_len = 96;
+  window_options.pred_len = 24;
+  window_options.train_ratio = spec.train_ratio;
+  window_options.val_ratio = spec.val_ratio;
+  window_options.test_ratio = spec.test_ratio;
+  WindowDataset data(spec.series, window_options);
+
+  LiPFormerConfig config;
+  config.input_len = 96;
+  config.pred_len = 24;
+  config.channels = data.channels();
+  config.patch_len = 24;
+  config.hidden_dim = 48;
+  TrainConfig train_config;
+  train_config.epochs = 5;
+  train_config.patience = 3;
+
+  // --- Without weak-data enriching ---
+  LiPFormer plain(config);
+  TrainResult base = TrainAndEvaluate(&plain, data, train_config);
+  std::printf("LiPFormer (no covariates):   MSE %.4f  MAE %.4f\n",
+              base.test.mse, base.test.mae);
+
+  // --- With the dual-encoder pipeline (Figure 1) ---
+  LiPFormer enriched(config);
+  Rng rng(7);
+  DualEncoder dual(MakeCovariateConfig(data, config.pred_len,
+                                       /*hidden_dim=*/32),
+                   data.channels(), rng);
+  PretrainConfig pretrain;
+  pretrain.epochs = 4;
+  pretrain.verbose = true;
+  LiPFormerPipelineResult result =
+      TrainLiPFormerPipeline(&enriched, &dual, data, pretrain, train_config);
+  std::printf("contrastive pre-train loss: %.3f -> %.3f (%lld steps)\n",
+              result.pretrain.first_epoch_loss, result.pretrain.final_loss,
+              static_cast<long long>(result.pretrain.steps));
+  std::printf("LiPFormer (with covariates): MSE %.4f  MAE %.4f\n",
+              result.train.test.mse, result.train.test.mae);
+
+  const float gain =
+      100.0f * (base.test.mse - result.train.test.mse) / base.test.mse;
+  std::printf("weak-data enriching changed test MSE by %+.1f%%\n", -gain);
+  return 0;
+}

@@ -1,0 +1,84 @@
+#ifndef LIPFORMER_AUTOGRAD_OPS_H_
+#define LIPFORMER_AUTOGRAD_OPS_H_
+
+#include <utility>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "tensor/ops.h"
+
+// Differentiable ops over Variables. Each op computes its value with the
+// forward kernels from tensor/ops.h and records a closure implementing the
+// corresponding vector-Jacobian product. Overloads share names with the
+// Tensor kernels; overload resolution picks by argument type.
+
+namespace lipformer {
+
+// ---- Elementwise binary (broadcasting) ----
+Variable Add(const Variable& a, const Variable& b);
+Variable Sub(const Variable& a, const Variable& b);
+Variable Mul(const Variable& a, const Variable& b);
+Variable Div(const Variable& a, const Variable& b);
+
+// ---- Scalar ----
+Variable AddScalar(const Variable& a, float s);
+Variable MulScalar(const Variable& a, float s);
+Variable PowScalar(const Variable& a, float p);
+
+// ---- Unary ----
+Variable Neg(const Variable& a);
+Variable Exp(const Variable& a);
+Variable Log(const Variable& a);
+Variable Sqrt(const Variable& a);
+Variable Abs(const Variable& a);
+Variable Tanh(const Variable& a);
+Variable Sigmoid(const Variable& a);
+Variable Relu(const Variable& a);
+Variable Gelu(const Variable& a);
+
+// ---- Linear algebra ----
+Variable MatMul(const Variable& a, const Variable& b);
+
+// ---- Shape ----
+Variable Reshape(const Variable& a, Shape new_shape);
+Variable Permute(const Variable& a, const std::vector<int64_t>& perm);
+Variable Transpose(const Variable& a, int64_t d0, int64_t d1);
+Variable Slice(const Variable& a, int64_t dim, int64_t start, int64_t end);
+Variable Concat(const std::vector<Variable>& vs, int64_t dim);
+// Backward scatter-adds into the selected rows (indices may repeat).
+Variable IndexSelect(const Variable& a, int64_t dim,
+                     const std::vector<int64_t>& indices);
+
+// ---- Reductions ----
+Variable Sum(const Variable& a, int64_t dim, bool keepdim = false);
+Variable Mean(const Variable& a, int64_t dim, bool keepdim = false);
+// Scalar (shape {}) outputs.
+Variable SumAll(const Variable& a);
+Variable MeanAll(const Variable& a);
+
+// ---- Normalization ----
+Variable Softmax(const Variable& a, int64_t dim);
+Variable LogSoftmax(const Variable& a, int64_t dim);
+
+// Elementwise product with a constant (non-differentiated) mask/tensor.
+Variable MulConst(const Variable& a, const Tensor& c);
+// Elementwise sum with a constant tensor (broadcasting).
+Variable AddConst(const Variable& a, const Tensor& c);
+
+// ---- Operator sugar ----
+inline Variable operator+(const Variable& a, const Variable& b) {
+  return Add(a, b);
+}
+inline Variable operator-(const Variable& a, const Variable& b) {
+  return Sub(a, b);
+}
+inline Variable operator*(const Variable& a, const Variable& b) {
+  return Mul(a, b);
+}
+inline Variable operator/(const Variable& a, const Variable& b) {
+  return Div(a, b);
+}
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_AUTOGRAD_OPS_H_

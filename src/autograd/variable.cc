@@ -1,0 +1,155 @@
+#include "autograd/variable.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "tensor/ops.h"
+
+namespace lipformer {
+
+namespace {
+bool g_grad_enabled = true;
+}  // namespace
+
+namespace internal {
+
+void VarImpl::AccumulateGrad(const Tensor& g) {
+  LIPF_CHECK(SameShape(g.shape(), value.shape()))
+      << "gradient shape " << ShapeToString(g.shape())
+      << " does not match value shape " << ShapeToString(value.shape());
+  if (!has_grad) {
+    grad = g.Clone();
+    has_grad = true;
+  } else {
+    float* pg = grad.data();
+    const float* ps = g.data();
+    for (int64_t i = 0; i < grad.numel(); ++i) pg[i] += ps[i];
+  }
+}
+
+}  // namespace internal
+
+bool GradEnabled() { return g_grad_enabled; }
+
+NoGradGuard::NoGradGuard() : prev_(g_grad_enabled) { g_grad_enabled = false; }
+NoGradGuard::~NoGradGuard() { g_grad_enabled = prev_; }
+
+Variable::Variable(Tensor value, bool requires_grad)
+    : impl_(std::make_shared<internal::VarImpl>()) {
+  impl_->value = std::move(value);
+  impl_->requires_grad = requires_grad;
+}
+
+const Tensor& Variable::value() const {
+  LIPF_CHECK(defined());
+  return impl_->value;
+}
+
+Tensor& Variable::mutable_value() {
+  LIPF_CHECK(defined());
+  return impl_->value;
+}
+
+const Tensor& Variable::grad() const {
+  LIPF_CHECK(defined());
+  if (!impl_->has_grad) {
+    impl_->grad = Tensor::Zeros(impl_->value.shape());
+    impl_->has_grad = true;
+  }
+  return impl_->grad;
+}
+
+bool Variable::has_grad() const {
+  LIPF_CHECK(defined());
+  return impl_->has_grad;
+}
+
+void Variable::ZeroGrad() {
+  LIPF_CHECK(defined());
+  impl_->has_grad = false;
+  impl_->grad = Tensor();
+}
+
+bool Variable::requires_grad() const {
+  LIPF_CHECK(defined());
+  return impl_->requires_grad;
+}
+
+void Variable::set_requires_grad(bool v) {
+  LIPF_CHECK(defined());
+  impl_->requires_grad = v;
+}
+
+Variable Variable::Detach() const {
+  LIPF_CHECK(defined());
+  return Variable(impl_->value, /*requires_grad=*/false);
+}
+
+Variable Variable::MakeNode(Tensor value, std::vector<Variable> parents,
+                            internal::BackwardFn backward_fn) {
+  bool any_grad = false;
+  for (const Variable& p : parents) {
+    if (p.defined() && p.requires_grad()) {
+      any_grad = true;
+      break;
+    }
+  }
+  Variable out(std::move(value), /*requires_grad=*/any_grad && GradEnabled());
+  if (out.requires_grad()) {
+    out.impl_->backward_fn = std::move(backward_fn);
+    out.impl_->parents.reserve(parents.size());
+    for (const Variable& p : parents) out.impl_->parents.push_back(p.impl());
+  }
+  return out;
+}
+
+void Variable::Backward() const {
+  LIPF_CHECK(defined());
+  LIPF_CHECK_EQ(numel(), 1) << "Backward() requires a scalar loss";
+  LIPF_CHECK(requires_grad()) << "Backward() on a non-grad Variable";
+
+  // Topological order via iterative post-order DFS.
+  std::vector<internal::VarImpl*> order;
+  std::unordered_set<internal::VarImpl*> visited;
+  std::vector<std::pair<internal::VarImpl*, size_t>> stack;
+  stack.emplace_back(impl_.get(), 0);
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    auto& [node, child] = stack.back();
+    if (child < node->parents.size()) {
+      internal::VarImpl* next = node->parents[child].get();
+      ++child;
+      if (next->requires_grad && !visited.count(next)) {
+        visited.insert(next);
+        stack.emplace_back(next, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+
+  impl_->AccumulateGrad(Tensor::Ones(impl_->value.shape()));
+
+  // Reverse topological order: every node's grad is complete before use.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    internal::VarImpl* node = *it;
+    if (!node->backward_fn || node->parents.empty()) continue;
+    if (!node->has_grad) continue;  // unreachable from the loss
+    std::vector<Tensor> parent_grads = node->backward_fn(node->grad);
+    LIPF_CHECK_EQ(parent_grads.size(), node->parents.size());
+    for (size_t i = 0; i < node->parents.size(); ++i) {
+      internal::VarImpl* parent = node->parents[i].get();
+      if (parent->requires_grad && parent_grads[i].numel() > 0) {
+        parent->AccumulateGrad(parent_grads[i]);
+      }
+    }
+    // Free intermediate gradient memory; keep leaf grads.
+    if (node != impl_.get() && !node->parents.empty()) {
+      node->grad = Tensor();
+      node->has_grad = false;
+    }
+  }
+}
+
+}  // namespace lipformer

@@ -1,0 +1,99 @@
+#ifndef LIPFORMER_AUTOGRAD_VARIABLE_H_
+#define LIPFORMER_AUTOGRAD_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+// Tape-based reverse-mode automatic differentiation. A Variable is a handle
+// to a tensor value plus (optionally) a node in the backward graph. Ops on
+// Variables (autograd/ops.h) record a backward closure that maps the output
+// gradient to the input gradients; Backward() runs a topological sweep and
+// accumulates gradients into leaf Variables.
+
+namespace lipformer {
+
+class Variable;
+
+namespace internal {
+
+// Maps the gradient w.r.t. the op output to gradients w.r.t. each parent
+// (aligned with the parents vector).
+using BackwardFn = std::function<std::vector<Tensor>(const Tensor& grad_out)>;
+
+struct VarImpl {
+  Tensor value;
+  Tensor grad;
+  bool requires_grad = false;
+  bool has_grad = false;
+  std::vector<std::shared_ptr<VarImpl>> parents;
+  BackwardFn backward_fn;
+
+  void AccumulateGrad(const Tensor& g);
+};
+
+}  // namespace internal
+
+// Returns false inside a NoGradGuard scope; ops then skip tape recording.
+bool GradEnabled();
+
+// RAII scope that disables gradient recording (inference / frozen modules).
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+class Variable {
+ public:
+  // Empty handle; boolean-tests false.
+  Variable() = default;
+
+  // Leaf variable holding `value`.
+  explicit Variable(Tensor value, bool requires_grad = false);
+
+  bool defined() const { return impl_ != nullptr; }
+
+  const Tensor& value() const;
+  Tensor& mutable_value();
+
+  // Gradient accumulated by the last Backward(); zeros-shaped if never set.
+  const Tensor& grad() const;
+  bool has_grad() const;
+  void ZeroGrad();
+
+  bool requires_grad() const;
+  void set_requires_grad(bool v);
+
+  // Convenience shape accessors.
+  const Shape& shape() const { return value().shape(); }
+  int64_t size(int64_t d) const { return value().size(d); }
+  int64_t dim() const { return value().dim(); }
+  int64_t numel() const { return value().numel(); }
+
+  // New Variable sharing the value but cut off from the tape.
+  Variable Detach() const;
+
+  // Runs reverse-mode accumulation from this (scalar) Variable.
+  void Backward() const;
+
+  // Internal: builds an op-output variable. Public for autograd/ops.cc.
+  static Variable MakeNode(Tensor value, std::vector<Variable> parents,
+                           internal::BackwardFn backward_fn);
+
+  std::shared_ptr<internal::VarImpl> impl() const { return impl_; }
+
+ private:
+  std::shared_ptr<internal::VarImpl> impl_;
+};
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_AUTOGRAD_VARIABLE_H_

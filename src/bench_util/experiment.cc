@@ -1,0 +1,139 @@
+#include "bench_util/experiment.h"
+
+#include <sys/stat.h>
+
+#include <cstdlib>
+#include <cstring>
+
+namespace lipformer {
+
+BenchEnv ParseBenchArgs(int argc, char** argv) {
+  BenchEnv env;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--full") {
+      env.full = true;
+      env.data_scale = 0.5;
+      env.input_len = 336;
+      env.horizons = {96, 192, 336, 720};
+      env.epochs = 6;
+      env.patience = 3;
+      env.max_batches_per_epoch = 150;
+      env.max_eval_batches = 60;
+      env.batch_size = 32;
+      env.patch_len = 48;
+      env.lr = 1e-3f;
+      env.lipformer_lr = 1e-3f;
+      env.pretrain_epochs = 3;
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      env.data_scale = std::atof(arg.c_str() + 8);
+    } else if (arg.rfind("--epochs=", 0) == 0) {
+      env.epochs = std::atol(arg.c_str() + 9);
+    } else if (arg.rfind("--results=", 0) == 0) {
+      env.results_dir = arg.substr(10);
+    }
+  }
+  return env;
+}
+
+std::string ResultsPath(const BenchEnv& env, const std::string& name) {
+  ::mkdir(env.results_dir.c_str(), 0755);  // best effort
+  return env.results_dir + "/" + name + ".csv";
+}
+
+TrainConfig MakeTrainConfig(const BenchEnv& env) {
+  TrainConfig config;
+  config.lr = env.lr;
+  config.epochs = env.epochs;
+  config.patience = env.patience;
+  config.batch_size = env.batch_size;
+  config.max_batches_per_epoch = env.max_batches_per_epoch;
+  config.max_eval_batches = env.max_eval_batches;
+  return config;
+}
+
+WindowDataset MakeWindows(const DatasetSpec& spec, const BenchEnv& env,
+                          int64_t pred_len) {
+  WindowDataset::Options options;
+  options.input_len = env.input_len;
+  options.pred_len = pred_len;
+  options.train_ratio = spec.train_ratio;
+  options.val_ratio = spec.val_ratio;
+  options.test_ratio = spec.test_ratio;
+  return WindowDataset(spec.series, options);
+}
+
+RunResult RunModel(const std::string& model_name, const DatasetSpec& spec,
+                   const BenchEnv& env, int64_t pred_len) {
+  WindowDataset data = MakeWindows(spec, env, pred_len);
+  ForecasterDims dims;
+  dims.input_len = env.input_len;
+  dims.pred_len = pred_len;
+  dims.channels = data.channels();
+  ModelOptions options;
+  options.hidden_dim = env.hidden_dim;
+  options.patch_len = env.patch_len;
+  options.num_covariates = data.num_numeric_covariates();
+  std::unique_ptr<Forecaster> model = CreateModel(model_name, dims, options);
+
+  RunResult result;
+  result.train = TrainAndEvaluate(model.get(), data, MakeTrainConfig(env));
+  result.test = result.train.test;
+  result.profile = ProfileModel(model.get(), data, env.batch_size);
+  return result;
+}
+
+RunResult RunLiPFormer(const DatasetSpec& spec, const BenchEnv& env,
+                       int64_t pred_len, bool use_covariates,
+                       const LiPFormerConfig* override_config) {
+  WindowDataset data = MakeWindows(spec, env, pred_len);
+
+  LiPFormerConfig config;
+  if (override_config != nullptr) {
+    config = *override_config;
+  } else {
+    config.hidden_dim = env.hidden_dim;
+    config.patch_len = env.patch_len;
+  }
+  config.input_len = env.input_len;
+  config.pred_len = pred_len;
+  config.channels = data.channels();
+  // Keep the default patch length when it divides the input length; fall
+  // back to the largest divisor otherwise.
+  if (env.input_len % config.patch_len != 0) {
+    for (int64_t pl = std::min<int64_t>(48, env.input_len); pl >= 1; --pl) {
+      if (env.input_len % pl == 0) {
+        config.patch_len = pl;
+        break;
+      }
+    }
+  }
+
+  LiPFormer model(config);
+  TrainConfig train_config = MakeTrainConfig(env);
+  train_config.lr = env.lipformer_lr;
+  RunResult result;
+  // The dual encoder must outlive the profiling below: the model holds a
+  // pointer to its covariate encoder.
+  std::unique_ptr<DualEncoder> dual;
+  if (use_covariates) {
+    Rng rng(config.seed + 1000);
+    dual = std::make_unique<DualEncoder>(MakeCovariateConfig(data, pred_len),
+                                         data.channels(), rng);
+    PretrainConfig pretrain;
+    pretrain.epochs = env.pretrain_epochs;
+    pretrain.batch_size = 64;
+    pretrain.lr = 2e-3f;
+    pretrain.max_batches_per_epoch = 2 * env.max_batches_per_epoch;
+    LiPFormerPipelineResult pipeline = TrainLiPFormerPipeline(
+        &model, dual.get(), data, pretrain, train_config);
+    result.train = pipeline.train;
+  } else {
+    result.train = TrainAndEvaluate(&model, data, train_config);
+  }
+  result.test = result.train.test;
+  result.profile = ProfileModel(&model, data, env.batch_size);
+  return result;
+}
+
+}  // namespace lipformer

@@ -1,0 +1,79 @@
+#include "bench_util/table_printer.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace lipformer {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  LIPF_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::ToText() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t j = 0; j < headers_.size(); ++j) widths[j] = headers_[j].size();
+  for (const auto& row : rows_) {
+    for (size_t j = 0; j < row.size(); ++j) {
+      widths[j] = std::max(widths[j], row[j].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (size_t j = 0; j < row.size(); ++j) {
+      os << " " << row[j] << std::string(widths[j] - row[j].size(), ' ')
+         << " |";
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  os << "|";
+  for (size_t j = 0; j < headers_.size(); ++j) {
+    os << std::string(widths[j] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string TablePrinter::ToCsv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t j = 0; j < row.size(); ++j) {
+      if (j) os << ",";
+      os << row[j];
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void TablePrinter::Print(const std::string& title) const {
+  std::cout << "\n=== " << title << " ===\n" << ToText() << std::flush;
+}
+
+Status TablePrinter::WriteCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out << ToCsv();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+std::string FmtFloat(double v, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace lipformer

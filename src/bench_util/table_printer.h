@@ -1,0 +1,39 @@
+#ifndef LIPFORMER_BENCH_UTIL_TABLE_PRINTER_H_
+#define LIPFORMER_BENCH_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lipformer {
+
+// Collects rows and renders them as an aligned text table (for stdout, the
+// shape the paper's tables are read in) and as CSV (for post-processing).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  std::string ToText() const;
+  std::string ToCsv() const;
+
+  // Prints the text form to stdout with a title banner.
+  void Print(const std::string& title) const;
+
+  // Writes the CSV form; creates parent dirs is NOT attempted (callers use
+  // the repo-local results/ directory).
+  Status WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// printf-style float with fixed precision.
+std::string FmtFloat(double v, int precision = 3);
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_BENCH_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,304 @@
+#include "cli/cli.h"
+
+// Command-line front end for the library.
+//
+//   lipformer_cli list
+//   lipformer_cli train --model=lipformer --dataset=etth1 [options]
+//   lipformer_cli forecast --dataset=weather --out=pred.csv [options]
+//
+// Common options:
+//   --csv=FILE        use a CSV time series instead of a registry dataset
+//   --dataset=NAME    registry dataset (see `list`)
+//   --scale=X         registry series length fraction (default 0.2)
+//   --model=NAME      forecaster (see `list`; default lipformer)
+//   --input=N         look-back length (default 96)
+//   --horizon=N       forecast length (default 24)
+//   --epochs=N        training epochs (default 5)
+//   --batch=N         batch size (default 32)
+//   --hidden=N        hidden feature size (default 64)
+//   --covariates      enable the weak-data-enriching pipeline (lipformer)
+//   --save=FILE       write best-validation parameters
+//   --out=FILE        (forecast) output CSV path
+//   --seed=N          RNG seed
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/lipformer.h"
+#include "data/csv.h"
+#include "data/registry.h"
+#include "models/factory.h"
+#include "train/extended_metrics.h"
+#include "train/trainer.h"
+
+namespace lipformer {
+namespace cli {
+namespace {
+
+}  // namespace
+
+std::string CliArgs::Get(const std::string& key,
+                         const std::string& def) const {
+  auto it = options.find(key);
+  return it == options.end() ? def : it->second;
+}
+
+int64_t CliArgs::GetInt(const std::string& key, int64_t def) const {
+  auto it = options.find(key);
+  return it == options.end() ? def : std::atoll(it->second.c_str());
+}
+
+double CliArgs::GetDouble(const std::string& key, double def) const {
+  auto it = options.find(key);
+  return it == options.end() ? def : std::atof(it->second.c_str());
+}
+
+CliArgs Parse(int argc, char** argv) {
+  CliArgs args;
+  if (argc > 1) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      args.options[arg] = "1";
+    } else {
+      args.options[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+  return args;
+}
+
+int CmdList() {
+  std::printf("datasets:\n");
+  for (const std::string& name : RegisteredDatasetNames()) {
+    DatasetSpec spec = MakeDataset(name, 0.05);
+    std::printf("  %-14s %s\n", name.c_str(), spec.description.c_str());
+  }
+  std::printf("models:\n");
+  for (const std::string& name : RegisteredModelNames()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  return 0;
+}
+
+// Loads the series selected by --csv / --dataset and fills split ratios.
+bool LoadSeries(const CliArgs& args, TimeSeries* series, double* train_ratio,
+                double* val_ratio, double* test_ratio) {
+  *train_ratio = 0.7;
+  *val_ratio = 0.1;
+  *test_ratio = 0.2;
+  if (args.Has("csv")) {
+    Result<TimeSeries> loaded = ReadCsvTimeSeries(args.Get("csv", ""));
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   loaded.status().ToString().c_str());
+      return false;
+    }
+    *series = loaded.MoveValue();
+    return true;
+  }
+  const std::string name = args.Get("dataset", "etth1");
+  if (!IsRegisteredDataset(name)) {
+    std::fprintf(stderr, "error: unknown dataset '%s' (try `list`)\n",
+                 name.c_str());
+    return false;
+  }
+  DatasetSpec spec = MakeDataset(name, args.GetDouble("scale", 0.2));
+  *series = spec.series;
+  *train_ratio = spec.train_ratio;
+  *val_ratio = spec.val_ratio;
+  *test_ratio = spec.test_ratio;
+  return true;
+}
+
+namespace {
+
+struct TrainedModel {
+  std::unique_ptr<Forecaster> model;
+  std::unique_ptr<LiPFormer> lip;  // set when model_name == lipformer
+  std::unique_ptr<DualEncoder> dual;
+  TrainResult result;
+};
+
+bool TrainFromArgs(const CliArgs& args, WindowDataset& data,
+                   TrainedModel* out) {
+  const std::string model_name = args.Get("model", "lipformer");
+  const int64_t input_len = args.GetInt("input", 96);
+  const int64_t horizon = args.GetInt("horizon", 24);
+
+  TrainConfig train;
+  train.epochs = args.GetInt("epochs", 5);
+  train.patience = std::max<int64_t>(2, train.epochs / 2);
+  train.batch_size = args.GetInt("batch", 32);
+  train.seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  train.verbose = true;
+  if (args.Has("save")) train.checkpoint_path = args.Get("save", "");
+
+  if (model_name == "lipformer") {
+    LiPFormerConfig config;
+    config.input_len = input_len;
+    config.pred_len = horizon;
+    config.channels = data.channels();
+    config.hidden_dim = args.GetInt("hidden", 64);
+    config.seed = train.seed;
+    // Largest divisor of T not exceeding 48.
+    for (int64_t pl = std::min<int64_t>(48, input_len); pl >= 1; --pl) {
+      if (input_len % pl == 0) {
+        config.patch_len = pl;
+        break;
+      }
+    }
+    out->lip = std::make_unique<LiPFormer>(config);
+    if (args.Has("covariates")) {
+      Rng rng(train.seed + 1);
+      out->dual = std::make_unique<DualEncoder>(
+          MakeCovariateConfig(data, horizon), data.channels(), rng);
+      PretrainConfig pretrain;
+      pretrain.epochs = std::max<int64_t>(2, train.epochs / 2);
+      pretrain.verbose = true;
+      LiPFormerPipelineResult piped = TrainLiPFormerPipeline(
+          out->lip.get(), out->dual.get(), data, pretrain, train);
+      out->result = piped.train;
+    } else {
+      out->result = TrainAndEvaluate(out->lip.get(), data, train);
+    }
+    return true;
+  }
+
+  bool known = false;
+  for (const std::string& name : RegisteredModelNames()) {
+    if (name == model_name) known = true;
+  }
+  if (!known) {
+    std::fprintf(stderr, "error: unknown model '%s' (try `list`)\n",
+                 model_name.c_str());
+    return false;
+  }
+  ForecasterDims dims{input_len, horizon, data.channels()};
+  ModelOptions options;
+  options.hidden_dim = args.GetInt("hidden", 64);
+  options.seed = train.seed;
+  options.num_covariates = data.num_numeric_covariates();
+  out->model = CreateModel(model_name, dims, options);
+  out->result = TrainAndEvaluate(out->model.get(), data, train);
+  return true;
+}
+
+Forecaster* ActiveModel(TrainedModel& trained) {
+  return trained.lip ? static_cast<Forecaster*>(trained.lip.get())
+                     : trained.model.get();
+}
+
+}  // namespace
+
+int CmdTrain(const CliArgs& args) {
+  TimeSeries series;
+  double tr, va, te;
+  if (!LoadSeries(args, &series, &tr, &va, &te)) return 1;
+
+  WindowDataset::Options options;
+  options.input_len = args.GetInt("input", 96);
+  options.pred_len = args.GetInt("horizon", 24);
+  options.train_ratio = tr;
+  options.val_ratio = va;
+  options.test_ratio = te;
+  WindowDataset data(series, options);
+
+  TrainedModel trained;
+  if (!TrainFromArgs(args, data, &trained)) return 1;
+  Forecaster* model = ActiveModel(trained);
+
+  // Extended metrics over (a capped number of) test windows.
+  model->SetTraining(false);
+  NoGradGuard ng;
+  const int64_t n = std::min<int64_t>(data.NumWindows(Split::kTest), 256);
+  std::vector<int64_t> ids;
+  for (int64_t i = 0; i < n; ++i) ids.push_back(i);
+  Batch batch = data.MakeBatch(Split::kTest, ids);
+  ExtendedMetrics m =
+      ComputeExtendedMetrics(model->Forward(batch).value(), batch.y);
+  std::printf("\n%s on %lld test windows:\n", model->name().c_str(),
+              static_cast<long long>(n));
+  std::printf("  MSE %.4f  MAE %.4f  RSE %.4f  CORR %.4f  sMAPE %.4f\n",
+              m.mse, m.mae, m.rse, m.corr, m.smape);
+  std::printf("  params %lld, %.2fs/epoch\n",
+              static_cast<long long>(model->ParameterCount()),
+              trained.result.seconds_per_epoch);
+  if (args.Has("save")) {
+    std::printf("  best checkpoint at %s\n", args.Get("save", "").c_str());
+  }
+  return 0;
+}
+
+int CmdForecast(const CliArgs& args) {
+  TimeSeries series;
+  double tr, va, te;
+  if (!LoadSeries(args, &series, &tr, &va, &te)) return 1;
+
+  WindowDataset::Options options;
+  options.input_len = args.GetInt("input", 96);
+  options.pred_len = args.GetInt("horizon", 24);
+  options.train_ratio = tr;
+  options.val_ratio = va;
+  options.test_ratio = te;
+  WindowDataset data(series, options);
+
+  TrainedModel trained;
+  if (!TrainFromArgs(args, data, &trained)) return 1;
+  Forecaster* model = ActiveModel(trained);
+
+  model->SetTraining(false);
+  NoGradGuard ng;
+  const int64_t last = data.NumWindows(Split::kTest) - 1;
+  Batch batch = data.MakeBatch(Split::kTest, {last});
+  Tensor pred = model->Forward(batch).value().Reshape(
+      {options.pred_len, data.channels()});
+  Tensor truth = batch.y.Reshape({options.pred_len, data.channels()});
+
+  TimeSeries out;
+  out.values = Concat({data.scaler().InverseTransform(pred),
+                       data.scaler().InverseTransform(truth)},
+                      1);
+  for (int64_t j = 0; j < data.channels(); ++j) {
+    out.channel_names.push_back("pred_ch" + std::to_string(j));
+  }
+  for (int64_t j = 0; j < data.channels(); ++j) {
+    out.channel_names.push_back("true_ch" + std::to_string(j));
+  }
+  out.timestamps.assign(series.timestamps.end() - options.pred_len,
+                        series.timestamps.end());
+  const std::string out_path = args.Get("out", "forecast.csv");
+  Status st = WriteCsvTimeSeries(out_path, out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (prediction + truth, original units)\n",
+              out_path.c_str());
+  return 0;
+}
+
+namespace {
+int Usage() {
+  std::fprintf(stderr,
+               "usage: lipformer_cli <list|train|forecast> [--options]\n"
+               "see the header of tools/lipformer_cli.cc for options\n");
+  return 2;
+}
+}  // namespace
+
+int Main(int argc, char** argv) {
+  CliArgs args = Parse(argc, argv);
+  if (args.command == "list") return CmdList();
+  if (args.command == "train") return CmdTrain(args);
+  if (args.command == "forecast") return CmdForecast(args);
+  return Usage();
+}
+
+}  // namespace cli
+}  // namespace lipformer

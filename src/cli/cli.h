@@ -1,0 +1,46 @@
+#ifndef LIPFORMER_CLI_CLI_H_
+#define LIPFORMER_CLI_CLI_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "data/time_series.h"
+
+// Implementation of the lipformer_cli command-line front end, split into a
+// library so argument parsing and command dispatch are unit-testable.
+// Commands: list, train, forecast (see tools/lipformer_cli.cc header for
+// the option reference).
+
+namespace lipformer {
+namespace cli {
+
+struct CliArgs {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  bool Has(const std::string& key) const { return options.count(key) > 0; }
+  std::string Get(const std::string& key, const std::string& def) const;
+  int64_t GetInt(const std::string& key, int64_t def) const;
+  double GetDouble(const std::string& key, double def) const;
+};
+
+// Parses argv into command + --key[=value] options.
+CliArgs Parse(int argc, char** argv);
+
+// Loads the series selected by --csv / --dataset; fills split ratios.
+// Returns false (with a message on stderr) on bad input.
+bool LoadSeries(const CliArgs& args, TimeSeries* series, double* train_ratio,
+                double* val_ratio, double* test_ratio);
+
+int CmdList();
+int CmdTrain(const CliArgs& args);
+int CmdForecast(const CliArgs& args);
+
+// Dispatches to the command; returns the process exit code.
+int Main(int argc, char** argv);
+
+}  // namespace cli
+}  // namespace lipformer
+
+#endif  // LIPFORMER_CLI_CLI_H_

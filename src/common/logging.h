@@ -1,0 +1,73 @@
+#ifndef LIPFORMER_COMMON_LOGGING_H_
+#define LIPFORMER_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+// Lightweight CHECK/LOG facility in the spirit of glog. Internal invariant
+// violations (shape mismatches, out-of-range indices) abort with a message;
+// recoverable conditions (I/O, configuration) use Status instead.
+
+namespace lipformer {
+
+enum class LogLevel { kInfo, kWarning, kError, kFatal };
+
+namespace internal {
+
+// Accumulates a message and emits it (aborting for kFatal) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Used for CHECK failure messages; always fatal.
+class CheckFailure {
+ public:
+  CheckFailure(const char* expr, const char* file, int line);
+  [[noreturn]] ~CheckFailure();
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define LIPF_LOG(level)                                                   \
+  ::lipformer::internal::LogMessage(::lipformer::LogLevel::k##level,      \
+                                    __FILE__, __LINE__)                   \
+      .stream()
+
+#define LIPF_CHECK(cond)                                                  \
+  if (!(cond))                                                            \
+  ::lipformer::internal::CheckFailure(#cond, __FILE__, __LINE__).stream()
+
+#define LIPF_CHECK_OP(a, b, op)                                           \
+  LIPF_CHECK((a)op(b)) << " (" << (a) << " vs " << (b) << ") "
+
+#define LIPF_CHECK_EQ(a, b) LIPF_CHECK_OP(a, b, ==)
+#define LIPF_CHECK_NE(a, b) LIPF_CHECK_OP(a, b, !=)
+#define LIPF_CHECK_LT(a, b) LIPF_CHECK_OP(a, b, <)
+#define LIPF_CHECK_LE(a, b) LIPF_CHECK_OP(a, b, <=)
+#define LIPF_CHECK_GT(a, b) LIPF_CHECK_OP(a, b, >)
+#define LIPF_CHECK_GE(a, b) LIPF_CHECK_OP(a, b, >=)
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_COMMON_LOGGING_H_

@@ -1,0 +1,49 @@
+#ifndef LIPFORMER_COMMON_RANDOM_H_
+#define LIPFORMER_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+// Deterministic, fast PRNG used everywhere (weight init, dropout, data
+// generation, shuffling) so every experiment is reproducible from a seed.
+// Xoshiro256** seeded through SplitMix64, as recommended by the authors of
+// the generator family.
+
+namespace lipformer {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42);
+
+  // Uniform 64-bit integer.
+  uint64_t NextUint64();
+
+  // Uniform in [0, 1).
+  double Uniform();
+
+  // Uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Standard normal via Box-Muller (cached second value).
+  double Normal();
+
+  // Normal with mean/stddev.
+  double Normal(double mean, double stddev);
+
+  // Uniform integer in [0, n).
+  uint64_t UniformInt(uint64_t n);
+
+  // Bernoulli draw with probability p of true.
+  bool Bernoulli(double p);
+
+  // Derives an independent stream (e.g. per-module init streams).
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_COMMON_RANDOM_H_

@@ -1,0 +1,95 @@
+#ifndef LIPFORMER_COMMON_STATUS_H_
+#define LIPFORMER_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+
+// RocksDB/Arrow-style Status and Result for recoverable errors (file I/O,
+// parsing, user configuration). Internal invariants use LIPF_CHECK instead.
+
+namespace lipformer {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kOutOfRange,
+  kInternal,
+};
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Minimal Result<T>: either a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    LIPF_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    LIPF_CHECK(ok()) << status_.ToString();
+    return value_;
+  }
+  const T& value() const {
+    LIPF_CHECK(ok()) << status_.ToString();
+    return value_;
+  }
+  T&& MoveValue() {
+    LIPF_CHECK(ok()) << status_.ToString();
+    return std::move(value_);
+  }
+
+ private:
+  T value_{};
+  Status status_;
+};
+
+#define LIPF_RETURN_IF_ERROR(expr)        \
+  do {                                    \
+    ::lipformer::Status _st = (expr);     \
+    if (!_st.ok()) return _st;            \
+  } while (false)
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_COMMON_STATUS_H_

@@ -1,0 +1,58 @@
+#include "core/base_predictor.h"
+
+#include "core/patching.h"
+
+namespace lipformer {
+
+BasePredictor::BasePredictor(const BasePredictorConfig& config, Rng& rng)
+    : config_(config) {
+  LIPF_CHECK_GT(config.patch_len, 0);
+  LIPF_CHECK_EQ(config.input_len % config.patch_len, 0)
+      << "patch length must divide input length";
+  const int64_t n = config.num_patches();
+  const int64_t nt = config.num_target_patches();
+
+  cross_patch_ = std::make_unique<CrossPatchAttention>(
+      n, config.patch_len, config.hidden_dim, rng, config.dropout,
+      config.use_cross_patch);
+  RegisterModule("cross_patch", cross_patch_.get());
+
+  // Heads must divide hd; fall back to 1 for tiny hidden sizes.
+  const int64_t heads =
+      config.hidden_dim % config.num_heads == 0 ? config.num_heads : 1;
+  inter_patch_ = std::make_unique<InterPatchAttention>(
+      config.hidden_dim, heads, rng, config.dropout, config.use_inter_patch,
+      config.use_layer_norm, config.use_ffn);
+  RegisterModule("inter_patch", inter_patch_.get());
+
+  patch_head_ = std::make_unique<Linear>(n, nt, rng);
+  within_head_ = std::make_unique<Linear>(config.hidden_dim,
+                                          config.patch_len, rng);
+  RegisterModule("patch_head", patch_head_.get());
+  RegisterModule("within_head", within_head_.get());
+}
+
+Variable BasePredictor::Forward(const Variable& x) const {
+  LIPF_CHECK_EQ(x.dim(), 2);
+  LIPF_CHECK_EQ(x.size(1), config_.input_len);
+  const int64_t b = x.size(0);
+  const int64_t nt = config_.num_target_patches();
+
+  Variable patches = MakePatches(x, config_.patch_len);   // [B, n, pl]
+  Variable tokens = cross_patch_->Forward(patches);       // [B, n, hd]
+  Variable attended = inter_patch_->Forward(tokens);      // [B, n, hd]
+
+  // Two single-layer MLPs instead of an FFN stack (Section III-C1).
+  Variable by_feature = Transpose(attended, 1, 2);        // [B, hd, n]
+  Variable target_tokens = patch_head_->Forward(by_feature);  // [B, hd, nt]
+  Variable per_patch = Transpose(target_tokens, 1, 2);    // [B, nt, hd]
+  Variable horizon = within_head_->Forward(per_patch);    // [B, nt, pl]
+
+  Variable flat = Reshape(horizon, Shape{b, nt * config_.patch_len});
+  if (nt * config_.patch_len != config_.pred_len) {
+    flat = Slice(flat, 1, 0, config_.pred_len);
+  }
+  return flat;
+}
+
+}  // namespace lipformer

@@ -1,0 +1,60 @@
+#ifndef LIPFORMER_CORE_BASE_PREDICTOR_H_
+#define LIPFORMER_CORE_BASE_PREDICTOR_H_
+
+#include <memory>
+
+#include "core/cross_patch_attention.h"
+#include "core/inter_patch_attention.h"
+#include "nn/module.h"
+
+namespace lipformer {
+
+// Configuration of the lightweight backbone and its ablation switches.
+struct BasePredictorConfig {
+  int64_t input_len = 336;
+  int64_t pred_len = 96;
+  int64_t patch_len = 48;
+  int64_t hidden_dim = 64;
+  int64_t num_heads = 4;
+  float dropout = 0.1f;
+
+  // Ablations (paper defaults: both attentions on, LN and FFN off).
+  bool use_cross_patch = true;
+  bool use_inter_patch = true;
+  bool use_layer_norm = false;  // Table X "+LN"
+  bool use_ffn = false;         // Table X "+FFNs"
+
+  int64_t num_patches() const { return input_len / patch_len; }
+  int64_t num_target_patches() const {
+    return (pred_len + patch_len - 1) / patch_len;
+  }
+};
+
+// The Base Predictor backbone (Figure 4): channel-independent sequences are
+// patched, passed through Cross-Patch and Inter-Patch attention, and mapped
+// to the horizon by two single-layer MLPs replacing the Transformer FFN:
+//   [B, n, hd] -> (transpose) [B, hd, n] -> Linear(n->nt)
+//   -> (transpose) [B, nt, hd] -> Linear(hd->pl) -> flatten [B, nt*pl]
+// matching the paper's shape chain R^{b.c x n x hd} -> R^{b.c x hd x nt}
+// -> R^{b x L x c}; the nt*pl tail is cut to pred_len when pl does not
+// divide L.
+class BasePredictor : public Module {
+ public:
+  BasePredictor(const BasePredictorConfig& config, Rng& rng);
+
+  // x: [B, input_len] (B = batch * channels) -> [B, pred_len].
+  Variable Forward(const Variable& x) const;
+
+  const BasePredictorConfig& config() const { return config_; }
+
+ private:
+  BasePredictorConfig config_;
+  std::unique_ptr<CrossPatchAttention> cross_patch_;
+  std::unique_ptr<InterPatchAttention> inter_patch_;
+  std::unique_ptr<Linear> patch_head_;   // n -> nt
+  std::unique_ptr<Linear> within_head_;  // hd -> pl
+};
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_CORE_BASE_PREDICTOR_H_

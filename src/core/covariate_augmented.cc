@@ -1,0 +1,37 @@
+#include "core/covariate_augmented.h"
+
+namespace lipformer {
+
+CovariateAugmentedForecaster::CovariateAugmentedForecaster(
+    std::unique_ptr<Forecaster> base, const CovariateEncoder* encoder,
+    uint64_t seed)
+    : base_(std::move(base)), encoder_(encoder) {
+  LIPF_CHECK(base_ != nullptr);
+  LIPF_CHECK(encoder_ != nullptr);
+  LIPF_CHECK_EQ(encoder_->config().pred_len, base_->pred_len())
+      << "covariate encoder horizon mismatch";
+  Rng rng(seed);
+  RegisterModule("base", base_.get());
+  vector_mapping_ = std::make_unique<Linear>(base_->pred_len(),
+                                             base_->pred_len(), rng);
+  RegisterModule("vector_mapping", vector_mapping_.get());
+  channel_gain_ = RegisterParameter(
+      "channel_gain",
+      Variable(Tensor::Full(Shape{base_->channels()}, 0.1f)));
+}
+
+Variable CovariateAugmentedForecaster::Forward(const Batch& batch) {
+  Variable y = base_->Forward(batch);  // [b, L, c]
+  Variable vc;
+  {
+    NoGradGuard no_grad;
+    vc = encoder_->Encode(batch);  // [b, L]
+  }
+  Variable mapped = vector_mapping_->Forward(vc.Detach());
+  Variable contribution = Mul(
+      Reshape(mapped, Shape{batch.x.size(0), base_->pred_len(), 1}),
+      channel_gain_);
+  return Add(y, contribution);
+}
+
+}  // namespace lipformer

@@ -1,0 +1,44 @@
+#ifndef LIPFORMER_CORE_COVARIATE_AUGMENTED_H_
+#define LIPFORMER_CORE_COVARIATE_AUGMENTED_H_
+
+#include <memory>
+#include <string>
+
+#include "core/covariate_encoder.h"
+#include "models/forecaster.h"
+
+namespace lipformer {
+
+// Plug-and-play weak-data enriching (Section IV-E6, Table XII): wraps ANY
+// Forecaster and adds the frozen Covariate Encoder's guidance through a
+// learnable Vector Mapping, exactly as LiPFormer does:
+//   Y_hat = BaseModel(batch) + Map(V_C).
+// The wrapper owns the base model; the encoder is borrowed (pre-trained
+// and frozen by the caller).
+class CovariateAugmentedForecaster : public Forecaster {
+ public:
+  CovariateAugmentedForecaster(std::unique_ptr<Forecaster> base,
+                               const CovariateEncoder* encoder,
+                               uint64_t seed = 77);
+
+  Variable Forward(const Batch& batch) override;
+
+  std::string name() const override {
+    return base_->name() + "+CovariateEncoder";
+  }
+  int64_t input_len() const override { return base_->input_len(); }
+  int64_t pred_len() const override { return base_->pred_len(); }
+  int64_t channels() const override { return base_->channels(); }
+
+  Forecaster* base() { return base_.get(); }
+
+ private:
+  std::unique_ptr<Forecaster> base_;
+  const CovariateEncoder* encoder_;
+  std::unique_ptr<Linear> vector_mapping_;
+  Variable channel_gain_;
+};
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_CORE_COVARIATE_AUGMENTED_H_

@@ -1,0 +1,101 @@
+#include "core/covariate_encoder.h"
+
+namespace lipformer {
+
+namespace {
+
+int64_t PickHeads(int64_t dim, int64_t requested) {
+  return dim % requested == 0 ? requested : 1;
+}
+
+}  // namespace
+
+CovariateEncoder::CovariateEncoder(const CovariateEncoderConfig& config,
+                                   Rng& rng)
+    : config_(config) {
+  LIPF_CHECK_GT(config.pred_len, 0);
+  LIPF_CHECK_GT(config.concat_channels(), 0)
+      << "covariate encoder needs at least one covariate";
+  for (int64_t card : config.categorical_cardinalities) {
+    embeddings_.push_back(
+        std::make_unique<Embedding>(card, config.embed_dim, rng));
+    RegisterModule(
+        "embed" + std::to_string(embeddings_.size() - 1),
+        embeddings_.back().get());
+  }
+  input_proj_ = std::make_unique<Linear>(config.concat_channels(),
+                                         config.hidden_dim, rng);
+  RegisterModule("input_proj", input_proj_.get());
+  attention_ = std::make_unique<MultiHeadSelfAttention>(
+      config.hidden_dim, PickHeads(config.hidden_dim, config.num_heads), rng);
+  RegisterModule("attention", attention_.get());
+  output_proj_ = std::make_unique<Linear>(
+      config.pred_len * config.hidden_dim, config.pred_len, rng);
+  RegisterModule("output_proj", output_proj_.get());
+}
+
+Variable CovariateEncoder::Encode(const Tensor& cov_num,
+                                  const Tensor& cov_cat) const {
+  LIPF_CHECK_EQ(cov_num.dim(), 3);
+  LIPF_CHECK_EQ(cov_cat.dim(), 3);
+  const int64_t b = cov_num.size(0);
+  const int64_t l = cov_num.size(1);
+  LIPF_CHECK_EQ(l, config_.pred_len);
+  LIPF_CHECK_EQ(cov_num.size(2), config_.num_numeric);
+  LIPF_CHECK_EQ(cov_cat.size(2), config_.num_categorical());
+
+  // Eq. 3: Concat(Embed(textual), numeric).
+  std::vector<Variable> parts;
+  if (config_.num_numeric > 0) {
+    parts.push_back(Variable(cov_num));
+  }
+  for (int64_t k = 0; k < config_.num_categorical(); ++k) {
+    Tensor ids = Slice(cov_cat, 2, k, k + 1).Reshape(Shape{b, l});
+    parts.push_back(embeddings_[static_cast<size_t>(k)]->Forward(ids));
+  }
+  Variable concat = parts.size() == 1 ? parts[0] : Concat(parts, 2);
+  return EncodeConcat(concat);
+}
+
+Variable CovariateEncoder::Encode(const Batch& batch) const {
+  return Encode(batch.y_cov_num, batch.y_cov_cat);
+}
+
+Variable CovariateEncoder::EncodeConcat(const Variable& concat) const {
+  const int64_t b = concat.size(0);
+  // Eq. 4: channel projection to hd.
+  Variable h = input_proj_->Forward(concat);  // [b, L, hd]
+  // Eq. 5: residual self-attention over the horizon, then flatten.
+  Variable attended = Add(attention_->Forward(h), h);
+  Variable flat = Reshape(attended,
+                          Shape{b, config_.pred_len * config_.hidden_dim});
+  // Eq. 6: projection to the length-L representation vector.
+  return output_proj_->Forward(flat);
+}
+
+TargetEncoder::TargetEncoder(int64_t pred_len, int64_t channels,
+                             int64_t hidden_dim, int64_t num_heads, Rng& rng)
+    : pred_len_(pred_len), channels_(channels), hidden_dim_(hidden_dim) {
+  input_proj_ = std::make_unique<Linear>(channels, hidden_dim, rng);
+  RegisterModule("input_proj", input_proj_.get());
+  attention_ = std::make_unique<MultiHeadSelfAttention>(
+      hidden_dim, PickHeads(hidden_dim, num_heads), rng);
+  RegisterModule("attention", attention_.get());
+  output_proj_ = std::make_unique<Linear>(pred_len * hidden_dim, pred_len,
+                                          rng);
+  RegisterModule("output_proj", output_proj_.get());
+}
+
+Variable TargetEncoder::Encode(const Tensor& y) const {
+  LIPF_CHECK_EQ(y.dim(), 3);
+  const int64_t b = y.size(0);
+  LIPF_CHECK_EQ(y.size(1), pred_len_);
+  LIPF_CHECK_EQ(y.size(2), channels_);
+  // Eq. 7: F_MLP = MLP(Y).
+  Variable h = input_proj_->Forward(Variable(y));
+  Variable attended = Add(attention_->Forward(h), h);
+  Variable flat = Reshape(attended, Shape{b, pred_len_ * hidden_dim_});
+  return output_proj_->Forward(flat);
+}
+
+}  // namespace lipformer

@@ -1,0 +1,83 @@
+#ifndef LIPFORMER_CORE_COVARIATE_ENCODER_H_
+#define LIPFORMER_CORE_COVARIATE_ENCODER_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/window_dataset.h"
+#include "nn/attention.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace lipformer {
+
+struct CovariateEncoderConfig {
+  int64_t pred_len = 96;
+  // Numeric / categorical covariate layout (from the dataset schema).
+  int64_t num_numeric = 4;
+  std::vector<int64_t> categorical_cardinalities;
+  // Embedding width per categorical field. The paper's Eq. 3 embeds each
+  // textual field before concatenation; we use a small vector per field.
+  int64_t embed_dim = 4;
+  int64_t hidden_dim = 32;
+  int64_t num_heads = 4;
+
+  int64_t num_categorical() const {
+    return static_cast<int64_t>(categorical_cardinalities.size());
+  }
+  int64_t concat_channels() const {
+    return num_numeric + num_categorical() * embed_dim;
+  }
+};
+
+// Covariate Encoder (Figure 5, Eq. 3-6): textual weak labels are embedded
+// and concatenated with numeric labels, mapped to hd channels by a linear
+// MLP, passed through one residual self-attention over the L future steps,
+// flattened and projected to a length-L representation vector V_C.
+class CovariateEncoder : public Module {
+ public:
+  CovariateEncoder(const CovariateEncoderConfig& config, Rng& rng);
+
+  // cov_num: [b, L, num_numeric], cov_cat: [b, L, num_categorical] integer
+  // codes. Returns V_C in R^{b x L}.
+  Variable Encode(const Tensor& cov_num, const Tensor& cov_cat) const;
+
+  // Convenience overload reading the batch's future covariates.
+  Variable Encode(const Batch& batch) const;
+
+  const CovariateEncoderConfig& config() const { return config_; }
+
+ private:
+  Variable EncodeConcat(const Variable& concat) const;
+
+  CovariateEncoderConfig config_;
+  std::vector<std::unique_ptr<Embedding>> embeddings_;
+  std::unique_ptr<Linear> input_proj_;  // concat_channels -> hd (Eq. 4)
+  std::unique_ptr<MultiHeadSelfAttention> attention_;  // res-attn (Eq. 5)
+  std::unique_ptr<Linear> output_proj_;  // L*hd -> L (Eq. 6)
+};
+
+// Target Encoder: same Res-attention trunk applied to the ground-truth
+// future window Y [b, L, c] (Eq. 7 replaces the embedding/concat step with
+// a channel projection c -> hd).
+class TargetEncoder : public Module {
+ public:
+  TargetEncoder(int64_t pred_len, int64_t channels, int64_t hidden_dim,
+                int64_t num_heads, Rng& rng);
+
+  // y: [b, L, c] -> V_T in R^{b x L}.
+  Variable Encode(const Tensor& y) const;
+
+ private:
+  int64_t pred_len_;
+  int64_t channels_;
+  int64_t hidden_dim_;
+  std::unique_ptr<Linear> input_proj_;  // c -> hd
+  std::unique_ptr<MultiHeadSelfAttention> attention_;
+  std::unique_ptr<Linear> output_proj_;  // L*hd -> L
+};
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_CORE_COVARIATE_ENCODER_H_

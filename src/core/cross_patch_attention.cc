@@ -1,0 +1,49 @@
+#include "core/cross_patch_attention.h"
+
+#include "core/patching.h"
+
+namespace lipformer {
+
+CrossPatchAttention::CrossPatchAttention(int64_t num_patches,
+                                         int64_t patch_len,
+                                         int64_t hidden_dim, Rng& rng,
+                                         float dropout, bool enabled)
+    : num_patches_(num_patches),
+      patch_len_(patch_len),
+      hidden_dim_(hidden_dim),
+      enabled_(enabled) {
+  if (enabled_) {
+    // Trend sequences have length n (= num_patches), usually small, so a
+    // single head keeps the head dimension meaningful.
+    trend_attention_ = std::make_unique<MultiHeadSelfAttention>(
+        num_patches, /*num_heads=*/1, rng);
+    RegisterModule("trend_attention", trend_attention_.get());
+  }
+  mixer_ = std::make_unique<Linear>(patch_len, hidden_dim, rng);
+  RegisterModule("mixer", mixer_.get());
+  if (dropout > 0.0f) {
+    dropout_ = std::make_unique<Dropout>(dropout, rng);
+    RegisterModule("dropout", dropout_.get());
+  }
+}
+
+Variable CrossPatchAttention::Forward(const Variable& patches) const {
+  LIPF_CHECK_EQ(patches.dim(), 3);
+  LIPF_CHECK_EQ(patches.size(1), num_patches_);
+  LIPF_CHECK_EQ(patches.size(2), patch_len_);
+
+  Variable mixed = patches;
+  if (enabled_) {
+    // [B, n, pl] -> trend view [B, pl, n]; attend across the pl trends.
+    Variable trends = TrendSequences(patches);
+    Variable attended = trend_attention_->Forward(trends);
+    // Back to patch-major layout and residual with the raw patches (Eq. 1).
+    Variable back = Transpose(attended, 1, 2);
+    mixed = Add(back, patches);
+  }
+  Variable out = mixer_->Forward(mixed);
+  if (dropout_) out = dropout_->Forward(out);
+  return out;
+}
+
+}  // namespace lipformer

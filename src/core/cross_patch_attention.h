@@ -1,0 +1,45 @@
+#ifndef LIPFORMER_CORE_CROSS_PATCH_ATTENTION_H_
+#define LIPFORMER_CORE_CROSS_PATCH_ATTENTION_H_
+
+#include <memory>
+
+#include "nn/attention.h"
+#include "nn/dropout.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace lipformer {
+
+// Cross-Patch attention (Section III-C1, Figure 2, Eq. 1). Self-attention
+// runs across the pl global trend sequences (the transpose of the patch
+// matrix), capturing global sequential dependencies that replace positional
+// encoding; a residual connection and a single-layer MLP pl -> hd mix the
+// trend features back into the patch tokens:
+//     x[B, n, hd] = MLP(Attn(X[B, n, pl]) + X[B, n, pl]).
+// The `enabled=false` ablation (Table XI, "Without Cross-Patch attn.")
+// keeps only the MLP.
+class CrossPatchAttention : public Module {
+ public:
+  CrossPatchAttention(int64_t num_patches, int64_t patch_len,
+                      int64_t hidden_dim, Rng& rng, float dropout = 0.0f,
+                      bool enabled = true);
+
+  // patches: [B, n, pl] -> [B, n, hd].
+  Variable Forward(const Variable& patches) const;
+
+  bool enabled() const { return enabled_; }
+
+ private:
+  int64_t num_patches_;
+  int64_t patch_len_;
+  int64_t hidden_dim_;
+  bool enabled_;
+  // Attention across trend sequences: tokens = pl trends, feature dim = n.
+  std::unique_ptr<MultiHeadSelfAttention> trend_attention_;
+  std::unique_ptr<Linear> mixer_;  // pl -> hd
+  std::unique_ptr<Dropout> dropout_;
+};
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_CORE_CROSS_PATCH_ATTENTION_H_

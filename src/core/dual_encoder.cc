@@ -1,0 +1,109 @@
+#include "core/dual_encoder.h"
+
+#include <chrono>
+#include <cmath>
+
+#include "optim/adamw.h"
+#include "train/losses.h"
+
+namespace lipformer {
+
+namespace {
+
+// Row-wise L2 normalization of [b, L] vectors (cosine-similarity logits).
+Variable RowNormalize(const Variable& v) {
+  Variable sq = Sum(Mul(v, v), 1, /*keepdim=*/true);
+  Variable norm = Sqrt(AddScalar(sq, 1e-8f));
+  return Div(v, norm);
+}
+
+}  // namespace
+
+DualEncoder::DualEncoder(const CovariateEncoderConfig& covariate_config,
+                         int64_t target_channels, Rng& rng) {
+  covariate_encoder_ =
+      std::make_unique<CovariateEncoder>(covariate_config, rng);
+  target_encoder_ = std::make_unique<TargetEncoder>(
+      covariate_config.pred_len, target_channels,
+      covariate_config.hidden_dim, covariate_config.num_heads, rng);
+  RegisterModule("covariate_encoder", covariate_encoder_.get());
+  RegisterModule("target_encoder", target_encoder_.get());
+  // CLIP initializes the temperature so that e^t = 1/0.07 ~ 14.3; a milder
+  // start is stabler for small batches.
+  log_temperature_ = RegisterParameter(
+      "log_temperature", Variable(Tensor::Scalar(std::log(10.0f))));
+}
+
+Variable DualEncoder::Logits(const Batch& batch) const {
+  Variable vc = RowNormalize(covariate_encoder_->Encode(batch));  // [b, L]
+  Variable vt = RowNormalize(target_encoder_->Encode(batch.y));   // [b, L]
+  Variable scale = Exp(log_temperature_);
+  Variable logits = MatMul(vt, Transpose(vc, 0, 1));  // [b, b]
+  return Mul(logits, scale);
+}
+
+float DualEncoder::temperature() const {
+  return std::exp(log_temperature_.value().item());
+}
+
+PretrainResult PretrainDualEncoder(DualEncoder* dual,
+                                   const WindowDataset& data,
+                                   const PretrainConfig& config) {
+  AdamW optimizer(dual->Parameters(), config.lr, 0.9f, 0.999f, 1e-8f,
+                  config.weight_decay);
+  Rng rng(config.seed);
+  // drop_last keeps the pair matrix square and non-degenerate.
+  DataLoader loader(&data, Split::kTrain, config.batch_size,
+                    /*shuffle=*/true, rng.Fork(), /*drop_last=*/true);
+  PretrainResult result;
+  const auto t0 = std::chrono::steady_clock::now();
+  dual->SetTraining(true);
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    int64_t batches = 0;
+    for (loader.Reset(); loader.HasNext();) {
+      Batch batch = loader.Next();
+      if (batch.size < 2) continue;  // contrastive loss needs negatives
+      optimizer.ZeroGrad();
+      Variable loss = SymmetricContrastiveLoss(dual->Logits(batch));
+      loss.Backward();
+      ClipGradNorm(optimizer.params(), 5.0f);
+      optimizer.Step();
+      epoch_loss += loss.value().item();
+      ++batches;
+      ++result.steps;
+      if (config.max_batches_per_epoch > 0 &&
+          batches >= config.max_batches_per_epoch) {
+        break;
+      }
+    }
+    const float mean_loss =
+        batches > 0 ? static_cast<float>(epoch_loss / batches) : 0.0f;
+    if (epoch == 0) result.first_epoch_loss = mean_loss;
+    result.final_loss = mean_loss;
+    if (config.verbose) {
+      LIPF_LOG(Info) << "pretrain epoch " << epoch << " loss=" << mean_loss
+                     << " temperature=" << dual->temperature();
+    }
+  }
+  result.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  return result;
+}
+
+CovariateEncoderConfig MakeCovariateConfig(const WindowDataset& data,
+                                           int64_t pred_len,
+                                           int64_t hidden_dim,
+                                           int64_t embed_dim) {
+  CovariateEncoderConfig config;
+  config.pred_len = pred_len;
+  config.num_numeric = data.num_numeric_covariates();
+  config.categorical_cardinalities =
+      data.covariate_schema().categorical_cardinalities;
+  config.embed_dim = embed_dim;
+  config.hidden_dim = hidden_dim;
+  return config;
+}
+
+}  // namespace lipformer

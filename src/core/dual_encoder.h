@@ -1,0 +1,70 @@
+#ifndef LIPFORMER_CORE_DUAL_ENCODER_H_
+#define LIPFORMER_CORE_DUAL_ENCODER_H_
+
+#include <memory>
+
+#include "core/covariate_encoder.h"
+#include "data/dataloader.h"
+
+namespace lipformer {
+
+// The Weakly Supervised Architecture (Figure 1 top, Section III-B): a
+// CLIP-style dual encoder trained contrastively so that the covariate
+// vector V_C of a window aligns with the target vector V_T of the same
+// window. logits = norm(V_T) norm(V_C)^T * e^t, with learnable temperature
+// t; loss is the symmetric cross-entropy over the b x b pair matrix.
+class DualEncoder : public Module {
+ public:
+  DualEncoder(const CovariateEncoderConfig& covariate_config,
+              int64_t target_channels, Rng& rng);
+
+  // [b, b] logits matrix for a batch of covariate-target pairs.
+  Variable Logits(const Batch& batch) const;
+
+  CovariateEncoder* covariate_encoder() { return covariate_encoder_.get(); }
+  const CovariateEncoder* covariate_encoder() const {
+    return covariate_encoder_.get();
+  }
+  TargetEncoder* target_encoder() { return target_encoder_.get(); }
+
+  float temperature() const;
+
+ private:
+  std::unique_ptr<CovariateEncoder> covariate_encoder_;
+  std::unique_ptr<TargetEncoder> target_encoder_;
+  Variable log_temperature_;  // scalar t; logits scaled by e^t
+};
+
+struct PretrainConfig {
+  int64_t epochs = 3;
+  float lr = 1e-3f;
+  float weight_decay = 1e-4f;
+  int64_t batch_size = 64;
+  uint64_t seed = 3;
+  int64_t max_batches_per_epoch = 0;  // 0 = all
+  bool verbose = false;
+};
+
+struct PretrainResult {
+  float first_epoch_loss = 0.0f;
+  float final_loss = 0.0f;
+  int64_t steps = 0;
+  double seconds = 0.0;
+};
+
+// Contrastive pre-training over the train split (Section III-B). After
+// this, freeze the covariate encoder (SetRequiresGrad(false)) and attach it
+// to a predictor.
+PretrainResult PretrainDualEncoder(DualEncoder* dual,
+                                   const WindowDataset& data,
+                                   const PretrainConfig& config);
+
+// Builds the encoder config matching a dataset's covariate schema.
+CovariateEncoderConfig MakeCovariateConfig(const WindowDataset& data,
+                                           int64_t pred_len,
+                                           int64_t hidden_dim = 32,
+                                           int64_t embed_dim = 4);
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_CORE_DUAL_ENCODER_H_

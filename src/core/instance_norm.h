@@ -1,0 +1,29 @@
+#ifndef LIPFORMER_CORE_INSTANCE_NORM_H_
+#define LIPFORMER_CORE_INSTANCE_NORM_H_
+
+#include <utility>
+
+#include "autograd/ops.h"
+
+// Last-value instance normalization (Section III-C1, after DLinear): the
+// last observed value of each channel is subtracted from its history before
+// the model runs and re-added to the prediction, mitigating distribution
+// shift between train and test windows with zero learned parameters.
+
+namespace lipformer {
+
+struct InstanceNormState {
+  // [b, 1, c] last values of each window, needed for denormalization.
+  Variable last_values;
+};
+
+// x: [b, T, c] -> normalized x with state to undo it.
+std::pair<Variable, InstanceNormState> InstanceNormalize(const Variable& x);
+
+// prediction: [b, L, c] -> prediction + last values.
+Variable InstanceDenormalize(const Variable& prediction,
+                             const InstanceNormState& state);
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_CORE_INSTANCE_NORM_H_

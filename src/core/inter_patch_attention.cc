@@ -1,0 +1,61 @@
+#include "core/inter_patch_attention.h"
+
+namespace lipformer {
+
+InterPatchAttention::InterPatchAttention(int64_t hidden_dim,
+                                         int64_t num_heads, Rng& rng,
+                                         float dropout, bool enabled,
+                                         bool use_layer_norm, bool use_ffn)
+    : hidden_dim_(hidden_dim), enabled_(enabled) {
+  if (enabled_) {
+    attention_ = std::make_unique<MultiHeadSelfAttention>(hidden_dim,
+                                                          num_heads, rng);
+    RegisterModule("attention", attention_.get());
+  } else {
+    linear_replacement_ = std::make_unique<Linear>(hidden_dim, hidden_dim,
+                                                   rng);
+    RegisterModule("linear_replacement", linear_replacement_.get());
+  }
+  if (dropout > 0.0f) {
+    dropout_ = std::make_unique<Dropout>(dropout, rng);
+    RegisterModule("dropout", dropout_.get());
+  }
+  if (use_layer_norm) {
+    layer_norm_ = std::make_unique<LayerNorm>(hidden_dim, rng);
+    RegisterModule("layer_norm", layer_norm_.get());
+  }
+  if (use_ffn) {
+    // The classical 2-layer ascending/descending FFN the paper eliminates;
+    // kept only for the +FFNs ablation.
+    ffn_up_ = std::make_unique<Linear>(hidden_dim, 4 * hidden_dim, rng);
+    ffn_down_ = std::make_unique<Linear>(4 * hidden_dim, hidden_dim, rng);
+    RegisterModule("ffn_up", ffn_up_.get());
+    RegisterModule("ffn_down", ffn_down_.get());
+    if (use_layer_norm) {
+      ffn_norm_ = std::make_unique<LayerNorm>(hidden_dim, rng);
+      RegisterModule("ffn_norm", ffn_norm_.get());
+    }
+  }
+}
+
+Variable InterPatchAttention::Forward(const Variable& tokens) const {
+  LIPF_CHECK_EQ(tokens.dim(), 3);
+  LIPF_CHECK_EQ(tokens.size(2), hidden_dim_);
+
+  Variable out;
+  if (enabled_) {
+    out = Add(attention_->Forward(tokens), tokens);
+  } else {
+    out = Add(linear_replacement_->Forward(tokens), tokens);
+  }
+  if (dropout_) out = dropout_->Forward(out);
+  if (layer_norm_) out = layer_norm_->Forward(out);
+  if (ffn_up_) {
+    Variable ffn = ffn_down_->Forward(Relu(ffn_up_->Forward(out)));
+    out = Add(out, ffn);
+    if (ffn_norm_) out = ffn_norm_->Forward(out);
+  }
+  return out;
+}
+
+}  // namespace lipformer

@@ -1,0 +1,47 @@
+#ifndef LIPFORMER_CORE_INTER_PATCH_ATTENTION_H_
+#define LIPFORMER_CORE_INTER_PATCH_ATTENTION_H_
+
+#include <memory>
+
+#include "nn/attention.h"
+#include "nn/dropout.h"
+#include "nn/layer_norm.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace lipformer {
+
+// Inter-Patch attention (Section III-C1, Figure 3, Eq. 2): vanilla
+// self-attention across the n patch tokens of dimension hd, with NO
+// positional encoding (order information is already carried by the
+// Cross-Patch trends) and, in the default LiPFormer configuration, NO
+// LayerNorm and NO FFN. The `use_layer_norm` / `use_ffn` switches implement
+// the Table X ablations; `enabled=false` replaces attention with a linear
+// layer (Table XI, "Without Inter-Patch attn.").
+class InterPatchAttention : public Module {
+ public:
+  InterPatchAttention(int64_t hidden_dim, int64_t num_heads, Rng& rng,
+                      float dropout = 0.0f, bool enabled = true,
+                      bool use_layer_norm = false, bool use_ffn = false);
+
+  // tokens: [B, n, hd] -> [B, n, hd].
+  Variable Forward(const Variable& tokens) const;
+
+  bool enabled() const { return enabled_; }
+
+ private:
+  int64_t hidden_dim_;
+  bool enabled_;
+  std::unique_ptr<MultiHeadSelfAttention> attention_;
+  std::unique_ptr<Linear> linear_replacement_;  // ablation path
+  std::unique_ptr<Dropout> dropout_;
+  // Ablation-only components (heavyweight parts the paper removes).
+  std::unique_ptr<LayerNorm> layer_norm_;
+  std::unique_ptr<Linear> ffn_up_;
+  std::unique_ptr<Linear> ffn_down_;
+  std::unique_ptr<LayerNorm> ffn_norm_;
+};
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_CORE_INTER_PATCH_ATTENTION_H_

@@ -1,0 +1,116 @@
+#include "core/lipformer.h"
+
+#include "core/instance_norm.h"
+
+namespace lipformer {
+
+LiPFormer::LiPFormer(const LiPFormerConfig& config)
+    : config_(config), rng_(config.seed) {
+  base_ = std::make_unique<BasePredictor>(config.base_config(), rng_);
+  RegisterModule("base_predictor", base_.get());
+}
+
+void LiPFormer::AttachCovariateEncoder(const CovariateEncoder* encoder) {
+  if (encoder != nullptr) {
+    LIPF_CHECK_EQ(encoder->config().pred_len, config_.pred_len)
+        << "covariate encoder horizon mismatch";
+    // The Vector Mapping only exists once weak-label guidance is in use;
+    // created on first attach so the base model's parameter count stays
+    // honest.
+    if (!mapping_initialized_) {
+      mapping_initialized_ = true;
+      switch (config_.vector_mapping) {
+        case VectorMappingKind::kSharedLinearWithGain:
+          vector_mapping_ = std::make_unique<Linear>(config_.pred_len,
+                                                     config_.pred_len, rng_);
+          RegisterModule("vector_mapping", vector_mapping_.get());
+          break;
+        case VectorMappingKind::kPerChannelLinear:
+          vector_mapping_ = std::make_unique<Linear>(
+              config_.pred_len, config_.pred_len * config_.channels, rng_);
+          RegisterModule("vector_mapping", vector_mapping_.get());
+          break;
+        case VectorMappingKind::kGainOnly:
+          break;
+      }
+      // Start the weak-label contribution small so the backbone dominates
+      // early training.
+      channel_gain_ = RegisterParameter(
+          "channel_gain",
+          Variable(Tensor::Full(Shape{config_.channels}, 0.1f)));
+    }
+  }
+  covariate_encoder_ = encoder;
+}
+
+Variable LiPFormer::Forward(const Batch& batch) {
+  LIPF_CHECK_EQ(batch.x.dim(), 3);
+  const int64_t b = batch.x.size(0);
+  const int64_t t = batch.x.size(1);
+  const int64_t c = batch.x.size(2);
+  LIPF_CHECK_EQ(t, config_.input_len);
+  LIPF_CHECK_EQ(c, config_.channels);
+
+  Variable x(batch.x);
+  auto [normalized, norm_state] = InstanceNormalize(x);
+
+  // Channel independence: [b, T, c] -> [b*c, T].
+  Variable by_channel = Permute(normalized, {0, 2, 1});
+  Variable flat = Reshape(by_channel, Shape{b * c, t});
+
+  Variable base = base_->Forward(flat);  // [b*c, L]
+
+  Variable y = Reshape(base, Shape{b, c, config_.pred_len});
+  y = Permute(y, {0, 2, 1});  // [b, L, c]
+
+  if (covariate_encoder_ != nullptr) {
+    // The encoder is frozen during prediction training: compute V_C off
+    // the tape and feed it to the trainable Vector Mapping (Eq. 8).
+    Variable vc;
+    {
+      NoGradGuard no_grad;
+      vc = covariate_encoder_->Encode(batch);  // [b, L]
+    }
+    Variable contribution;
+    switch (config_.vector_mapping) {
+      case VectorMappingKind::kSharedLinearWithGain: {
+        Variable mapped = vector_mapping_->Forward(vc.Detach());  // [b, L]
+        contribution = Mul(Reshape(mapped, Shape{b, config_.pred_len, 1}),
+                           channel_gain_);
+        break;
+      }
+      case VectorMappingKind::kPerChannelLinear: {
+        Variable mapped = vector_mapping_->Forward(vc.Detach());
+        contribution = Mul(
+            Reshape(mapped, Shape{b, config_.pred_len, config_.channels}),
+            channel_gain_);
+        break;
+      }
+      case VectorMappingKind::kGainOnly: {
+        contribution = Mul(
+            Reshape(vc.Detach(), Shape{b, config_.pred_len, 1}),
+            channel_gain_);
+        break;
+      }
+    }
+    y = Add(y, contribution);
+  }
+
+  return InstanceDenormalize(y, norm_state);
+}
+
+LiPFormerPipelineResult TrainLiPFormerPipeline(LiPFormer* model,
+                                               DualEncoder* dual,
+                                               const WindowDataset& data,
+                                               const PretrainConfig& pretrain,
+                                               const TrainConfig& train) {
+  LiPFormerPipelineResult result;
+  result.pretrain = PretrainDualEncoder(dual, data, pretrain);
+  dual->SetTraining(false);
+  dual->SetRequiresGrad(false);
+  model->AttachCovariateEncoder(dual->covariate_encoder());
+  result.train = TrainAndEvaluate(model, data, train);
+  return result;
+}
+
+}  // namespace lipformer

@@ -1,0 +1,119 @@
+#ifndef LIPFORMER_CORE_LIPFORMER_H_
+#define LIPFORMER_CORE_LIPFORMER_H_
+
+#include <memory>
+#include <string>
+
+#include "core/base_predictor.h"
+#include "core/dual_encoder.h"
+#include "models/forecaster.h"
+#include "train/trainer.h"
+
+namespace lipformer {
+
+// How the Vector Mapping (Eq. 8) projects the covariate vector V_C onto
+// the [b, L, c] prediction. The paper says only "a learnable linear
+// layer"; the repository implements three realizations to ablate the
+// choice (see DESIGN.md section 5 and bench_vector_mapping):
+enum class VectorMappingKind {
+  // Shared Linear(L -> L) followed by a per-channel gain (default; O(L^2
+  // + c) parameters).
+  kSharedLinearWithGain,
+  // Literal Linear(L -> L*c); faithful to the widest reading but O(L^2 c)
+  // parameters -- explodes for wide datasets.
+  kPerChannelLinear,
+  // Per-channel gain only (cheapest possible guidance).
+  kGainOnly,
+};
+
+// Full LiPFormer configuration: backbone + weak-data-enriching switches.
+struct LiPFormerConfig {
+  int64_t input_len = 336;
+  int64_t pred_len = 96;
+  int64_t channels = 7;
+  int64_t patch_len = 48;
+  int64_t hidden_dim = 64;
+  int64_t num_heads = 4;
+  float dropout = 0.1f;
+  uint64_t seed = 1;
+
+  // Ablation switches (paper defaults).
+  bool use_cross_patch = true;
+  bool use_inter_patch = true;
+  bool use_layer_norm = false;
+  bool use_ffn = false;
+  VectorMappingKind vector_mapping =
+      VectorMappingKind::kSharedLinearWithGain;
+
+  BasePredictorConfig base_config() const {
+    BasePredictorConfig base;
+    base.input_len = input_len;
+    base.pred_len = pred_len;
+    base.patch_len = patch_len;
+    base.hidden_dim = hidden_dim;
+    base.num_heads = num_heads;
+    base.dropout = dropout;
+    base.use_cross_patch = use_cross_patch;
+    base.use_inter_patch = use_inter_patch;
+    base.use_layer_norm = use_layer_norm;
+    base.use_ffn = use_ffn;
+    return base;
+  }
+};
+
+// LiPFormer (Figure 1): instance normalization -> channel independence ->
+// Base Predictor -> optional weak-label guidance. With an attached
+// (pre-trained, frozen) Covariate Encoder the prediction is
+//   Y_hat = Y_base + Map(V_C)                        (Eq. 8)
+// where Map is the learnable Vector Mapping trained jointly with the
+// backbone: a shared Linear(L -> L) followed by a per-channel gain (see
+// DESIGN.md for why the full Linear(L -> L*c) is avoided).
+class LiPFormer : public Forecaster {
+ public:
+  explicit LiPFormer(const LiPFormerConfig& config);
+
+  // Attaches a frozen covariate encoder (not owned; must outlive this
+  // model). Pass nullptr to detach.
+  void AttachCovariateEncoder(const CovariateEncoder* encoder);
+  bool has_covariate_encoder() const { return covariate_encoder_ != nullptr; }
+
+  Variable Forward(const Batch& batch) override;
+
+  std::string name() const override { return "LiPFormer"; }
+  int64_t input_len() const override { return config_.input_len; }
+  int64_t pred_len() const override { return config_.pred_len; }
+  int64_t channels() const override { return config_.channels; }
+
+  const LiPFormerConfig& config() const { return config_; }
+  BasePredictor* base_predictor() { return base_.get(); }
+
+ private:
+  LiPFormerConfig config_;
+  Rng rng_;
+  std::unique_ptr<BasePredictor> base_;
+  const CovariateEncoder* covariate_encoder_ = nullptr;
+  // Vector Mapping (trained with the backbone); created lazily on the
+  // first AttachCovariateEncoder call.
+  bool mapping_initialized_ = false;
+  std::unique_ptr<Linear> vector_mapping_;
+  Variable channel_gain_;  // [c]
+};
+
+// End-to-end training pipeline from the paper: contrastive pre-training of
+// the dual encoder on the train split, freeze the covariate encoder, attach
+// it to the model, then prediction-oriented training of the backbone +
+// vector mapping.
+struct LiPFormerPipelineResult {
+  PretrainResult pretrain;
+  TrainResult train;
+};
+
+LiPFormerPipelineResult TrainLiPFormerPipeline(LiPFormer* model,
+                                               DualEncoder* dual,
+                                               const WindowDataset& data,
+                                               const PretrainConfig& pretrain,
+                                               const TrainConfig& train);
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_CORE_LIPFORMER_H_

@@ -1,0 +1,63 @@
+#include "core/multi_scale.h"
+
+#include "core/instance_norm.h"
+#include "tensor/ops.h"
+
+namespace lipformer {
+
+MultiScaleLiPFormer::MultiScaleLiPFormer(const MultiScaleConfig& config)
+    : config_(config) {
+  LIPF_CHECK(!config.patch_lens.empty());
+  Rng rng(config.seed);
+  for (size_t i = 0; i < config.patch_lens.size(); ++i) {
+    const int64_t pl = config.patch_lens[i];
+    LIPF_CHECK_EQ(config.input_len % pl, 0)
+        << "patch length " << pl << " must divide input length";
+    BasePredictorConfig base;
+    base.input_len = config.input_len;
+    base.pred_len = config.pred_len;
+    base.patch_len = pl;
+    base.hidden_dim = config.hidden_dim;
+    base.num_heads = config.num_heads;
+    base.dropout = config.dropout;
+    scales_.push_back(std::make_unique<BasePredictor>(base, rng));
+    RegisterModule("scale" + std::to_string(pl), scales_.back().get());
+  }
+  scale_logits_ = RegisterParameter(
+      "scale_logits",
+      Variable(Tensor::Zeros(
+          {static_cast<int64_t>(config.patch_lens.size())})));
+}
+
+Variable MultiScaleLiPFormer::Forward(const Batch& batch) {
+  const int64_t b = batch.x.size(0);
+  const int64_t t = batch.x.size(1);
+  const int64_t c = batch.x.size(2);
+  LIPF_CHECK_EQ(t, config_.input_len);
+  LIPF_CHECK_EQ(c, config_.channels);
+
+  Variable x(batch.x);
+  auto [normalized, norm_state] = InstanceNormalize(x);
+  Variable flat = Reshape(Permute(normalized, {0, 2, 1}), Shape{b * c, t});
+
+  Variable weights = Softmax(scale_logits_, 0);  // [#scales]
+  Variable blended;
+  for (size_t i = 0; i < scales_.size(); ++i) {
+    Variable pred = scales_[i]->Forward(flat);  // [b*c, L]
+    Variable w = Slice(weights, 0, static_cast<int64_t>(i),
+                       static_cast<int64_t>(i) + 1);  // [1], broadcasts
+    Variable term = Mul(pred, w);
+    blended = i == 0 ? term : Add(blended, term);
+  }
+
+  Variable y = Permute(Reshape(blended, Shape{b, c, config_.pred_len}),
+                       {0, 2, 1});
+  return InstanceDenormalize(y, norm_state);
+}
+
+std::vector<float> MultiScaleLiPFormer::ScaleWeights() const {
+  Tensor w = Softmax(scale_logits_.value(), 0);
+  return std::vector<float>(w.data(), w.data() + w.numel());
+}
+
+}  // namespace lipformer

@@ -1,0 +1,55 @@
+#ifndef LIPFORMER_CORE_MULTI_SCALE_H_
+#define LIPFORMER_CORE_MULTI_SCALE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/base_predictor.h"
+#include "models/forecaster.h"
+
+namespace lipformer {
+
+// Extension beyond the paper: Section III-C1 motivates Cross-Patch
+// attention with the observation that a single fixed patch length cannot
+// match every dataset's periodicity. MultiScaleLiPFormer takes that thread
+// further: several Base Predictors run in parallel with different patch
+// lengths and their forecasts are blended by learnable softmax weights, so
+// the model *learns* which temporal scale the dataset favors. Table VIII's
+// patch-length sweep becomes a single model.
+struct MultiScaleConfig {
+  int64_t input_len = 96;
+  int64_t pred_len = 96;
+  int64_t channels = 7;
+  // Every entry must divide input_len.
+  std::vector<int64_t> patch_lens = {12, 24, 48};
+  int64_t hidden_dim = 64;
+  int64_t num_heads = 4;
+  float dropout = 0.1f;
+  uint64_t seed = 1;
+};
+
+class MultiScaleLiPFormer : public Forecaster {
+ public:
+  explicit MultiScaleLiPFormer(const MultiScaleConfig& config);
+
+  Variable Forward(const Batch& batch) override;
+
+  std::string name() const override { return "LiPFormer-MS"; }
+  int64_t input_len() const override { return config_.input_len; }
+  int64_t pred_len() const override { return config_.pred_len; }
+  int64_t channels() const override { return config_.channels; }
+
+  // Softmax blend weights over the patch scales (diagnostics; which scale
+  // the model learned to trust).
+  std::vector<float> ScaleWeights() const;
+
+ private:
+  MultiScaleConfig config_;
+  std::vector<std::unique_ptr<BasePredictor>> scales_;
+  Variable scale_logits_;  // [#scales]
+};
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_CORE_MULTI_SCALE_H_

@@ -1,0 +1,28 @@
+#include "core/patching.h"
+
+namespace lipformer {
+
+Variable MakePatches(const Variable& x, int64_t patch_len) {
+  LIPF_CHECK_EQ(x.dim(), 2);
+  const int64_t b = x.size(0);
+  const int64_t t = x.size(1);
+  LIPF_CHECK_GT(patch_len, 0);
+  LIPF_CHECK_EQ(t % patch_len, 0)
+      << "input length " << t << " must be divisible by patch length "
+      << patch_len;
+  const int64_t n = t / patch_len;
+  return Reshape(x, Shape{b, n, patch_len});
+}
+
+Variable TrendSequences(const Variable& patches) {
+  LIPF_CHECK_EQ(patches.dim(), 3);
+  return Transpose(patches, 1, 2);
+}
+
+int64_t NumTargetPatches(int64_t pred_len, int64_t patch_len) {
+  LIPF_CHECK_GT(pred_len, 0);
+  LIPF_CHECK_GT(patch_len, 0);
+  return (pred_len + patch_len - 1) / patch_len;
+}
+
+}  // namespace lipformer

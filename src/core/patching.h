@@ -1,0 +1,26 @@
+#ifndef LIPFORMER_CORE_PATCHING_H_
+#define LIPFORMER_CORE_PATCHING_H_
+
+#include "autograd/ops.h"
+
+// Patch division (Section III-C1). Channel-independent sequences
+// [B, T] (B = batch * channels) are segmented into n = T/pl non-overlapping
+// patches of length pl. Trend sequences -- the Cross-Patch view -- are the
+// transpose of the patch matrix: trend j collects the point at offset j of
+// every patch, in chronological order (Figure 2).
+
+namespace lipformer {
+
+// [B, T] -> [B, n, pl]; T must be divisible by pl (the paper uses
+// non-overlapping patches that divide T exactly).
+Variable MakePatches(const Variable& x, int64_t patch_len);
+
+// [B, n, pl] -> [B, pl, n]: row j is the j-th global trend sequence.
+Variable TrendSequences(const Variable& patches);
+
+// Number of target patches covering pred_len (ceil division).
+int64_t NumTargetPatches(int64_t pred_len, int64_t patch_len);
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_CORE_PATCHING_H_

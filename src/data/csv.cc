@@ -1,0 +1,115 @@
+#include "data/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace lipformer {
+
+namespace {
+
+std::vector<std::string> SplitLine(const std::string& line, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char ch : line) {
+    if (ch == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else if (ch != '\r') {
+      cur += ch;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+bool ParseDateTime(const std::string& s, DateTime* dt) {
+  int year, month, day, hour = 0, minute = 0, second = 0;
+  const int n = std::sscanf(s.c_str(), "%d-%d-%d %d:%d:%d", &year, &month,
+                            &day, &hour, &minute, &second);
+  if (n < 3) return false;
+  dt->year = year;
+  dt->month = month;
+  dt->day = day;
+  dt->hour = hour;
+  dt->minute = minute;
+  return true;
+}
+
+}  // namespace
+
+Result<TimeSeries> ReadCsvTimeSeries(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("empty csv: " + path);
+  }
+  std::vector<std::string> header = SplitLine(line, ',');
+  if (header.size() < 2) {
+    return Status::InvalidArgument("csv needs a date column plus channels: " +
+                                   path);
+  }
+  const size_t channels = header.size() - 1;
+
+  TimeSeries series;
+  series.channel_names.assign(header.begin() + 1, header.end());
+  std::vector<float> data;
+  size_t row = 1;
+  while (std::getline(in, line)) {
+    ++row;
+    if (line.empty()) continue;
+    std::vector<std::string> fields = SplitLine(line, ',');
+    if (fields.size() != header.size()) {
+      return Status::InvalidArgument("row " + std::to_string(row) + " of " +
+                                     path + " has wrong column count");
+    }
+    DateTime dt;
+    if (!ParseDateTime(fields[0], &dt)) {
+      return Status::InvalidArgument("unparsable date at row " +
+                                     std::to_string(row) + " of " + path);
+    }
+    series.timestamps.push_back(dt);
+    for (size_t j = 1; j < fields.size(); ++j) {
+      try {
+        data.push_back(std::stof(fields[j]));
+      } catch (const std::exception&) {
+        return Status::InvalidArgument("unparsable number at row " +
+                                       std::to_string(row) + " of " + path);
+      }
+    }
+  }
+  const int64_t steps = static_cast<int64_t>(series.timestamps.size());
+  if (steps == 0) return Status::InvalidArgument("no data rows in " + path);
+  series.values = Tensor(Shape{steps, static_cast<int64_t>(channels)},
+                         std::move(data));
+  series.numeric_covariates = Tensor(Shape{steps, 0});
+  series.categorical_covariates = Tensor(Shape{steps, 0});
+  return series;
+}
+
+Status WriteCsvTimeSeries(const std::string& path, const TimeSeries& series) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out << "date";
+  for (int64_t j = 0; j < series.channels(); ++j) {
+    if (j < static_cast<int64_t>(series.channel_names.size())) {
+      out << "," << series.channel_names[static_cast<size_t>(j)];
+    } else {
+      out << ",ch" << j;
+    }
+  }
+  out << "\n";
+  const float* p = series.values.data();
+  const int64_t c = series.channels();
+  for (int64_t i = 0; i < series.steps(); ++i) {
+    out << FormatDateTime(series.timestamps[static_cast<size_t>(i)]) << ":00";
+    for (int64_t j = 0; j < c; ++j) out << "," << p[i * c + j];
+    out << "\n";
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace lipformer

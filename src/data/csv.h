@@ -1,0 +1,23 @@
+#ifndef LIPFORMER_DATA_CSV_H_
+#define LIPFORMER_DATA_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/time_series.h"
+
+namespace lipformer {
+
+// CSV interchange in the layout used by the public forecasting benchmarks:
+// a header row, a first `date` column formatted `YYYY-MM-DD HH:MM[:SS]`,
+// and one numeric column per channel. Lets users run every experiment on
+// the real ETT/Weather/... files when they have them; the benches default
+// to the synthetic generators.
+
+Result<TimeSeries> ReadCsvTimeSeries(const std::string& path);
+
+Status WriteCsvTimeSeries(const std::string& path, const TimeSeries& series);
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_DATA_CSV_H_

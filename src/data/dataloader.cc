@@ -1,0 +1,59 @@
+#include "data/dataloader.h"
+
+#include "common/logging.h"
+
+namespace lipformer {
+
+DataLoader::DataLoader(const WindowDataset* dataset, Split split,
+                       int64_t batch_size, bool shuffle, Rng rng,
+                       bool drop_last)
+    : dataset_(dataset),
+      split_(split),
+      batch_size_(batch_size),
+      shuffle_(shuffle),
+      drop_last_(drop_last),
+      rng_(rng) {
+  LIPF_CHECK(dataset != nullptr);
+  LIPF_CHECK_GT(batch_size, 0);
+  const int64_t n = dataset_->NumWindows(split_);
+  order_.resize(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) order_[static_cast<size_t>(i)] = i;
+  Reset();
+}
+
+void DataLoader::Reset() {
+  cursor_ = 0;
+  if (shuffle_) {
+    // Fisher-Yates.
+    for (int64_t i = static_cast<int64_t>(order_.size()) - 1; i > 0; --i) {
+      const int64_t j =
+          static_cast<int64_t>(rng_.UniformInt(static_cast<uint64_t>(i + 1)));
+      std::swap(order_[static_cast<size_t>(i)],
+                order_[static_cast<size_t>(j)]);
+    }
+  }
+}
+
+bool DataLoader::HasNext() const {
+  const int64_t remaining = static_cast<int64_t>(order_.size()) - cursor_;
+  if (remaining <= 0) return false;
+  if (drop_last_ && remaining < batch_size_) return false;
+  return true;
+}
+
+Batch DataLoader::Next() {
+  LIPF_CHECK(HasNext());
+  const int64_t n = static_cast<int64_t>(order_.size());
+  const int64_t end = std::min(cursor_ + batch_size_, n);
+  std::vector<int64_t> ids(order_.begin() + cursor_, order_.begin() + end);
+  cursor_ = end;
+  return dataset_->MakeBatch(split_, ids);
+}
+
+int64_t DataLoader::NumBatches() const {
+  const int64_t n = static_cast<int64_t>(order_.size());
+  if (drop_last_) return n / batch_size_;
+  return (n + batch_size_ - 1) / batch_size_;
+}
+
+}  // namespace lipformer

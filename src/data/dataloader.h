@@ -1,0 +1,41 @@
+#ifndef LIPFORMER_DATA_DATALOADER_H_
+#define LIPFORMER_DATA_DATALOADER_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "data/window_dataset.h"
+
+namespace lipformer {
+
+// Iterates a WindowDataset split in mini-batches, optionally shuffling
+// window order each epoch. Usage:
+//   DataLoader loader(ds, Split::kTrain, 32, /*shuffle=*/true, rng);
+//   for (loader.Reset(); loader.HasNext();) { Batch b = loader.Next(); ... }
+class DataLoader {
+ public:
+  DataLoader(const WindowDataset* dataset, Split split, int64_t batch_size,
+             bool shuffle, Rng rng, bool drop_last = false);
+
+  // Starts a new epoch (reshuffles when enabled).
+  void Reset();
+  bool HasNext() const;
+  Batch Next();
+
+  int64_t NumBatches() const;
+  int64_t batch_size() const { return batch_size_; }
+
+ private:
+  const WindowDataset* dataset_;
+  Split split_;
+  int64_t batch_size_;
+  bool shuffle_;
+  bool drop_last_;
+  Rng rng_;
+  std::vector<int64_t> order_;
+  int64_t cursor_ = 0;
+};
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_DATA_DATALOADER_H_

@@ -1,0 +1,48 @@
+#include "data/scaler.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace lipformer {
+
+void StandardScaler::Fit(const Tensor& data, int64_t fit_rows) {
+  LIPF_CHECK_EQ(data.dim(), 2);
+  const int64_t rows = fit_rows > 0 ? fit_rows : data.size(0);
+  LIPF_CHECK_LE(rows, data.size(0));
+  LIPF_CHECK_GT(rows, 1);
+  const int64_t c = data.size(1);
+  mean_ = Tensor(Shape{c});
+  std_ = Tensor(Shape{c});
+  const float* p = data.data();
+  for (int64_t j = 0; j < c; ++j) {
+    double sum = 0.0;
+    for (int64_t i = 0; i < rows; ++i) sum += p[i * c + j];
+    const double mu = sum / static_cast<double>(rows);
+    double sq = 0.0;
+    for (int64_t i = 0; i < rows; ++i) {
+      const double d = p[i * c + j] - mu;
+      sq += d * d;
+    }
+    double sd = std::sqrt(sq / static_cast<double>(rows));
+    if (sd < 1e-8) sd = 1.0;  // constant channel: leave values centered
+    mean_.data()[j] = static_cast<float>(mu);
+    std_.data()[j] = static_cast<float>(sd);
+  }
+  fitted_ = true;
+}
+
+Tensor StandardScaler::Transform(const Tensor& data) const {
+  LIPF_CHECK(fitted_);
+  LIPF_CHECK_EQ(data.size(-1), mean_.size(0));
+  return Div(Sub(data, mean_), std_);
+}
+
+Tensor StandardScaler::InverseTransform(const Tensor& data) const {
+  LIPF_CHECK(fitted_);
+  LIPF_CHECK_EQ(data.size(-1), mean_.size(0));
+  return Add(Mul(data, std_), mean_);
+}
+
+}  // namespace lipformer

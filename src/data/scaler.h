@@ -1,0 +1,38 @@
+#ifndef LIPFORMER_DATA_SCALER_H_
+#define LIPFORMER_DATA_SCALER_H_
+
+#include "tensor/tensor.h"
+
+namespace lipformer {
+
+// Per-channel standardization (zero mean, unit variance), fitted on the
+// training split only, as in the benchmark protocol of DLinear/PatchTST.
+// Accuracy metrics in the paper are reported on the scaled series.
+class StandardScaler {
+ public:
+  StandardScaler() = default;
+
+  // data: [time, channels]; fits mean/std per channel over rows
+  // [0, fit_rows) (fit_rows <= 0 means all rows).
+  void Fit(const Tensor& data, int64_t fit_rows = -1);
+
+  // (x - mean) / std, column-wise. Shape-preserving; last dim must equal
+  // the fitted channel count.
+  Tensor Transform(const Tensor& data) const;
+
+  // std * x + mean.
+  Tensor InverseTransform(const Tensor& data) const;
+
+  bool fitted() const { return fitted_; }
+  const Tensor& mean() const { return mean_; }
+  const Tensor& std() const { return std_; }
+
+ private:
+  bool fitted_ = false;
+  Tensor mean_;  // [channels]
+  Tensor std_;   // [channels]
+};
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_DATA_SCALER_H_

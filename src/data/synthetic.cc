@@ -1,0 +1,208 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace lipformer {
+
+namespace {
+constexpr double kTwoPi = 2.0 * M_PI;
+}  // namespace
+
+TimeSeries GenerateSeasonal(const SeasonalConfig& config) {
+  LIPF_CHECK_GT(config.steps, 0);
+  LIPF_CHECK_GT(config.channels, 0);
+  Rng rng(config.seed);
+  const int64_t n = config.steps;
+  const int64_t c = config.channels;
+  const double minutes_per_day = 24.0 * 60.0;
+
+  // Shared common factor inducing cross-channel correlation.
+  std::vector<double> common(static_cast<size_t>(n));
+  {
+    double ar = 0.0;
+    const double phase = rng.Uniform(0.0, kTwoPi);
+    for (int64_t t = 0; t < n; ++t) {
+      ar = config.ar_coeff * ar + rng.Normal(0.0, config.noise_std);
+      const double day_pos =
+          static_cast<double>(t * config.minutes_per_step) / minutes_per_day;
+      common[static_cast<size_t>(t)] =
+          config.daily_amplitude * std::sin(kTwoPi * day_pos + phase) + ar;
+    }
+  }
+
+  TimeSeries series;
+  series.values = Tensor(Shape{n, c});
+  series.timestamps =
+      MakeTimestamps(config.start, config.minutes_per_step, n);
+  series.numeric_covariates = Tensor(Shape{n, 0});
+  series.categorical_covariates = Tensor(Shape{n, 0});
+  float* out = series.values.data();
+
+  for (int64_t j = 0; j < c; ++j) {
+    series.channel_names.push_back("ch" + std::to_string(j));
+    Rng ch_rng = rng.Fork();
+    const double phase_d = ch_rng.Uniform(0.0, kTwoPi);
+    const double phase_w = ch_rng.Uniform(0.0, kTwoPi);
+    const double amp_d =
+        config.daily_amplitude * ch_rng.Uniform(0.6, 1.4);
+    const double amp_w =
+        config.weekly_amplitude * ch_rng.Uniform(0.6, 1.4);
+    const double level = ch_rng.Normal(0.0, 1.0);
+    const double trend = config.trend * ch_rng.Uniform(-1.0, 1.0);
+    const double mix = config.cross_channel_mix;
+
+    // Pre-draw regime shift times/magnitudes.
+    std::vector<std::pair<int64_t, double>> shifts;
+    const int64_t n_shifts = static_cast<int64_t>(config.regime_shifts);
+    for (int64_t s = 0; s < n_shifts; ++s) {
+      shifts.emplace_back(
+          static_cast<int64_t>(ch_rng.UniformInt(static_cast<uint64_t>(n))),
+          ch_rng.Normal(0.0, config.regime_shift_scale));
+    }
+
+    double ar = 0.0;
+    double shift_level = 0.0;
+    for (int64_t t = 0; t < n; ++t) {
+      for (const auto& [when, magnitude] : shifts) {
+        if (when == t) shift_level += magnitude;
+      }
+      ar = config.ar_coeff * ar + ch_rng.Normal(0.0, config.noise_std);
+      const double minutes = static_cast<double>(t * config.minutes_per_step);
+      const double day_pos = minutes / minutes_per_day;
+      const double week_pos = minutes / (7.0 * minutes_per_day);
+      const double own =
+          level + trend * static_cast<double>(t) / static_cast<double>(n) +
+          amp_d * std::sin(kTwoPi * day_pos + phase_d) +
+          amp_w * std::sin(kTwoPi * week_pos + phase_w) + ar + shift_level;
+      out[t * c + j] = static_cast<float>(
+          (1.0 - mix) * own + mix * common[static_cast<size_t>(t)]);
+    }
+  }
+  return series;
+}
+
+TimeSeries GenerateCovariateDriven(const CovariateDrivenConfig& config) {
+  LIPF_CHECK_GT(config.steps, 0);
+  LIPF_CHECK_GT(config.channels, 0);
+  LIPF_CHECK_GE(config.numeric_covariates, 1);
+  LIPF_CHECK_GE(config.categorical_cardinality, 2);
+  Rng rng(config.seed);
+  const int64_t n = config.steps;
+  const int64_t c = config.channels;
+  const int64_t cn = config.numeric_covariates;
+  const int64_t ct = config.categorical_covariates;
+  const double minutes_per_day = 24.0 * 60.0;
+
+  TimeSeries series;
+  series.values = Tensor(Shape{n, c});
+  series.timestamps =
+      MakeTimestamps(config.start, config.minutes_per_step, n);
+  series.numeric_covariates = Tensor(Shape{n, cn});
+  series.categorical_covariates = Tensor(Shape{n, ct});
+
+  CovariateSchema schema;
+  for (int64_t k = 0; k < cn; ++k) {
+    schema.numeric_names.push_back("num_cov" + std::to_string(k));
+  }
+  for (int64_t k = 0; k < ct; ++k) {
+    schema.categorical_names.push_back("cat_cov" + std::to_string(k));
+    schema.categorical_cardinalities.push_back(
+        config.categorical_cardinality);
+  }
+  series.covariate_schema = schema;
+
+  // Numeric covariates: smooth seasonal + slow AR processes (weather/load
+  // "forecasts" -- known in advance, correlated with the target).
+  float* num = series.numeric_covariates.data();
+  for (int64_t k = 0; k < cn; ++k) {
+    Rng cov_rng = rng.Fork();
+    const double phase = cov_rng.Uniform(0.0, kTwoPi);
+    const double period_days = cov_rng.Uniform(0.8, 8.0);
+    double ar = 0.0;
+    for (int64_t t = 0; t < n; ++t) {
+      ar = 0.95 * ar + cov_rng.Normal(0.0, 0.1);
+      const double pos = static_cast<double>(t * config.minutes_per_step) /
+                         (minutes_per_day * period_days);
+      num[t * cn + k] =
+          static_cast<float>(std::sin(kTwoPi * pos + phase) + ar);
+    }
+  }
+
+  // Categorical covariates: thresholded smooth latents (weather condition
+  // classes, holiday-like flags).
+  float* cat = series.categorical_covariates.data();
+  for (int64_t k = 0; k < ct; ++k) {
+    Rng cov_rng = rng.Fork();
+    const double phase = cov_rng.Uniform(0.0, kTwoPi);
+    double ar = 0.0;
+    const int64_t card = config.categorical_cardinality;
+    for (int64_t t = 0; t < n; ++t) {
+      ar = 0.98 * ar + cov_rng.Normal(0.0, 0.05);
+      const double pos =
+          static_cast<double>(t * config.minutes_per_step) /
+          (minutes_per_day * 3.0);
+      const double latent = std::sin(kTwoPi * pos + phase) + ar;
+      // Map latent in ~[-2, 2] onto category ids.
+      int64_t id = static_cast<int64_t>(
+          (latent + 2.0) / 4.0 * static_cast<double>(card));
+      id = std::min(card - 1, std::max<int64_t>(0, id));
+      cat[t * ct + k] = static_cast<float>(id);
+    }
+  }
+
+  // Targets: linear blend of the numeric covariates + per-category offsets
+  // + daily seasonality + noise. Channels share most of their covariate
+  // response (real grid prices / bike counts co-move with load and
+  // weather) with a small per-channel perturbation.
+  std::vector<double> shared_w(static_cast<size_t>(cn));
+  {
+    Rng shared_rng = rng.Fork();
+    for (auto& v : shared_w) v = shared_rng.Normal(0.0, 1.0);
+  }
+  float* out = series.values.data();
+  for (int64_t j = 0; j < c; ++j) {
+    series.channel_names.push_back("target" + std::to_string(j));
+    Rng ch_rng = rng.Fork();
+    std::vector<double> w(static_cast<size_t>(cn));
+    for (size_t k = 0; k < w.size(); ++k) {
+      w[k] = shared_w[k] + 0.3 * ch_rng.Normal(0.0, 1.0);
+    }
+    // Normalize the covariate weights so covariate_strength is meaningful.
+    double norm = 0.0;
+    for (double v : w) norm += v * v;
+    norm = std::sqrt(std::max(norm, 1e-9));
+    for (auto& v : w) v = v / norm * config.covariate_strength;
+
+    std::vector<std::vector<double>> cat_effect(static_cast<size_t>(ct));
+    for (int64_t k = 0; k < ct; ++k) {
+      for (int64_t v = 0; v < config.categorical_cardinality; ++v) {
+        cat_effect[static_cast<size_t>(k)].push_back(
+            ch_rng.Normal(0.0, 0.5 * config.covariate_strength));
+      }
+    }
+
+    const double phase = ch_rng.Uniform(0.0, kTwoPi);
+    for (int64_t t = 0; t < n; ++t) {
+      double v = 0.0;
+      for (int64_t k = 0; k < cn; ++k) {
+        v += w[static_cast<size_t>(k)] * num[t * cn + k];
+      }
+      for (int64_t k = 0; k < ct; ++k) {
+        const int64_t id = static_cast<int64_t>(cat[t * ct + k]);
+        v += cat_effect[static_cast<size_t>(k)][static_cast<size_t>(id)];
+      }
+      const double day_pos =
+          static_cast<double>(t * config.minutes_per_step) / minutes_per_day;
+      v += config.seasonal_strength * std::sin(kTwoPi * day_pos + phase);
+      v += ch_rng.Normal(0.0, config.noise_std);
+      out[t * c + j] = static_cast<float>(v);
+    }
+  }
+  return series;
+}
+
+}  // namespace lipformer

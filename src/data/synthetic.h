@@ -1,0 +1,66 @@
+#ifndef LIPFORMER_DATA_SYNTHETIC_H_
+#define LIPFORMER_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "data/time_series.h"
+
+// Seeded synthetic generators standing in for the paper's benchmark
+// datasets (see DESIGN.md, "Substitutions"). Two families:
+//  - GenerateSeasonal: multivariate series with daily/weekly seasonality,
+//    trend drift, AR(1) noise, cross-channel correlation and occasional
+//    regime shifts (ETT / Weather / Electricity / Traffic stand-ins).
+//  - GenerateCovariateDriven: targets causally driven by future-known
+//    numeric and categorical covariates (Electri-Price / Cycle stand-ins),
+//    which is the property the weak-data-enriching experiments need.
+
+namespace lipformer {
+
+struct SeasonalConfig {
+  int64_t steps = 6000;
+  int64_t channels = 7;
+  int64_t minutes_per_step = 60;
+  uint64_t seed = 7;
+  DateTime start{2016, 7, 1, 0, 0};
+
+  double daily_amplitude = 1.0;
+  double weekly_amplitude = 0.4;
+  // Linear drift over the whole series, in units of signal std.
+  double trend = 0.5;
+  // AR(1) innovation std and coefficient.
+  double noise_std = 0.3;
+  double ar_coeff = 0.7;
+  // Fraction of every channel replaced by a shared common factor.
+  double cross_channel_mix = 0.3;
+  // Expected number of level shifts over the series.
+  double regime_shifts = 2.0;
+  double regime_shift_scale = 1.0;
+};
+
+TimeSeries GenerateSeasonal(const SeasonalConfig& config);
+
+struct CovariateDrivenConfig {
+  int64_t steps = 6000;
+  int64_t channels = 3;
+  int64_t minutes_per_step = 60;
+  uint64_t seed = 11;
+  DateTime start{2021, 1, 1, 0, 0};
+
+  int64_t numeric_covariates = 8;
+  // Each categorical field gets this many categories (>= 2).
+  int64_t categorical_covariates = 2;
+  int64_t categorical_cardinality = 5;
+
+  // Relative strength of covariate-driven vs. seasonal vs. noise parts of
+  // the target. Covariate influence dominating is what makes the dual
+  // encoder pay off, as on the real Electri-Price data.
+  double covariate_strength = 1.0;
+  double seasonal_strength = 0.5;
+  double noise_std = 0.2;
+};
+
+TimeSeries GenerateCovariateDriven(const CovariateDrivenConfig& config);
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_DATA_SYNTHETIC_H_

@@ -1,0 +1,45 @@
+#include "data/time_features.h"
+
+namespace lipformer {
+
+Tensor EncodeTimeFeatures(const std::vector<DateTime>& timestamps) {
+  const int64_t n = static_cast<int64_t>(timestamps.size());
+  Tensor out(Shape{n, kNumTimeFeatures});
+  float* p = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const DateTime& dt = timestamps[static_cast<size_t>(i)];
+    p[i * kNumTimeFeatures + 0] =
+        static_cast<float>(dt.hour) / 23.0f - 0.5f;
+    p[i * kNumTimeFeatures + 1] =
+        static_cast<float>(DayOfWeek(dt)) / 6.0f - 0.5f;
+    p[i * kNumTimeFeatures + 2] =
+        static_cast<float>(dt.day - 1) / 30.0f - 0.5f;
+    p[i * kNumTimeFeatures + 3] =
+        static_cast<float>(dt.month - 1) / 11.0f - 0.5f;
+  }
+  return out;
+}
+
+Tensor EncodeCategoricalTimeFeatures(
+    const std::vector<DateTime>& timestamps) {
+  const int64_t n = static_cast<int64_t>(timestamps.size());
+  Tensor out(Shape{n, 3});
+  float* p = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const DateTime& dt = timestamps[static_cast<size_t>(i)];
+    const int dow = DayOfWeek(dt);
+    p[i * 3 + 0] = static_cast<float>(dt.hour);
+    p[i * 3 + 1] = static_cast<float>(dow);
+    p[i * 3 + 2] = dow >= 5 ? 1.0f : 0.0f;
+  }
+  return out;
+}
+
+CovariateSchema CategoricalTimeFeatureSchema() {
+  CovariateSchema schema;
+  schema.categorical_names = {"hour", "day_of_week", "is_weekend"};
+  schema.categorical_cardinalities = {24, 7, 2};
+  return schema;
+}
+
+}  // namespace lipformer

@@ -1,0 +1,28 @@
+#ifndef LIPFORMER_DATA_TIME_FEATURES_H_
+#define LIPFORMER_DATA_TIME_FEATURES_H_
+
+#include <vector>
+
+#include "data/time_series.h"
+#include "tensor/tensor.h"
+
+namespace lipformer {
+
+// Informer-style implicit temporal features. When a dataset has no explicit
+// future covariates, these serve as the weak labels for the dual-encoder
+// pre-training (Section IV-B1): hour-of-day, day-of-week, day-of-month and
+// month-of-year, each normalized into [-0.5, 0.5].
+inline constexpr int64_t kNumTimeFeatures = 4;
+
+// [steps, kNumTimeFeatures] matrix of encoded features.
+Tensor EncodeTimeFeatures(const std::vector<DateTime>& timestamps);
+
+// Categorical variants (raw integer codes as float) used when time features
+// are routed through the Covariate Encoder's embedding path:
+// hour (24), day-of-week (7), is-weekend (2).
+Tensor EncodeCategoricalTimeFeatures(const std::vector<DateTime>& timestamps);
+CovariateSchema CategoricalTimeFeatureSchema();
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_DATA_TIME_FEATURES_H_

@@ -1,0 +1,105 @@
+#include "data/time_series.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace lipformer {
+
+namespace {
+bool IsLeapYear(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+}  // namespace
+
+int DaysInMonth(int year, int month) {
+  static const int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  LIPF_CHECK_GE(month, 1);
+  LIPF_CHECK_LE(month, 12);
+  if (month == 2 && IsLeapYear(year)) return 29;
+  return kDays[month - 1];
+}
+
+int DayOfWeek(const DateTime& dt) {
+  // Sakamoto's algorithm, shifted so 0 = Monday.
+  static const int t[] = {0, 3, 2, 5, 0, 3, 5, 1, 4, 6, 2, 4};
+  int y = dt.year;
+  if (dt.month < 3) y -= 1;
+  const int dow_sun0 =
+      (y + y / 4 - y / 100 + y / 400 + t[dt.month - 1] + dt.day) % 7;
+  return (dow_sun0 + 6) % 7;
+}
+
+DateTime AddMinutes(const DateTime& dt, int64_t minutes) {
+  DateTime out = dt;
+  int64_t total = dt.minute + minutes;
+  int64_t carry_hours = total / 60;
+  out.minute = static_cast<int>(total % 60);
+  if (out.minute < 0) {
+    out.minute += 60;
+    carry_hours -= 1;
+  }
+  int64_t hours = dt.hour + carry_hours;
+  int64_t carry_days = hours / 24;
+  out.hour = static_cast<int>(hours % 24);
+  if (out.hour < 0) {
+    out.hour += 24;
+    carry_days -= 1;
+  }
+  int64_t days = carry_days;
+  out.day = dt.day;
+  out.month = dt.month;
+  out.year = dt.year;
+  while (days > 0) {
+    const int dim = DaysInMonth(out.year, out.month);
+    if (out.day + days <= dim) {
+      out.day += static_cast<int>(days);
+      days = 0;
+    } else {
+      days -= (dim - out.day + 1);
+      out.day = 1;
+      out.month += 1;
+      if (out.month > 12) {
+        out.month = 1;
+        out.year += 1;
+      }
+    }
+  }
+  while (days < 0) {
+    if (out.day + days >= 1) {
+      out.day += static_cast<int>(days);
+      days = 0;
+    } else {
+      days += out.day;
+      out.month -= 1;
+      if (out.month < 1) {
+        out.month = 12;
+        out.year -= 1;
+      }
+      out.day = DaysInMonth(out.year, out.month);
+    }
+  }
+  return out;
+}
+
+std::vector<DateTime> MakeTimestamps(const DateTime& start,
+                                     int64_t minutes_per_step,
+                                     int64_t steps) {
+  std::vector<DateTime> out;
+  out.reserve(static_cast<size_t>(steps));
+  DateTime cur = start;
+  for (int64_t i = 0; i < steps; ++i) {
+    out.push_back(cur);
+    cur = AddMinutes(cur, minutes_per_step);
+  }
+  return out;
+}
+
+std::string FormatDateTime(const DateTime& dt) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d", dt.year,
+                dt.month, dt.day, dt.hour, dt.minute);
+  return buf;
+}
+
+}  // namespace lipformer

@@ -1,0 +1,78 @@
+#ifndef LIPFORMER_DATA_TIME_SERIES_H_
+#define LIPFORMER_DATA_TIME_SERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+// Multivariate time-series container: a [time, channels] value matrix, a
+// timestamp per row, and (optionally) future-known covariates split into
+// numerical and categorical blocks, matching the paper's Electri-Price /
+// Cycle schema (Table IV).
+
+namespace lipformer {
+
+// Gregorian civil datetime at minute granularity; enough for the
+// hourly/15-min cadences of the benchmark datasets.
+struct DateTime {
+  int year = 2016;
+  int month = 1;  // 1..12
+  int day = 1;    // 1..31
+  int hour = 0;   // 0..23
+  int minute = 0; // 0..59
+
+  bool operator==(const DateTime&) const = default;
+};
+
+// Days in the given month, honoring leap years.
+int DaysInMonth(int year, int month);
+// 0 = Monday ... 6 = Sunday.
+int DayOfWeek(const DateTime& dt);
+// Advances the datetime by `minutes`.
+DateTime AddMinutes(const DateTime& dt, int64_t minutes);
+// Evenly spaced timestamps starting at `start`.
+std::vector<DateTime> MakeTimestamps(const DateTime& start,
+                                     int64_t minutes_per_step, int64_t steps);
+std::string FormatDateTime(const DateTime& dt);
+
+// Declares the covariate layout of a dataset.
+struct CovariateSchema {
+  std::vector<std::string> numeric_names;
+  std::vector<std::string> categorical_names;
+  // Vocabulary size of each categorical field, aligned with
+  // categorical_names.
+  std::vector<int64_t> categorical_cardinalities;
+
+  int64_t num_numeric() const {
+    return static_cast<int64_t>(numeric_names.size());
+  }
+  int64_t num_categorical() const {
+    return static_cast<int64_t>(categorical_names.size());
+  }
+  int64_t total() const { return num_numeric() + num_categorical(); }
+};
+
+struct TimeSeries {
+  // [time, channels]
+  Tensor values;
+  std::vector<std::string> channel_names;
+  std::vector<DateTime> timestamps;
+
+  // Future-known covariates (empty tensors when the dataset has none).
+  // numeric_covariates: [time, #numeric]; categorical_covariates holds
+  // integer codes stored as float, [time, #categorical].
+  Tensor numeric_covariates;
+  Tensor categorical_covariates;
+  CovariateSchema covariate_schema;
+
+  int64_t steps() const { return values.size(0); }
+  int64_t channels() const { return values.size(1); }
+  bool has_explicit_covariates() const {
+    return covariate_schema.total() > 0;
+  }
+};
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_DATA_TIME_SERIES_H_

@@ -1,0 +1,159 @@
+#include "data/window_dataset.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.h"
+#include "data/time_features.h"
+#include "tensor/ops.h"
+
+namespace lipformer {
+
+const char* SplitName(Split split) {
+  switch (split) {
+    case Split::kTrain:
+      return "train";
+    case Split::kVal:
+      return "val";
+    case Split::kTest:
+      return "test";
+  }
+  return "unknown";
+}
+
+WindowDataset::WindowDataset(const TimeSeries& series, Options options)
+    : options_(options) {
+  LIPF_CHECK_GT(options_.input_len, 0);
+  LIPF_CHECK_GT(options_.pred_len, 0);
+  const int64_t n = series.steps();
+  LIPF_CHECK_EQ(static_cast<int64_t>(series.timestamps.size()), n)
+      << "timestamps must cover every row";
+
+  const int64_t n_train = static_cast<int64_t>(
+      std::floor(static_cast<double>(n) * options_.train_ratio));
+  const int64_t n_test = static_cast<int64_t>(
+      std::floor(static_cast<double>(n) * options_.test_ratio));
+  const int64_t n_val = n - n_train - n_test;
+  LIPF_CHECK_GT(n_train, options_.input_len + options_.pred_len)
+      << "series too short for the requested windows";
+  LIPF_CHECK_GE(n_val, 0);
+
+  scaler_.Fit(series.values, n_train);
+  values_ = scaler_.Transform(series.values);
+  time_features_ = EncodeTimeFeatures(series.timestamps);
+
+  explicit_covariates_ = series.has_explicit_covariates();
+  if (explicit_covariates_) {
+    schema_ = series.covariate_schema;
+    if (schema_.num_numeric() > 0) {
+      StandardScaler cov_scaler;
+      cov_scaler.Fit(series.numeric_covariates, n_train);
+      covariates_numeric_ = cov_scaler.Transform(series.numeric_covariates);
+    } else {
+      covariates_numeric_ = Tensor(Shape{n, 0});
+    }
+    if (schema_.num_categorical() > 0) {
+      covariates_categorical_ = series.categorical_covariates;
+    } else {
+      covariates_categorical_ = Tensor(Shape{n, 0});
+    }
+  } else {
+    // Implicit weak labels: the Informer-style temporal features.
+    schema_ = CovariateSchema{};
+    schema_.numeric_names = {"hour_of_day", "day_of_week", "day_of_month",
+                             "month_of_year"};
+    covariates_numeric_ = time_features_;
+    covariates_categorical_ = Tensor(Shape{n, 0});
+  }
+
+  const int64_t lookback = options_.input_len;
+  train_ = Range{0, n_train};
+  val_ = Range{n_train - lookback, n_train + n_val};
+  test_ = Range{n - n_test - lookback, n};
+}
+
+const WindowDataset::Range& WindowDataset::RangeFor(Split split) const {
+  switch (split) {
+    case Split::kTrain:
+      return train_;
+    case Split::kVal:
+      return val_;
+    case Split::kTest:
+      return test_;
+  }
+  LIPF_CHECK(false);
+  return train_;
+}
+
+int64_t WindowDataset::NumWindows(Split split) const {
+  const Range& r = RangeFor(split);
+  const int64_t len = r.end - r.begin;
+  const int64_t n =
+      len - options_.input_len - options_.pred_len + 1;
+  return n > 0 ? n : 0;
+}
+
+Batch WindowDataset::MakeBatch(Split split,
+                               const std::vector<int64_t>& window_ids) const {
+  const Range& range = RangeFor(split);
+  const int64_t b = static_cast<int64_t>(window_ids.size());
+  const int64_t t_len = options_.input_len;
+  const int64_t l_len = options_.pred_len;
+  const int64_t c = channels();
+  const int64_t cn = covariates_numeric_.size(1);
+  const int64_t ct = covariates_categorical_.size(1);
+  const int64_t limit = NumWindows(split);
+
+  Batch batch;
+  batch.size = b;
+  batch.x = Tensor(Shape{b, t_len, c});
+  batch.y = Tensor(Shape{b, l_len, c});
+  batch.x_time = Tensor(Shape{b, t_len, kNumTimeFeatures});
+  batch.y_time = Tensor(Shape{b, l_len, kNumTimeFeatures});
+  batch.y_cov_num = Tensor(Shape{b, l_len, cn});
+  batch.y_cov_cat = Tensor(Shape{b, l_len, ct});
+
+  auto copy_rows = [](const Tensor& src, int64_t row0, int64_t rows,
+                      float* dst) {
+    const int64_t width = src.size(1);
+    if (width == 0) return;
+    std::memcpy(dst, src.data() + row0 * width,
+                sizeof(float) * static_cast<size_t>(rows * width));
+  };
+
+  for (int64_t i = 0; i < b; ++i) {
+    const int64_t id = window_ids[static_cast<size_t>(i)];
+    LIPF_CHECK_GE(id, 0);
+    LIPF_CHECK_LT(id, limit);
+    const int64_t x0 = range.begin + id;
+    const int64_t y0 = x0 + t_len;
+    copy_rows(values_, x0, t_len, batch.x.data() + i * t_len * c);
+    copy_rows(values_, y0, l_len, batch.y.data() + i * l_len * c);
+    copy_rows(time_features_, x0, t_len,
+              batch.x_time.data() + i * t_len * kNumTimeFeatures);
+    copy_rows(time_features_, y0, l_len,
+              batch.y_time.data() + i * l_len * kNumTimeFeatures);
+    copy_rows(covariates_numeric_, y0, l_len,
+              batch.y_cov_num.data() + i * l_len * cn);
+    copy_rows(covariates_categorical_, y0, l_len,
+              batch.y_cov_cat.data() + i * l_len * ct);
+  }
+  return batch;
+}
+
+TimeSeries SelectChannel(const TimeSeries& series, int64_t channel) {
+  LIPF_CHECK_GE(channel, 0);
+  LIPF_CHECK_LT(channel, series.channels());
+  TimeSeries out;
+  out.values = IndexSelect(series.values, 1, {channel});
+  if (!series.channel_names.empty()) {
+    out.channel_names = {series.channel_names[static_cast<size_t>(channel)]};
+  }
+  out.timestamps = series.timestamps;
+  out.numeric_covariates = series.numeric_covariates;
+  out.categorical_covariates = series.categorical_covariates;
+  out.covariate_schema = series.covariate_schema;
+  return out;
+}
+
+}  // namespace lipformer

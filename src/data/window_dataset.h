@@ -1,0 +1,93 @@
+#ifndef LIPFORMER_DATA_WINDOW_DATASET_H_
+#define LIPFORMER_DATA_WINDOW_DATASET_H_
+
+#include <vector>
+
+#include "data/scaler.h"
+#include "data/time_series.h"
+
+namespace lipformer {
+
+enum class Split { kTrain, kVal, kTest };
+
+const char* SplitName(Split split);
+
+// A mini-batch of forecasting windows.
+struct Batch {
+  Tensor x;          // [b, T, c]  scaled history
+  Tensor y;          // [b, L, c]  scaled target (ground truth future)
+  Tensor x_time;     // [b, T, 4]  implicit time features of the history
+  Tensor y_time;     // [b, L, 4]  implicit time features of the horizon
+  Tensor y_cov_num;  // [b, L, cn] future-known numeric covariates (scaled)
+  Tensor y_cov_cat;  // [b, L, ct] future-known categorical codes
+  int64_t size = 0;
+};
+
+// Sliding-window forecasting dataset over a multivariate series with the
+// standard chronological train/val/test protocol: the scaler is fitted on
+// the train rows only, and val/test ranges are extended `input_len` rows
+// backwards so their first windows have full history (the DLinear /
+// Autoformer data-loading convention the paper follows).
+//
+// Covariate policy: when the series carries explicit future covariates
+// (Electri-Price / Cycle), batches expose them, numerics standardized on
+// the train rows. Otherwise the implicit temporal features stand in as
+// weak labels (Section IV-B1).
+class WindowDataset {
+ public:
+  struct Options {
+    int64_t input_len = 96;
+    int64_t pred_len = 96;
+    double train_ratio = 0.7;
+    double val_ratio = 0.1;
+    double test_ratio = 0.2;
+  };
+
+  WindowDataset(const TimeSeries& series, Options options);
+
+  int64_t NumWindows(Split split) const;
+
+  // Gathers the windows with the given ids (0-based within the split).
+  Batch MakeBatch(Split split, const std::vector<int64_t>& window_ids) const;
+
+  // Channel counts exposed to models.
+  int64_t channels() const { return values_.size(1); }
+  int64_t num_numeric_covariates() const {
+    return covariates_numeric_.size(1);
+  }
+  int64_t num_categorical_covariates() const {
+    return covariates_categorical_.size(1);
+  }
+  const CovariateSchema& covariate_schema() const { return schema_; }
+  bool has_explicit_covariates() const { return explicit_covariates_; }
+
+  const StandardScaler& scaler() const { return scaler_; }
+  const Options& options() const { return options_; }
+
+ private:
+  struct Range {
+    int64_t begin = 0;  // first usable row
+    int64_t end = 0;    // one past the last usable row
+  };
+  const Range& RangeFor(Split split) const;
+
+  Options options_;
+  Tensor values_;                  // [time, c] scaled
+  Tensor time_features_;           // [time, 4]
+  Tensor covariates_numeric_;      // [time, cn] scaled (cn may be 0)
+  Tensor covariates_categorical_;  // [time, ct] codes  (ct may be 0)
+  CovariateSchema schema_;
+  bool explicit_covariates_ = false;
+  StandardScaler scaler_;
+  Range train_;
+  Range val_;
+  Range test_;
+};
+
+// Restriction of a series to a single channel (used by the univariate
+// experiments in Table V). Covariates and timestamps are preserved.
+TimeSeries SelectChannel(const TimeSeries& series, int64_t channel);
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_DATA_WINDOW_DATASET_H_

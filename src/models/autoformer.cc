@@ -1,0 +1,194 @@
+#include "models/autoformer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+#include "core/instance_norm.h"
+#include "tensor/fft.h"
+#include "tensor/ops.h"
+
+namespace lipformer {
+
+namespace {
+
+// Cross-correlation scores between q and k along time for every lag:
+// mean over feature channels of ifft(fft(q) * conj(fft(k))).
+// q, k: [b, s, d] -> [b, s] (lag scores).
+Tensor LagScores(const Tensor& q, const Tensor& k) {
+  const int64_t b = q.size(0);
+  const int64_t s = q.size(1);
+  const int64_t d = q.size(2);
+  const int64_t padded = NextPowerOfTwo(s);
+  Tensor scores(Shape{b, s});
+  std::vector<std::complex<float>> fq(static_cast<size_t>(padded));
+  std::vector<std::complex<float>> fk(static_cast<size_t>(padded));
+  const float* pq = q.data();
+  const float* pk = k.data();
+  float* po = scores.data();
+  for (int64_t bi = 0; bi < b; ++bi) {
+    for (int64_t ci = 0; ci < d; ++ci) {
+      std::fill(fq.begin(), fq.end(), std::complex<float>(0, 0));
+      std::fill(fk.begin(), fk.end(), std::complex<float>(0, 0));
+      for (int64_t t = 0; t < s; ++t) {
+        fq[static_cast<size_t>(t)] = pq[(bi * s + t) * d + ci];
+        fk[static_cast<size_t>(t)] = pk[(bi * s + t) * d + ci];
+      }
+      Fft(fq, false);
+      Fft(fk, false);
+      for (int64_t f = 0; f < padded; ++f) {
+        fq[static_cast<size_t>(f)] *= std::conj(fk[static_cast<size_t>(f)]);
+      }
+      Fft(fq, true);
+      for (int64_t tau = 0; tau < s; ++tau) {
+        po[bi * s + tau] += fq[static_cast<size_t>(tau)].real() /
+                            static_cast<float>(d * s);
+      }
+    }
+  }
+  return scores;
+}
+
+// Circularly rolls x [b, s, d] along time by `lag` (delay aggregation).
+Variable Roll(const Variable& x, int64_t lag) {
+  const int64_t s = x.size(1);
+  std::vector<int64_t> idx(static_cast<size_t>(s));
+  for (int64_t t = 0; t < s; ++t) {
+    idx[static_cast<size_t>(t)] = (t + lag) % s;
+  }
+  return IndexSelect(x, 1, idx);
+}
+
+}  // namespace
+
+AutoCorrelationAttention::AutoCorrelationAttention(int64_t model_dim,
+                                                   Rng& rng, float factor)
+    : model_dim_(model_dim), factor_(factor) {
+  wq_ = std::make_unique<Linear>(model_dim, model_dim, rng);
+  wk_ = std::make_unique<Linear>(model_dim, model_dim, rng);
+  wv_ = std::make_unique<Linear>(model_dim, model_dim, rng);
+  wo_ = std::make_unique<Linear>(model_dim, model_dim, rng);
+  RegisterModule("wq", wq_.get());
+  RegisterModule("wk", wk_.get());
+  RegisterModule("wv", wv_.get());
+  RegisterModule("wo", wo_.get());
+}
+
+Variable AutoCorrelationAttention::Forward(const Variable& x) const {
+  LIPF_CHECK_EQ(x.dim(), 3);
+  const int64_t b = x.size(0);
+  const int64_t s = x.size(1);
+  Variable q = wq_->Forward(x);
+  Variable k = wk_->Forward(x);
+  Variable v = wv_->Forward(x);
+
+  Tensor scores = LagScores(q.value(), k.value());  // [b, s]
+  const int64_t topk = std::min<int64_t>(
+      s, std::max<int64_t>(
+             1, static_cast<int64_t>(
+                    factor_ * std::log(static_cast<float>(s)) + 1.0f)));
+
+  // Select the top-k lags from the batch-mean score (shared lags keep the
+  // aggregation batched; the per-batch weights below stay individual).
+  Tensor mean_scores = Mean(scores, 0);  // [s]
+  std::vector<std::pair<float, int64_t>> ranked;
+  ranked.reserve(static_cast<size_t>(s));
+  for (int64_t tau = 0; tau < s; ++tau) {
+    ranked.emplace_back(mean_scores.data()[tau], tau);
+  }
+  std::partial_sort(ranked.begin(), ranked.begin() + topk, ranked.end(),
+                    [](const auto& a, const auto& c) {
+                      return a.first > c.first;
+                    });
+
+  // Per-batch softmax weights over the selected lags.
+  Tensor lag_logits(Shape{b, topk});
+  for (int64_t bi = 0; bi < b; ++bi) {
+    for (int64_t i = 0; i < topk; ++i) {
+      lag_logits.data()[bi * topk + i] =
+          scores.data()[bi * s + ranked[static_cast<size_t>(i)].second];
+    }
+  }
+  Tensor weights = Softmax(lag_logits, 1);  // constant [b, topk]
+
+  Variable out;
+  for (int64_t i = 0; i < topk; ++i) {
+    const int64_t lag = ranked[static_cast<size_t>(i)].second;
+    Tensor w = Slice(weights, 1, i, i + 1).Reshape(Shape{b, 1, 1});
+    Variable term = MulConst(Roll(v, lag), w);
+    out = i == 0 ? term : Add(out, term);
+  }
+  return wo_->Forward(out);
+}
+
+Autoformer::Autoformer(const ForecasterDims& dims,
+                       const AutoformerConfig& config, uint64_t seed)
+    : dims_(dims),
+      config_(config),
+      avg_matrix_(MovingAverageMatrix(dims.input_len,
+                                      config.moving_avg_kernel)) {
+  Rng rng(seed);
+  trend_proj_ = std::make_unique<Linear>(dims.input_len, dims.pred_len, rng);
+  input_embed_ = std::make_unique<Linear>(dims.channels, config.model_dim,
+                                          rng);
+  RegisterModule("trend_proj", trend_proj_.get());
+  RegisterModule("input_embed", input_embed_.get());
+  for (int64_t i = 0; i < config.num_layers; ++i) {
+    Layer layer;
+    layer.attention = std::make_unique<AutoCorrelationAttention>(
+        config.model_dim, rng, config.autocorrelation_factor);
+    layer.ffn_up = std::make_unique<Linear>(config.model_dim, config.ffn_dim,
+                                            rng);
+    layer.ffn_down = std::make_unique<Linear>(config.ffn_dim,
+                                              config.model_dim, rng);
+    layer.norm = std::make_unique<LayerNorm>(config.model_dim, rng);
+    const std::string prefix = "layer" + std::to_string(i);
+    RegisterModule(prefix + ".attention", layer.attention.get());
+    RegisterModule(prefix + ".ffn_up", layer.ffn_up.get());
+    RegisterModule(prefix + ".ffn_down", layer.ffn_down.get());
+    RegisterModule(prefix + ".norm", layer.norm.get());
+    layers_.push_back(std::move(layer));
+  }
+  channel_head_ = std::make_unique<Linear>(config.model_dim, dims.channels,
+                                           rng);
+  time_head_ = std::make_unique<Linear>(dims.input_len, dims.pred_len, rng);
+  RegisterModule("channel_head", channel_head_.get());
+  RegisterModule("time_head", time_head_.get());
+}
+
+Variable Autoformer::Forward(const Batch& batch) {
+  const int64_t b = batch.x.size(0);
+  const int64_t t = batch.x.size(1);
+  const int64_t c = batch.x.size(2);
+  LIPF_CHECK_EQ(t, dims_.input_len);
+  LIPF_CHECK_EQ(c, dims_.channels);
+
+  Variable x(batch.x);
+  auto [normalized, norm_state] = InstanceNormalize(x);
+
+  // Series decomposition: trend extrapolated linearly per channel.
+  Variable flat = Reshape(Permute(normalized, {0, 2, 1}), Shape{b * c, t});
+  auto [seasonal_flat, trend_flat] = DecomposeSeries(flat, avg_matrix_);
+  Variable trend_pred = Permute(
+      Reshape(trend_proj_->Forward(trend_flat), Shape{b, c, dims_.pred_len}),
+      {0, 2, 1});  // [b, L, c]
+
+  // Seasonal branch: embedding + AutoCorrelation encoder.
+  Variable seasonal =
+      Permute(Reshape(seasonal_flat, Shape{b, c, t}), {0, 2, 1});
+  Variable tokens = input_embed_->Forward(seasonal);  // [b, T, d]
+  for (const Layer& layer : layers_) {
+    Variable attended = layer.attention->Forward(tokens);
+    Variable h = Add(tokens, attended);
+    Variable ffn = layer.ffn_down->Forward(Gelu(layer.ffn_up->Forward(h)));
+    tokens = layer.norm->Forward(Add(h, ffn));
+  }
+  Variable per_step = channel_head_->Forward(tokens);  // [b, T, c]
+  Variable seasonal_pred = Permute(
+      time_head_->Forward(Permute(per_step, {0, 2, 1})), {0, 2, 1});
+
+  Variable out = Add(seasonal_pred, trend_pred);
+  return InstanceDenormalize(out, norm_state);
+}
+
+}  // namespace lipformer

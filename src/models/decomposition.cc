@@ -1,0 +1,33 @@
+#include "models/decomposition.h"
+
+namespace lipformer {
+
+Tensor MovingAverageMatrix(int64_t t, int64_t kernel) {
+  LIPF_CHECK_GT(kernel, 0);
+  Tensor w(Shape{t, t});
+  float* p = w.data();
+  const int64_t half_lo = (kernel - 1) / 2;
+  const int64_t half_hi = kernel / 2;
+  const float inv_k = 1.0f / static_cast<float>(kernel);
+  for (int64_t out = 0; out < t; ++out) {
+    for (int64_t off = -half_lo; off <= half_hi; ++off) {
+      // Replicate padding: clamp source index to [0, t).
+      int64_t src = out + off;
+      if (src < 0) src = 0;
+      if (src >= t) src = t - 1;
+      p[src * t + out] += inv_k;
+    }
+  }
+  return w;
+}
+
+std::pair<Variable, Variable> DecomposeSeries(const Variable& x,
+                                              const Tensor& avg_matrix) {
+  LIPF_CHECK_EQ(x.dim(), 2);
+  LIPF_CHECK_EQ(x.size(1), avg_matrix.size(0));
+  Variable trend = MatMul(x, Variable(avg_matrix));
+  Variable seasonal = Sub(x, trend);
+  return {seasonal, trend};
+}
+
+}  // namespace lipformer

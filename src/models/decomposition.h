@@ -1,0 +1,25 @@
+#ifndef LIPFORMER_MODELS_DECOMPOSITION_H_
+#define LIPFORMER_MODELS_DECOMPOSITION_H_
+
+#include <utility>
+
+#include "autograd/ops.h"
+
+// Trend/seasonal series decomposition via moving average, the building
+// block of DLinear, Autoformer and TimeMixer. The smoothing is expressed as
+// a constant [T, T] row-stochastic matrix (replicate padding at the edges),
+// so it is differentiable through a single MatMul.
+
+namespace lipformer {
+
+// W[s, t] = weight of x_s in trend_t; apply as x [B, T] @ W -> trend [B, T].
+Tensor MovingAverageMatrix(int64_t t, int64_t kernel);
+
+// x: [B, T] -> {seasonal, trend} with trend = moving average, seasonal =
+// x - trend.
+std::pair<Variable, Variable> DecomposeSeries(const Variable& x,
+                                              const Tensor& avg_matrix);
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_MODELS_DECOMPOSITION_H_

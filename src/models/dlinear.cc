@@ -1,0 +1,35 @@
+#include "models/dlinear.h"
+
+namespace lipformer {
+
+DLinear::DLinear(const ForecasterDims& dims, uint64_t seed,
+                 int64_t moving_avg_kernel)
+    : dims_(dims),
+      avg_matrix_(MovingAverageMatrix(dims.input_len, moving_avg_kernel)) {
+  Rng rng(seed);
+  seasonal_proj_ = std::make_unique<Linear>(dims.input_len, dims.pred_len,
+                                            rng);
+  trend_proj_ = std::make_unique<Linear>(dims.input_len, dims.pred_len, rng);
+  RegisterModule("seasonal_proj", seasonal_proj_.get());
+  RegisterModule("trend_proj", trend_proj_.get());
+}
+
+Variable DLinear::Forward(const Batch& batch) {
+  const int64_t b = batch.x.size(0);
+  const int64_t t = batch.x.size(1);
+  const int64_t c = batch.x.size(2);
+  LIPF_CHECK_EQ(t, dims_.input_len);
+  LIPF_CHECK_EQ(c, dims_.channels);
+
+  // Channel independence: [b, T, c] -> [b*c, T].
+  Variable x(batch.x);
+  Variable flat = Reshape(Permute(x, {0, 2, 1}), Shape{b * c, t});
+
+  auto [seasonal, trend] = DecomposeSeries(flat, avg_matrix_);
+  Variable y = Add(seasonal_proj_->Forward(seasonal),
+                   trend_proj_->Forward(trend));  // [b*c, L]
+
+  return Permute(Reshape(y, Shape{b, c, dims_.pred_len}), {0, 2, 1});
+}
+
+}  // namespace lipformer

@@ -1,0 +1,38 @@
+#ifndef LIPFORMER_MODELS_DLINEAR_H_
+#define LIPFORMER_MODELS_DLINEAR_H_
+
+#include <memory>
+#include <string>
+
+#include "models/decomposition.h"
+#include "models/forecaster.h"
+#include "nn/linear.h"
+
+namespace lipformer {
+
+// DLinear (Zeng et al., AAAI 2023): decompose each channel into trend and
+// seasonal components with a moving average, forecast each with a single
+// shared linear map T -> L, and sum. The strongest simple baseline in the
+// paper and the inspiration for LiPFormer's linear components.
+class DLinear : public Forecaster {
+ public:
+  DLinear(const ForecasterDims& dims, uint64_t seed = 1,
+          int64_t moving_avg_kernel = 25);
+
+  Variable Forward(const Batch& batch) override;
+
+  std::string name() const override { return "DLinear"; }
+  int64_t input_len() const override { return dims_.input_len; }
+  int64_t pred_len() const override { return dims_.pred_len; }
+  int64_t channels() const override { return dims_.channels; }
+
+ private:
+  ForecasterDims dims_;
+  Tensor avg_matrix_;
+  std::unique_ptr<Linear> seasonal_proj_;
+  std::unique_ptr<Linear> trend_proj_;
+};
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_MODELS_DLINEAR_H_

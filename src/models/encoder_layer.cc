@@ -1,0 +1,35 @@
+#include "models/encoder_layer.h"
+
+namespace lipformer {
+
+TransformerEncoderLayer::TransformerEncoderLayer(int64_t model_dim,
+                                                 int64_t num_heads,
+                                                 int64_t ffn_dim, Rng& rng,
+                                                 float dropout) {
+  attention_ = std::make_unique<MultiHeadSelfAttention>(model_dim, num_heads,
+                                                        rng);
+  norm1_ = std::make_unique<LayerNorm>(model_dim, rng);
+  norm2_ = std::make_unique<LayerNorm>(model_dim, rng);
+  ffn_up_ = std::make_unique<Linear>(model_dim, ffn_dim, rng);
+  ffn_down_ = std::make_unique<Linear>(ffn_dim, model_dim, rng);
+  RegisterModule("attention", attention_.get());
+  RegisterModule("norm1", norm1_.get());
+  RegisterModule("norm2", norm2_.get());
+  RegisterModule("ffn_up", ffn_up_.get());
+  RegisterModule("ffn_down", ffn_down_.get());
+  if (dropout > 0.0f) {
+    dropout_ = std::make_unique<Dropout>(dropout, rng);
+    RegisterModule("dropout", dropout_.get());
+  }
+}
+
+Variable TransformerEncoderLayer::Forward(const Variable& x) const {
+  Variable attended = attention_->Forward(x);
+  if (dropout_) attended = dropout_->Forward(attended);
+  Variable h = norm1_->Forward(Add(x, attended));
+  Variable ffn = ffn_down_->Forward(Gelu(ffn_up_->Forward(h)));
+  if (dropout_) ffn = dropout_->Forward(ffn);
+  return norm2_->Forward(Add(h, ffn));
+}
+
+}  // namespace lipformer

@@ -1,0 +1,37 @@
+#ifndef LIPFORMER_MODELS_ENCODER_LAYER_H_
+#define LIPFORMER_MODELS_ENCODER_LAYER_H_
+
+#include <memory>
+
+#include "nn/attention.h"
+#include "nn/dropout.h"
+#include "nn/layer_norm.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace lipformer {
+
+// Standard post-norm Transformer encoder layer (Vaswani et al.):
+//   x = LN(x + MHSA(x)); x = LN(x + FFN(x)).
+// Deliberately heavyweight -- this is what the baselines (Transformer,
+// PatchTST, iTransformer, Informer) are built from and what LiPFormer's
+// lightweight design is measured against.
+class TransformerEncoderLayer : public Module {
+ public:
+  TransformerEncoderLayer(int64_t model_dim, int64_t num_heads,
+                          int64_t ffn_dim, Rng& rng, float dropout = 0.1f);
+
+  Variable Forward(const Variable& x) const;
+
+ private:
+  std::unique_ptr<MultiHeadSelfAttention> attention_;
+  std::unique_ptr<LayerNorm> norm1_;
+  std::unique_ptr<LayerNorm> norm2_;
+  std::unique_ptr<Linear> ffn_up_;
+  std::unique_ptr<Linear> ffn_down_;
+  std::unique_ptr<Dropout> dropout_;
+};
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_MODELS_ENCODER_LAYER_H_

@@ -1,0 +1,127 @@
+#include "models/factory.h"
+
+#include "core/lipformer.h"
+#include "models/autoformer.h"
+#include "models/dlinear.h"
+#include "models/fgnn.h"
+#include "models/informer.h"
+#include "models/itransformer.h"
+#include "models/patchtst.h"
+#include "models/timemixer.h"
+#include "models/transformer.h"
+#include "models/tsmixer.h"
+#include "models/tide.h"
+
+namespace lipformer {
+
+namespace {
+
+// Largest divisor of `t` not exceeding `preferred`, so patch-based models
+// accept any input length.
+int64_t FitPatchLen(int64_t t, int64_t preferred) {
+  for (int64_t pl = std::min(preferred, t); pl >= 1; --pl) {
+    if (t % pl == 0) return pl;
+  }
+  return 1;
+}
+
+}  // namespace
+
+std::vector<std::string> RegisteredModelNames() {
+  return {"lipformer", "dlinear",    "patchtst",  "transformer",
+          "itransformer", "tsmixer", "timemixer", "tide",
+          "informer",  "autoformer", "fgnn"};
+}
+
+std::unique_ptr<Forecaster> CreateModel(const std::string& name,
+                                        const ForecasterDims& dims,
+                                        const ModelOptions& options) {
+  if (name == "lipformer") {
+    LiPFormerConfig config;
+    config.input_len = dims.input_len;
+    config.pred_len = dims.pred_len;
+    config.channels = dims.channels;
+    config.patch_len = FitPatchLen(dims.input_len, options.patch_len);
+    config.hidden_dim = options.hidden_dim;
+    config.num_heads = options.num_heads;
+    config.dropout = options.dropout;
+    config.seed = options.seed;
+    return std::make_unique<LiPFormer>(config);
+  }
+  if (name == "dlinear") {
+    return std::make_unique<DLinear>(dims, options.seed);
+  }
+  if (name == "patchtst") {
+    PatchTstConfig config;
+    config.patch_len = FitPatchLen(dims.input_len, 16);
+    config.model_dim = options.hidden_dim;
+    config.num_heads = options.num_heads;
+    config.num_layers = options.num_layers;
+    config.ffn_dim = 2 * options.hidden_dim;
+    config.dropout = options.dropout;
+    return std::make_unique<PatchTst>(dims, config, options.seed);
+  }
+  if (name == "transformer") {
+    TransformerConfig config;
+    config.model_dim = options.hidden_dim;
+    config.num_heads = options.num_heads;
+    config.num_layers = options.num_layers;
+    config.ffn_dim = 4 * options.hidden_dim;
+    config.dropout = options.dropout;
+    return std::make_unique<VanillaTransformer>(dims, config, options.seed);
+  }
+  if (name == "itransformer") {
+    ITransformerConfig config;
+    config.model_dim = options.hidden_dim;
+    config.num_heads = options.num_heads;
+    config.num_layers = options.num_layers;
+    config.ffn_dim = 2 * options.hidden_dim;
+    config.dropout = options.dropout;
+    return std::make_unique<ITransformer>(dims, config, options.seed);
+  }
+  if (name == "tsmixer") {
+    TsMixerConfig config;
+    config.num_blocks = options.num_layers;
+    config.hidden_dim = options.hidden_dim;
+    config.dropout = options.dropout;
+    return std::make_unique<TsMixer>(dims, config, options.seed);
+  }
+  if (name == "timemixer") {
+    TimeMixerConfig config;
+    // Scales require halving; shrink until the lengths divide.
+    config.num_scales = dims.input_len % 4 == 0 ? 3 : 2;
+    return std::make_unique<TimeMixer>(dims, config, options.seed);
+  }
+  if (name == "tide") {
+    TideConfig config;
+    config.hidden_dim = options.hidden_dim;
+    config.encoder_dim = options.hidden_dim;
+    config.dropout = options.dropout;
+    return std::make_unique<Tide>(dims, options.num_covariates, config,
+                                  options.seed);
+  }
+  if (name == "informer") {
+    InformerConfig config;
+    config.model_dim = options.hidden_dim;
+    config.num_layers = options.num_layers;
+    config.ffn_dim = 4 * options.hidden_dim;
+    config.dropout = options.dropout;
+    return std::make_unique<Informer>(dims, config, options.seed);
+  }
+  if (name == "autoformer") {
+    AutoformerConfig config;
+    config.model_dim = options.hidden_dim;
+    config.num_layers = 1;
+    config.ffn_dim = 4 * options.hidden_dim;
+    return std::make_unique<Autoformer>(dims, config, options.seed);
+  }
+  if (name == "fgnn") {
+    FgnnConfig config;
+    config.num_layers = options.num_layers;
+    return std::make_unique<Fgnn>(dims, config, options.seed);
+  }
+  LIPF_CHECK(false) << "unknown model: " << name;
+  return nullptr;
+}
+
+}  // namespace lipformer

@@ -1,0 +1,38 @@
+#ifndef LIPFORMER_MODELS_FACTORY_H_
+#define LIPFORMER_MODELS_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/forecaster.h"
+
+namespace lipformer {
+
+// Hyperparameters shared by the factory-built models; individual models
+// read the fields they need. The defaults mirror the scaled-down bench
+// configuration (hd 64, 2 layers) used throughout EXPERIMENTS.md.
+struct ModelOptions {
+  int64_t patch_len = 48;
+  int64_t hidden_dim = 64;
+  int64_t num_heads = 4;
+  int64_t num_layers = 2;
+  float dropout = 0.1f;
+  uint64_t seed = 1;
+  // Number of future-known numeric covariates (TiDE uses these).
+  int64_t num_covariates = 0;
+};
+
+// Known names: lipformer, dlinear, patchtst, transformer, itransformer,
+// tsmixer, timemixer, tide, informer, autoformer, fgnn.
+std::vector<std::string> RegisteredModelNames();
+
+// CHECK-fails on unknown names. The returned LiPFormer has no covariate
+// encoder attached; use the core pipeline for weak-data enriching.
+std::unique_ptr<Forecaster> CreateModel(const std::string& name,
+                                        const ForecasterDims& dims,
+                                        const ModelOptions& options = {});
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_MODELS_FACTORY_H_

@@ -1,0 +1,65 @@
+#include "models/fgnn.h"
+
+#include "core/instance_norm.h"
+#include "tensor/fft.h"
+
+namespace lipformer {
+
+Fgnn::Fgnn(const ForecasterDims& dims, const FgnnConfig& config,
+           uint64_t seed)
+    : dims_(dims), config_(config) {
+  const int64_t max_freq = dims.input_len / 2 + 1;
+  if (config_.num_frequencies > max_freq) {
+    config_.num_frequencies = max_freq;
+  }
+  DftBasis(dims.input_len, config_.num_frequencies, &dft_cos_, &dft_sin_);
+  InverseDftBasis(dims.input_len, config_.num_frequencies, &idft_cos_,
+                  &idft_sin_);
+  Rng rng(seed);
+  for (int64_t i = 0; i < config_.num_layers; ++i) {
+    mix_real_.push_back(std::make_unique<Linear>(dims.channels,
+                                                 dims.channels, rng));
+    mix_imag_.push_back(std::make_unique<Linear>(dims.channels,
+                                                 dims.channels, rng));
+    RegisterModule("mix_real" + std::to_string(i), mix_real_.back().get());
+    RegisterModule("mix_imag" + std::to_string(i), mix_imag_.back().get());
+  }
+  head_ = std::make_unique<Linear>(dims.input_len, dims.pred_len, rng);
+  RegisterModule("head", head_.get());
+}
+
+Variable Fgnn::Forward(const Batch& batch) {
+  LIPF_CHECK_EQ(batch.x.size(1), dims_.input_len);
+  LIPF_CHECK_EQ(batch.x.size(2), dims_.channels);
+
+  Variable x(batch.x);
+  auto [normalized, norm_state] = InstanceNormalize(x);
+
+  // Truncated real DFT over time for every channel: [b, c, T] @ [T, k].
+  Variable rows = Permute(normalized, {0, 2, 1});
+  Variable real = MatMul(rows, Variable(dft_cos_));  // [b, c, k]
+  Variable imag = MatMul(rows, Variable(dft_sin_));
+
+  // Fourier Graph Operators: complex channel mixing per frequency.
+  Variable re = Permute(real, {0, 2, 1});  // [b, k, c]
+  Variable im = Permute(imag, {0, 2, 1});
+  for (int64_t i = 0; i < config_.num_layers; ++i) {
+    Variable new_re = Sub(mix_real_[static_cast<size_t>(i)]->Forward(re),
+                          mix_imag_[static_cast<size_t>(i)]->Forward(im));
+    Variable new_im = Add(mix_real_[static_cast<size_t>(i)]->Forward(im),
+                          mix_imag_[static_cast<size_t>(i)]->Forward(re));
+    re = Tanh(new_re);
+    im = Tanh(new_im);
+  }
+
+  // Back to time domain and project to the horizon per channel.
+  Variable re_rows = Permute(re, {0, 2, 1});  // [b, c, k]
+  Variable im_rows = Permute(im, {0, 2, 1});
+  Variable time = Add(MatMul(re_rows, Variable(idft_cos_)),
+                      MatMul(im_rows, Variable(idft_sin_)));  // [b, c, T]
+  Variable y = head_->Forward(time);  // [b, c, L]
+  Variable out = Permute(y, {0, 2, 1});
+  return InstanceDenormalize(out, norm_state);
+}
+
+}  // namespace lipformer

@@ -1,0 +1,53 @@
+#ifndef LIPFORMER_MODELS_FGNN_H_
+#define LIPFORMER_MODELS_FGNN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/forecaster.h"
+#include "nn/linear.h"
+
+namespace lipformer {
+
+struct FgnnConfig {
+  // Kept frequencies of the truncated real DFT (<= T/2 + 1).
+  int64_t num_frequencies = 24;
+  int64_t num_layers = 2;
+};
+
+// FourierGNN (Yi et al., NeurIPS 2023), simplified: the multivariate window
+// is moved to the frequency domain with an explicit (differentiable) DFT
+// matrix, a stack of Fourier Graph Operators -- complex linear maps mixing
+// channels within each frequency, realized as pairs of real matmuls --
+// transforms the spectrum, and the inverse DFT plus a temporal projection
+// produce the forecast. The hypervariate-graph view collapses to this
+// frequency-domain channel mixing; see DESIGN.md.
+class Fgnn : public Forecaster {
+ public:
+  Fgnn(const ForecasterDims& dims, const FgnnConfig& config,
+       uint64_t seed = 1);
+
+  Variable Forward(const Batch& batch) override;
+
+  std::string name() const override { return "FGNN"; }
+  int64_t input_len() const override { return dims_.input_len; }
+  int64_t pred_len() const override { return dims_.pred_len; }
+  int64_t channels() const override { return dims_.channels; }
+
+ private:
+  ForecasterDims dims_;
+  FgnnConfig config_;
+  Tensor dft_cos_;   // [T, k]
+  Tensor dft_sin_;   // [T, k]
+  Tensor idft_cos_;  // [k, T]
+  Tensor idft_sin_;  // [k, T]
+  // Complex channel-mixing weights per layer (shared across frequencies).
+  std::vector<std::unique_ptr<Linear>> mix_real_;
+  std::vector<std::unique_ptr<Linear>> mix_imag_;
+  std::unique_ptr<Linear> head_;  // T -> L per channel
+};
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_MODELS_FGNN_H_

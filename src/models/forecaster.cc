@@ -1,0 +1,5 @@
+#include "models/forecaster.h"
+
+// Interface-only translation unit (keeps one vtable anchor for Forecaster).
+
+namespace lipformer {}  // namespace lipformer

@@ -1,0 +1,37 @@
+#ifndef LIPFORMER_MODELS_FORECASTER_H_
+#define LIPFORMER_MODELS_FORECASTER_H_
+
+#include <string>
+
+#include "data/window_dataset.h"
+#include "nn/module.h"
+
+namespace lipformer {
+
+// Common interface for every forecasting model in the repository (the
+// LiPFormer core and all baselines). A model maps a Batch to a prediction
+// of shape [b, L, c]; covariate-aware models (LiPFormer, TiDE, covariate-
+// augmented baselines) additionally read batch.y_cov_* / y_time.
+class Forecaster : public Module {
+ public:
+  ~Forecaster() override = default;
+
+  virtual Variable Forward(const Batch& batch) = 0;
+
+  virtual std::string name() const = 0;
+
+  virtual int64_t input_len() const = 0;
+  virtual int64_t pred_len() const = 0;
+  virtual int64_t channels() const = 0;
+};
+
+// Shared dimensions every model constructor takes.
+struct ForecasterDims {
+  int64_t input_len = 96;
+  int64_t pred_len = 96;
+  int64_t channels = 7;
+};
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_MODELS_FORECASTER_H_

@@ -1,0 +1,137 @@
+#include "models/informer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/instance_norm.h"
+#include "nn/attention.h"
+#include "tensor/ops.h"
+
+namespace lipformer {
+
+ProbSparseSelfAttention::ProbSparseSelfAttention(int64_t model_dim, Rng& rng,
+                                                 float factor)
+    : model_dim_(model_dim), factor_(factor) {
+  wq_ = std::make_unique<Linear>(model_dim, model_dim, rng);
+  wk_ = std::make_unique<Linear>(model_dim, model_dim, rng);
+  wv_ = std::make_unique<Linear>(model_dim, model_dim, rng);
+  wo_ = std::make_unique<Linear>(model_dim, model_dim, rng);
+  RegisterModule("wq", wq_.get());
+  RegisterModule("wk", wk_.get());
+  RegisterModule("wv", wv_.get());
+  RegisterModule("wo", wo_.get());
+}
+
+Variable ProbSparseSelfAttention::Forward(const Variable& x) const {
+  LIPF_CHECK_EQ(x.dim(), 3);
+  const int64_t b = x.size(0);
+  const int64_t s = x.size(1);
+  Variable q = wq_->Forward(x);
+  Variable k = wk_->Forward(x);
+  Variable v = wv_->Forward(x);
+
+  const float scale = 1.0f / std::sqrt(static_cast<float>(model_dim_));
+  Variable scores = MulScalar(MatMul(q, Transpose(k, 1, 2)), scale);
+
+  // Sparsity measure from the *values* of the scores (selection is a
+  // discrete decision; gradients flow through the attention itself).
+  const Tensor& sc = scores.value();  // [b, s, s]
+  const int64_t u = std::min<int64_t>(
+      s, std::max<int64_t>(
+             1, static_cast<int64_t>(factor_ * std::log(
+                                                   static_cast<float>(s)))));
+  Tensor mask(Shape{b, s, 1});
+  const float* ps = sc.data();
+  float* pm = mask.data();
+  std::vector<std::pair<float, int64_t>> measure(static_cast<size_t>(s));
+  for (int64_t bi = 0; bi < b; ++bi) {
+    for (int64_t i = 0; i < s; ++i) {
+      const float* row = ps + (bi * s + i) * s;
+      float mx = row[0];
+      float mean = 0.0f;
+      for (int64_t j = 0; j < s; ++j) {
+        mx = std::max(mx, row[j]);
+        mean += row[j];
+      }
+      mean /= static_cast<float>(s);
+      measure[static_cast<size_t>(i)] = {mx - mean, i};
+    }
+    std::partial_sort(measure.begin(), measure.begin() + u, measure.end(),
+                      [](const auto& a, const auto& c) {
+                        return a.first > c.first;
+                      });
+    for (int64_t i = 0; i < u; ++i) {
+      pm[(bi * s + measure[static_cast<size_t>(i)].second)] = 1.0f;
+    }
+  }
+
+  Variable full = MatMul(Softmax(scores, 2), v);     // [b, s, d]
+  Variable lazy = Mean(v, 1, /*keepdim=*/true);      // [b, 1, d]
+  Tensor inv_mask = AddScalar(Neg(mask), 1.0f);
+  Variable mixed = Add(MulConst(full, mask), MulConst(lazy, inv_mask));
+  return wo_->Forward(mixed);
+}
+
+Informer::Informer(const ForecasterDims& dims, const InformerConfig& config,
+                   uint64_t seed)
+    : dims_(dims), config_(config) {
+  Rng rng(seed);
+  input_embed_ = std::make_unique<Linear>(dims.channels, config.model_dim,
+                                          rng);
+  RegisterModule("input_embed", input_embed_.get());
+  pos_encoding_ = std::make_unique<PositionalEncoding>(dims.input_len,
+                                                       config.model_dim);
+  for (int64_t i = 0; i < config.num_layers; ++i) {
+    Layer layer;
+    layer.attention = std::make_unique<ProbSparseSelfAttention>(
+        config.model_dim, rng, config.prob_sparse_factor);
+    layer.norm1 = std::make_unique<LayerNorm>(config.model_dim, rng);
+    layer.ffn_up = std::make_unique<Linear>(config.model_dim, config.ffn_dim,
+                                            rng);
+    layer.ffn_down = std::make_unique<Linear>(config.ffn_dim,
+                                              config.model_dim, rng);
+    layer.norm2 = std::make_unique<LayerNorm>(config.model_dim, rng);
+    if (config.dropout > 0.0f) {
+      layer.dropout = std::make_unique<Dropout>(config.dropout, rng);
+    }
+    const std::string prefix = "layer" + std::to_string(i);
+    RegisterModule(prefix + ".attention", layer.attention.get());
+    RegisterModule(prefix + ".norm1", layer.norm1.get());
+    RegisterModule(prefix + ".ffn_up", layer.ffn_up.get());
+    RegisterModule(prefix + ".ffn_down", layer.ffn_down.get());
+    RegisterModule(prefix + ".norm2", layer.norm2.get());
+    if (layer.dropout) RegisterModule(prefix + ".dropout",
+                                      layer.dropout.get());
+    layers_.push_back(std::move(layer));
+  }
+  head_ = std::make_unique<Linear>(config.model_dim,
+                                   dims.pred_len * dims.channels, rng);
+  RegisterModule("head", head_.get());
+}
+
+Variable Informer::Forward(const Batch& batch) {
+  const int64_t b = batch.x.size(0);
+  LIPF_CHECK_EQ(batch.x.size(1), dims_.input_len);
+  LIPF_CHECK_EQ(batch.x.size(2), dims_.channels);
+
+  Variable x(batch.x);
+  auto [normalized, norm_state] = InstanceNormalize(x);
+
+  Variable tokens = input_embed_->Forward(normalized);
+  tokens = pos_encoding_->Forward(tokens);
+  for (const Layer& layer : layers_) {
+    Variable attended = layer.attention->Forward(tokens);
+    if (layer.dropout) attended = layer.dropout->Forward(attended);
+    Variable h = layer.norm1->Forward(Add(tokens, attended));
+    Variable ffn = layer.ffn_down->Forward(Gelu(layer.ffn_up->Forward(h)));
+    if (layer.dropout) ffn = layer.dropout->Forward(ffn);
+    tokens = layer.norm2->Forward(Add(h, ffn));
+  }
+
+  Variable pooled = Mean(tokens, 1);
+  Variable y = head_->Forward(pooled);
+  Variable out = Reshape(y, Shape{b, dims_.pred_len, dims_.channels});
+  return InstanceDenormalize(out, norm_state);
+}
+
+}  // namespace lipformer

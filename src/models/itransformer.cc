@@ -1,0 +1,41 @@
+#include "models/itransformer.h"
+
+#include "core/instance_norm.h"
+
+namespace lipformer {
+
+ITransformer::ITransformer(const ForecasterDims& dims,
+                           const ITransformerConfig& config, uint64_t seed)
+    : dims_(dims), config_(config) {
+  Rng rng(seed);
+  variate_embed_ = std::make_unique<Linear>(dims.input_len, config.model_dim,
+                                            rng);
+  RegisterModule("variate_embed", variate_embed_.get());
+  for (int64_t i = 0; i < config.num_layers; ++i) {
+    layers_.push_back(std::make_unique<TransformerEncoderLayer>(
+        config.model_dim, config.num_heads, config.ffn_dim, rng,
+        config.dropout));
+    RegisterModule("layer" + std::to_string(i), layers_.back().get());
+  }
+  head_ = std::make_unique<Linear>(config.model_dim, dims.pred_len, rng);
+  RegisterModule("head", head_.get());
+}
+
+Variable ITransformer::Forward(const Batch& batch) {
+  LIPF_CHECK_EQ(batch.x.size(1), dims_.input_len);
+  LIPF_CHECK_EQ(batch.x.size(2), dims_.channels);
+
+  Variable x(batch.x);
+  auto [normalized, norm_state] = InstanceNormalize(x);
+
+  // Variates as tokens: [b, T, c] -> [b, c, T] -> [b, c, d].
+  Variable variates = Permute(normalized, {0, 2, 1});
+  Variable tokens = variate_embed_->Forward(variates);
+  for (const auto& layer : layers_) tokens = layer->Forward(tokens);
+
+  Variable y = head_->Forward(tokens);          // [b, c, L]
+  Variable out = Permute(y, {0, 2, 1});         // [b, L, c]
+  return InstanceDenormalize(out, norm_state);
+}
+
+}  // namespace lipformer

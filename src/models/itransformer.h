@@ -1,0 +1,47 @@
+#ifndef LIPFORMER_MODELS_ITRANSFORMER_H_
+#define LIPFORMER_MODELS_ITRANSFORMER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/encoder_layer.h"
+#include "models/forecaster.h"
+
+namespace lipformer {
+
+struct ITransformerConfig {
+  int64_t model_dim = 64;
+  int64_t num_heads = 4;
+  int64_t num_layers = 2;
+  int64_t ffn_dim = 128;
+  float dropout = 0.1f;
+};
+
+// iTransformer (Liu et al., ICLR 2024): the attention is inverted --
+// each *variate* becomes a token (its whole history embedded by a linear
+// map T -> d), attention runs across channels, and a linear head maps each
+// variate token to its horizon.
+class ITransformer : public Forecaster {
+ public:
+  ITransformer(const ForecasterDims& dims, const ITransformerConfig& config,
+               uint64_t seed = 1);
+
+  Variable Forward(const Batch& batch) override;
+
+  std::string name() const override { return "iTransformer"; }
+  int64_t input_len() const override { return dims_.input_len; }
+  int64_t pred_len() const override { return dims_.pred_len; }
+  int64_t channels() const override { return dims_.channels; }
+
+ private:
+  ForecasterDims dims_;
+  ITransformerConfig config_;
+  std::unique_ptr<Linear> variate_embed_;  // T -> d
+  std::vector<std::unique_ptr<TransformerEncoderLayer>> layers_;
+  std::unique_ptr<Linear> head_;  // d -> L
+};
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_MODELS_ITRANSFORMER_H_

@@ -1,0 +1,55 @@
+#include "models/patchtst.h"
+
+#include "core/instance_norm.h"
+#include "core/patching.h"
+
+namespace lipformer {
+
+PatchTst::PatchTst(const ForecasterDims& dims, const PatchTstConfig& config,
+                   uint64_t seed)
+    : dims_(dims), config_(config) {
+  LIPF_CHECK_EQ(dims.input_len % config.patch_len, 0)
+      << "patch length must divide input length";
+  num_patches_ = dims.input_len / config.patch_len;
+  Rng rng(seed);
+  patch_embed_ = std::make_unique<Linear>(config.patch_len, config.model_dim,
+                                          rng);
+  RegisterModule("patch_embed", patch_embed_.get());
+  pos_encoding_ = std::make_unique<PositionalEncoding>(num_patches_,
+                                                       config.model_dim);
+  for (int64_t i = 0; i < config.num_layers; ++i) {
+    layers_.push_back(std::make_unique<TransformerEncoderLayer>(
+        config.model_dim, config.num_heads, config.ffn_dim, rng,
+        config.dropout));
+    RegisterModule("layer" + std::to_string(i), layers_.back().get());
+  }
+  head_ = std::make_unique<Linear>(num_patches_ * config.model_dim,
+                                   dims.pred_len, rng);
+  RegisterModule("head", head_.get());
+}
+
+Variable PatchTst::Forward(const Batch& batch) {
+  const int64_t b = batch.x.size(0);
+  const int64_t t = batch.x.size(1);
+  const int64_t c = batch.x.size(2);
+  LIPF_CHECK_EQ(t, dims_.input_len);
+  LIPF_CHECK_EQ(c, dims_.channels);
+
+  Variable x(batch.x);
+  auto [normalized, norm_state] = InstanceNormalize(x);
+  Variable flat = Reshape(Permute(normalized, {0, 2, 1}), Shape{b * c, t});
+
+  Variable patches = MakePatches(flat, config_.patch_len);  // [B, n, pl]
+  Variable tokens = patch_embed_->Forward(patches);         // [B, n, d]
+  tokens = pos_encoding_->Forward(tokens);
+  for (const auto& layer : layers_) tokens = layer->Forward(tokens);
+
+  Variable flat_tokens =
+      Reshape(tokens, Shape{b * c, num_patches_ * config_.model_dim});
+  Variable y = head_->Forward(flat_tokens);  // [B, L]
+
+  Variable out = Permute(Reshape(y, Shape{b, c, dims_.pred_len}), {0, 2, 1});
+  return InstanceDenormalize(out, norm_state);
+}
+
+}  // namespace lipformer

@@ -1,0 +1,52 @@
+#ifndef LIPFORMER_MODELS_PATCHTST_H_
+#define LIPFORMER_MODELS_PATCHTST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/encoder_layer.h"
+#include "models/forecaster.h"
+#include "nn/positional_encoding.h"
+
+namespace lipformer {
+
+struct PatchTstConfig {
+  int64_t patch_len = 16;
+  int64_t model_dim = 64;
+  int64_t num_heads = 4;
+  int64_t num_layers = 2;
+  int64_t ffn_dim = 128;
+  float dropout = 0.1f;
+};
+
+// PatchTST (Nie et al., ICLR 2023), the strongest Transformer baseline in
+// the paper: channel-independent patching, linear patch embedding with
+// positional encoding, a stack of full Transformer encoder layers (LN +
+// FFN, everything LiPFormer removes), and a flatten head. Instance
+// normalization (subtract last value) as in the lineage.
+class PatchTst : public Forecaster {
+ public:
+  PatchTst(const ForecasterDims& dims, const PatchTstConfig& config,
+           uint64_t seed = 1);
+
+  Variable Forward(const Batch& batch) override;
+
+  std::string name() const override { return "PatchTST"; }
+  int64_t input_len() const override { return dims_.input_len; }
+  int64_t pred_len() const override { return dims_.pred_len; }
+  int64_t channels() const override { return dims_.channels; }
+
+ private:
+  ForecasterDims dims_;
+  PatchTstConfig config_;
+  int64_t num_patches_;
+  std::unique_ptr<Linear> patch_embed_;
+  std::unique_ptr<PositionalEncoding> pos_encoding_;
+  std::vector<std::unique_ptr<TransformerEncoderLayer>> layers_;
+  std::unique_ptr<Linear> head_;
+};
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_MODELS_PATCHTST_H_

@@ -1,0 +1,108 @@
+#include "models/tide.h"
+
+#include "core/instance_norm.h"
+
+namespace lipformer {
+
+TideResBlock::TideResBlock(int64_t in_dim, int64_t hidden_dim,
+                           int64_t out_dim, Rng& rng, float dropout) {
+  up_ = std::make_unique<Linear>(in_dim, hidden_dim, rng);
+  down_ = std::make_unique<Linear>(hidden_dim, out_dim, rng);
+  skip_ = std::make_unique<Linear>(in_dim, out_dim, rng);
+  norm_ = std::make_unique<LayerNorm>(out_dim, rng);
+  RegisterModule("up", up_.get());
+  RegisterModule("down", down_.get());
+  RegisterModule("skip", skip_.get());
+  RegisterModule("norm", norm_.get());
+  if (dropout > 0.0f) {
+    dropout_ = std::make_unique<Dropout>(dropout, rng);
+    RegisterModule("dropout", dropout_.get());
+  }
+}
+
+Variable TideResBlock::Forward(const Variable& x) const {
+  Variable h = down_->Forward(Relu(up_->Forward(x)));
+  if (dropout_) h = dropout_->Forward(h);
+  return norm_->Forward(Add(skip_->Forward(x), h));
+}
+
+Tide::Tide(const ForecasterDims& dims, int64_t num_covariates,
+           const TideConfig& config, uint64_t seed)
+    : dims_(dims), num_covariates_(num_covariates), config_(config) {
+  Rng rng(seed);
+  const int64_t p = config.covariate_proj_dim;
+  if (num_covariates_ > 0) {
+    covariate_proj_ = std::make_unique<Linear>(num_covariates_, p, rng);
+    RegisterModule("covariate_proj", covariate_proj_.get());
+  }
+  const int64_t cov_flat = num_covariates_ > 0 ? dims.pred_len * p : 0;
+  encoder1_ = std::make_unique<TideResBlock>(dims.input_len + cov_flat,
+                                             config.hidden_dim,
+                                             config.encoder_dim, rng,
+                                             config.dropout);
+  encoder2_ = std::make_unique<TideResBlock>(config.encoder_dim,
+                                             config.hidden_dim,
+                                             config.encoder_dim, rng,
+                                             config.dropout);
+  decoder_ = std::make_unique<TideResBlock>(
+      config.encoder_dim, config.hidden_dim,
+      dims.pred_len * config.decoder_out_dim, rng, config.dropout);
+  const int64_t step_in =
+      config.decoder_out_dim + (num_covariates_ > 0 ? p : 0);
+  temporal_decoder_ = std::make_unique<Linear>(step_in, 1, rng);
+  global_skip_ = std::make_unique<Linear>(dims.input_len, dims.pred_len,
+                                          rng);
+  RegisterModule("encoder1", encoder1_.get());
+  RegisterModule("encoder2", encoder2_.get());
+  RegisterModule("decoder", decoder_.get());
+  RegisterModule("temporal_decoder", temporal_decoder_.get());
+  RegisterModule("global_skip", global_skip_.get());
+}
+
+Variable Tide::Forward(const Batch& batch) {
+  const int64_t b = batch.x.size(0);
+  const int64_t t = batch.x.size(1);
+  const int64_t c = batch.x.size(2);
+  const int64_t l = dims_.pred_len;
+  LIPF_CHECK_EQ(t, dims_.input_len);
+  LIPF_CHECK_EQ(c, dims_.channels);
+
+  Variable x(batch.x);
+  auto [normalized, norm_state] = InstanceNormalize(x);
+  Variable flat = Reshape(Permute(normalized, {0, 2, 1}),
+                          Shape{b * c, t});  // channel-independent rows
+
+  // Project future covariates per step and tile them across channels (the
+  // covariates are shared by all channels of a window).
+  Variable proj_steps;   // [b*c, L, p]
+  Variable encoder_in = flat;
+  if (covariate_proj_) {
+    LIPF_CHECK_EQ(batch.y_cov_num.size(2), num_covariates_);
+    Variable cov(batch.y_cov_num);                       // [b, L, cf]
+    Variable proj = covariate_proj_->Forward(cov);       // [b, L, p]
+    std::vector<int64_t> repeat(static_cast<size_t>(b * c));
+    for (int64_t i = 0; i < b * c; ++i) {
+      repeat[static_cast<size_t>(i)] = i / c;
+    }
+    proj_steps = IndexSelect(proj, 0, repeat);           // [b*c, L, p]
+    Variable cov_flat = Reshape(
+        proj_steps, Shape{b * c, l * config_.covariate_proj_dim});
+    encoder_in = Concat({flat, cov_flat}, 1);
+  }
+
+  Variable latent = encoder2_->Forward(encoder1_->Forward(encoder_in));
+  Variable decoded = decoder_->Forward(latent);  // [b*c, L*d]
+  Variable per_step =
+      Reshape(decoded, Shape{b * c, l, config_.decoder_out_dim});
+
+  Variable step_in = per_step;
+  if (covariate_proj_) step_in = Concat({per_step, proj_steps}, 2);
+  Variable y = Reshape(temporal_decoder_->Forward(step_in),
+                       Shape{b * c, l});  // [b*c, L]
+  y = Add(y, global_skip_->Forward(flat));
+
+  Variable out = Permute(Reshape(y, Shape{b, c, l}), {0, 2, 1});
+  return InstanceDenormalize(out, norm_state);
+}
+
+}  // namespace lipformer

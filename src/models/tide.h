@@ -1,0 +1,73 @@
+#ifndef LIPFORMER_MODELS_TIDE_H_
+#define LIPFORMER_MODELS_TIDE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/forecaster.h"
+#include "nn/dropout.h"
+#include "nn/layer_norm.h"
+#include "nn/linear.h"
+
+namespace lipformer {
+
+// Residual MLP block used throughout TiDE:
+//   out = LN(skip(x) + W2 relu(W1 x)).
+class TideResBlock : public Module {
+ public:
+  TideResBlock(int64_t in_dim, int64_t hidden_dim, int64_t out_dim, Rng& rng,
+               float dropout = 0.0f);
+
+  Variable Forward(const Variable& x) const;
+
+ private:
+  std::unique_ptr<Linear> up_;
+  std::unique_ptr<Linear> down_;
+  std::unique_ptr<Linear> skip_;
+  std::unique_ptr<LayerNorm> norm_;
+  std::unique_ptr<Dropout> dropout_;
+};
+
+struct TideConfig {
+  int64_t hidden_dim = 64;
+  int64_t encoder_dim = 64;      // latent width
+  int64_t decoder_out_dim = 8;   // per-step decoded width
+  int64_t covariate_proj_dim = 4;  // per-step covariate projection
+  float dropout = 0.1f;
+};
+
+// TiDE (Das et al., 2023): channel-independent dense encoder-decoder that
+// *does* consume future covariates -- the only baseline in the paper with
+// that ability, which is why it is LiPFormer's closest covariate-aware
+// competitor. Past window + flattened projected future covariates are
+// encoded by residual MLPs; a temporal decoder combines each decoded step
+// with that step's projected covariates; a global linear skip connects
+// past to horizon.
+class Tide : public Forecaster {
+ public:
+  Tide(const ForecasterDims& dims, int64_t num_covariates,
+       const TideConfig& config, uint64_t seed = 1);
+
+  Variable Forward(const Batch& batch) override;
+
+  std::string name() const override { return "TiDE"; }
+  int64_t input_len() const override { return dims_.input_len; }
+  int64_t pred_len() const override { return dims_.pred_len; }
+  int64_t channels() const override { return dims_.channels; }
+
+ private:
+  ForecasterDims dims_;
+  int64_t num_covariates_;
+  TideConfig config_;
+  std::unique_ptr<Linear> covariate_proj_;
+  std::unique_ptr<TideResBlock> encoder1_;
+  std::unique_ptr<TideResBlock> encoder2_;
+  std::unique_ptr<TideResBlock> decoder_;
+  std::unique_ptr<Linear> temporal_decoder_;
+  std::unique_ptr<Linear> global_skip_;
+};
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_MODELS_TIDE_H_

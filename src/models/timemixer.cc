@@ -1,0 +1,84 @@
+#include "models/timemixer.h"
+
+#include "core/instance_norm.h"
+
+namespace lipformer {
+
+TimeMixer::TimeMixer(const ForecasterDims& dims,
+                     const TimeMixerConfig& config, uint64_t seed)
+    : dims_(dims), config_(config) {
+  Rng rng(seed);
+  int64_t len = dims.input_len;
+  for (int64_t s = 0; s < config.num_scales; ++s) {
+    LIPF_CHECK_GT(len, 1) << "too many scales for input length";
+    scale_lens_.push_back(len);
+    const int64_t kernel =
+        std::min<int64_t>(config.moving_avg_kernel, std::max<int64_t>(
+                                                        3, len / 4));
+    avg_matrices_.push_back(MovingAverageMatrix(len, kernel));
+    predictors_.push_back(std::make_unique<Linear>(len, dims.pred_len, rng));
+    RegisterModule("predictor" + std::to_string(s), predictors_.back().get());
+    if (s + 1 < config.num_scales) {
+      LIPF_CHECK_EQ(len % 2, 0) << "scale lengths must halve cleanly";
+      season_mix_.push_back(std::make_unique<Linear>(len, len / 2, rng));
+      trend_mix_.push_back(std::make_unique<Linear>(len / 2, len, rng));
+      RegisterModule("season_mix" + std::to_string(s),
+                     season_mix_.back().get());
+      RegisterModule("trend_mix" + std::to_string(s),
+                     trend_mix_.back().get());
+    }
+    len /= 2;
+  }
+}
+
+Variable TimeMixer::Forward(const Batch& batch) {
+  const int64_t b = batch.x.size(0);
+  const int64_t t = batch.x.size(1);
+  const int64_t c = batch.x.size(2);
+  LIPF_CHECK_EQ(t, dims_.input_len);
+  LIPF_CHECK_EQ(c, dims_.channels);
+
+  Variable x(batch.x);
+  auto [normalized, norm_state] = InstanceNormalize(x);
+  Variable flat = Reshape(Permute(normalized, {0, 2, 1}), Shape{b * c, t});
+
+  // Multi-resolution views via 2x average pooling.
+  const int64_t scales = config_.num_scales;
+  std::vector<Variable> seasons;
+  std::vector<Variable> trends;
+  Variable cur = flat;
+  for (int64_t s = 0; s < scales; ++s) {
+    auto [season, trend] = DecomposeSeries(cur, avg_matrices_[s]);
+    seasons.push_back(season);
+    trends.push_back(trend);
+    if (s + 1 < scales) {
+      const int64_t len = scale_lens_[s];
+      Variable pooled =
+          Mean(Reshape(cur, Shape{b * c, len / 2, 2}), 2);  // [B, len/2]
+      cur = pooled;
+    }
+  }
+
+  // Past-Decomposable-Mixing: seasonal bottom-up, trend top-down.
+  for (int64_t s = 0; s + 1 < scales; ++s) {
+    seasons[s + 1] =
+        Add(seasons[s + 1], season_mix_[s]->Forward(seasons[s]));
+  }
+  for (int64_t s = scales - 2; s >= 0; --s) {
+    trends[s] = Add(trends[s], trend_mix_[s]->Forward(trends[s + 1]));
+  }
+
+  // Future multipredictor: per-scale forecast, ensembled by averaging.
+  Variable y;
+  for (int64_t s = 0; s < scales; ++s) {
+    Variable pred = predictors_[s]->Forward(Add(seasons[s], trends[s]));
+    y = s == 0 ? pred : Add(y, pred);
+  }
+  y = MulScalar(y, 1.0f / static_cast<float>(scales));
+
+  Variable out =
+      Permute(Reshape(y, Shape{b, c, dims_.pred_len}), {0, 2, 1});
+  return InstanceDenormalize(out, norm_state);
+}
+
+}  // namespace lipformer

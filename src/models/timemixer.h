@@ -1,0 +1,54 @@
+#ifndef LIPFORMER_MODELS_TIMEMIXER_H_
+#define LIPFORMER_MODELS_TIMEMIXER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/decomposition.h"
+#include "models/forecaster.h"
+#include "nn/linear.h"
+
+namespace lipformer {
+
+struct TimeMixerConfig {
+  // Successive 2x average-pool downsampling levels (level 0 = full
+  // resolution). 3 levels => lengths T, T/2, T/4.
+  int64_t num_scales = 3;
+  int64_t moving_avg_kernel = 25;
+};
+
+// TimeMixer (Wang et al., 2024), simplified: multi-resolution views of each
+// channel are decomposed into seasonal/trend parts; seasonal information is
+// mixed bottom-up (fine -> coarse) and trend information top-down
+// (coarse -> fine) through linear maps -- the Past-Decomposable-Mixing idea
+// -- and a per-scale future multipredictor (Linear T_s -> L) ensembles the
+// final forecast. The full model's channel-mixing and cross-resolution
+// heads are folded into these linear stages; see DESIGN.md.
+class TimeMixer : public Forecaster {
+ public:
+  TimeMixer(const ForecasterDims& dims, const TimeMixerConfig& config,
+            uint64_t seed = 1);
+
+  Variable Forward(const Batch& batch) override;
+
+  std::string name() const override { return "TimeMixer"; }
+  int64_t input_len() const override { return dims_.input_len; }
+  int64_t pred_len() const override { return dims_.pred_len; }
+  int64_t channels() const override { return dims_.channels; }
+
+ private:
+  ForecasterDims dims_;
+  TimeMixerConfig config_;
+  std::vector<int64_t> scale_lens_;
+  std::vector<Tensor> avg_matrices_;
+  // season_mix_[i]: T_i -> T_{i+1} (bottom-up); trend_mix_[i]: T_{i+1} ->
+  // T_i (top-down).
+  std::vector<std::unique_ptr<Linear>> season_mix_;
+  std::vector<std::unique_ptr<Linear>> trend_mix_;
+  std::vector<std::unique_ptr<Linear>> predictors_;  // T_i -> L
+};
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_MODELS_TIMEMIXER_H_

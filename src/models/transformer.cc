@@ -1,0 +1,46 @@
+#include "models/transformer.h"
+
+#include "core/instance_norm.h"
+
+namespace lipformer {
+
+VanillaTransformer::VanillaTransformer(const ForecasterDims& dims,
+                                       const TransformerConfig& config,
+                                       uint64_t seed)
+    : dims_(dims), config_(config) {
+  Rng rng(seed);
+  input_embed_ = std::make_unique<Linear>(dims.channels, config.model_dim,
+                                          rng);
+  RegisterModule("input_embed", input_embed_.get());
+  pos_encoding_ = std::make_unique<PositionalEncoding>(dims.input_len,
+                                                       config.model_dim);
+  for (int64_t i = 0; i < config.num_layers; ++i) {
+    layers_.push_back(std::make_unique<TransformerEncoderLayer>(
+        config.model_dim, config.num_heads, config.ffn_dim, rng,
+        config.dropout));
+    RegisterModule("layer" + std::to_string(i), layers_.back().get());
+  }
+  head_ = std::make_unique<Linear>(config.model_dim,
+                                   dims.pred_len * dims.channels, rng);
+  RegisterModule("head", head_.get());
+}
+
+Variable VanillaTransformer::Forward(const Batch& batch) {
+  const int64_t b = batch.x.size(0);
+  LIPF_CHECK_EQ(batch.x.size(1), dims_.input_len);
+  LIPF_CHECK_EQ(batch.x.size(2), dims_.channels);
+
+  Variable x(batch.x);
+  auto [normalized, norm_state] = InstanceNormalize(x);
+
+  Variable tokens = input_embed_->Forward(normalized);  // [b, T, d]
+  tokens = pos_encoding_->Forward(tokens);
+  for (const auto& layer : layers_) tokens = layer->Forward(tokens);
+
+  Variable pooled = Mean(tokens, 1);  // [b, d]
+  Variable y = head_->Forward(pooled);
+  Variable out = Reshape(y, Shape{b, dims_.pred_len, dims_.channels});
+  return InstanceDenormalize(out, norm_state);
+}
+
+}  // namespace lipformer

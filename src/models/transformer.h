@@ -1,0 +1,50 @@
+#ifndef LIPFORMER_MODELS_TRANSFORMER_H_
+#define LIPFORMER_MODELS_TRANSFORMER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/encoder_layer.h"
+#include "models/forecaster.h"
+#include "nn/positional_encoding.h"
+
+namespace lipformer {
+
+struct TransformerConfig {
+  int64_t model_dim = 64;
+  int64_t num_heads = 4;
+  int64_t num_layers = 2;
+  int64_t ffn_dim = 256;
+  float dropout = 0.1f;
+};
+
+// Vanilla point-wise Transformer forecaster: every time step is a token
+// (O(T^2) attention -- the cost LiPFormer's patching attacks), sinusoidal
+// positional encoding, full encoder stack, mean-pooled representation
+// projected to the whole horizon. This is the "Transformer" row of
+// Tables VII and XII.
+class VanillaTransformer : public Forecaster {
+ public:
+  VanillaTransformer(const ForecasterDims& dims,
+                     const TransformerConfig& config, uint64_t seed = 1);
+
+  Variable Forward(const Batch& batch) override;
+
+  std::string name() const override { return "Transformer"; }
+  int64_t input_len() const override { return dims_.input_len; }
+  int64_t pred_len() const override { return dims_.pred_len; }
+  int64_t channels() const override { return dims_.channels; }
+
+ private:
+  ForecasterDims dims_;
+  TransformerConfig config_;
+  std::unique_ptr<Linear> input_embed_;  // c -> d per time step
+  std::unique_ptr<PositionalEncoding> pos_encoding_;
+  std::vector<std::unique_ptr<TransformerEncoderLayer>> layers_;
+  std::unique_ptr<Linear> head_;  // d -> L*c
+};
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_MODELS_TRANSFORMER_H_

@@ -1,0 +1,68 @@
+#include "models/tsmixer.h"
+
+#include "core/instance_norm.h"
+
+namespace lipformer {
+
+TsMixer::TsMixer(const ForecasterDims& dims, const TsMixerConfig& config,
+                 uint64_t seed)
+    : dims_(dims), config_(config) {
+  Rng rng(seed);
+  for (int64_t i = 0; i < config.num_blocks; ++i) {
+    Block block;
+    block.time_mix = std::make_unique<Linear>(dims.input_len, dims.input_len,
+                                              rng);
+    block.time_norm = std::make_unique<LayerNorm>(dims.channels, rng);
+    block.feat_up = std::make_unique<Linear>(dims.channels,
+                                             config.hidden_dim, rng);
+    block.feat_down = std::make_unique<Linear>(config.hidden_dim,
+                                               dims.channels, rng);
+    block.feat_norm = std::make_unique<LayerNorm>(dims.channels, rng);
+    if (config.dropout > 0.0f) {
+      block.dropout = std::make_unique<Dropout>(config.dropout, rng);
+    }
+    const std::string prefix = "block" + std::to_string(i);
+    RegisterModule(prefix + ".time_mix", block.time_mix.get());
+    RegisterModule(prefix + ".time_norm", block.time_norm.get());
+    RegisterModule(prefix + ".feat_up", block.feat_up.get());
+    RegisterModule(prefix + ".feat_down", block.feat_down.get());
+    RegisterModule(prefix + ".feat_norm", block.feat_norm.get());
+    if (block.dropout) {
+      RegisterModule(prefix + ".dropout", block.dropout.get());
+    }
+    blocks_.push_back(std::move(block));
+  }
+  head_ = std::make_unique<Linear>(dims.input_len, dims.pred_len, rng);
+  RegisterModule("head", head_.get());
+}
+
+Variable TsMixer::Forward(const Batch& batch) {
+  LIPF_CHECK_EQ(batch.x.size(1), dims_.input_len);
+  LIPF_CHECK_EQ(batch.x.size(2), dims_.channels);
+
+  Variable x(batch.x);
+  auto [h, norm_state] = InstanceNormalize(x);  // [b, T, c]
+
+  for (const Block& block : blocks_) {
+    // Time mixing: operate on [b, c, T].
+    Variable by_channel = Permute(h, {0, 2, 1});
+    Variable mixed_time = Relu(block.time_mix->Forward(by_channel));
+    Variable time_out = Permute(mixed_time, {0, 2, 1});
+    if (block.dropout) time_out = block.dropout->Forward(time_out);
+    h = block.time_norm->Forward(Add(h, time_out));
+
+    // Feature mixing: per time step across channels.
+    Variable feat =
+        block.feat_down->Forward(Relu(block.feat_up->Forward(h)));
+    if (block.dropout) feat = block.dropout->Forward(feat);
+    h = block.feat_norm->Forward(Add(h, feat));
+  }
+
+  // Temporal projection to the horizon, per channel.
+  Variable by_channel = Permute(h, {0, 2, 1});       // [b, c, T]
+  Variable y = head_->Forward(by_channel);           // [b, c, L]
+  Variable out = Permute(y, {0, 2, 1});
+  return InstanceDenormalize(out, norm_state);
+}
+
+}  // namespace lipformer

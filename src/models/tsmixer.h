@@ -1,0 +1,55 @@
+#ifndef LIPFORMER_MODELS_TSMIXER_H_
+#define LIPFORMER_MODELS_TSMIXER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/forecaster.h"
+#include "nn/dropout.h"
+#include "nn/layer_norm.h"
+#include "nn/linear.h"
+
+namespace lipformer {
+
+struct TsMixerConfig {
+  int64_t num_blocks = 2;
+  int64_t hidden_dim = 64;  // feature-mixing MLP width
+  float dropout = 0.1f;
+};
+
+// TSMixer (Chen et al., 2023): alternating time-mixing MLPs (shared linear
+// T -> T applied per channel) and feature-mixing MLPs (c -> hidden -> c
+// applied per time step), each with residual connection and LayerNorm,
+// followed by a temporal projection T -> L.
+class TsMixer : public Forecaster {
+ public:
+  TsMixer(const ForecasterDims& dims, const TsMixerConfig& config,
+          uint64_t seed = 1);
+
+  Variable Forward(const Batch& batch) override;
+
+  std::string name() const override { return "TSMixer"; }
+  int64_t input_len() const override { return dims_.input_len; }
+  int64_t pred_len() const override { return dims_.pred_len; }
+  int64_t channels() const override { return dims_.channels; }
+
+ private:
+  struct Block {
+    std::unique_ptr<Linear> time_mix;
+    std::unique_ptr<LayerNorm> time_norm;
+    std::unique_ptr<Linear> feat_up;
+    std::unique_ptr<Linear> feat_down;
+    std::unique_ptr<LayerNorm> feat_norm;
+    std::unique_ptr<Dropout> dropout;
+  };
+
+  ForecasterDims dims_;
+  TsMixerConfig config_;
+  std::vector<Block> blocks_;
+  std::unique_ptr<Linear> head_;  // T -> L
+};
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_MODELS_TSMIXER_H_

@@ -1,0 +1,38 @@
+#include "nn/activations.h"
+
+namespace lipformer {
+
+Variable ApplyActivation(const Variable& x, Activation act) {
+  switch (act) {
+    case Activation::kNone:
+      return x;
+    case Activation::kRelu:
+      return Relu(x);
+    case Activation::kGelu:
+      return Gelu(x);
+    case Activation::kTanh:
+      return Tanh(x);
+    case Activation::kSigmoid:
+      return Sigmoid(x);
+  }
+  LIPF_CHECK(false) << "unknown activation";
+  return x;
+}
+
+const char* ActivationName(Activation act) {
+  switch (act) {
+    case Activation::kNone:
+      return "none";
+    case Activation::kRelu:
+      return "relu";
+    case Activation::kGelu:
+      return "gelu";
+    case Activation::kTanh:
+      return "tanh";
+    case Activation::kSigmoid:
+      return "sigmoid";
+  }
+  return "unknown";
+}
+
+}  // namespace lipformer

@@ -1,0 +1,17 @@
+#ifndef LIPFORMER_NN_ACTIVATIONS_H_
+#define LIPFORMER_NN_ACTIVATIONS_H_
+
+#include "autograd/ops.h"
+
+namespace lipformer {
+
+enum class Activation { kNone, kRelu, kGelu, kTanh, kSigmoid };
+
+// Applies the selected nonlinearity elementwise.
+Variable ApplyActivation(const Variable& x, Activation act);
+
+const char* ActivationName(Activation act);
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_NN_ACTIVATIONS_H_

@@ -1,0 +1,87 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+namespace lipformer {
+
+Variable ScaledDotProductAttention(const Variable& q, const Variable& k,
+                                   const Variable& v, bool causal) {
+  const int64_t dh = q.size(-1);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+  Variable scores = MulScalar(MatMul(q, Transpose(k, -2, -1)), scale);
+  if (causal) {
+    const int64_t sq = scores.size(-2);
+    const int64_t sk = scores.size(-1);
+    Tensor mask(Shape{sq, sk});
+    float* pm = mask.data();
+    for (int64_t i = 0; i < sq; ++i) {
+      for (int64_t j = 0; j < sk; ++j) {
+        pm[i * sk + j] = j > i ? -1e9f : 0.0f;
+      }
+    }
+    scores = AddConst(scores, mask);
+  }
+  Variable attn = Softmax(scores, -1);
+  return MatMul(attn, v);
+}
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(int64_t model_dim,
+                                               int64_t num_heads, Rng& rng,
+                                               float dropout, bool causal)
+    : model_dim_(model_dim),
+      num_heads_(num_heads),
+      head_dim_(model_dim / num_heads),
+      causal_(causal) {
+  LIPF_CHECK_EQ(model_dim % num_heads, 0)
+      << "model_dim must be divisible by num_heads";
+  wq_ = std::make_unique<Linear>(model_dim, model_dim, rng);
+  wk_ = std::make_unique<Linear>(model_dim, model_dim, rng);
+  wv_ = std::make_unique<Linear>(model_dim, model_dim, rng);
+  wo_ = std::make_unique<Linear>(model_dim, model_dim, rng);
+  RegisterModule("wq", wq_.get());
+  RegisterModule("wk", wk_.get());
+  RegisterModule("wv", wv_.get());
+  RegisterModule("wo", wo_.get());
+  if (dropout > 0.0f) {
+    attn_dropout_ = std::make_unique<Dropout>(dropout, rng);
+    RegisterModule("attn_dropout", attn_dropout_.get());
+  }
+}
+
+Variable MultiHeadSelfAttention::Forward(const Variable& x) const {
+  return Attend(x, x);
+}
+
+Variable MultiHeadSelfAttention::Forward(const Variable& q_input,
+                                         const Variable& kv_input) const {
+  return Attend(q_input, kv_input);
+}
+
+Variable MultiHeadSelfAttention::Attend(const Variable& q_in,
+                                        const Variable& kv_in) const {
+  LIPF_CHECK_EQ(q_in.dim(), 3);
+  LIPF_CHECK_EQ(q_in.size(-1), model_dim_);
+  const int64_t b = q_in.size(0);
+  const int64_t sq = q_in.size(1);
+  const int64_t skv = kv_in.size(1);
+
+  auto split_heads = [&](const Variable& t, int64_t s) {
+    // [B, S, D] -> [B, h, S, dh]
+    Variable r = Reshape(t, Shape{b, s, num_heads_, head_dim_});
+    return Permute(r, {0, 2, 1, 3});
+  };
+
+  Variable q = split_heads(wq_->Forward(q_in), sq);
+  Variable k = split_heads(wk_->Forward(kv_in), skv);
+  Variable v = split_heads(wv_->Forward(kv_in), skv);
+
+  Variable ctx = ScaledDotProductAttention(q, k, v, causal_);
+  if (attn_dropout_) ctx = attn_dropout_->Forward(ctx);
+
+  // [B, h, Sq, dh] -> [B, Sq, D]
+  Variable merged = Reshape(Permute(ctx, {0, 2, 1, 3}),
+                            Shape{b, sq, model_dim_});
+  return wo_->Forward(merged);
+}
+
+}  // namespace lipformer

@@ -1,0 +1,21 @@
+#include "nn/dropout.h"
+
+namespace lipformer {
+
+Dropout::Dropout(float p, Rng& rng) : p_(p), rng_(rng.Fork()) {
+  LIPF_CHECK_GE(p, 0.0f);
+  LIPF_CHECK_LT(p, 1.0f);
+}
+
+Variable Dropout::Forward(const Variable& x) const {
+  if (!training() || p_ == 0.0f) return x;
+  Tensor mask(x.shape());
+  float* pm = mask.data();
+  const float scale = 1.0f / (1.0f - p_);
+  for (int64_t i = 0; i < mask.numel(); ++i) {
+    pm[i] = rng_.Bernoulli(p_) ? 0.0f : scale;
+  }
+  return MulConst(x, mask);
+}
+
+}  // namespace lipformer

@@ -1,0 +1,26 @@
+#ifndef LIPFORMER_NN_DROPOUT_H_
+#define LIPFORMER_NN_DROPOUT_H_
+
+#include "nn/module.h"
+
+namespace lipformer {
+
+// Inverted dropout: in training mode each element is zeroed with
+// probability p and survivors are scaled by 1/(1-p); identity in eval mode.
+// Holds its own RNG stream so runs are reproducible.
+class Dropout : public Module {
+ public:
+  Dropout(float p, Rng& rng);
+
+  Variable Forward(const Variable& x) const;
+
+  float p() const { return p_; }
+
+ private:
+  float p_;
+  mutable Rng rng_;
+};
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_NN_DROPOUT_H_

@@ -1,0 +1,38 @@
+#include "nn/embedding.h"
+
+#include <cmath>
+
+namespace lipformer {
+
+Embedding::Embedding(int64_t num_embeddings, int64_t embedding_dim, Rng& rng)
+    : num_embeddings_(num_embeddings), embedding_dim_(embedding_dim) {
+  LIPF_CHECK_GT(num_embeddings, 0);
+  LIPF_CHECK_GT(embedding_dim, 0);
+  weight_ = RegisterParameter(
+      "weight",
+      Variable(Tensor::Randn(Shape{num_embeddings, embedding_dim}, rng,
+                             1.0f / std::sqrt(
+                                        static_cast<float>(embedding_dim)))));
+}
+
+Variable Embedding::Forward(const std::vector<int64_t>& ids) const {
+  for (int64_t id : ids) {
+    LIPF_CHECK_GE(id, 0);
+    LIPF_CHECK_LT(id, num_embeddings_);
+  }
+  return IndexSelect(weight_, 0, ids);
+}
+
+Variable Embedding::Forward(const Tensor& ids) const {
+  std::vector<int64_t> flat(static_cast<size_t>(ids.numel()));
+  const float* p = ids.data();
+  for (int64_t i = 0; i < ids.numel(); ++i) {
+    flat[static_cast<size_t>(i)] = static_cast<int64_t>(p[i]);
+  }
+  Variable out = Forward(flat);
+  Shape shape = ids.shape();
+  shape.push_back(embedding_dim_);
+  return Reshape(out, std::move(shape));
+}
+
+}  // namespace lipformer

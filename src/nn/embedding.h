@@ -1,0 +1,35 @@
+#ifndef LIPFORMER_NN_EMBEDDING_H_
+#define LIPFORMER_NN_EMBEDDING_H_
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace lipformer {
+
+// Lookup table mapping integer ids to learned dim-`embedding_dim` vectors.
+// Used to embed textual/categorical weak labels (weather condition,
+// holiday, weekday) in the Covariate Encoder (Eq. 3 of the paper).
+class Embedding : public Module {
+ public:
+  Embedding(int64_t num_embeddings, int64_t embedding_dim, Rng& rng);
+
+  // ids are flat indices; output shape is [ids.size(), embedding_dim].
+  Variable Forward(const std::vector<int64_t>& ids) const;
+
+  // ids tensor of any shape holding integral values; output appends
+  // embedding_dim to its shape.
+  Variable Forward(const Tensor& ids) const;
+
+  int64_t num_embeddings() const { return num_embeddings_; }
+  int64_t embedding_dim() const { return embedding_dim_; }
+
+ private:
+  int64_t num_embeddings_;
+  int64_t embedding_dim_;
+  Variable weight_;
+};
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_NN_EMBEDDING_H_

@@ -1,0 +1,24 @@
+#include "nn/layer_norm.h"
+
+namespace lipformer {
+
+LayerNorm::LayerNorm(int64_t features, Rng& rng, float eps)
+    : features_(features), eps_(eps) {
+  (void)rng;  // deterministic init; kept for constructor-signature symmetry
+  gamma_ = RegisterParameter("gamma",
+                             Variable(Tensor::Ones(Shape{features})));
+  beta_ = RegisterParameter("beta", Variable(Tensor::Zeros(Shape{features})));
+}
+
+Variable LayerNorm::Forward(const Variable& x) const {
+  LIPF_CHECK_EQ(x.size(-1), features_);
+  const int64_t last = x.dim() - 1;
+  Variable mu = Mean(x, last, /*keepdim=*/true);
+  Variable centered = Sub(x, mu);
+  Variable var = Mean(Mul(centered, centered), last, /*keepdim=*/true);
+  Variable denom = Sqrt(AddScalar(var, eps_));
+  Variable xhat = Div(centered, denom);
+  return Add(Mul(xhat, gamma_), beta_);
+}
+
+}  // namespace lipformer

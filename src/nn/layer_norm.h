@@ -1,0 +1,26 @@
+#ifndef LIPFORMER_NN_LAYER_NORM_H_
+#define LIPFORMER_NN_LAYER_NORM_H_
+
+#include "nn/module.h"
+
+namespace lipformer {
+
+// Layer normalization over the last dimension with learnable scale/shift.
+// LiPFormer deliberately omits this (Section III-C1); it exists for the
+// baselines and for the +LN ablation (Table X).
+class LayerNorm : public Module {
+ public:
+  LayerNorm(int64_t features, Rng& rng, float eps = 1e-5f);
+
+  Variable Forward(const Variable& x) const;
+
+ private:
+  int64_t features_;
+  float eps_;
+  Variable gamma_;
+  Variable beta_;
+};
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_NN_LAYER_NORM_H_

@@ -1,0 +1,50 @@
+#include "nn/linear.h"
+
+#include <cmath>
+
+namespace lipformer {
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng, bool bias)
+    : in_features_(in_features),
+      out_features_(out_features),
+      has_bias_(bias) {
+  LIPF_CHECK_GT(in_features, 0);
+  LIPF_CHECK_GT(out_features, 0);
+  const float bound = 1.0f / std::sqrt(static_cast<float>(in_features));
+  weight_ = RegisterParameter(
+      "weight", Variable(Tensor::RandUniform(Shape{in_features, out_features},
+                                             rng, -bound, bound)));
+  if (has_bias_) {
+    bias_ = RegisterParameter(
+        "bias", Variable(Tensor::RandUniform(Shape{out_features}, rng, -bound,
+                                             bound)));
+  }
+}
+
+Variable Linear::Forward(const Variable& x) const {
+  LIPF_CHECK_EQ(x.size(-1), in_features_)
+      << "Linear expects last dim " << in_features_;
+  Variable y = MatMul(x, weight_);
+  if (has_bias_) y = Add(y, bias_);
+  return y;
+}
+
+Mlp::Mlp(std::vector<int64_t> dims, Rng& rng, Activation activation)
+    : activation_(activation) {
+  LIPF_CHECK_GE(dims.size(), 2u);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.push_back(std::make_unique<Linear>(dims[i], dims[i + 1], rng));
+    RegisterModule("layer" + std::to_string(i), layers_.back().get());
+  }
+}
+
+Variable Mlp::Forward(const Variable& x) const {
+  Variable h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->Forward(h);
+    if (i + 1 < layers_.size()) h = ApplyActivation(h, activation_);
+  }
+  return h;
+}
+
+}  // namespace lipformer

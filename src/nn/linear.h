@@ -1,0 +1,52 @@
+#ifndef LIPFORMER_NN_LINEAR_H_
+#define LIPFORMER_NN_LINEAR_H_
+
+#include <vector>
+
+#include "nn/activations.h"
+#include "nn/module.h"
+
+namespace lipformer {
+
+// Affine map y = x W + b applied to the last dimension: x [..., in] ->
+// y [..., out]. Weight layout is [in, out] so the forward is a plain
+// matmul. Initialization follows the fan-in uniform rule U(-1/sqrt(in),
+// 1/sqrt(in)).
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng& rng,
+         bool bias = true);
+
+  Variable Forward(const Variable& x) const;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+  const Variable& weight() const { return weight_; }
+  const Variable& bias() const { return bias_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  bool has_bias_;
+  Variable weight_;
+  Variable bias_;
+};
+
+// Multi-layer perceptron: Linear -> act -> ... -> Linear. `dims` lists
+// layer widths including input and output (at least 2 entries). No
+// activation after the final layer.
+class Mlp : public Module {
+ public:
+  Mlp(std::vector<int64_t> dims, Rng& rng,
+      Activation activation = Activation::kRelu);
+
+  Variable Forward(const Variable& x) const;
+
+ private:
+  std::vector<std::unique_ptr<Linear>> layers_;
+  Activation activation_;
+};
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_NN_LINEAR_H_

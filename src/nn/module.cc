@@ -1,0 +1,108 @@
+#include "nn/module.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace lipformer {
+
+std::vector<Variable> Module::Parameters() const {
+  std::vector<std::pair<std::string, Variable>> named;
+  CollectParameters("", &named);
+  std::vector<Variable> out;
+  out.reserve(named.size());
+  for (auto& [name, v] : named) out.push_back(v);
+  return out;
+}
+
+std::vector<std::string> Module::ParameterNames() const {
+  std::vector<std::pair<std::string, Variable>> named;
+  CollectParameters("", &named);
+  std::vector<std::string> out;
+  out.reserve(named.size());
+  for (auto& [name, v] : named) out.push_back(name);
+  return out;
+}
+
+void Module::CollectParameters(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, Variable>>* out) const {
+  for (const auto& [name, v] : params_) {
+    out->emplace_back(prefix.empty() ? name : prefix + "." + name, v);
+  }
+  for (const auto& [name, child] : children_) {
+    child->CollectParameters(prefix.empty() ? name : prefix + "." + name,
+                             out);
+  }
+}
+
+void Module::ZeroGrad() {
+  for (Variable& v : const_cast<Module*>(this)->Parameters()) {
+    v.ZeroGrad();
+  }
+}
+
+int64_t Module::ParameterCount() const {
+  int64_t n = 0;
+  for (const Variable& v : Parameters()) n += v.numel();
+  return n;
+}
+
+void Module::SetTraining(bool training) {
+  training_ = training;
+  for (auto& [name, child] : children_) child->SetTraining(training);
+}
+
+void Module::SetRequiresGrad(bool requires_grad) {
+  for (Variable& v : Parameters()) v.set_requires_grad(requires_grad);
+}
+
+Status Module::SaveParameters(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  const std::vector<Variable> params = Parameters();
+  const uint64_t count = params.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Variable& v : params) {
+    const uint64_t n = static_cast<uint64_t>(v.numel());
+    out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+    out.write(reinterpret_cast<const char*>(v.value().data()),
+              static_cast<std::streamsize>(n * sizeof(float)));
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Status Module::LoadParameters(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  std::vector<Variable> params = Parameters();
+  if (count != params.size()) {
+    return Status::InvalidArgument("parameter count mismatch in " + path);
+  }
+  for (Variable& v : params) {
+    uint64_t n = 0;
+    in.read(reinterpret_cast<char*>(&n), sizeof(n));
+    if (n != static_cast<uint64_t>(v.numel())) {
+      return Status::InvalidArgument("parameter size mismatch in " + path);
+    }
+    in.read(reinterpret_cast<char*>(v.mutable_value().data()),
+            static_cast<std::streamsize>(n * sizeof(float)));
+    if (!in) return Status::IOError("truncated parameter file: " + path);
+  }
+  return Status::OK();
+}
+
+Variable Module::RegisterParameter(std::string name, Variable param) {
+  param.set_requires_grad(true);
+  params_.emplace_back(std::move(name), param);
+  return param;
+}
+
+void Module::RegisterModule(std::string name, Module* child) {
+  LIPF_CHECK(child != nullptr);
+  children_.emplace_back(std::move(name), child);
+}
+
+}  // namespace lipformer

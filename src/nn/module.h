@@ -1,0 +1,71 @@
+#ifndef LIPFORMER_NN_MODULE_H_
+#define LIPFORMER_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+#include "common/status.h"
+
+// Module base class: owns named parameters, composes child modules, and
+// provides recursive parameter listing, train/eval switching, zero-grad and
+// binary save/load of parameters.
+
+namespace lipformer {
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  // All parameters of this module and its children (depth-first). The
+  // returned handles share storage with the module's members, so optimizer
+  // updates are visible to the module.
+  std::vector<Variable> Parameters() const;
+
+  // Parameter names qualified by child-module path, aligned with
+  // Parameters().
+  std::vector<std::string> ParameterNames() const;
+
+  void ZeroGrad();
+
+  // Total number of scalar parameters.
+  int64_t ParameterCount() const;
+
+  // Train/eval mode (affects Dropout); recursive.
+  void SetTraining(bool training);
+  bool training() const { return training_; }
+
+  // Marks every parameter as not requiring grad (and vice versa); used to
+  // freeze the Covariate Encoder during prediction training.
+  void SetRequiresGrad(bool requires_grad);
+
+  // Binary parameter (de)serialization; layout must match exactly.
+  Status SaveParameters(const std::string& path) const;
+  Status LoadParameters(const std::string& path);
+
+ protected:
+  // Registers a parameter; returns a handle sharing storage.
+  Variable RegisterParameter(std::string name, Variable param);
+  // Registers a child; the child must outlive this module (normally a
+  // member object).
+  void RegisterModule(std::string name, Module* child);
+
+ private:
+  void CollectParameters(const std::string& prefix,
+                         std::vector<std::pair<std::string, Variable>>* out)
+      const;
+
+  std::vector<std::pair<std::string, Variable>> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+  bool training_ = true;
+};
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_NN_MODULE_H_

@@ -1,0 +1,34 @@
+#include "nn/positional_encoding.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace lipformer {
+
+PositionalEncoding::PositionalEncoding(int64_t max_len, int64_t model_dim)
+    : max_len_(max_len), model_dim_(model_dim),
+      table_(Shape{max_len, model_dim}) {
+  float* p = table_.data();
+  for (int64_t pos = 0; pos < max_len; ++pos) {
+    for (int64_t i = 0; i < model_dim; ++i) {
+      const double div =
+          std::pow(10000.0, static_cast<double>(2 * (i / 2)) /
+                                static_cast<double>(model_dim));
+      const double ang = static_cast<double>(pos) / div;
+      p[pos * model_dim + i] = static_cast<float>(
+          (i % 2 == 0) ? std::sin(ang) : std::cos(ang));
+    }
+  }
+}
+
+Variable PositionalEncoding::Forward(const Variable& x) const {
+  LIPF_CHECK_EQ(x.dim(), 3);
+  const int64_t s = x.size(1);
+  LIPF_CHECK_LE(s, max_len_);
+  LIPF_CHECK_EQ(x.size(2), model_dim_);
+  Tensor rows = Slice(table_, 0, 0, s);  // [S, D], broadcasts over batch
+  return AddConst(x, rows);
+}
+
+}  // namespace lipformer

@@ -1,0 +1,28 @@
+#ifndef LIPFORMER_NN_POSITIONAL_ENCODING_H_
+#define LIPFORMER_NN_POSITIONAL_ENCODING_H_
+
+#include "nn/module.h"
+
+namespace lipformer {
+
+// Sinusoidal positional encoding (Vaswani et al.). LiPFormer eliminates
+// this (its Cross-Patch attention carries order information); the vanilla
+// Transformer / PatchTST / Informer baselines use it.
+class PositionalEncoding : public Module {
+ public:
+  PositionalEncoding(int64_t max_len, int64_t model_dim);
+
+  // Adds the first S rows of the table to x [B, S, D].
+  Variable Forward(const Variable& x) const;
+
+  const Tensor& table() const { return table_; }
+
+ private:
+  int64_t max_len_;
+  int64_t model_dim_;
+  Tensor table_;  // [max_len, model_dim], not a parameter
+};
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_NN_POSITIONAL_ENCODING_H_

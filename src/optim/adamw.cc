@@ -1,0 +1,45 @@
+#include "optim/adamw.h"
+
+#include <cmath>
+
+namespace lipformer {
+
+AdamW::AdamW(std::vector<Variable> params, float lr, float beta1, float beta2,
+             float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  lr_ = lr;
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Variable& p : params_) {
+    m_.push_back(Tensor::Zeros(p.shape()));
+    v_.push_back(Tensor::Zeros(p.shape()));
+  }
+}
+
+void AdamW::Step() {
+  ++step_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(step_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(step_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Variable& p = params_[i];
+    if (!p.has_grad()) continue;
+    const float* g = p.grad().data();
+    float* w = p.mutable_value().data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    for (int64_t j = 0; j < p.numel(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      // Decoupled weight decay applied directly to the weights.
+      w[j] -= lr_ * (mhat / (std::sqrt(vhat) + eps_) + weight_decay_ * w[j]);
+    }
+  }
+}
+
+}  // namespace lipformer

@@ -1,0 +1,34 @@
+#ifndef LIPFORMER_OPTIM_ADAMW_H_
+#define LIPFORMER_OPTIM_ADAMW_H_
+
+#include <vector>
+
+#include "optim/optimizer.h"
+#include "tensor/tensor.h"
+
+namespace lipformer {
+
+// AdamW (Loshchilov & Hutter): Adam with decoupled weight decay. This is
+// the optimizer the paper uses for LiPFormer training (Section IV-A2).
+class AdamW : public Optimizer {
+ public:
+  AdamW(std::vector<Variable> params, float lr = 1e-3f, float beta1 = 0.9f,
+        float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 1e-2f);
+
+  void Step() override;
+
+  int64_t step_count() const { return step_; }
+
+ private:
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  int64_t step_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_OPTIM_ADAMW_H_

@@ -1,0 +1,24 @@
+#include "optim/early_stopping.h"
+
+#include "common/logging.h"
+
+namespace lipformer {
+
+EarlyStopping::EarlyStopping(int64_t patience, float min_delta)
+    : patience_(patience), min_delta_(min_delta) {
+  LIPF_CHECK_GT(patience, 0);
+}
+
+bool EarlyStopping::Update(float score) {
+  ++epoch_;
+  if (score < best_ - min_delta_) {
+    best_ = score;
+    best_epoch_ = epoch_;
+    bad_epochs_ = 0;
+    return true;
+  }
+  ++bad_epochs_;
+  return false;
+}
+
+}  // namespace lipformer

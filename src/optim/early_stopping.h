@@ -1,0 +1,34 @@
+#ifndef LIPFORMER_OPTIM_EARLY_STOPPING_H_
+#define LIPFORMER_OPTIM_EARLY_STOPPING_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace lipformer {
+
+// Patience-based early stopping on a validation metric (lower is better).
+// The paper trains 10 epochs with patience 3 and keeps the best-validation
+// model (Section IV-A2).
+class EarlyStopping {
+ public:
+  explicit EarlyStopping(int64_t patience, float min_delta = 0.0f);
+
+  // Records a validation score; returns true if this is a new best.
+  bool Update(float score);
+
+  bool ShouldStop() const { return bad_epochs_ >= patience_; }
+  float best_score() const { return best_; }
+  int64_t best_epoch() const { return best_epoch_; }
+
+ private:
+  int64_t patience_;
+  float min_delta_;
+  float best_ = std::numeric_limits<float>::infinity();
+  int64_t bad_epochs_ = 0;
+  int64_t epoch_ = -1;
+  int64_t best_epoch_ = -1;
+};
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_OPTIM_EARLY_STOPPING_H_

@@ -1,0 +1,39 @@
+#include "optim/lr_scheduler.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace lipformer {
+
+LrScheduler::LrScheduler(Optimizer* optimizer)
+    : optimizer_(optimizer), base_lr_(optimizer->lr()) {
+  LIPF_CHECK(optimizer != nullptr);
+}
+
+StepLr::StepLr(Optimizer* optimizer, int64_t step_size, float gamma)
+    : LrScheduler(optimizer), step_size_(step_size), gamma_(gamma) {
+  LIPF_CHECK_GT(step_size, 0);
+}
+
+void StepLr::Step() {
+  ++epoch_;
+  const float factor =
+      std::pow(gamma_, static_cast<float>(epoch_ / step_size_));
+  optimizer_->set_lr(base_lr_ * factor);
+}
+
+CosineLr::CosineLr(Optimizer* optimizer, int64_t total_epochs, float min_lr)
+    : LrScheduler(optimizer), total_epochs_(total_epochs), min_lr_(min_lr) {
+  LIPF_CHECK_GT(total_epochs, 0);
+}
+
+void CosineLr::Step() {
+  ++epoch_;
+  const float t = std::min<float>(
+      1.0f, static_cast<float>(epoch_) / static_cast<float>(total_epochs_));
+  const float cosine = 0.5f * (1.0f + std::cos(static_cast<float>(M_PI) * t));
+  optimizer_->set_lr(min_lr_ + (base_lr_ - min_lr_) * cosine);
+}
+
+}  // namespace lipformer

@@ -1,0 +1,50 @@
+#ifndef LIPFORMER_OPTIM_LR_SCHEDULER_H_
+#define LIPFORMER_OPTIM_LR_SCHEDULER_H_
+
+#include "optim/optimizer.h"
+
+namespace lipformer {
+
+// Learning-rate schedulers mutate the wrapped optimizer's lr once per
+// epoch via Step().
+class LrScheduler {
+ public:
+  explicit LrScheduler(Optimizer* optimizer);
+  virtual ~LrScheduler() = default;
+
+  LrScheduler(const LrScheduler&) = delete;
+  LrScheduler& operator=(const LrScheduler&) = delete;
+
+  virtual void Step() = 0;
+
+ protected:
+  Optimizer* optimizer_;
+  float base_lr_;
+  int64_t epoch_ = 0;
+};
+
+// Multiplies lr by gamma every `step_size` epochs.
+class StepLr : public LrScheduler {
+ public:
+  StepLr(Optimizer* optimizer, int64_t step_size, float gamma = 0.5f);
+  void Step() override;
+
+ private:
+  int64_t step_size_;
+  float gamma_;
+};
+
+// Cosine decay from base lr to min_lr over `total_epochs`.
+class CosineLr : public LrScheduler {
+ public:
+  CosineLr(Optimizer* optimizer, int64_t total_epochs, float min_lr = 0.0f);
+  void Step() override;
+
+ private:
+  int64_t total_epochs_;
+  float min_lr_;
+};
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_OPTIM_LR_SCHEDULER_H_

@@ -1,0 +1,39 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+namespace lipformer {
+
+Optimizer::Optimizer(std::vector<Variable> params)
+    : params_(std::move(params)) {
+  for (const Variable& p : params_) {
+    LIPF_CHECK(p.defined());
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (Variable& p : params_) p.ZeroGrad();
+}
+
+float ClipGradNorm(const std::vector<Variable>& params, float max_norm) {
+  double total_sq = 0.0;
+  for (const Variable& p : params) {
+    if (!p.has_grad()) continue;
+    const float* g = p.grad().data();
+    for (int64_t i = 0; i < p.numel(); ++i) {
+      total_sq += static_cast<double>(g[i]) * g[i];
+    }
+  }
+  const float norm = static_cast<float>(std::sqrt(total_sq));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (const Variable& p : params) {
+      if (!p.has_grad()) continue;
+      float* g = const_cast<float*>(p.grad().data());
+      for (int64_t i = 0; i < p.numel(); ++i) g[i] *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace lipformer

@@ -1,0 +1,42 @@
+#ifndef LIPFORMER_OPTIM_OPTIMIZER_H_
+#define LIPFORMER_OPTIM_OPTIMIZER_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace lipformer {
+
+// Base class for first-order optimizers over a fixed parameter list.
+// Parameters are Variable handles; Step() updates values in place using the
+// gradients accumulated by the last Backward().
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Variable> params);
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  virtual void Step() = 0;
+
+  void ZeroGrad();
+
+  // Current learning rate (schedulers mutate this).
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+  const std::vector<Variable>& params() const { return params_; }
+
+ protected:
+  std::vector<Variable> params_;
+  float lr_ = 1e-3f;
+};
+
+// Scales gradients so their global L2 norm is at most max_norm; returns the
+// pre-clip norm.
+float ClipGradNorm(const std::vector<Variable>& params, float max_norm);
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_OPTIM_OPTIMIZER_H_

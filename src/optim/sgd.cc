@@ -1,0 +1,34 @@
+#include "optim/sgd.h"
+
+namespace lipformer {
+
+Sgd::Sgd(std::vector<Variable> params, float lr, float momentum)
+    : Optimizer(std::move(params)), momentum_(momentum) {
+  lr_ = lr;
+  if (momentum_ != 0.0f) {
+    velocity_.reserve(params_.size());
+    for (const Variable& p : params_) {
+      velocity_.push_back(Tensor::Zeros(p.shape()));
+    }
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Variable& p = params_[i];
+    if (!p.has_grad()) continue;
+    const float* g = p.grad().data();
+    float* w = p.mutable_value().data();
+    if (momentum_ != 0.0f) {
+      float* v = velocity_[i].data();
+      for (int64_t j = 0; j < p.numel(); ++j) {
+        v[j] = momentum_ * v[j] + g[j];
+        w[j] -= lr_ * v[j];
+      }
+    } else {
+      for (int64_t j = 0; j < p.numel(); ++j) w[j] -= lr_ * g[j];
+    }
+  }
+}
+
+}  // namespace lipformer

@@ -1,0 +1,25 @@
+#ifndef LIPFORMER_OPTIM_SGD_H_
+#define LIPFORMER_OPTIM_SGD_H_
+
+#include <vector>
+
+#include "optim/optimizer.h"
+#include "tensor/tensor.h"
+
+namespace lipformer {
+
+// Stochastic gradient descent with optional classical momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Variable> params, float lr, float momentum = 0.0f);
+
+  void Step() override;
+
+ private:
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_OPTIM_SGD_H_

@@ -1,0 +1,114 @@
+#include "tensor/fft.h"
+
+#include <cmath>
+
+namespace lipformer {
+
+void Fft(std::vector<std::complex<float>>& a, bool inverse) {
+  const size_t n = a.size();
+  LIPF_CHECK((n & (n - 1)) == 0) << "FFT size must be a power of two";
+  if (n <= 1) return;
+
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const float ang =
+        2.0f * static_cast<float>(M_PI) / static_cast<float>(len) *
+        (inverse ? 1.0f : -1.0f);
+    const std::complex<float> wlen(std::cos(ang), std::sin(ang));
+    for (size_t i = 0; i < n; i += len) {
+      std::complex<float> w(1.0f, 0.0f);
+      for (size_t j = 0; j < len / 2; ++j) {
+        const std::complex<float> u = a[i + j];
+        const std::complex<float> v = a[i + j + len / 2] * w;
+        a[i + j] = u + v;
+        a[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const float inv_n = 1.0f / static_cast<float>(n);
+    for (auto& x : a) x *= inv_n;
+  }
+}
+
+int64_t NextPowerOfTwo(int64_t n) {
+  int64_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+Tensor Autocorrelation(const Tensor& x) {
+  LIPF_CHECK_EQ(x.dim(), 2);
+  const int64_t rows = x.size(0);
+  const int64_t n = x.size(1);
+  const int64_t padded = NextPowerOfTwo(2 * n);
+  Tensor out(Shape{rows, n});
+  const float* px = x.data();
+  float* po = out.data();
+  std::vector<std::complex<float>> buf(static_cast<size_t>(padded));
+  for (int64_t r = 0; r < rows; ++r) {
+    float mean = 0.0f;
+    for (int64_t t = 0; t < n; ++t) mean += px[r * n + t];
+    mean /= static_cast<float>(n);
+    std::fill(buf.begin(), buf.end(), std::complex<float>(0.0f, 0.0f));
+    for (int64_t t = 0; t < n; ++t) {
+      buf[static_cast<size_t>(t)] = px[r * n + t] - mean;
+    }
+    Fft(buf, /*inverse=*/false);
+    for (auto& v : buf) v = v * std::conj(v);
+    Fft(buf, /*inverse=*/true);
+    const float inv_n = 1.0f / static_cast<float>(n);
+    for (int64_t tau = 0; tau < n; ++tau) {
+      po[r * n + tau] = buf[static_cast<size_t>(tau)].real() * inv_n;
+    }
+  }
+  return out;
+}
+
+void DftBasis(int64_t n, int64_t k, Tensor* cos_mat, Tensor* sin_mat) {
+  LIPF_CHECK_LE(k, n / 2 + 1);
+  *cos_mat = Tensor(Shape{n, k});
+  *sin_mat = Tensor(Shape{n, k});
+  float* pc = cos_mat->data();
+  float* ps = sin_mat->data();
+  for (int64_t t = 0; t < n; ++t) {
+    for (int64_t f = 0; f < k; ++f) {
+      const double ang = 2.0 * M_PI * static_cast<double>(f) *
+                         static_cast<double>(t) / static_cast<double>(n);
+      pc[t * k + f] = static_cast<float>(std::cos(ang));
+      ps[t * k + f] = static_cast<float>(-std::sin(ang));
+    }
+  }
+}
+
+void InverseDftBasis(int64_t n, int64_t k, Tensor* cos_mat, Tensor* sin_mat) {
+  LIPF_CHECK_LE(k, n / 2 + 1);
+  *cos_mat = Tensor(Shape{k, n});
+  *sin_mat = Tensor(Shape{k, n});
+  float* pc = cos_mat->data();
+  float* ps = sin_mat->data();
+  for (int64_t f = 0; f < k; ++f) {
+    // DC (and Nyquist when applicable) contribute once; others twice.
+    const bool is_dc = (f == 0);
+    const bool is_nyquist = (2 * f == n);
+    const float scale =
+        (is_dc || is_nyquist ? 1.0f : 2.0f) / static_cast<float>(n);
+    for (int64_t t = 0; t < n; ++t) {
+      const double ang = 2.0 * M_PI * static_cast<double>(f) *
+                         static_cast<double>(t) / static_cast<double>(n);
+      pc[f * n + t] = scale * static_cast<float>(std::cos(ang));
+      ps[f * n + t] = scale * static_cast<float>(-std::sin(ang));
+    }
+  }
+}
+
+}  // namespace lipformer

@@ -1,0 +1,39 @@
+#ifndef LIPFORMER_TENSOR_FFT_H_
+#define LIPFORMER_TENSOR_FFT_H_
+
+#include <complex>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+// Radix-2 FFT utilities. Used by the Autoformer baseline (autocorrelation
+// via the Wiener-Khinchin theorem) and the FGNN baseline. These are
+// forward-only numeric helpers; differentiable frequency-domain layers use
+// explicit DFT matrices instead (see models/fgnn).
+
+namespace lipformer {
+
+// In-place iterative radix-2 Cooley-Tukey; a.size() must be a power of two.
+void Fft(std::vector<std::complex<float>>& a, bool inverse);
+
+// Smallest power of two >= n.
+int64_t NextPowerOfTwo(int64_t n);
+
+// Circular autocorrelation of each row of x: out[i, tau] =
+// sum_t x[i, t] * x[i, (t+tau) mod n] / n, computed with FFT after
+// zero-mean-ing each row. x: [rows, n] -> out: [rows, n].
+Tensor Autocorrelation(const Tensor& x);
+
+// Real DFT basis matrices for length n and `k` kept frequencies:
+// cos_mat/sin_mat are [n, k] with entries cos(2*pi*f*t/n), -sin(...).
+// Multiplying a time-domain signal [*, n] by these yields the real and
+// imaginary parts of its truncated spectrum; used for differentiable
+// frequency-domain models.
+void DftBasis(int64_t n, int64_t k, Tensor* cos_mat, Tensor* sin_mat);
+// Inverse basis: [k, n] matrices reconstructing a real signal from the
+// truncated spectrum (with the standard 2/n scaling, DC term scaled 1/n).
+void InverseDftBasis(int64_t n, int64_t k, Tensor* cos_mat, Tensor* sin_mat);
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_TENSOR_FFT_H_

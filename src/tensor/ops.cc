@@ -1,0 +1,592 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace lipformer {
+
+namespace {
+
+// Global MAC counter (single-threaded workload; plain globals suffice).
+bool g_mac_enabled = false;
+int64_t g_mac_count = 0;
+
+// Expands `shape` to `ndim` dims by prepending 1s.
+Shape PadShape(const Shape& shape, int64_t ndim) {
+  Shape out(ndim, 1);
+  const int64_t off = ndim - static_cast<int64_t>(shape.size());
+  for (size_t i = 0; i < shape.size(); ++i) out[off + i] = shape[i];
+  return out;
+}
+
+// Row-major strides for a shape, with 0 stride for broadcast (size-1) dims
+// relative to the output shape.
+Shape BroadcastStrides(const Shape& shape, const Shape& out_shape) {
+  const int64_t nd = static_cast<int64_t>(out_shape.size());
+  Shape padded = PadShape(shape, nd);
+  Shape strides(nd, 0);
+  int64_t s = 1;
+  for (int64_t i = nd - 1; i >= 0; --i) {
+    if (padded[i] == 1 && out_shape[i] != 1) {
+      strides[i] = 0;
+    } else {
+      strides[i] = s;
+    }
+    s *= padded[i];
+  }
+  return strides;
+}
+
+template <typename F>
+Tensor BinaryOp(const Tensor& a, const Tensor& b, F f) {
+  if (SameShape(a.shape(), b.shape())) {
+    Tensor out(a.shape());
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    const int64_t n = a.numel();
+    for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+    return out;
+  }
+  const Shape out_shape = BroadcastShape(a.shape(), b.shape());
+  Tensor out(out_shape);
+  const int64_t nd = static_cast<int64_t>(out_shape.size());
+  const Shape sa = BroadcastStrides(a.shape(), out_shape);
+  const Shape sb = BroadcastStrides(b.shape(), out_shape);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  std::vector<int64_t> idx(nd, 0);
+  int64_t oa = 0;
+  int64_t ob = 0;
+  const int64_t n = out.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    po[i] = f(pa[oa], pb[ob]);
+    // Increment the multi-index (odometer).
+    for (int64_t d = nd - 1; d >= 0; --d) {
+      ++idx[d];
+      oa += sa[d];
+      ob += sb[d];
+      if (idx[d] < out_shape[d]) break;
+      idx[d] = 0;
+      oa -= sa[d] * out_shape[d];
+      ob -= sb[d] * out_shape[d];
+    }
+  }
+  return out;
+}
+
+template <typename F>
+Tensor UnaryOp(const Tensor& a, F f) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i]);
+  return out;
+}
+
+// Splits shape into (outer, dim_size, inner) around `dim` for reductions.
+void SplitAt(const Shape& shape, int64_t dim, int64_t* outer, int64_t* mid,
+             int64_t* inner) {
+  *outer = 1;
+  *inner = 1;
+  for (int64_t i = 0; i < dim; ++i) *outer *= shape[i];
+  *mid = shape[dim];
+  for (size_t i = dim + 1; i < shape.size(); ++i) *inner *= shape[i];
+}
+
+int64_t NormalizeDim(int64_t dim, int64_t ndim) {
+  if (dim < 0) dim += ndim;
+  LIPF_CHECK_GE(dim, 0);
+  LIPF_CHECK_LT(dim, ndim);
+  return dim;
+}
+
+}  // namespace
+
+Shape BroadcastShape(const Shape& a, const Shape& b) {
+  const int64_t nd = std::max(a.size(), b.size());
+  const Shape pa = PadShape(a, nd);
+  const Shape pb = PadShape(b, nd);
+  Shape out(nd);
+  for (int64_t i = 0; i < nd; ++i) {
+    if (pa[i] == pb[i]) {
+      out[i] = pa[i];
+    } else if (pa[i] == 1) {
+      out[i] = pb[i];
+    } else if (pb[i] == 1) {
+      out[i] = pa[i];
+    } else {
+      LIPF_CHECK(false) << "cannot broadcast " << ShapeToString(a) << " with "
+                        << ShapeToString(b);
+    }
+  }
+  return out;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x + y; });
+}
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x - y; });
+}
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x * y; });
+}
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x / y; });
+}
+Tensor Maximum(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return std::max(x, y); });
+}
+Tensor Minimum(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return std::min(x, y); });
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return UnaryOp(a, [s](float x) { return x + s; });
+}
+Tensor MulScalar(const Tensor& a, float s) {
+  return UnaryOp(a, [s](float x) { return x * s; });
+}
+Tensor PowScalar(const Tensor& a, float p) {
+  return UnaryOp(a, [p](float x) { return std::pow(x, p); });
+}
+
+Tensor Neg(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return -x; });
+}
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::exp(x); });
+}
+Tensor Log(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::log(x); });
+}
+Tensor Sqrt(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::sqrt(x); });
+}
+Tensor Abs(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::fabs(x); });
+}
+Tensor Sin(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::sin(x); });
+}
+Tensor Cos(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::cos(x); });
+}
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::tanh(x); });
+}
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+}
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+Tensor Gelu(const Tensor& a) {
+  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+  return UnaryOp(a, [](float x) {
+    const float inner = kC * (x + 0.044715f * x * x * x);
+    return 0.5f * x * (1.0f + std::tanh(inner));
+  });
+}
+
+Tensor MatMul(const Tensor& a_in, const Tensor& b_in) {
+  Tensor a = a_in;
+  Tensor b = b_in;
+  bool squeeze_m = false;
+  bool squeeze_n = false;
+  if (a.dim() == 1) {
+    a = a.Unsqueeze(0);
+    squeeze_m = true;
+  }
+  if (b.dim() == 1) {
+    b = b.Unsqueeze(1);
+    squeeze_n = true;
+  }
+  LIPF_CHECK_GE(a.dim(), 2);
+  LIPF_CHECK_GE(b.dim(), 2);
+  const int64_t m = a.size(-2);
+  const int64_t k = a.size(-1);
+  const int64_t k2 = b.size(-2);
+  const int64_t n = b.size(-1);
+  LIPF_CHECK_EQ(k, k2) << "matmul inner dims: " << ShapeToString(a.shape())
+                       << " x " << ShapeToString(b.shape());
+
+  // Broadcast batch dims.
+  Shape ba(a.shape().begin(), a.shape().end() - 2);
+  Shape bb(b.shape().begin(), b.shape().end() - 2);
+  Shape batch = BroadcastShape(ba, bb);
+  const int64_t nbatch = NumElements(batch);
+
+  Shape out_shape = batch;
+  out_shape.push_back(m);
+  out_shape.push_back(n);
+  Tensor out(out_shape);
+
+  // Per-batch offsets honoring broadcast.
+  const int64_t nbd = static_cast<int64_t>(batch.size());
+  const Shape sa = BroadcastStrides(ba, batch);
+  const Shape sb = BroadcastStrides(bb, batch);
+  const int64_t a_mat = m * k;
+  const int64_t b_mat = k * n;
+  const int64_t o_mat = m * n;
+
+  const float* pa_base = a.data();
+  const float* pb_base = b.data();
+  float* po_base = out.data();
+
+  std::vector<int64_t> idx(nbd, 0);
+  int64_t oa = 0;
+  int64_t ob = 0;
+  for (int64_t bi = 0; bi < nbatch; ++bi) {
+    const float* pa = pa_base + oa * a_mat;
+    const float* pb = pb_base + ob * b_mat;
+    float* po = po_base + bi * o_mat;
+    // ikj loop order: streams over pb rows, accumulates into po rows.
+    std::memset(po, 0, sizeof(float) * static_cast<size_t>(o_mat));
+    for (int64_t i = 0; i < m; ++i) {
+      const float* pa_row = pa + i * k;
+      float* po_row = po + i * n;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float av = pa_row[kk];
+        if (av == 0.0f) continue;
+        const float* pb_row = pb + kk * n;
+        for (int64_t j = 0; j < n; ++j) po_row[j] += av * pb_row[j];
+      }
+    }
+    for (int64_t d = nbd - 1; d >= 0; --d) {
+      ++idx[d];
+      oa += sa[d];
+      ob += sb[d];
+      if (idx[d] < batch[d]) break;
+      idx[d] = 0;
+      oa -= sa[d] * batch[d];
+      ob -= sb[d] * batch[d];
+    }
+  }
+
+  if (g_mac_enabled) g_mac_count += nbatch * m * n * k;
+
+  Tensor result = out;
+  if (squeeze_m) result = result.Squeeze(result.dim() - 2);
+  if (squeeze_n) result = result.Squeeze(result.dim() - 1);
+  return result;
+}
+
+Tensor Permute(const Tensor& t, const std::vector<int64_t>& perm) {
+  const int64_t nd = t.dim();
+  LIPF_CHECK_EQ(static_cast<int64_t>(perm.size()), nd);
+  std::vector<bool> seen(nd, false);
+  Shape out_shape(nd);
+  for (int64_t i = 0; i < nd; ++i) {
+    const int64_t p = perm[i];
+    LIPF_CHECK_GE(p, 0);
+    LIPF_CHECK_LT(p, nd);
+    LIPF_CHECK(!seen[p]) << "duplicate dim in permute";
+    seen[p] = true;
+    out_shape[i] = t.size(p);
+  }
+  Tensor out(out_shape);
+  if (t.numel() == 0) return out;
+
+  const Shape& in_strides = t.strides();
+  // Stride of output index d in the input layout.
+  Shape gather(nd);
+  for (int64_t i = 0; i < nd; ++i) gather[i] = in_strides[perm[i]];
+
+  const float* pi = t.data();
+  float* po = out.data();
+  std::vector<int64_t> idx(nd, 0);
+  int64_t src = 0;
+  const int64_t n = t.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    po[i] = pi[src];
+    for (int64_t d = nd - 1; d >= 0; --d) {
+      ++idx[d];
+      src += gather[d];
+      if (idx[d] < out_shape[d]) break;
+      idx[d] = 0;
+      src -= gather[d] * out_shape[d];
+    }
+  }
+  return out;
+}
+
+Tensor Transpose(const Tensor& t, int64_t d0, int64_t d1) {
+  const int64_t nd = t.dim();
+  d0 = NormalizeDim(d0, nd);
+  d1 = NormalizeDim(d1, nd);
+  std::vector<int64_t> perm(nd);
+  for (int64_t i = 0; i < nd; ++i) perm[i] = i;
+  std::swap(perm[d0], perm[d1]);
+  return Permute(t, perm);
+}
+
+Tensor Slice(const Tensor& t, int64_t dim, int64_t start, int64_t end) {
+  dim = NormalizeDim(dim, t.dim());
+  if (start < 0) start += t.size(dim);
+  if (end < 0) end += t.size(dim);
+  LIPF_CHECK_GE(start, 0);
+  LIPF_CHECK_LE(end, t.size(dim));
+  LIPF_CHECK_LE(start, end);
+  int64_t outer, mid, inner;
+  SplitAt(t.shape(), dim, &outer, &mid, &inner);
+  Shape out_shape = t.shape();
+  out_shape[dim] = end - start;
+  Tensor out(out_shape);
+  const float* pi = t.data();
+  float* po = out.data();
+  const int64_t len = end - start;
+  for (int64_t o = 0; o < outer; ++o) {
+    const float* src = pi + (o * mid + start) * inner;
+    float* dst = po + o * len * inner;
+    std::memcpy(dst, src, sizeof(float) * static_cast<size_t>(len * inner));
+  }
+  return out;
+}
+
+Tensor Concat(const std::vector<Tensor>& ts, int64_t dim) {
+  LIPF_CHECK(!ts.empty());
+  const int64_t nd = ts[0].dim();
+  dim = NormalizeDim(dim, nd);
+  int64_t total = 0;
+  for (const Tensor& t : ts) {
+    LIPF_CHECK_EQ(t.dim(), nd);
+    for (int64_t d = 0; d < nd; ++d) {
+      if (d != dim) LIPF_CHECK_EQ(t.size(d), ts[0].size(d));
+    }
+    total += t.size(dim);
+  }
+  Shape out_shape = ts[0].shape();
+  out_shape[dim] = total;
+  Tensor out(out_shape);
+  int64_t outer, mid_out, inner;
+  SplitAt(out_shape, dim, &outer, &mid_out, &inner);
+  float* po = out.data();
+  int64_t offset = 0;
+  for (const Tensor& t : ts) {
+    const int64_t mid = t.size(dim);
+    const float* pi = t.data();
+    for (int64_t o = 0; o < outer; ++o) {
+      float* dst = po + (o * mid_out + offset) * inner;
+      const float* src = pi + o * mid * inner;
+      std::memcpy(dst, src, sizeof(float) * static_cast<size_t>(mid * inner));
+    }
+    offset += mid;
+  }
+  return out;
+}
+
+Tensor IndexSelect(const Tensor& t, int64_t dim,
+                   const std::vector<int64_t>& indices) {
+  dim = NormalizeDim(dim, t.dim());
+  int64_t outer, mid, inner;
+  SplitAt(t.shape(), dim, &outer, &mid, &inner);
+  Shape out_shape = t.shape();
+  out_shape[dim] = static_cast<int64_t>(indices.size());
+  Tensor out(out_shape);
+  const float* pi = t.data();
+  float* po = out.data();
+  const int64_t nsel = static_cast<int64_t>(indices.size());
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t s = 0; s < nsel; ++s) {
+      const int64_t idx = indices[s];
+      LIPF_CHECK_GE(idx, 0);
+      LIPF_CHECK_LT(idx, mid);
+      const float* src = pi + (o * mid + idx) * inner;
+      float* dst = po + (o * nsel + s) * inner;
+      std::memcpy(dst, src, sizeof(float) * static_cast<size_t>(inner));
+    }
+  }
+  return out;
+}
+
+Tensor Pad(const Tensor& t, int64_t dim, int64_t before, int64_t after) {
+  dim = NormalizeDim(dim, t.dim());
+  LIPF_CHECK_GE(before, 0);
+  LIPF_CHECK_GE(after, 0);
+  int64_t outer, mid, inner;
+  SplitAt(t.shape(), dim, &outer, &mid, &inner);
+  Shape out_shape = t.shape();
+  out_shape[dim] = mid + before + after;
+  Tensor out(out_shape);  // zero-initialized
+  const float* pi = t.data();
+  float* po = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    float* dst = po + (o * out_shape[dim] + before) * inner;
+    const float* src = pi + o * mid * inner;
+    std::memcpy(dst, src, sizeof(float) * static_cast<size_t>(mid * inner));
+  }
+  return out;
+}
+
+Tensor Sum(const Tensor& t, int64_t dim, bool keepdim) {
+  dim = NormalizeDim(dim, t.dim());
+  int64_t outer, mid, inner;
+  SplitAt(t.shape(), dim, &outer, &mid, &inner);
+  Shape out_shape = t.shape();
+  out_shape[dim] = 1;
+  Tensor out(out_shape);
+  const float* pi = t.data();
+  float* po = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t i = 0; i < inner; ++i) {
+      float acc = 0.0f;
+      for (int64_t m = 0; m < mid; ++m) acc += pi[(o * mid + m) * inner + i];
+      po[o * inner + i] = acc;
+    }
+  }
+  return keepdim ? out : out.Squeeze(dim);
+}
+
+Tensor Mean(const Tensor& t, int64_t dim, bool keepdim) {
+  const int64_t d = NormalizeDim(dim, t.dim());
+  const float inv = 1.0f / static_cast<float>(t.size(d));
+  return MulScalar(Sum(t, d, keepdim), inv);
+}
+
+std::pair<Tensor, Tensor> Max(const Tensor& t, int64_t dim) {
+  dim = NormalizeDim(dim, t.dim());
+  int64_t outer, mid, inner;
+  SplitAt(t.shape(), dim, &outer, &mid, &inner);
+  Shape out_shape = t.shape();
+  out_shape[dim] = 1;
+  Tensor values(out_shape);
+  Tensor argmax(out_shape);
+  const float* pi = t.data();
+  float* pv = values.data();
+  float* pa = argmax.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t i = 0; i < inner; ++i) {
+      float best = pi[o * mid * inner + i];
+      int64_t best_idx = 0;
+      for (int64_t m = 1; m < mid; ++m) {
+        const float v = pi[(o * mid + m) * inner + i];
+        if (v > best) {
+          best = v;
+          best_idx = m;
+        }
+      }
+      pv[o * inner + i] = best;
+      pa[o * inner + i] = static_cast<float>(best_idx);
+    }
+  }
+  return {values, argmax};
+}
+
+float SumAll(const Tensor& t) {
+  const float* p = t.data();
+  double acc = 0.0;
+  for (int64_t i = 0; i < t.numel(); ++i) acc += p[i];
+  return static_cast<float>(acc);
+}
+
+float MeanAll(const Tensor& t) {
+  LIPF_CHECK_GT(t.numel(), 0);
+  return SumAll(t) / static_cast<float>(t.numel());
+}
+
+Tensor ReduceToShape(const Tensor& t, const Shape& target) {
+  if (SameShape(t.shape(), target)) return t;
+  const int64_t nd = t.dim();
+  const Shape padded = PadShape(target, nd);
+  Tensor cur = t;
+  // Sum out dims where target has 1 (or was absent).
+  for (int64_t d = 0; d < nd; ++d) {
+    if (padded[d] == 1 && cur.size(d) != 1) {
+      cur = Sum(cur, d, /*keepdim=*/true);
+    } else {
+      LIPF_CHECK_EQ(padded[d], cur.size(d))
+          << "cannot reduce " << ShapeToString(t.shape()) << " to "
+          << ShapeToString(target);
+    }
+  }
+  return cur.Reshape(target);
+}
+
+Tensor Softmax(const Tensor& t, int64_t dim) {
+  dim = NormalizeDim(dim, t.dim());
+  int64_t outer, mid, inner;
+  SplitAt(t.shape(), dim, &outer, &mid, &inner);
+  Tensor out(t.shape());
+  const float* pi = t.data();
+  float* po = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t i = 0; i < inner; ++i) {
+      const int64_t base = o * mid * inner + i;
+      float mx = pi[base];
+      for (int64_t m = 1; m < mid; ++m) {
+        mx = std::max(mx, pi[base + m * inner]);
+      }
+      float denom = 0.0f;
+      for (int64_t m = 0; m < mid; ++m) {
+        const float e = std::exp(pi[base + m * inner] - mx);
+        po[base + m * inner] = e;
+        denom += e;
+      }
+      const float inv = 1.0f / denom;
+      for (int64_t m = 0; m < mid; ++m) po[base + m * inner] *= inv;
+    }
+  }
+  return out;
+}
+
+Tensor LogSoftmax(const Tensor& t, int64_t dim) {
+  dim = NormalizeDim(dim, t.dim());
+  int64_t outer, mid, inner;
+  SplitAt(t.shape(), dim, &outer, &mid, &inner);
+  Tensor out(t.shape());
+  const float* pi = t.data();
+  float* po = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t i = 0; i < inner; ++i) {
+      const int64_t base = o * mid * inner + i;
+      float mx = pi[base];
+      for (int64_t m = 1; m < mid; ++m) {
+        mx = std::max(mx, pi[base + m * inner]);
+      }
+      float denom = 0.0f;
+      for (int64_t m = 0; m < mid; ++m) {
+        denom += std::exp(pi[base + m * inner] - mx);
+      }
+      const float log_denom = std::log(denom) + mx;
+      for (int64_t m = 0; m < mid; ++m) {
+        po[base + m * inner] = pi[base + m * inner] - log_denom;
+      }
+    }
+  }
+  return out;
+}
+
+bool AllClose(const Tensor& a, const Tensor& b, float atol, float rtol) {
+  if (!SameShape(a.shape(), b.shape())) return false;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    const float diff = std::fabs(pa[i] - pb[i]);
+    const float tol = atol + rtol * std::fabs(pb[i]);
+    if (diff > tol || std::isnan(diff)) return false;
+  }
+  return true;
+}
+
+float MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  LIPF_CHECK(SameShape(a.shape(), b.shape()));
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float mx = 0.0f;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    mx = std::max(mx, std::fabs(pa[i] - pb[i]));
+  }
+  return mx;
+}
+
+void SetMacCountingEnabled(bool enabled) { g_mac_enabled = enabled; }
+bool MacCountingEnabled() { return g_mac_enabled; }
+void ResetMacCount() { g_mac_count = 0; }
+int64_t MacCount() { return g_mac_count; }
+
+}  // namespace lipformer

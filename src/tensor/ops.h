@@ -1,0 +1,99 @@
+#ifndef LIPFORMER_TENSOR_OPS_H_
+#define LIPFORMER_TENSOR_OPS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+// Forward-only tensor kernels. Autograd (src/autograd) wraps these with
+// gradient rules; models never call these directly except in inference-only
+// helpers. Elementwise binary ops broadcast numpy-style; MatMul broadcasts
+// its batch dimensions.
+
+namespace lipformer {
+
+// Numpy-style broadcast of two shapes; CHECK-fails if incompatible.
+Shape BroadcastShape(const Shape& a, const Shape& b);
+
+// ---- Elementwise binary (broadcasting) ----
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+Tensor Maximum(const Tensor& a, const Tensor& b);
+Tensor Minimum(const Tensor& a, const Tensor& b);
+
+// ---- Elementwise with scalar ----
+Tensor AddScalar(const Tensor& a, float s);
+Tensor MulScalar(const Tensor& a, float s);
+Tensor PowScalar(const Tensor& a, float p);
+
+// ---- Elementwise unary ----
+Tensor Neg(const Tensor& a);
+Tensor Exp(const Tensor& a);
+Tensor Log(const Tensor& a);
+Tensor Sqrt(const Tensor& a);
+Tensor Abs(const Tensor& a);
+Tensor Sin(const Tensor& a);
+Tensor Cos(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+Tensor Relu(const Tensor& a);
+// tanh-approximation GELU (as used by GPT-style models).
+Tensor Gelu(const Tensor& a);
+
+// ---- Linear algebra ----
+// a: [..., m, k], b: [..., k, n] -> [..., m, n]; batch dims broadcast.
+// 1-d operands get the usual vector promotion (m=1 / n=1) and squeeze.
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+// ---- Shape ops (materializing) ----
+// Reorders dimensions; perm must be a permutation of [0, dim).
+Tensor Permute(const Tensor& t, const std::vector<int64_t>& perm);
+// Swaps two dimensions.
+Tensor Transpose(const Tensor& t, int64_t d0, int64_t d1);
+// Contiguous sub-range [start, end) along dim.
+Tensor Slice(const Tensor& t, int64_t dim, int64_t start, int64_t end);
+// Concatenates along dim; all other dims must match.
+Tensor Concat(const std::vector<Tensor>& ts, int64_t dim);
+// Selects rows along dim by index (indices may repeat).
+Tensor IndexSelect(const Tensor& t, int64_t dim,
+                   const std::vector<int64_t>& indices);
+// Zero-pads along dim: `before` zeros in front, `after` behind.
+Tensor Pad(const Tensor& t, int64_t dim, int64_t before, int64_t after);
+
+// ---- Reductions ----
+Tensor Sum(const Tensor& t, int64_t dim, bool keepdim = false);
+Tensor Mean(const Tensor& t, int64_t dim, bool keepdim = false);
+// Returns {values, argmax-as-float} reduced along dim (keepdim).
+std::pair<Tensor, Tensor> Max(const Tensor& t, int64_t dim);
+float SumAll(const Tensor& t);
+float MeanAll(const Tensor& t);
+
+// Sum-reduces t (a broadcast result) back to `target` shape. Used by
+// autograd to fold gradients of broadcast operands.
+Tensor ReduceToShape(const Tensor& t, const Shape& target);
+
+// ---- Normalization ----
+// Softmax along dim with max-subtraction for stability.
+Tensor Softmax(const Tensor& t, int64_t dim);
+Tensor LogSoftmax(const Tensor& t, int64_t dim);
+
+// ---- Testing helpers ----
+bool AllClose(const Tensor& a, const Tensor& b, float atol = 1e-5f,
+              float rtol = 1e-4f);
+float MaxAbsDiff(const Tensor& a, const Tensor& b);
+
+// ---- MAC (multiply-accumulate) instrumentation ----
+// When enabled, MatMul accumulates batch*m*n*k into a global counter; used
+// by bench_util to report the paper's MACs column.
+void SetMacCountingEnabled(bool enabled);
+bool MacCountingEnabled();
+void ResetMacCount();
+int64_t MacCount();
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_TENSOR_OPS_H_

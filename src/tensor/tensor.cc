@@ -1,0 +1,200 @@
+#include "tensor/tensor.h"
+
+#include <numeric>
+#include <sstream>
+
+namespace lipformer {
+
+int64_t NumElements(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    LIPF_CHECK_GE(d, 0) << "negative dimension in shape";
+    n *= d;
+  }
+  return n;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+bool SameShape(const Shape& a, const Shape& b) { return a == b; }
+
+Tensor::Tensor() : Tensor(Shape{}) {}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      numel_(NumElements(shape_)),
+      storage_(std::make_shared<std::vector<float>>(
+          static_cast<size_t>(std::max<int64_t>(numel_, 1)), 0.0f)) {
+  InitStrides();
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), numel_(NumElements(shape_)) {
+  LIPF_CHECK_EQ(numel_, static_cast<int64_t>(data.size()))
+      << "data size does not match shape " << ShapeToString(shape_);
+  storage_ = std::make_shared<std::vector<float>>(std::move(data));
+  if (storage_->empty()) storage_->resize(1, 0.0f);
+  InitStrides();
+}
+
+void Tensor::InitStrides() {
+  strides_.assign(shape_.size(), 1);
+  for (int64_t i = dim() - 2; i >= 0; --i) {
+    strides_[i] = strides_[i + 1] * shape_[i + 1];
+  }
+}
+
+Tensor Tensor::Zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::Ones(Shape shape) { return Full(std::move(shape), 1.0f); }
+
+Tensor Tensor::Full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Scalar(float value) {
+  Tensor t{Shape{}};
+  t.data()[0] = value;
+  return t;
+}
+
+Tensor Tensor::Randn(Shape shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    p[i] = static_cast<float>(rng.Normal()) * stddev;
+  }
+  return t;
+}
+
+Tensor Tensor::RandUniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    p[i] = static_cast<float>(rng.Uniform(lo, hi));
+  }
+  return t;
+}
+
+Tensor Tensor::Arange(int64_t n) {
+  Tensor t(Shape{n});
+  float* p = t.data();
+  for (int64_t i = 0; i < n; ++i) p[i] = static_cast<float>(i);
+  return t;
+}
+
+int64_t Tensor::size(int64_t d) const {
+  if (d < 0) d += dim();
+  LIPF_CHECK_GE(d, 0);
+  LIPF_CHECK_LT(d, dim());
+  return shape_[d];
+}
+
+float Tensor::item() const {
+  LIPF_CHECK_EQ(numel_, 1) << "item() on tensor with shape "
+                           << ShapeToString(shape_);
+  return storage_->at(0);
+}
+
+float& Tensor::at(std::initializer_list<int64_t> idx) {
+  LIPF_CHECK_EQ(static_cast<int64_t>(idx.size()), dim());
+  int64_t off = 0;
+  int64_t d = 0;
+  for (int64_t i : idx) {
+    LIPF_CHECK_GE(i, 0);
+    LIPF_CHECK_LT(i, shape_[d]);
+    off += i * strides_[d];
+    ++d;
+  }
+  return (*storage_)[off];
+}
+
+float Tensor::at(std::initializer_list<int64_t> idx) const {
+  return const_cast<Tensor*>(this)->at(idx);
+}
+
+Tensor Tensor::Reshape(Shape new_shape) const {
+  int64_t known = 1;
+  int64_t infer_pos = -1;
+  for (size_t i = 0; i < new_shape.size(); ++i) {
+    if (new_shape[i] == -1) {
+      LIPF_CHECK_EQ(infer_pos, -1) << "at most one -1 in reshape";
+      infer_pos = static_cast<int64_t>(i);
+    } else {
+      known *= new_shape[i];
+    }
+  }
+  if (infer_pos >= 0) {
+    LIPF_CHECK_GT(known, 0);
+    LIPF_CHECK_EQ(numel_ % known, 0)
+        << "cannot infer reshape dim for " << ShapeToString(new_shape);
+    new_shape[infer_pos] = numel_ / known;
+  }
+  LIPF_CHECK_EQ(NumElements(new_shape), numel_)
+      << "reshape " << ShapeToString(shape_) << " -> "
+      << ShapeToString(new_shape);
+  Tensor out;
+  out.shape_ = std::move(new_shape);
+  out.numel_ = numel_;
+  out.storage_ = storage_;
+  out.InitStrides();
+  return out;
+}
+
+Tensor Tensor::Unsqueeze(int64_t d) const {
+  if (d < 0) d += dim() + 1;
+  LIPF_CHECK_GE(d, 0);
+  LIPF_CHECK_LE(d, dim());
+  Shape s = shape_;
+  s.insert(s.begin() + d, 1);
+  return Reshape(std::move(s));
+}
+
+Tensor Tensor::Squeeze(int64_t d) const {
+  if (d < 0) d += dim();
+  LIPF_CHECK_GE(d, 0);
+  LIPF_CHECK_LT(d, dim());
+  LIPF_CHECK_EQ(shape_[d], 1) << "squeeze of non-1 dimension";
+  Shape s = shape_;
+  s.erase(s.begin() + d);
+  return Reshape(std::move(s));
+}
+
+Tensor Tensor::Clone() const {
+  Tensor out;
+  out.shape_ = shape_;
+  out.numel_ = numel_;
+  out.storage_ = std::make_shared<std::vector<float>>(*storage_);
+  out.InitStrides();
+  return out;
+}
+
+void Tensor::Fill(float value) {
+  std::fill(storage_->begin(), storage_->end(), value);
+}
+
+std::string Tensor::ToString(int64_t max_per_dim) const {
+  std::ostringstream os;
+  os << "Tensor" << ShapeToString(shape_) << " [";
+  const int64_t n = std::min<int64_t>(numel_, max_per_dim);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i) os << ", ";
+    os << (*storage_)[i];
+  }
+  if (numel_ > n) os << ", ...";
+  os << "]";
+  return os.str();
+}
+
+}  // namespace lipformer

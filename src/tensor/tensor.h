@@ -1,0 +1,92 @@
+#ifndef LIPFORMER_TENSOR_TENSOR_H_
+#define LIPFORMER_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+// Dense, contiguous, row-major float32 tensor. Storage is shared between
+// tensors produced by Reshape/View so reshapes are free; all arithmetic ops
+// (see tensor/ops.h) allocate fresh outputs. This is the numeric substrate
+// for the whole library -- there is no external BLAS dependency.
+
+namespace lipformer {
+
+using Shape = std::vector<int64_t>;
+
+int64_t NumElements(const Shape& shape);
+std::string ShapeToString(const Shape& shape);
+bool SameShape(const Shape& a, const Shape& b);
+
+class Tensor {
+ public:
+  // Empty 0-d tensor with a single element (scalar zero).
+  Tensor();
+
+  // Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  // Tensor wrapping the given data (copied); data.size() must match shape.
+  Tensor(Shape shape, std::vector<float> data);
+
+  // ---- Factories ----
+  static Tensor Zeros(Shape shape);
+  static Tensor Ones(Shape shape);
+  static Tensor Full(Shape shape, float value);
+  static Tensor Scalar(float value);
+  // Standard-normal entries scaled by stddev.
+  static Tensor Randn(Shape shape, Rng& rng, float stddev = 1.0f);
+  static Tensor RandUniform(Shape shape, Rng& rng, float lo, float hi);
+  // [0, 1, ..., n-1] as float.
+  static Tensor Arange(int64_t n);
+
+  // ---- Introspection ----
+  const Shape& shape() const { return shape_; }
+  int64_t dim() const { return static_cast<int64_t>(shape_.size()); }
+  int64_t size(int64_t d) const;
+  int64_t numel() const { return numel_; }
+  const Shape& strides() const { return strides_; }
+
+  float* data() { return storage_->data(); }
+  const float* data() const { return storage_->data(); }
+
+  // Scalar access for 0-d / 1-element tensors.
+  float item() const;
+
+  // Multi-dimensional element access (bounds-checked).
+  float& at(std::initializer_list<int64_t> idx);
+  float at(std::initializer_list<int64_t> idx) const;
+
+  // ---- Shape manipulation (storage-sharing) ----
+  // New view with the same element count. A -1 entry is inferred.
+  Tensor Reshape(Shape new_shape) const;
+  // Adds a size-1 dimension at position d.
+  Tensor Unsqueeze(int64_t d) const;
+  // Removes a size-1 dimension at position d.
+  Tensor Squeeze(int64_t d) const;
+
+  // Deep copy.
+  Tensor Clone() const;
+
+  // Fills every element with value.
+  void Fill(float value);
+
+  std::string ToString(int64_t max_per_dim = 8) const;
+
+ private:
+  void InitStrides();
+
+  Shape shape_;
+  Shape strides_;
+  int64_t numel_ = 0;
+  std::shared_ptr<std::vector<float>> storage_;
+};
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_TENSOR_TENSOR_H_

@@ -1,0 +1,116 @@
+#include "train/extended_metrics.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "train/metrics.h"
+
+namespace lipformer {
+
+float RseMetric(const Tensor& pred, const Tensor& target) {
+  LIPF_CHECK(SameShape(pred.shape(), target.shape()));
+  const float* pp = pred.data();
+  const float* pt = target.data();
+  const int64_t n = pred.numel();
+  LIPF_CHECK_GT(n, 0);
+  double mean = 0.0;
+  for (int64_t i = 0; i < n; ++i) mean += pt[i];
+  mean /= static_cast<double>(n);
+  double num = 0.0;
+  double den = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const double e = static_cast<double>(pp[i]) - pt[i];
+    const double d = pt[i] - mean;
+    num += e * e;
+    den += d * d;
+  }
+  if (den <= 0.0) return 0.0f;
+  return static_cast<float>(std::sqrt(num / den));
+}
+
+float CorrMetric(const Tensor& pred, const Tensor& target) {
+  LIPF_CHECK(SameShape(pred.shape(), target.shape()));
+  const float* pp = pred.data();
+  const float* pt = target.data();
+  const int64_t n = pred.numel();
+  LIPF_CHECK_GT(n, 0);
+  double sp = 0, st = 0, spp = 0, stt = 0, spt = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    sp += pp[i];
+    st += pt[i];
+    spp += static_cast<double>(pp[i]) * pp[i];
+    stt += static_cast<double>(pt[i]) * pt[i];
+    spt += static_cast<double>(pp[i]) * pt[i];
+  }
+  const double cov = spt / n - (sp / n) * (st / n);
+  const double vp = spp / n - (sp / n) * (sp / n);
+  const double vt = stt / n - (st / n) * (st / n);
+  if (vp <= 0.0 || vt <= 0.0) return 0.0f;
+  return static_cast<float>(cov / std::sqrt(vp * vt));
+}
+
+float SmapeMetric(const Tensor& pred, const Tensor& target) {
+  LIPF_CHECK(SameShape(pred.shape(), target.shape()));
+  const float* pp = pred.data();
+  const float* pt = target.data();
+  const int64_t n = pred.numel();
+  LIPF_CHECK_GT(n, 0);
+  double acc = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const double denom =
+        std::fabs(pp[i]) + std::fabs(pt[i]) + 1e-8;
+    acc += 2.0 * std::fabs(static_cast<double>(pp[i]) - pt[i]) / denom;
+  }
+  return static_cast<float>(acc / static_cast<double>(n));
+}
+
+float MaseMetric(const Tensor& pred, const Tensor& target,
+                 int64_t seasonality) {
+  LIPF_CHECK(SameShape(pred.shape(), target.shape()));
+  LIPF_CHECK_GE(pred.dim(), 2);
+  LIPF_CHECK_GT(seasonality, 0);
+  // Interpret the last two dims as [L, c]; earlier dims are batch.
+  const int64_t c = pred.size(-1);
+  const int64_t l = pred.size(-2);
+  LIPF_CHECK_GT(l, seasonality) << "horizon shorter than seasonality";
+  const int64_t batch = pred.numel() / (l * c);
+  const float* pp = pred.data();
+  const float* pt = target.data();
+  double err = 0.0;
+  double scale = 0.0;
+  int64_t err_n = 0;
+  int64_t scale_n = 0;
+  for (int64_t b = 0; b < batch; ++b) {
+    const float* tp = pp + b * l * c;
+    const float* tt = pt + b * l * c;
+    for (int64_t t = 0; t < l; ++t) {
+      for (int64_t j = 0; j < c; ++j) {
+        err += std::fabs(static_cast<double>(tp[t * c + j]) - tt[t * c + j]);
+        ++err_n;
+        if (t >= seasonality) {
+          scale += std::fabs(static_cast<double>(tt[t * c + j]) -
+                             tt[(t - seasonality) * c + j]);
+          ++scale_n;
+        }
+      }
+    }
+  }
+  const double mean_err = err / static_cast<double>(err_n);
+  const double mean_scale =
+      scale_n > 0 ? scale / static_cast<double>(scale_n) : 0.0;
+  if (mean_scale <= 1e-12) return 0.0f;
+  return static_cast<float>(mean_err / mean_scale);
+}
+
+ExtendedMetrics ComputeExtendedMetrics(const Tensor& pred,
+                                       const Tensor& target) {
+  ExtendedMetrics m;
+  m.mse = MseMetric(pred, target);
+  m.mae = MaeMetric(pred, target);
+  m.rse = RseMetric(pred, target);
+  m.corr = CorrMetric(pred, target);
+  m.smape = SmapeMetric(pred, target);
+  return m;
+}
+
+}  // namespace lipformer

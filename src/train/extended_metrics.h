@@ -1,0 +1,42 @@
+#ifndef LIPFORMER_TRAIN_EXTENDED_METRICS_H_
+#define LIPFORMER_TRAIN_EXTENDED_METRICS_H_
+
+#include "tensor/tensor.h"
+
+// Additional accuracy metrics common in the long-term forecasting
+// literature, complementing the paper's MSE/MAE: RSE, empirical
+// correlation, sMAPE and MASE. All operate on same-shaped prediction /
+// target tensors (any rank).
+
+namespace lipformer {
+
+// Root relative squared error: ||pred - y|| / ||y - mean(y)||.
+float RseMetric(const Tensor& pred, const Tensor& target);
+
+// Pearson correlation between flattened prediction and target.
+float CorrMetric(const Tensor& pred, const Tensor& target);
+
+// Symmetric mean absolute percentage error in [0, 2]:
+// mean(2|p - y| / (|p| + |y| + eps)).
+float SmapeMetric(const Tensor& pred, const Tensor& target);
+
+// Mean absolute scaled error. pred/target: [b, L, c] (or [L, c]); the
+// scale is the in-sample seasonal-naive MAE of the target with the given
+// seasonality m (m=1 -> naive one-step).
+float MaseMetric(const Tensor& pred, const Tensor& target,
+                 int64_t seasonality = 1);
+
+struct ExtendedMetrics {
+  float mse = 0;
+  float mae = 0;
+  float rse = 0;
+  float corr = 0;
+  float smape = 0;
+};
+
+ExtendedMetrics ComputeExtendedMetrics(const Tensor& pred,
+                                       const Tensor& target);
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_TRAIN_EXTENDED_METRICS_H_

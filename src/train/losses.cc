@@ -1,0 +1,73 @@
+#include "train/losses.h"
+
+#include <cmath>
+
+namespace lipformer {
+
+Variable MseLoss(const Variable& pred, const Tensor& target) {
+  LIPF_CHECK(SameShape(pred.shape(), target.shape()));
+  Variable diff = AddConst(pred, Neg(target));
+  return MeanAll(Mul(diff, diff));
+}
+
+Variable MaeLoss(const Variable& pred, const Tensor& target) {
+  LIPF_CHECK(SameShape(pred.shape(), target.shape()));
+  Variable diff = AddConst(pred, Neg(target));
+  return MeanAll(Abs(diff));
+}
+
+Variable SmoothL1Loss(const Variable& pred, const Tensor& target,
+                      float beta) {
+  LIPF_CHECK(SameShape(pred.shape(), target.shape()));
+  LIPF_CHECK_GT(beta, 0.0f);
+  Variable diff = AddConst(pred, Neg(target));
+  Variable absdiff = Abs(diff);
+
+  // Piecewise selection via a constant 0/1 mask evaluated at the current
+  // point; correct a.e. and matching the subgradient at the seam.
+  Tensor mask(absdiff.shape());
+  const float* pa = absdiff.value().data();
+  float* pm = mask.data();
+  for (int64_t i = 0; i < mask.numel(); ++i) {
+    pm[i] = pa[i] < beta ? 1.0f : 0.0f;
+  }
+  Tensor inv_mask = AddScalar(Neg(mask), 1.0f);
+
+  Variable quadratic = MulScalar(Mul(diff, diff), 0.5f / beta);
+  Variable linear = AddScalar(absdiff, -0.5f * beta);
+  Variable per_element =
+      Add(MulConst(quadratic, mask), MulConst(linear, inv_mask));
+  return MeanAll(per_element);
+}
+
+Variable ForecastLoss(LossKind kind, const Variable& pred,
+                      const Tensor& target, float smooth_l1_beta) {
+  switch (kind) {
+    case LossKind::kMse:
+      return MseLoss(pred, target);
+    case LossKind::kMae:
+      return MaeLoss(pred, target);
+    case LossKind::kSmoothL1:
+      return SmoothL1Loss(pred, target, smooth_l1_beta);
+  }
+  LIPF_CHECK(false) << "unknown loss kind";
+  return MseLoss(pred, target);
+}
+
+Variable SymmetricContrastiveLoss(const Variable& logits) {
+  LIPF_CHECK_EQ(logits.dim(), 2);
+  const int64_t b = logits.size(0);
+  LIPF_CHECK_EQ(logits.size(1), b);
+  Tensor eye(Shape{b, b});
+  float* pe = eye.data();
+  for (int64_t i = 0; i < b; ++i) pe[i * b + i] = 1.0f;
+  const float inv_b = 1.0f / static_cast<float>(b);
+  // CE over rows: labels are the diagonal.
+  Variable row_ce =
+      MulScalar(SumAll(MulConst(LogSoftmax(logits, 1), eye)), -inv_b);
+  Variable col_ce =
+      MulScalar(SumAll(MulConst(LogSoftmax(logits, 0), eye)), -inv_b);
+  return MulScalar(Add(row_ce, col_ce), 0.5f);
+}
+
+}  // namespace lipformer

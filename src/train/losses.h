@@ -1,0 +1,30 @@
+#ifndef LIPFORMER_TRAIN_LOSSES_H_
+#define LIPFORMER_TRAIN_LOSSES_H_
+
+#include "autograd/ops.h"
+
+namespace lipformer {
+
+enum class LossKind { kMse, kMae, kSmoothL1 };
+
+// Mean squared error between a prediction and a constant target.
+Variable MseLoss(const Variable& pred, const Tensor& target);
+
+// Mean absolute error.
+Variable MaeLoss(const Variable& pred, const Tensor& target);
+
+// Smooth L1 (Huber) with threshold beta, as used for LiPFormer training
+// (Section III-B): quadratic below beta, linear above.
+Variable SmoothL1Loss(const Variable& pred, const Tensor& target, float beta);
+
+Variable ForecastLoss(LossKind kind, const Variable& pred,
+                      const Tensor& target, float smooth_l1_beta = 1.0f);
+
+// CLIP-style symmetric cross-entropy over a [b, b] logits matrix whose
+// diagonal entries are the positive covariate-target pairs:
+//   L = 1/2 (CE_rows(logits, diag) + CE_cols(logits, diag)).
+Variable SymmetricContrastiveLoss(const Variable& logits);
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_TRAIN_LOSSES_H_

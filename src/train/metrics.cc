@@ -1,0 +1,43 @@
+#include "train/metrics.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace lipformer {
+
+float MseMetric(const Tensor& pred, const Tensor& target) {
+  MetricAccumulator acc;
+  acc.Add(pred, target);
+  return acc.mse();
+}
+
+float MaeMetric(const Tensor& pred, const Tensor& target) {
+  MetricAccumulator acc;
+  acc.Add(pred, target);
+  return acc.mae();
+}
+
+void MetricAccumulator::Add(const Tensor& pred, const Tensor& target) {
+  LIPF_CHECK(SameShape(pred.shape(), target.shape()));
+  const float* pp = pred.data();
+  const float* pt = target.data();
+  for (int64_t i = 0; i < pred.numel(); ++i) {
+    const double d = static_cast<double>(pp[i]) - pt[i];
+    sum_sq_ += d * d;
+    sum_abs_ += std::fabs(d);
+  }
+  count_ += pred.numel();
+}
+
+float MetricAccumulator::mse() const {
+  LIPF_CHECK_GT(count_, 0);
+  return static_cast<float>(sum_sq_ / static_cast<double>(count_));
+}
+
+float MetricAccumulator::mae() const {
+  LIPF_CHECK_GT(count_, 0);
+  return static_cast<float>(sum_abs_ / static_cast<double>(count_));
+}
+
+}  // namespace lipformer

@@ -1,0 +1,29 @@
+#ifndef LIPFORMER_TRAIN_METRICS_H_
+#define LIPFORMER_TRAIN_METRICS_H_
+
+#include "tensor/tensor.h"
+
+namespace lipformer {
+
+// Accuracy metrics on the standardized scale, matching the benchmark
+// protocol (Section IV-A2).
+float MseMetric(const Tensor& pred, const Tensor& target);
+float MaeMetric(const Tensor& pred, const Tensor& target);
+
+// Running aggregate over many batches (element-weighted).
+class MetricAccumulator {
+ public:
+  void Add(const Tensor& pred, const Tensor& target);
+  float mse() const;
+  float mae() const;
+  int64_t count() const { return count_; }
+
+ private:
+  double sum_sq_ = 0.0;
+  double sum_abs_ = 0.0;
+  int64_t count_ = 0;
+};
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_TRAIN_METRICS_H_

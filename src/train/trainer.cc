@@ -1,0 +1,135 @@
+#include "train/trainer.h"
+
+#include <chrono>
+#include <vector>
+
+#include "optim/adamw.h"
+#include "optim/early_stopping.h"
+#include "train/metrics.h"
+
+namespace lipformer {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// In-memory snapshot of parameter values, used to restore the
+// best-validation weights.
+std::vector<Tensor> SnapshotParameters(Forecaster* model) {
+  std::vector<Tensor> snap;
+  for (const Variable& p : model->Parameters()) {
+    snap.push_back(p.value().Clone());
+  }
+  return snap;
+}
+
+void RestoreParameters(Forecaster* model, const std::vector<Tensor>& snap) {
+  std::vector<Variable> params = model->Parameters();
+  LIPF_CHECK_EQ(params.size(), snap.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    float* dst = params[i].mutable_value().data();
+    const float* src = snap[i].data();
+    std::copy(src, src + params[i].numel(), dst);
+  }
+}
+
+}  // namespace
+
+EvalResult Evaluate(Forecaster* model, const WindowDataset& data, Split split,
+                    int64_t batch_size, int64_t max_batches) {
+  NoGradGuard no_grad;
+  const bool was_training = model->training();
+  model->SetTraining(false);
+  DataLoader loader(&data, split, batch_size, /*shuffle=*/false, Rng(0));
+  MetricAccumulator acc;
+  int64_t batches = 0;
+  for (loader.Reset(); loader.HasNext();) {
+    Batch batch = loader.Next();
+    Variable pred = model->Forward(batch);
+    acc.Add(pred.value(), batch.y);
+    if (max_batches > 0 && ++batches >= max_batches) break;
+  }
+  model->SetTraining(was_training);
+  EvalResult result;
+  if (acc.count() > 0) {
+    result.mse = acc.mse();
+    result.mae = acc.mae();
+  }
+  return result;
+}
+
+TrainResult TrainAndEvaluate(Forecaster* model, const WindowDataset& data,
+                             const TrainConfig& config) {
+  AdamW optimizer(model->Parameters(), config.lr, 0.9f, 0.999f, 1e-8f,
+                  config.weight_decay);
+  EarlyStopping stopper(config.patience);
+  Rng rng(config.seed);
+  DataLoader train_loader(&data, Split::kTrain, config.batch_size,
+                          /*shuffle=*/true, rng.Fork());
+
+  TrainResult result;
+  std::vector<Tensor> best_params = SnapshotParameters(model);
+  const auto t0 = Clock::now();
+
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    model->SetTraining(true);
+    int64_t batches = 0;
+    double epoch_loss = 0.0;
+    for (train_loader.Reset(); train_loader.HasNext();) {
+      Batch batch = train_loader.Next();
+      optimizer.ZeroGrad();
+      Variable pred = model->Forward(batch);
+      Variable loss = ForecastLoss(config.loss, pred, batch.y,
+                                   config.smooth_l1_beta);
+      loss.Backward();
+      if (config.clip_norm > 0.0f) {
+        ClipGradNorm(optimizer.params(), config.clip_norm);
+      }
+      optimizer.Step();
+      epoch_loss += loss.value().item();
+      ++batches;
+      if (config.max_batches_per_epoch > 0 &&
+          batches >= config.max_batches_per_epoch) {
+        break;
+      }
+    }
+    ++result.epochs_run;
+
+    const EvalResult val = Evaluate(model, data, Split::kVal,
+                                    config.batch_size,
+                                    config.max_eval_batches);
+    if (config.verbose) {
+      LIPF_LOG(Info) << model->name() << " epoch " << epoch << " train_loss="
+                     << (batches > 0 ? epoch_loss / batches : 0.0)
+                     << " val_mse=" << val.mse;
+    }
+    if (stopper.Update(val.mse)) {
+      best_params = SnapshotParameters(model);
+      if (!config.checkpoint_path.empty()) {
+        const Status st = model->SaveParameters(config.checkpoint_path);
+        if (!st.ok()) {
+          LIPF_LOG(Warning) << "checkpoint write failed: " << st.ToString();
+        }
+      }
+    }
+    if (stopper.ShouldStop()) break;
+  }
+
+  result.total_seconds = SecondsSince(t0);
+  result.seconds_per_epoch =
+      result.epochs_run > 0
+          ? result.total_seconds / static_cast<double>(result.epochs_run)
+          : 0.0;
+  result.best_val_loss = stopper.best_score();
+
+  RestoreParameters(model, best_params);
+  result.test = Evaluate(model, data, Split::kTest, config.batch_size,
+                         config.max_eval_batches);
+  return result;
+}
+
+}  // namespace lipformer

@@ -1,0 +1,59 @@
+#ifndef LIPFORMER_TRAIN_TRAINER_H_
+#define LIPFORMER_TRAIN_TRAINER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataloader.h"
+#include "models/forecaster.h"
+#include "train/losses.h"
+
+namespace lipformer {
+
+struct TrainConfig {
+  int64_t epochs = 10;
+  int64_t patience = 3;  // early stopping, as in the paper
+  float lr = 1e-3f;
+  float weight_decay = 1e-2f;
+  int64_t batch_size = 32;
+  // 0 disables clipping.
+  float clip_norm = 5.0f;
+  uint64_t seed = 1;
+  LossKind loss = LossKind::kSmoothL1;
+  float smooth_l1_beta = 1.0f;
+  bool verbose = false;
+  // Caps the number of training batches per epoch (0 = no cap); keeps the
+  // bench sweeps tractable on one core while exercising the full pipeline.
+  int64_t max_batches_per_epoch = 0;
+  int64_t max_eval_batches = 0;
+  // When non-empty, the best-validation parameters are also written here
+  // every time validation improves (binary Module::SaveParameters format).
+  std::string checkpoint_path;
+};
+
+struct EvalResult {
+  float mse = 0.0f;
+  float mae = 0.0f;
+};
+
+struct TrainResult {
+  float best_val_loss = 0.0f;
+  int64_t epochs_run = 0;
+  double seconds_per_epoch = 0.0;
+  double total_seconds = 0.0;
+  EvalResult test;
+};
+
+// Evaluates a model (eval mode, no grad) over a split.
+EvalResult Evaluate(Forecaster* model, const WindowDataset& data, Split split,
+                    int64_t batch_size = 32, int64_t max_batches = 0);
+
+// Full training protocol from the paper: AdamW, SmoothL1 loss, early
+// stopping with patience on validation MSE, best-validation weights
+// restored before the final test evaluation.
+TrainResult TrainAndEvaluate(Forecaster* model, const WindowDataset& data,
+                             const TrainConfig& config);
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_TRAIN_TRAINER_H_

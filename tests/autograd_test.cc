@@ -1,0 +1,297 @@
+#include "autograd/ops.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace lipformer {
+namespace {
+
+using testing::CheckGradient;
+using testing::RandomTensor;
+
+TEST(AutogradTest, LeafAccumulatesGradient) {
+  Variable x(Tensor({2}, {1.0f, 2.0f}), /*requires_grad=*/true);
+  Variable loss = SumAll(Mul(x, x));
+  loss.Backward();
+  EXPECT_FLOAT_EQ(x.grad().data()[0], 2.0f);
+  EXPECT_FLOAT_EQ(x.grad().data()[1], 4.0f);
+}
+
+TEST(AutogradTest, GradAccumulatesAcrossBackwardCalls) {
+  Variable x(Tensor({1}, {3.0f}), true);
+  Variable l1 = SumAll(x);
+  l1.Backward();
+  Variable l2 = SumAll(MulScalar(x, 2.0f));
+  l2.Backward();
+  EXPECT_FLOAT_EQ(x.grad().data()[0], 3.0f);
+  x.ZeroGrad();
+  Variable l3 = SumAll(x);
+  l3.Backward();
+  EXPECT_FLOAT_EQ(x.grad().data()[0], 1.0f);
+}
+
+TEST(AutogradTest, NoGradGuardStopsTaping) {
+  Variable x(Tensor({1}, {2.0f}), true);
+  Variable y;
+  {
+    NoGradGuard guard;
+    y = Mul(x, x);
+  }
+  EXPECT_FALSE(y.requires_grad());
+}
+
+TEST(AutogradTest, DetachCutsTape) {
+  Variable x(Tensor({1}, {2.0f}), true);
+  Variable y = Mul(x, x).Detach();
+  EXPECT_FALSE(y.requires_grad());
+}
+
+TEST(AutogradTest, DiamondGraphAccumulates) {
+  // loss = x*x + x*x via two separate paths.
+  Variable x(Tensor({1}, {3.0f}), true);
+  Variable a = Mul(x, x);
+  Variable b = Mul(x, x);
+  Variable loss = SumAll(Add(a, b));
+  loss.Backward();
+  EXPECT_FLOAT_EQ(x.grad().data()[0], 12.0f);
+}
+
+TEST(AutogradTest, ReusedSubexpression) {
+  Variable x(Tensor({1}, {2.0f}), true);
+  Variable y = Mul(x, x);       // x^2
+  Variable z = Mul(y, y);       // x^4 -> d/dx = 4 x^3 = 32
+  SumAll(z).Backward();
+  EXPECT_FLOAT_EQ(x.grad().data()[0], 32.0f);
+}
+
+// ---- Finite-difference checks per op ----
+
+TEST(GradCheck, AddBroadcast) {
+  Tensor b = RandomTensor({3}, 100);
+  CheckGradient(
+      [&](const Variable& x) {
+        return SumAll(Mul(Add(x, Variable(b)), Add(x, Variable(b))));
+      },
+      RandomTensor({2, 3}, 1));
+}
+
+TEST(GradCheck, BroadcastOperandReceivesReducedGrad) {
+  // x is the small (broadcast) operand.
+  Tensor big = RandomTensor({4, 3}, 101);
+  CheckGradient(
+      [&](const Variable& x) { return SumAll(Mul(Add(x, Variable(big)),
+                                                 Variable(big))); },
+      RandomTensor({3}, 2));
+}
+
+TEST(GradCheck, SubMulDiv) {
+  Tensor other = RandomTensor({2, 3}, 102);
+  // Keep denominators away from zero.
+  for (int64_t i = 0; i < other.numel(); ++i) {
+    other.data()[i] = 1.5f + 0.2f * other.data()[i] * other.data()[i];
+  }
+  CheckGradient(
+      [&](const Variable& x) {
+        Variable o(other);
+        return SumAll(Div(Mul(Sub(x, o), x), o));
+      },
+      RandomTensor({2, 3}, 3));
+}
+
+TEST(GradCheck, DivDenominator) {
+  Tensor num = RandomTensor({2, 3}, 103);
+  CheckGradient(
+      [&](const Variable& x) {
+        // shift x away from 0 inside f to keep the quotient smooth
+        Variable denom = AddScalar(Mul(x, x), 1.0f);
+        return SumAll(Div(Variable(num), denom));
+      },
+      RandomTensor({2, 3}, 4));
+}
+
+TEST(GradCheck, UnaryChain) {
+  CheckGradient(
+      [](const Variable& x) {
+        return MeanAll(Tanh(AddScalar(MulScalar(x, 0.5f), 0.1f)));
+      },
+      RandomTensor({3, 4}, 5));
+}
+
+TEST(GradCheck, ExpLogSqrt) {
+  CheckGradient(
+      [](const Variable& x) {
+        Variable pos = AddScalar(Mul(x, x), 0.5f);
+        return SumAll(Log(Sqrt(Exp(MulScalar(pos, 0.3f)))));
+      },
+      RandomTensor({6}, 6));
+}
+
+TEST(GradCheck, SigmoidGelu) {
+  CheckGradient(
+      [](const Variable& x) { return SumAll(Sigmoid(Gelu(x))); },
+      RandomTensor({2, 5}, 7));
+}
+
+TEST(GradCheck, ReluAwayFromKink) {
+  Tensor x0 = RandomTensor({10}, 8);
+  // Push values away from 0 so finite differences are valid.
+  for (int64_t i = 0; i < x0.numel(); ++i) {
+    if (std::fabs(x0.data()[i]) < 0.1f) x0.data()[i] = 0.5f;
+  }
+  CheckGradient([](const Variable& x) { return SumAll(Relu(x)); }, x0);
+}
+
+TEST(GradCheck, AbsAwayFromKink) {
+  Tensor x0 = RandomTensor({10}, 9);
+  for (int64_t i = 0; i < x0.numel(); ++i) {
+    if (std::fabs(x0.data()[i]) < 0.1f) x0.data()[i] = -0.5f;
+  }
+  CheckGradient([](const Variable& x) { return SumAll(Abs(x)); }, x0);
+}
+
+TEST(GradCheck, PowScalar) {
+  Tensor x0 = RandomTensor({5}, 10);
+  for (int64_t i = 0; i < x0.numel(); ++i) {
+    x0.data()[i] = 0.5f + std::fabs(x0.data()[i]);
+  }
+  CheckGradient(
+      [](const Variable& x) { return SumAll(PowScalar(x, 3.0f)); }, x0);
+}
+
+TEST(GradCheck, MatMulLeft) {
+  Tensor b = RandomTensor({4, 3}, 104);
+  CheckGradient(
+      [&](const Variable& x) {
+        Variable y = MatMul(x, Variable(b));
+        return SumAll(Mul(y, y));
+      },
+      RandomTensor({2, 4}, 11), 1e-2f, 3e-2f, 5e-2f);
+}
+
+TEST(GradCheck, MatMulRight) {
+  Tensor a = RandomTensor({3, 4}, 105);
+  CheckGradient(
+      [&](const Variable& x) {
+        Variable y = MatMul(Variable(a), x);
+        return SumAll(Mul(y, y));
+      },
+      RandomTensor({4, 2}, 12), 1e-2f, 3e-2f, 5e-2f);
+}
+
+TEST(GradCheck, MatMulBatchBroadcastGrad) {
+  Tensor a = RandomTensor({2, 3, 4}, 106);
+  CheckGradient(
+      [&](const Variable& x) {
+        // x [4, 2] broadcasts across the two batch matrices.
+        Variable y = MatMul(Variable(a), x);
+        return SumAll(Mul(y, y));
+      },
+      RandomTensor({4, 2}, 13), 1e-2f, 3e-2f, 5e-2f);
+}
+
+TEST(GradCheck, MatMulVector) {
+  Tensor m = RandomTensor({3, 3}, 107);
+  CheckGradient(
+      [&](const Variable& x) {
+        Variable y = MatMul(x, Variable(m));  // 1-d x
+        return SumAll(Mul(y, y));
+      },
+      RandomTensor({3}, 14));
+}
+
+TEST(GradCheck, ReshapePermuteTranspose) {
+  CheckGradient(
+      [](const Variable& x) {
+        Variable r = Reshape(x, {3, 4});
+        Variable p = Permute(Reshape(r, {3, 2, 2}), {2, 0, 1});
+        Variable t = Transpose(p, 0, 2);
+        return SumAll(Mul(t, t));
+      },
+      RandomTensor({2, 6}, 15));
+}
+
+TEST(GradCheck, SliceConcat) {
+  CheckGradient(
+      [](const Variable& x) {
+        Variable a = Slice(x, 1, 0, 2);
+        Variable b = Slice(x, 1, 2, 5);
+        Variable joined = Concat({b, a}, 1);
+        return SumAll(Mul(joined, joined));
+      },
+      RandomTensor({2, 5}, 16));
+}
+
+TEST(GradCheck, IndexSelectWithRepeats) {
+  CheckGradient(
+      [](const Variable& x) {
+        Variable sel = IndexSelect(x, 0, {0, 2, 2, 1});
+        return SumAll(Mul(sel, sel));
+      },
+      RandomTensor({3, 2}, 17));
+}
+
+TEST(GradCheck, SumMeanDims) {
+  CheckGradient(
+      [](const Variable& x) {
+        Variable s = Sum(x, 0);
+        Variable m = Mean(x, 1, /*keepdim=*/true);
+        return Add(SumAll(Mul(s, s)), SumAll(Mul(m, m)));
+      },
+      RandomTensor({3, 4}, 18));
+}
+
+TEST(GradCheck, SoftmaxGrad) {
+  CheckGradient(
+      [](const Variable& x) {
+        Variable s = Softmax(x, 1);
+        // Weighted sum to make the loss non-trivial.
+        Tensor w = RandomTensor({2, 4}, 108);
+        return SumAll(MulConst(s, w));
+      },
+      RandomTensor({2, 4}, 19));
+}
+
+TEST(GradCheck, LogSoftmaxGrad) {
+  CheckGradient(
+      [](const Variable& x) {
+        Tensor w = RandomTensor({2, 4}, 109);
+        return SumAll(MulConst(LogSoftmax(x, 1), w));
+      },
+      RandomTensor({2, 4}, 20));
+}
+
+TEST(GradCheck, SoftmaxMiddleDim) {
+  CheckGradient(
+      [](const Variable& x) {
+        Tensor w = RandomTensor({2, 3, 2}, 110);
+        return SumAll(MulConst(Softmax(x, 1), w));
+      },
+      RandomTensor({2, 3, 2}, 21));
+}
+
+// Parameterized sweep: a composite expression gradient-checks across many
+// shapes.
+class CompositeGradTest : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(CompositeGradTest, MlpLikeComposite) {
+  const Shape shape = GetParam();
+  const int64_t features = shape.back();
+  Tensor w = RandomTensor({features, features}, 111, 0.5f);
+  CheckGradient(
+      [&](const Variable& x) {
+        Variable h = Tanh(MatMul(x, Variable(w)));
+        return MeanAll(Mul(h, h));
+      },
+      RandomTensor(shape, 22));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, CompositeGradTest,
+                         ::testing::Values(Shape{2, 3}, Shape{1, 5},
+                                           Shape{4, 2, 3},
+                                           Shape{2, 2, 2, 4}));
+
+}  // namespace
+}  // namespace lipformer

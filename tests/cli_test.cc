@@ -1,0 +1,95 @@
+#include "cli/cli.h"
+
+#include <gtest/gtest.h>
+
+#include "data/csv.h"
+#include "data/synthetic.h"
+
+namespace lipformer {
+namespace cli {
+namespace {
+
+CliArgs ParseVec(std::vector<std::string> argv_strings) {
+  std::vector<char*> argv;
+  for (auto& s : argv_strings) argv.push_back(s.data());
+  return Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliParseTest, CommandAndOptions) {
+  CliArgs args = ParseVec({"prog", "train", "--model=dlinear",
+                           "--epochs=7", "--covariates"});
+  EXPECT_EQ(args.command, "train");
+  EXPECT_EQ(args.Get("model", ""), "dlinear");
+  EXPECT_EQ(args.GetInt("epochs", 0), 7);
+  EXPECT_TRUE(args.Has("covariates"));
+  EXPECT_FALSE(args.Has("csv"));
+}
+
+TEST(CliParseTest, DefaultsWhenMissing) {
+  CliArgs args = ParseVec({"prog", "train"});
+  EXPECT_EQ(args.Get("model", "lipformer"), "lipformer");
+  EXPECT_EQ(args.GetInt("input", 96), 96);
+  EXPECT_DOUBLE_EQ(args.GetDouble("scale", 0.2), 0.2);
+}
+
+TEST(CliParseTest, NonOptionArgumentsIgnored) {
+  CliArgs args = ParseVec({"prog", "list", "stray", "--x=1"});
+  EXPECT_EQ(args.command, "list");
+  EXPECT_EQ(args.GetInt("x", 0), 1);
+}
+
+TEST(CliLoadSeriesTest, RegistryDataset) {
+  CliArgs args = ParseVec({"prog", "train", "--dataset=etth1",
+                           "--scale=0.05"});
+  TimeSeries series;
+  double tr, va, te;
+  ASSERT_TRUE(LoadSeries(args, &series, &tr, &va, &te));
+  EXPECT_EQ(series.channels(), 7);
+  EXPECT_DOUBLE_EQ(tr, 0.6);  // ETT split
+}
+
+TEST(CliLoadSeriesTest, UnknownDatasetFails) {
+  CliArgs args = ParseVec({"prog", "train", "--dataset=nope"});
+  TimeSeries series;
+  double tr, va, te;
+  EXPECT_FALSE(LoadSeries(args, &series, &tr, &va, &te));
+}
+
+TEST(CliLoadSeriesTest, CsvPath) {
+  SeasonalConfig gen;
+  gen.steps = 80;
+  gen.channels = 2;
+  const std::string path = ::testing::TempDir() + "/cli_series.csv";
+  ASSERT_TRUE(WriteCsvTimeSeries(path, GenerateSeasonal(gen)).ok());
+  CliArgs args = ParseVec({"prog", "train", std::string("--csv=") + path});
+  TimeSeries series;
+  double tr, va, te;
+  ASSERT_TRUE(LoadSeries(args, &series, &tr, &va, &te));
+  EXPECT_EQ(series.steps(), 80);
+  EXPECT_DOUBLE_EQ(tr, 0.7);  // generic split for user CSVs
+}
+
+TEST(CliLoadSeriesTest, MissingCsvFails) {
+  CliArgs args = ParseVec({"prog", "train", "--csv=/no/such/file.csv"});
+  TimeSeries series;
+  double tr, va, te;
+  EXPECT_FALSE(LoadSeries(args, &series, &tr, &va, &te));
+}
+
+TEST(CliMainTest, UnknownCommandReturnsUsageCode) {
+  std::vector<std::string> argv_strings = {"prog", "frobnicate"};
+  std::vector<char*> argv;
+  for (auto& s : argv_strings) argv.push_back(s.data());
+  EXPECT_EQ(Main(static_cast<int>(argv.size()), argv.data()), 2);
+}
+
+TEST(CliMainTest, ListSucceeds) {
+  std::vector<std::string> argv_strings = {"prog", "list"};
+  std::vector<char*> argv;
+  for (auto& s : argv_strings) argv.push_back(s.data());
+  EXPECT_EQ(Main(static_cast<int>(argv.size()), argv.data()), 0);
+}
+
+}  // namespace
+}  // namespace cli
+}  // namespace lipformer

@@ -1,0 +1,354 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/covariate_augmented.h"
+#include "core/instance_norm.h"
+#include "core/lipformer.h"
+#include "core/patching.h"
+#include "data/synthetic.h"
+#include "models/transformer.h"
+#include "tests/test_util.h"
+
+namespace lipformer {
+namespace {
+
+using testing::RandomTensor;
+
+TEST(PatchingTest, ReshapesWithoutReordering) {
+  Tensor x({1, 8}, {0, 1, 2, 3, 4, 5, 6, 7});
+  Variable patches = MakePatches(Variable(x), 4);
+  EXPECT_EQ(patches.shape(), (Shape{1, 2, 4}));
+  EXPECT_FLOAT_EQ(patches.value().at({0, 0, 3}), 3.0f);
+  EXPECT_FLOAT_EQ(patches.value().at({0, 1, 0}), 4.0f);
+}
+
+TEST(PatchingTest, TrendSequencesCollectFixedOffsets) {
+  // Figure 2: trend j = (x_j, x_{j+pl}, x_{j+2pl}, ...).
+  Tensor x({1, 9}, {0, 1, 2, 3, 4, 5, 6, 7, 8});
+  Variable patches = MakePatches(Variable(x), 3);
+  Variable trends = TrendSequences(patches);
+  EXPECT_EQ(trends.shape(), (Shape{1, 3, 3}));
+  // Trend 0 = {0, 3, 6}; trend 2 = {2, 5, 8}.
+  EXPECT_FLOAT_EQ(trends.value().at({0, 0, 0}), 0.0f);
+  EXPECT_FLOAT_EQ(trends.value().at({0, 0, 1}), 3.0f);
+  EXPECT_FLOAT_EQ(trends.value().at({0, 0, 2}), 6.0f);
+  EXPECT_FLOAT_EQ(trends.value().at({0, 2, 1}), 5.0f);
+}
+
+TEST(PatchingTest, NumTargetPatchesCeils) {
+  EXPECT_EQ(NumTargetPatches(96, 48), 2);
+  EXPECT_EQ(NumTargetPatches(100, 48), 3);
+  EXPECT_EQ(NumTargetPatches(24, 48), 1);
+}
+
+TEST(InstanceNormTest, SubtractsLastValueAndRestores) {
+  Tensor x({1, 3, 2}, {1, 10, 2, 20, 3, 30});
+  auto [normalized, state] = InstanceNormalize(Variable(x));
+  // Last row (3, 30) subtracted everywhere.
+  EXPECT_FLOAT_EQ(normalized.value().at({0, 0, 0}), -2.0f);
+  EXPECT_FLOAT_EQ(normalized.value().at({0, 2, 1}), 0.0f);
+  Variable restored = InstanceDenormalize(normalized, state);
+  EXPECT_TRUE(AllClose(restored.value(), x, 1e-6f, 1e-6f));
+}
+
+BasePredictorConfig SmallBaseConfig() {
+  BasePredictorConfig config;
+  config.input_len = 48;
+  config.pred_len = 20;  // deliberately not a multiple of patch_len
+  config.patch_len = 12;
+  config.hidden_dim = 16;
+  config.num_heads = 2;
+  config.dropout = 0.0f;
+  return config;
+}
+
+TEST(BasePredictorTest, OutputShapeWithRaggedHorizon) {
+  Rng rng(1);
+  BasePredictor base(SmallBaseConfig(), rng);
+  Variable y = base.Forward(Variable(RandomTensor({6, 48}, 2)));
+  EXPECT_EQ(y.shape(), (Shape{6, 20}));
+}
+
+TEST(BasePredictorTest, AblationFlagsChangeParameterCounts) {
+  Rng rng(1);
+  BasePredictorConfig config = SmallBaseConfig();
+  BasePredictor vanilla(config, rng);
+
+  BasePredictorConfig with_ffn = config;
+  with_ffn.use_ffn = true;
+  Rng rng2(1);
+  BasePredictor ffn(with_ffn, rng2);
+  EXPECT_GT(ffn.ParameterCount(), vanilla.ParameterCount());
+
+  BasePredictorConfig with_ln = config;
+  with_ln.use_layer_norm = true;
+  Rng rng3(1);
+  BasePredictor ln(with_ln, rng3);
+  EXPECT_EQ(ln.ParameterCount(),
+            vanilla.ParameterCount() + 2 * config.hidden_dim);
+
+  BasePredictorConfig no_cross = config;
+  no_cross.use_cross_patch = false;
+  Rng rng4(1);
+  BasePredictor nc(no_cross, rng4);
+  EXPECT_LT(nc.ParameterCount(), vanilla.ParameterCount());
+}
+
+TEST(BasePredictorTest, RejectsIndivisiblePatchLength) {
+  BasePredictorConfig config = SmallBaseConfig();
+  config.patch_len = 13;
+  Rng rng(1);
+  EXPECT_DEATH({ BasePredictor bad(config, rng); }, "divide");
+}
+
+CovariateEncoderConfig SmallCovConfig() {
+  CovariateEncoderConfig config;
+  config.pred_len = 12;
+  config.num_numeric = 3;
+  config.categorical_cardinalities = {5, 2};
+  config.embed_dim = 4;
+  config.hidden_dim = 8;
+  config.num_heads = 2;
+  return config;
+}
+
+TEST(CovariateEncoderTest, EncodesToHorizonVector) {
+  Rng rng(3);
+  CovariateEncoder encoder(SmallCovConfig(), rng);
+  Tensor num = RandomTensor({4, 12, 3}, 5);
+  Tensor cat = Tensor::Zeros({4, 12, 2});
+  Variable vc = encoder.Encode(num, cat);
+  EXPECT_EQ(vc.shape(), (Shape{4, 12}));
+}
+
+TEST(CovariateEncoderTest, CategoricalCodesChangeOutput) {
+  Rng rng(3);
+  CovariateEncoder encoder(SmallCovConfig(), rng);
+  Tensor num = RandomTensor({2, 12, 3}, 5);
+  Tensor cat0 = Tensor::Zeros({2, 12, 2});
+  Tensor cat1 = Tensor::Ones({2, 12, 2});
+  Tensor a = encoder.Encode(num, cat0).value().Clone();
+  Tensor b = encoder.Encode(num, cat1).value().Clone();
+  EXPECT_FALSE(AllClose(a, b, 1e-4f, 1e-4f));
+}
+
+TEST(TargetEncoderTest, EncodesTargets) {
+  Rng rng(7);
+  TargetEncoder encoder(12, 3, 8, 2, rng);
+  Variable vt = encoder.Encode(RandomTensor({4, 12, 3}, 8));
+  EXPECT_EQ(vt.shape(), (Shape{4, 12}));
+}
+
+WindowDataset CovariateWindows(int64_t steps = 900) {
+  CovariateDrivenConfig config;
+  config.steps = steps;
+  config.channels = 2;
+  config.seed = 21;
+  config.numeric_covariates = 4;
+  config.categorical_covariates = 1;
+  config.categorical_cardinality = 3;
+  config.covariate_strength = 1.5;
+  config.seasonal_strength = 0.2;
+  config.noise_std = 0.1;
+  TimeSeries series = GenerateCovariateDriven(config);
+  WindowDataset::Options options;
+  options.input_len = 48;
+  options.pred_len = 12;
+  return WindowDataset(series, options);
+}
+
+TEST(DualEncoderTest, LogitsAreSquareAndScaled) {
+  WindowDataset data = CovariateWindows();
+  Rng rng(9);
+  DualEncoder dual(MakeCovariateConfig(data, 12, 8), 2, rng);
+  Batch batch = data.MakeBatch(Split::kTrain, {0, 1, 2, 3, 4});
+  Variable logits = dual.Logits(batch);
+  EXPECT_EQ(logits.shape(), (Shape{5, 5}));
+  // Cosine-similarity logits are bounded by the temperature.
+  const float temp = dual.temperature();
+  for (int64_t i = 0; i < logits.numel(); ++i) {
+    EXPECT_LE(std::fabs(logits.value().data()[i]), temp * 1.001f);
+  }
+}
+
+TEST(DualEncoderTest, PretrainingReducesContrastiveLoss) {
+  WindowDataset data = CovariateWindows();
+  Rng rng(11);
+  DualEncoder dual(MakeCovariateConfig(data, 12, 8), 2, rng);
+  PretrainConfig config;
+  config.epochs = 4;
+  config.batch_size = 32;
+  config.lr = 2e-3f;
+  PretrainResult result = PretrainDualEncoder(&dual, data, config);
+  EXPECT_GT(result.steps, 0);
+  EXPECT_LT(result.final_loss, result.first_epoch_loss);
+}
+
+TEST(DualEncoderTest, PretrainingAlignsDiagonal) {
+  WindowDataset data = CovariateWindows();
+  Rng rng(13);
+  DualEncoder dual(MakeCovariateConfig(data, 12, 8), 2, rng);
+  PretrainConfig config;
+  config.epochs = 5;
+  config.batch_size = 32;
+  config.lr = 2e-3f;
+  PretrainDualEncoder(&dual, data, config);
+
+  dual.SetTraining(false);
+  NoGradGuard ng;
+  std::vector<int64_t> ids;
+  for (int64_t i = 0; i < 16; ++i) ids.push_back(i * 4);
+  Batch batch = data.MakeBatch(Split::kVal, ids);
+  Tensor logits = dual.Logits(batch).value();
+  // Diagonal mean should exceed off-diagonal mean after alignment.
+  double diag = 0.0, off = 0.0;
+  const int64_t b = 16;
+  for (int64_t i = 0; i < b; ++i) {
+    for (int64_t j = 0; j < b; ++j) {
+      if (i == j) {
+        diag += logits.at({i, j});
+      } else {
+        off += logits.at({i, j});
+      }
+    }
+  }
+  diag /= b;
+  off /= b * (b - 1);
+  EXPECT_GT(diag, off);
+}
+
+TEST(LiPFormerTest, ForwardShapeWithoutEncoder) {
+  LiPFormerConfig config;
+  config.input_len = 48;
+  config.pred_len = 12;
+  config.channels = 2;
+  config.patch_len = 12;
+  config.hidden_dim = 16;
+  config.dropout = 0.0f;
+  LiPFormer model(config);
+  WindowDataset data = CovariateWindows();
+  Batch batch = data.MakeBatch(Split::kTrain, {0, 1, 2});
+  EXPECT_EQ(model.Forward(batch).shape(), (Shape{3, 12, 2}));
+  EXPECT_FALSE(model.has_covariate_encoder());
+}
+
+TEST(LiPFormerTest, AttachingEncoderAddsMappingParameters) {
+  LiPFormerConfig config;
+  config.input_len = 48;
+  config.pred_len = 12;
+  config.channels = 2;
+  config.patch_len = 12;
+  config.hidden_dim = 16;
+  LiPFormer model(config);
+  const int64_t before = model.ParameterCount();
+
+  WindowDataset data = CovariateWindows();
+  Rng rng(15);
+  DualEncoder dual(MakeCovariateConfig(data, 12, 8), 2, rng);
+  model.AttachCovariateEncoder(dual.covariate_encoder());
+  EXPECT_TRUE(model.has_covariate_encoder());
+  // Vector mapping (L x L + L) plus channel gain (c).
+  EXPECT_EQ(model.ParameterCount(), before + 12 * 12 + 12 + 2);
+
+  Batch batch = data.MakeBatch(Split::kTrain, {0, 1});
+  EXPECT_EQ(model.Forward(batch).shape(), (Shape{2, 12, 2}));
+}
+
+TEST(LiPFormerTest, FrozenEncoderGetsNoGradients) {
+  WindowDataset data = CovariateWindows();
+  LiPFormerConfig config;
+  config.input_len = 48;
+  config.pred_len = 12;
+  config.channels = 2;
+  config.patch_len = 12;
+  config.hidden_dim = 16;
+  config.dropout = 0.0f;
+  LiPFormer model(config);
+  Rng rng(17);
+  DualEncoder dual(MakeCovariateConfig(data, 12, 8), 2, rng);
+  dual.SetRequiresGrad(false);
+  model.AttachCovariateEncoder(dual.covariate_encoder());
+
+  Batch batch = data.MakeBatch(Split::kTrain, {0, 1});
+  MseLoss(model.Forward(batch), batch.y).Backward();
+  for (const Variable& p : dual.covariate_encoder()->Parameters()) {
+    EXPECT_FALSE(p.has_grad());
+  }
+  // But the vector mapping does learn.
+  bool mapping_has_grad = false;
+  const auto params = model.Parameters();
+  const auto names = model.ParameterNames();
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (names[i].rfind("vector_mapping", 0) == 0 && params[i].has_grad()) {
+      mapping_has_grad = true;
+    }
+  }
+  EXPECT_TRUE(mapping_has_grad);
+}
+
+TEST(LiPFormerTest, AblationSwitchesAffectParameters) {
+  LiPFormerConfig config;
+  config.input_len = 48;
+  config.pred_len = 12;
+  config.channels = 2;
+  config.patch_len = 12;
+  config.hidden_dim = 16;
+  LiPFormer lean(config);
+
+  LiPFormerConfig heavy_config = config;
+  heavy_config.use_ffn = true;
+  heavy_config.use_layer_norm = true;
+  LiPFormer heavy(heavy_config);
+  EXPECT_GT(heavy.ParameterCount(), lean.ParameterCount());
+}
+
+TEST(CovariateAugmentedTest, WrapsAnyForecasterAndKeepsShape) {
+  WindowDataset data = CovariateWindows();
+  ForecasterDims dims{48, 12, 2};
+  TransformerConfig tconfig;
+  tconfig.model_dim = 16;
+  tconfig.num_heads = 2;
+  tconfig.num_layers = 1;
+  tconfig.ffn_dim = 32;
+  tconfig.dropout = 0.0f;
+  auto base = std::make_unique<VanillaTransformer>(dims, tconfig, 1);
+  Rng rng(19);
+  DualEncoder dual(MakeCovariateConfig(data, 12, 8), 2, rng);
+  dual.SetRequiresGrad(false);
+
+  CovariateAugmentedForecaster wrapped(std::move(base),
+                                       dual.covariate_encoder());
+  EXPECT_EQ(wrapped.name(), "Transformer+CovariateEncoder");
+  Batch batch = data.MakeBatch(Split::kTrain, {0, 1, 2});
+  EXPECT_EQ(wrapped.Forward(batch).shape(), (Shape{3, 12, 2}));
+
+  // Gradients reach the wrapped base model.
+  MseLoss(wrapped.Forward(batch), batch.y).Backward();
+  bool base_has_grad = false;
+  const auto params = wrapped.Parameters();
+  const auto names = wrapped.ParameterNames();
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (names[i].rfind("base.", 0) == 0 && params[i].has_grad()) {
+      base_has_grad = true;
+    }
+  }
+  EXPECT_TRUE(base_has_grad);
+}
+
+TEST(CoreDeathTest, EncoderHorizonMismatchIsRejected) {
+  WindowDataset data = CovariateWindows();
+  Rng rng(23);
+  DualEncoder dual(MakeCovariateConfig(data, 12, 8), 2, rng);
+  LiPFormerConfig config;
+  config.input_len = 48;
+  config.pred_len = 24;  // mismatched horizon
+  config.channels = 2;
+  config.patch_len = 12;
+  LiPFormer model(config);
+  EXPECT_DEATH(model.AttachCovariateEncoder(dual.covariate_encoder()),
+               "horizon");
+}
+
+}  // namespace
+}  // namespace lipformer

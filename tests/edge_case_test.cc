@@ -1,0 +1,161 @@
+// Edge cases and contract-violation death tests across the stack: shape
+// mismatches abort with a clear message, degenerate sizes work, and the
+// data pipeline rejects impossible configurations.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "data/window_dataset.h"
+#include "nn/linear.h"
+#include "tests/test_util.h"
+#include "train/losses.h"
+
+namespace lipformer {
+namespace {
+
+using testing::RandomTensor;
+
+TEST(TensorDeathTest, BadReshapeAborts) {
+  Tensor t = Tensor::Zeros({2, 3});
+  EXPECT_DEATH((void)t.Reshape({4, 2}), "reshape");
+}
+
+TEST(TensorDeathTest, OutOfBoundsAtAborts) {
+  Tensor t = Tensor::Zeros({2, 3});
+  EXPECT_DEATH((void)t.at({2, 0}), "CHECK");
+}
+
+TEST(TensorDeathTest, IncompatibleBroadcastAborts) {
+  Tensor a = Tensor::Zeros({2, 3});
+  Tensor b = Tensor::Zeros({2, 4});
+  EXPECT_DEATH((void)Add(a, b), "broadcast");
+}
+
+TEST(TensorDeathTest, MatMulInnerDimMismatchAborts) {
+  Tensor a = Tensor::Zeros({2, 3});
+  Tensor b = Tensor::Zeros({4, 2});
+  EXPECT_DEATH((void)MatMul(a, b), "matmul");
+}
+
+TEST(TensorDeathTest, ItemOnNonScalarAborts) {
+  Tensor t = Tensor::Zeros({2});
+  EXPECT_DEATH((void)t.item(), "item");
+}
+
+TEST(TensorEdge, SizeOneDimensionsBroadcastEverywhere) {
+  Tensor a = Tensor::Ones({1, 1, 1});
+  Tensor b = Tensor::Full({2, 3, 4}, 2.0f);
+  Tensor c = Mul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 3, 4}));
+  EXPECT_FLOAT_EQ(c.data()[0], 2.0f);
+}
+
+TEST(TensorEdge, SingleElementSoftmaxIsOne) {
+  Tensor t({1, 1}, {5.0f});
+  EXPECT_FLOAT_EQ(Softmax(t, 1).item(), 1.0f);
+}
+
+TEST(TensorEdge, SliceCanBeEmpty) {
+  Tensor t = Tensor::Ones({3, 4});
+  Tensor empty = Slice(t, 1, 2, 2);
+  EXPECT_EQ(empty.shape(), (Shape{3, 0}));
+  EXPECT_EQ(empty.numel(), 0);
+}
+
+TEST(TensorEdge, ConcatWithEmptyPiece) {
+  Tensor a = Tensor::Ones({2, 2});
+  Tensor empty(Shape{2, 0});
+  Tensor out = Concat({a, empty}, 1);
+  EXPECT_EQ(out.shape(), (Shape{2, 2}));
+}
+
+TEST(AutogradEdge, BackwardOnNonScalarAborts) {
+  Variable x(Tensor::Ones({2}), true);
+  Variable y = Mul(x, x);
+  EXPECT_DEATH(y.Backward(), "scalar");
+}
+
+TEST(AutogradEdge, BackwardWithoutGradAborts) {
+  Variable x(Tensor::Ones({1}), false);
+  Variable y = Mul(x, x);
+  EXPECT_DEATH(y.Backward(), "non-grad");
+}
+
+TEST(LinearDeathTest, WrongInputWidthAborts) {
+  Rng rng(1);
+  Linear lin(4, 2, rng);
+  EXPECT_DEATH((void)lin.Forward(Variable(Tensor::Zeros({2, 5}))),
+               "last dim");
+}
+
+TEST(LossDeathTest, ShapeMismatchAborts) {
+  Variable pred(Tensor::Zeros({2, 3}));
+  Tensor target = Tensor::Zeros({3, 2});
+  EXPECT_DEATH((void)MseLoss(pred, target), "CHECK");
+}
+
+TEST(WindowDatasetDeathTest, SeriesTooShortAborts) {
+  SeasonalConfig gen;
+  gen.steps = 60;
+  gen.channels = 1;
+  TimeSeries series = GenerateSeasonal(gen);
+  WindowDataset::Options options;
+  options.input_len = 48;
+  options.pred_len = 48;  // train region cannot hold one window
+  EXPECT_DEATH({ WindowDataset bad(series, options); }, "too short");
+}
+
+TEST(WindowDatasetEdge, MinimalViableSeries) {
+  SeasonalConfig gen;
+  gen.steps = 200;
+  gen.channels = 1;
+  TimeSeries series = GenerateSeasonal(gen);
+  WindowDataset::Options options;
+  options.input_len = 24;
+  options.pred_len = 8;
+  WindowDataset data(series, options);
+  EXPECT_GT(data.NumWindows(Split::kTrain), 0);
+  EXPECT_GT(data.NumWindows(Split::kTest), 0);
+  Batch batch = data.MakeBatch(Split::kTest, {0});
+  EXPECT_EQ(batch.x.shape(), (Shape{1, 24, 1}));
+}
+
+TEST(WindowDatasetDeathTest, OutOfRangeWindowIdAborts) {
+  SeasonalConfig gen;
+  gen.steps = 300;
+  gen.channels = 1;
+  TimeSeries series = GenerateSeasonal(gen);
+  WindowDataset::Options options;
+  options.input_len = 24;
+  options.pred_len = 8;
+  WindowDataset data(series, options);
+  const int64_t n = data.NumWindows(Split::kTest);
+  EXPECT_DEATH((void)data.MakeBatch(Split::kTest, {n}), "CHECK");
+}
+
+TEST(RngEdge, UniformIntCoversRangeWithoutBias) {
+  Rng rng(99);
+  std::vector<int64_t> counts(5, 0);
+  for (int i = 0; i < 50000; ++i) {
+    counts[rng.UniformInt(5)] += 1;
+  }
+  for (int64_t c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), 10000.0, 500.0);
+  }
+}
+
+TEST(RngEdge, ForkedStreamsAreIndependent) {
+  Rng parent(7);
+  Rng a = parent.Fork();
+  Rng b = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+}  // namespace
+}  // namespace lipformer

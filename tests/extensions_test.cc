@@ -1,0 +1,271 @@
+// Tests for the library extensions: extended metrics, multi-scale
+// patching, Vector-Mapping variants and trainer checkpointing.
+
+#include <cmath>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/lipformer.h"
+#include "core/multi_scale.h"
+#include "data/synthetic.h"
+#include "tests/test_util.h"
+#include "train/extended_metrics.h"
+#include "train/trainer.h"
+
+namespace lipformer {
+namespace {
+
+using testing::RandomTensor;
+
+TEST(ExtendedMetricsTest, PerfectPredictionIsZeroErrorFullCorr) {
+  Rng rng(1);
+  Tensor y = Tensor::Randn({4, 8, 2}, rng);
+  ExtendedMetrics m = ComputeExtendedMetrics(y, y);
+  EXPECT_FLOAT_EQ(m.mse, 0.0f);
+  EXPECT_FLOAT_EQ(m.mae, 0.0f);
+  EXPECT_FLOAT_EQ(m.rse, 0.0f);
+  EXPECT_NEAR(m.corr, 1.0f, 1e-5f);
+  EXPECT_NEAR(m.smape, 0.0f, 1e-5f);
+}
+
+TEST(ExtendedMetricsTest, RseOfMeanPredictorIsOne) {
+  Rng rng(2);
+  Tensor y = Tensor::Randn({256}, rng);
+  float mean = MeanAll(y);
+  Tensor pred = Tensor::Full({256}, mean);
+  EXPECT_NEAR(RseMetric(pred, y), 1.0f, 1e-3f);
+}
+
+TEST(ExtendedMetricsTest, CorrDetectsAntiCorrelation) {
+  Rng rng(3);
+  Tensor y = Tensor::Randn({128}, rng);
+  EXPECT_NEAR(CorrMetric(Neg(y), y), -1.0f, 1e-5f);
+  // Affine transforms keep correlation 1.
+  EXPECT_NEAR(CorrMetric(AddScalar(MulScalar(y, 2.0f), 3.0f), y), 1.0f,
+              1e-4f);
+}
+
+TEST(ExtendedMetricsTest, SmapeBoundedByTwo) {
+  Tensor pred({3}, {1.0f, -1.0f, 5.0f});
+  Tensor target({3}, {-1.0f, 1.0f, -5.0f});  // opposite signs -> max sMAPE
+  EXPECT_NEAR(SmapeMetric(pred, target), 2.0f, 1e-5f);
+}
+
+TEST(ExtendedMetricsTest, MaseOfSeasonalNaiveIsOne) {
+  // If the prediction errors equal the in-sample seasonal-naive errors,
+  // MASE ~ 1. Construct: target random walk, prediction = target shifted
+  // by the seasonality.
+  Rng rng(4);
+  const int64_t l = 64;
+  Tensor target({1, l, 1});
+  float acc = 0.0f;
+  for (int64_t t = 0; t < l; ++t) {
+    acc += static_cast<float>(rng.Normal());
+    target.data()[t] = acc;
+  }
+  Tensor pred = target.Clone();
+  // pred[t] = target[t-1] (same construction as the scale denominator).
+  for (int64_t t = l - 1; t >= 1; --t) {
+    pred.data()[t] = target.data()[t - 1];
+  }
+  pred.data()[0] = target.data()[0];
+  const float mase = MaseMetric(pred, target, 1);
+  EXPECT_NEAR(mase, 1.0f, 0.1f);
+}
+
+TEST(MultiScaleTest, ForwardShapeAndScaleWeightsSumToOne) {
+  MultiScaleConfig config;
+  config.input_len = 48;
+  config.pred_len = 12;
+  config.channels = 2;
+  config.patch_lens = {6, 12, 24};
+  config.hidden_dim = 16;
+  config.dropout = 0.0f;
+  MultiScaleLiPFormer model(config);
+
+  Batch batch;
+  batch.size = 3;
+  batch.x = RandomTensor({3, 48, 2}, 5);
+  batch.y = Tensor::Zeros({3, 12, 2});
+  EXPECT_EQ(model.Forward(batch).shape(), (Shape{3, 12, 2}));
+
+  float sum = 0.0f;
+  for (float w : model.ScaleWeights()) sum += w;
+  EXPECT_NEAR(sum, 1.0f, 1e-5f);
+}
+
+TEST(MultiScaleTest, GradientsReachEveryScaleAndTheLogits) {
+  MultiScaleConfig config;
+  config.input_len = 48;
+  config.pred_len = 12;
+  config.channels = 2;
+  config.patch_lens = {12, 24};
+  config.hidden_dim = 16;
+  config.dropout = 0.0f;
+  MultiScaleLiPFormer model(config);
+  Batch batch;
+  batch.size = 2;
+  batch.x = RandomTensor({2, 48, 2}, 6);
+  batch.y = RandomTensor({2, 12, 2}, 7);
+  MseLoss(model.Forward(batch), batch.y).Backward();
+  for (const Variable& p : model.Parameters()) {
+    EXPECT_TRUE(p.has_grad());
+  }
+}
+
+TEST(MultiScaleTest, RejectsNonDividingPatchLen) {
+  MultiScaleConfig config;
+  config.input_len = 48;
+  config.patch_lens = {7};
+  EXPECT_DEATH({ MultiScaleLiPFormer bad(config); }, "divide");
+}
+
+TEST(MultiScaleTest, TrainsOnSeasonalData) {
+  SeasonalConfig gen;
+  gen.steps = 800;
+  gen.channels = 2;
+  TimeSeries series = GenerateSeasonal(gen);
+  WindowDataset::Options options;
+  options.input_len = 48;
+  options.pred_len = 12;
+  WindowDataset data(series, options);
+
+  MultiScaleConfig config;
+  config.input_len = 48;
+  config.pred_len = 12;
+  config.channels = 2;
+  config.patch_lens = {12, 24};
+  config.hidden_dim = 16;
+  MultiScaleLiPFormer model(config);
+  TrainConfig train;
+  train.epochs = 2;
+  train.patience = 2;
+  train.max_batches_per_epoch = 20;
+  train.max_eval_batches = 5;
+  TrainResult result = TrainAndEvaluate(&model, data, train);
+  EXPECT_GT(result.epochs_run, 0);
+  EXPECT_TRUE(std::isfinite(result.test.mse));
+}
+
+class VectorMappingSweep
+    : public ::testing::TestWithParam<VectorMappingKind> {};
+
+TEST_P(VectorMappingSweep, ForwardShapeAndTrainableMapping) {
+  CovariateDrivenConfig gen;
+  gen.steps = 600;
+  gen.channels = 2;
+  TimeSeries series = GenerateCovariateDriven(gen);
+  WindowDataset::Options options;
+  options.input_len = 48;
+  options.pred_len = 12;
+  WindowDataset data(series, options);
+
+  LiPFormerConfig config;
+  config.input_len = 48;
+  config.pred_len = 12;
+  config.channels = 2;
+  config.patch_len = 12;
+  config.hidden_dim = 16;
+  config.dropout = 0.0f;
+  config.vector_mapping = GetParam();
+  LiPFormer model(config);
+
+  Rng rng(8);
+  DualEncoder dual(MakeCovariateConfig(data, 12, 8), 2, rng);
+  dual.SetRequiresGrad(false);
+  model.AttachCovariateEncoder(dual.covariate_encoder());
+
+  Batch batch = data.MakeBatch(Split::kTrain, {0, 1});
+  Variable pred = model.Forward(batch);
+  EXPECT_EQ(pred.shape(), (Shape{2, 12, 2}));
+  MseLoss(pred, batch.y).Backward();
+  // Every mapping variant has at least the channel gain learning.
+  bool gain_grad = false;
+  const auto params = model.Parameters();
+  const auto names = model.ParameterNames();
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (names[i] == "channel_gain" && params[i].has_grad()) {
+      gain_grad = true;
+    }
+  }
+  EXPECT_TRUE(gain_grad);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, VectorMappingSweep,
+    ::testing::Values(VectorMappingKind::kSharedLinearWithGain,
+                      VectorMappingKind::kPerChannelLinear,
+                      VectorMappingKind::kGainOnly));
+
+TEST(VectorMappingTest, PerChannelLinearIsHeavier) {
+  auto params_for = [](VectorMappingKind kind) {
+    CovariateDrivenConfig gen;
+    gen.steps = 500;
+    gen.channels = 3;
+    TimeSeries series = GenerateCovariateDriven(gen);
+    WindowDataset::Options options;
+    options.input_len = 48;
+    options.pred_len = 12;
+    WindowDataset data(series, options);
+    LiPFormerConfig config;
+    config.input_len = 48;
+    config.pred_len = 12;
+    config.channels = 3;
+    config.patch_len = 12;
+    config.hidden_dim = 16;
+    config.vector_mapping = kind;
+    auto model = std::make_unique<LiPFormer>(config);
+    Rng rng(9);
+    DualEncoder dual(MakeCovariateConfig(data, 12, 8), 3, rng);
+    model->AttachCovariateEncoder(dual.covariate_encoder());
+    return model->ParameterCount();
+  };
+  const int64_t gain_only = params_for(VectorMappingKind::kGainOnly);
+  const int64_t shared = params_for(VectorMappingKind::kSharedLinearWithGain);
+  const int64_t per_channel =
+      params_for(VectorMappingKind::kPerChannelLinear);
+  EXPECT_LT(gain_only, shared);
+  EXPECT_LT(shared, per_channel);
+}
+
+TEST(CheckpointTest, BestValidationWeightsWrittenDuringTraining) {
+  SeasonalConfig gen;
+  gen.steps = 700;
+  gen.channels = 2;
+  TimeSeries series = GenerateSeasonal(gen);
+  WindowDataset::Options options;
+  options.input_len = 48;
+  options.pred_len = 12;
+  WindowDataset data(series, options);
+
+  LiPFormerConfig config;
+  config.input_len = 48;
+  config.pred_len = 12;
+  config.channels = 2;
+  config.patch_len = 12;
+  config.hidden_dim = 16;
+  config.dropout = 0.0f;
+  LiPFormer model(config);
+
+  TrainConfig train;
+  train.epochs = 2;
+  train.patience = 2;
+  train.max_batches_per_epoch = 10;
+  train.max_eval_batches = 4;
+  train.checkpoint_path = ::testing::TempDir() + "/ckpt.bin";
+  TrainAndEvaluate(&model, data, train);
+
+  // The checkpoint must exist and reproduce the restored best weights.
+  LiPFormer loaded(config);
+  ASSERT_TRUE(loaded.LoadParameters(train.checkpoint_path).ok());
+  model.SetTraining(false);
+  loaded.SetTraining(false);
+  NoGradGuard ng;
+  Batch batch = data.MakeBatch(Split::kTest, {0});
+  EXPECT_TRUE(AllClose(model.Forward(batch).value(),
+                       loaded.Forward(batch).value(), 1e-6f, 1e-6f));
+}
+
+}  // namespace
+}  // namespace lipformer

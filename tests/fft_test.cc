@@ -1,0 +1,116 @@
+#include "tensor/fft.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "tests/test_util.h"
+
+namespace lipformer {
+namespace {
+
+TEST(FftTest, RoundTrip) {
+  Rng rng(1);
+  std::vector<std::complex<float>> data(64);
+  std::vector<std::complex<float>> orig(64);
+  for (auto& v : data) v = std::complex<float>(rng.Normal(), rng.Normal());
+  orig = data;
+  Fft(data, false);
+  Fft(data, true);
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), orig[i].real(), 1e-4f);
+    EXPECT_NEAR(data[i].imag(), orig[i].imag(), 1e-4f);
+  }
+}
+
+TEST(FftTest, PureToneHasSingleBin) {
+  const int64_t n = 32;
+  std::vector<std::complex<float>> data(n);
+  for (int64_t t = 0; t < n; ++t) {
+    data[t] = std::cos(2.0 * M_PI * 4.0 * t / n);
+  }
+  Fft(data, false);
+  // Energy concentrated at bins 4 and n-4.
+  for (int64_t f = 0; f < n; ++f) {
+    const float mag = std::abs(data[f]);
+    if (f == 4 || f == n - 4) {
+      EXPECT_NEAR(mag, n / 2.0f, 1e-3f);
+    } else {
+      EXPECT_NEAR(mag, 0.0f, 1e-3f);
+    }
+  }
+}
+
+TEST(FftTest, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1);
+  EXPECT_EQ(NextPowerOfTwo(2), 2);
+  EXPECT_EQ(NextPowerOfTwo(3), 4);
+  EXPECT_EQ(NextPowerOfTwo(64), 64);
+  EXPECT_EQ(NextPowerOfTwo(65), 128);
+}
+
+TEST(AutocorrelationTest, PeriodicSignalPeaksAtPeriod) {
+  const int64_t n = 96;
+  const int64_t period = 24;
+  Tensor x(Shape{1, n});
+  for (int64_t t = 0; t < n; ++t) {
+    x.data()[t] = std::sin(2.0 * M_PI * t / period);
+  }
+  Tensor ac = Autocorrelation(x);
+  // Lag 0 is max; lag == period close to it; lag == period/2 negative.
+  const float at0 = ac.at({0, 0});
+  const float at_period = ac.at({0, period});
+  const float at_half = ac.at({0, period / 2});
+  EXPECT_GT(at0, 0.0f);
+  EXPECT_GT(at_period, 0.5f * at0);
+  EXPECT_LT(at_half, 0.0f);
+}
+
+TEST(AutocorrelationTest, WhiteNoiseDecorrelates) {
+  Rng rng(7);
+  Tensor x = Tensor::Randn({1, 256}, rng);
+  Tensor ac = Autocorrelation(x);
+  const float at0 = ac.at({0, 0});
+  for (int64_t tau = 5; tau < 20; ++tau) {
+    EXPECT_LT(std::fabs(ac.at({0, tau})), 0.3f * at0);
+  }
+}
+
+TEST(DftBasisTest, TruncatedSpectrumReconstructsBandlimited) {
+  // A signal with only low-frequency content is exactly reconstructed from
+  // the truncated DFT.
+  const int64_t n = 48;
+  const int64_t k = 6;
+  Tensor x(Shape{1, n});
+  for (int64_t t = 0; t < n; ++t) {
+    x.data()[t] = 1.5f + std::cos(2.0 * M_PI * 2 * t / n) -
+                  0.5f * std::sin(2.0 * M_PI * 5 * t / n);
+  }
+  Tensor dc, ds, ic, is;
+  DftBasis(n, k, &dc, &ds);
+  InverseDftBasis(n, k, &ic, &is);
+  Tensor real = MatMul(x, dc);  // [1, k]
+  Tensor imag = MatMul(x, ds);
+  Tensor recon = Add(MatMul(real, ic), MatMul(imag, is));
+  EXPECT_TRUE(AllClose(recon, x, 1e-3f, 1e-3f));
+}
+
+TEST(DftBasisTest, HighFrequencyIsFilteredOut) {
+  const int64_t n = 32;
+  const int64_t k = 4;  // keep only bins 0..3
+  Tensor x(Shape{1, n});
+  for (int64_t t = 0; t < n; ++t) {
+    x.data()[t] = std::cos(2.0 * M_PI * 10 * t / n);  // bin 10 > k
+  }
+  Tensor dc, ds, ic, is;
+  DftBasis(n, k, &dc, &ds);
+  InverseDftBasis(n, k, &ic, &is);
+  Tensor recon = Add(MatMul(MatMul(x, dc), ic), MatMul(MatMul(x, ds), is));
+  for (int64_t t = 0; t < n; ++t) {
+    EXPECT_NEAR(recon.data()[t], 0.0f, 1e-3f);
+  }
+}
+
+}  // namespace
+}  // namespace lipformer

@@ -1,0 +1,207 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "models/decomposition.h"
+#include "models/dlinear.h"
+#include "models/factory.h"
+#include "tests/test_util.h"
+#include "train/trainer.h"
+
+namespace lipformer {
+namespace {
+
+// Small shared fixture: a seasonal dataset + windows every model can run.
+class ModelSuite : public ::testing::TestWithParam<std::string> {
+ protected:
+  static WindowDataset MakeData() {
+    SeasonalConfig config;
+    config.steps = 700;
+    config.channels = 3;
+    config.seed = 77;
+    TimeSeries series = GenerateSeasonal(config);
+    WindowDataset::Options options;
+    options.input_len = 48;
+    options.pred_len = 24;
+    return WindowDataset(series, options);
+  }
+
+  static std::unique_ptr<Forecaster> MakeModel(const std::string& name,
+                                               const WindowDataset& data) {
+    ForecasterDims dims;
+    dims.input_len = 48;
+    dims.pred_len = 24;
+    dims.channels = 3;
+    ModelOptions options;
+    options.hidden_dim = 16;
+    options.num_heads = 2;
+    options.num_layers = 1;
+    options.num_covariates = data.num_numeric_covariates();
+    return CreateModel(name, dims, options);
+  }
+};
+
+TEST_P(ModelSuite, ForwardShapeIsBatchHorizonChannels) {
+  WindowDataset data = MakeData();
+  auto model = MakeModel(GetParam(), data);
+  Batch batch = data.MakeBatch(Split::kTrain, {0, 1, 2, 3});
+  Variable pred = model->Forward(batch);
+  EXPECT_EQ(pred.shape(), (Shape{4, 24, 3}));
+}
+
+TEST_P(ModelSuite, HasTrainableParameters) {
+  WindowDataset data = MakeData();
+  auto model = MakeModel(GetParam(), data);
+  EXPECT_GT(model->ParameterCount(), 0);
+}
+
+TEST_P(ModelSuite, GradientsReachEveryParameter) {
+  WindowDataset data = MakeData();
+  auto model = MakeModel(GetParam(), data);
+  model->SetTraining(false);  // disable dropout so all paths are exercised
+  Batch batch = data.MakeBatch(Split::kTrain, {0, 1});
+  Variable pred = model->Forward(batch);
+  MseLoss(pred, batch.y).Backward();
+  const auto params = model->Parameters();
+  const auto names = model->ParameterNames();
+  for (size_t i = 0; i < params.size(); ++i) {
+    // Autoformer's q/k projections only feed the (intentionally detached)
+    // FFT lag scores; gradients reach every other parameter.
+    if (GetParam() == "autoformer" &&
+        (names[i].find(".wq.") != std::string::npos ||
+         names[i].find(".wk.") != std::string::npos)) {
+      continue;
+    }
+    EXPECT_TRUE(params[i].has_grad())
+        << GetParam() << " parameter " << names[i] << " got no gradient";
+  }
+}
+
+TEST_P(ModelSuite, OneTrainingEpochReducesTrainingLoss) {
+  WindowDataset data = MakeData();
+  auto model = MakeModel(GetParam(), data);
+  TrainConfig config;
+  config.epochs = 1;
+  config.patience = 1;
+  config.batch_size = 16;
+  config.max_batches_per_epoch = 20;
+  config.max_eval_batches = 5;
+  config.loss = LossKind::kMse;
+
+  // Loss on a fixed batch before vs after an epoch of training.
+  Batch probe = data.MakeBatch(Split::kTrain, {0, 1, 2, 3, 4, 5, 6, 7});
+  model->SetTraining(false);
+  const float before = [&] {
+    NoGradGuard ng;
+    return MseLoss(model->Forward(probe), probe.y).value().item();
+  }();
+  TrainAndEvaluate(model.get(), data, config);
+  model->SetTraining(false);
+  const float after = [&] {
+    NoGradGuard ng;
+    return MseLoss(model->Forward(probe), probe.y).value().item();
+  }();
+  EXPECT_LT(after, before) << GetParam();
+}
+
+TEST_P(ModelSuite, EvalIsDeterministic) {
+  WindowDataset data = MakeData();
+  auto model = MakeModel(GetParam(), data);
+  model->SetTraining(false);
+  NoGradGuard ng;
+  Batch batch = data.MakeBatch(Split::kTest, {0, 1});
+  Tensor a = model->Forward(batch).value().Clone();
+  Tensor b = model->Forward(batch).value().Clone();
+  EXPECT_TRUE(AllClose(a, b, 0.0f, 0.0f));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ModelSuite,
+    ::testing::Values("lipformer", "dlinear", "patchtst", "transformer",
+                      "itransformer", "tsmixer", "timemixer", "tide",
+                      "informer", "autoformer", "fgnn"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+TEST(FactoryTest, RegisteredNamesAllConstruct) {
+  for (const std::string& name : RegisteredModelNames()) {
+    ForecasterDims dims;
+    dims.input_len = 48;
+    dims.pred_len = 24;
+    dims.channels = 2;
+    ModelOptions options;
+    options.hidden_dim = 8;
+    options.num_heads = 2;
+    options.num_layers = 1;
+    options.num_covariates = 4;
+    auto model = CreateModel(name, dims, options);
+    ASSERT_NE(model, nullptr) << name;
+    EXPECT_FALSE(model->name().empty());
+  }
+}
+
+TEST(DecompositionTest, MovingAverageRowsAreStochastic) {
+  Tensor w = MovingAverageMatrix(10, 3);
+  // Columns index outputs here (x @ W): each output's weights sum to 1.
+  for (int64_t out = 0; out < 10; ++out) {
+    float sum = 0.0f;
+    for (int64_t src = 0; src < 10; ++src) sum += w.at({src, out});
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(DecompositionTest, ConstantSignalHasZeroSeasonal) {
+  Tensor w = MovingAverageMatrix(16, 5);
+  Variable x(Tensor::Full({2, 16}, 3.0f));
+  auto [seasonal, trend] = DecomposeSeries(x, w);
+  for (int64_t i = 0; i < seasonal.numel(); ++i) {
+    EXPECT_NEAR(seasonal.value().data()[i], 0.0f, 1e-5f);
+    EXPECT_NEAR(trend.value().data()[i], 3.0f, 1e-5f);
+  }
+}
+
+TEST(DecompositionTest, SmoothsHighFrequency) {
+  // Alternating +1/-1 signal: a 2-point average kills most of it.
+  Tensor w = MovingAverageMatrix(20, 4);
+  Tensor sig(Shape{1, 20});
+  for (int64_t t = 0; t < 20; ++t) sig.data()[t] = (t % 2 == 0) ? 1.f : -1.f;
+  auto [seasonal, trend] = DecomposeSeries(Variable(sig), w);
+  for (int64_t t = 2; t < 18; ++t) {
+    EXPECT_NEAR(trend.value().at({0, t}), 0.0f, 1e-5f);
+  }
+}
+
+TEST(DLinearConvergence, FitsLinearTrendExactly) {
+  // DLinear can represent linear extrapolation; with enough steps on a
+  // clean trend it should fit it well.
+  const int64_t steps = 400;
+  TimeSeries series;
+  series.values = Tensor(Shape{steps, 1});
+  for (int64_t t = 0; t < steps; ++t) {
+    series.values.data()[t] = 0.01f * static_cast<float>(t);
+  }
+  series.timestamps = MakeTimestamps({2020, 1, 1, 0, 0}, 60, steps);
+  series.numeric_covariates = Tensor(Shape{steps, 0});
+  series.categorical_covariates = Tensor(Shape{steps, 0});
+
+  WindowDataset::Options options;
+  options.input_len = 24;
+  options.pred_len = 8;
+  WindowDataset data(series, options);
+  ForecasterDims dims{24, 8, 1};
+  DLinear model(dims, 3);
+  TrainConfig config;
+  config.epochs = 30;
+  config.patience = 30;
+  config.batch_size = 32;
+  config.loss = LossKind::kMse;
+  config.lr = 5e-3f;
+  config.weight_decay = 0.0f;
+  TrainResult result = TrainAndEvaluate(&model, data, config);
+  EXPECT_LT(result.test.mse, 0.05f);
+}
+
+}  // namespace
+}  // namespace lipformer

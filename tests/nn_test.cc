@@ -1,0 +1,254 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/attention.h"
+#include "nn/dropout.h"
+#include "nn/embedding.h"
+#include "nn/layer_norm.h"
+#include "nn/linear.h"
+#include "nn/positional_encoding.h"
+#include "tests/test_util.h"
+
+namespace lipformer {
+namespace {
+
+using testing::CheckGradient;
+using testing::RandomTensor;
+
+TEST(LinearTest, ForwardMatchesManual) {
+  Rng rng(1);
+  Linear lin(3, 2, rng);
+  Tensor x = RandomTensor({4, 3}, 2);
+  Variable y = lin.Forward(Variable(x));
+  EXPECT_EQ(y.shape(), (Shape{4, 2}));
+  Tensor expected = Add(MatMul(x, lin.weight().value()), lin.bias().value());
+  EXPECT_TRUE(AllClose(y.value(), expected, 1e-5f, 1e-4f));
+}
+
+TEST(LinearTest, NoBias) {
+  Rng rng(1);
+  Linear lin(3, 2, rng, /*bias=*/false);
+  EXPECT_EQ(lin.ParameterCount(), 6);
+  Variable y = lin.Forward(Variable(Tensor::Zeros({1, 3})));
+  EXPECT_FLOAT_EQ(y.value().data()[0], 0.0f);
+}
+
+TEST(LinearTest, AppliesToLastDimOfAnyRank) {
+  Rng rng(2);
+  Linear lin(5, 7, rng);
+  Variable y = lin.Forward(Variable(Tensor::Zeros({2, 3, 5})));
+  EXPECT_EQ(y.shape(), (Shape{2, 3, 7}));
+}
+
+TEST(LinearTest, GradientFlowsToWeightAndBias) {
+  Rng rng(3);
+  Linear lin(3, 2, rng);
+  Variable y = lin.Forward(Variable(RandomTensor({4, 3}, 4)));
+  SumAll(Mul(y, y)).Backward();
+  EXPECT_TRUE(lin.weight().has_grad());
+  EXPECT_TRUE(lin.bias().has_grad());
+  EXPECT_GT(std::fabs(lin.weight().grad().data()[0]), 0.0f);
+}
+
+TEST(MlpTest, HiddenLayersAndShapes) {
+  Rng rng(5);
+  Mlp mlp({4, 8, 8, 2}, rng);
+  Variable y = mlp.Forward(Variable(RandomTensor({3, 4}, 6)));
+  EXPECT_EQ(y.shape(), (Shape{3, 2}));
+  // 4*8+8 + 8*8+8 + 8*2+2 = 40 + 72 + 18
+  EXPECT_EQ(mlp.ParameterCount(), 130);
+}
+
+TEST(LayerNormTest, NormalizesLastDim) {
+  Rng rng(7);
+  LayerNorm ln(16, rng);
+  Variable y = ln.Forward(Variable(RandomTensor({4, 16}, 8, 5.0f)));
+  // With default gamma=1, beta=0 each row must be ~zero-mean unit-var.
+  for (int64_t i = 0; i < 4; ++i) {
+    double mean = 0.0, var = 0.0;
+    for (int64_t j = 0; j < 16; ++j) mean += y.value().at({i, j});
+    mean /= 16.0;
+    for (int64_t j = 0; j < 16; ++j) {
+      const double d = y.value().at({i, j}) - mean;
+      var += d * d;
+    }
+    var /= 16.0;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(LayerNormTest, GradCheckThroughNormalization) {
+  Rng rng(9);
+  LayerNorm ln(6, rng);
+  CheckGradient(
+      [&](const Variable& x) {
+        Tensor w = RandomTensor({3, 6}, 200);
+        return SumAll(MulConst(ln.Forward(x), w));
+      },
+      RandomTensor({3, 6}, 10));
+}
+
+TEST(DropoutTest, EvalModeIsIdentity) {
+  Rng rng(11);
+  Dropout drop(0.5f, rng);
+  drop.SetTraining(false);
+  Tensor x = RandomTensor({100}, 12);
+  Variable y = drop.Forward(Variable(x));
+  EXPECT_TRUE(AllClose(y.value(), x, 0.0f, 0.0f));
+}
+
+TEST(DropoutTest, TrainModeZeroesAndRescales) {
+  Rng rng(13);
+  Dropout drop(0.5f, rng);
+  drop.SetTraining(true);
+  Tensor x = Tensor::Ones({10000});
+  Variable y = drop.Forward(Variable(x));
+  int64_t zeros = 0;
+  double sum = 0.0;
+  for (int64_t i = 0; i < y.numel(); ++i) {
+    const float v = y.value().data()[i];
+    if (v == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_FLOAT_EQ(v, 2.0f);  // survivors scaled by 1/(1-p)
+    }
+    sum += v;
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 10000.0, 0.5, 0.03);
+  EXPECT_NEAR(sum / 10000.0, 1.0, 0.05);  // expectation preserved
+}
+
+TEST(DropoutTest, ZeroProbabilityIsIdentityInTraining) {
+  Rng rng(14);
+  Dropout drop(0.0f, rng);
+  drop.SetTraining(true);
+  Tensor x = RandomTensor({32}, 15);
+  EXPECT_TRUE(AllClose(drop.Forward(Variable(x)).value(), x, 0.0f, 0.0f));
+}
+
+TEST(EmbeddingTest, LookupAndGradScatter) {
+  Rng rng(17);
+  Embedding emb(5, 3, rng);
+  Variable out = emb.Forward(std::vector<int64_t>{1, 1, 4});
+  EXPECT_EQ(out.shape(), (Shape{3, 3}));
+  SumAll(out).Backward();
+  const std::vector<Variable> params = emb.Parameters();
+  const Tensor& grad = params[0].grad();
+  // Row 1 selected twice, row 4 once, others never.
+  EXPECT_FLOAT_EQ(grad.at({1, 0}), 2.0f);
+  EXPECT_FLOAT_EQ(grad.at({4, 0}), 1.0f);
+  EXPECT_FLOAT_EQ(grad.at({0, 0}), 0.0f);
+}
+
+TEST(EmbeddingTest, TensorInputAppendsDim) {
+  Rng rng(18);
+  Embedding emb(7, 4, rng);
+  Tensor ids({2, 3}, {0, 1, 2, 3, 4, 5});
+  Variable out = emb.Forward(ids);
+  EXPECT_EQ(out.shape(), (Shape{2, 3, 4}));
+}
+
+TEST(AttentionTest, OutputShapeAndGradients) {
+  Rng rng(19);
+  MultiHeadSelfAttention attn(8, 2, rng);
+  Variable x(RandomTensor({2, 5, 8}, 20), true);
+  Variable y = attn.Forward(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 5, 8}));
+  SumAll(Mul(y, y)).Backward();
+  for (const Variable& p : attn.Parameters()) {
+    EXPECT_TRUE(p.has_grad());
+  }
+  EXPECT_TRUE(x.has_grad());
+}
+
+TEST(AttentionTest, SoftmaxRowsSumToOneViaUniformValues) {
+  // With V = const vector, attention output must equal that constant
+  // regardless of the scores (rows of attention weights sum to 1).
+  Rng rng(21);
+  Tensor q = RandomTensor({1, 4, 6}, 22);
+  Tensor k = RandomTensor({1, 4, 6}, 23);
+  Tensor v = Tensor::Full({1, 4, 6}, 3.25f);
+  Variable out = ScaledDotProductAttention(Variable(q), Variable(k),
+                                           Variable(v));
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    EXPECT_NEAR(out.value().data()[i], 3.25f, 1e-4f);
+  }
+}
+
+TEST(AttentionTest, CausalMaskBlocksFuture) {
+  Rng rng(24);
+  Tensor q = RandomTensor({1, 4, 2}, 25);
+  Tensor k = RandomTensor({1, 4, 2}, 26);
+  // Value rows are one-hot per position; causal output at position 0 can
+  // only see position 0.
+  Tensor v = Tensor::Zeros({1, 4, 4});
+  for (int64_t i = 0; i < 4; ++i) v.at({0, i, i}) = 1.0f;
+  Variable out = ScaledDotProductAttention(Variable(q), Variable(k),
+                                           Variable(v), /*causal=*/true);
+  EXPECT_NEAR(out.value().at({0, 0, 0}), 1.0f, 1e-5f);
+  for (int64_t j = 1; j < 4; ++j) {
+    EXPECT_NEAR(out.value().at({0, 0, j}), 0.0f, 1e-5f);
+  }
+}
+
+TEST(AttentionTest, CrossAttentionShape) {
+  Rng rng(27);
+  MultiHeadSelfAttention attn(8, 2, rng);
+  Variable q(RandomTensor({2, 3, 8}, 28));
+  Variable kv(RandomTensor({2, 7, 8}, 29));
+  EXPECT_EQ(attn.Forward(q, kv).shape(), (Shape{2, 3, 8}));
+}
+
+TEST(PositionalEncodingTest, AddsSinusoidalTable) {
+  PositionalEncoding pe(16, 8);
+  Variable x(Tensor::Zeros({2, 4, 8}));
+  Variable y = pe.Forward(x);
+  // Position 0: sin(0)=0, cos(0)=1 alternating.
+  EXPECT_NEAR(y.value().at({0, 0, 0}), 0.0f, 1e-6f);
+  EXPECT_NEAR(y.value().at({0, 0, 1}), 1.0f, 1e-6f);
+  // Both batch rows identical.
+  EXPECT_NEAR(y.value().at({1, 3, 5}), y.value().at({0, 3, 5}), 1e-6f);
+}
+
+TEST(ModuleTest, ParameterNamesAndCount) {
+  Rng rng(31);
+  Mlp mlp({2, 3, 1}, rng);
+  const auto names = mlp.ParameterNames();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "layer0.weight");
+  EXPECT_EQ(names[3], "layer1.bias");
+}
+
+TEST(ModuleTest, SaveLoadRoundTrip) {
+  Rng rng(33);
+  Mlp a({3, 4, 2}, rng);
+  Mlp b({3, 4, 2}, rng);  // different init
+  const std::string path = ::testing::TempDir() + "/mlp_params.bin";
+  ASSERT_TRUE(a.SaveParameters(path).ok());
+  ASSERT_TRUE(b.LoadParameters(path).ok());
+  Tensor x = RandomTensor({2, 3}, 34);
+  EXPECT_TRUE(AllClose(a.Forward(Variable(x)).value(),
+                       b.Forward(Variable(x)).value(), 1e-6f, 1e-6f));
+}
+
+TEST(ModuleTest, LoadRejectsMismatchedShape) {
+  Rng rng(35);
+  Mlp a({3, 4, 2}, rng);
+  Mlp b({3, 5, 2}, rng);
+  const std::string path = ::testing::TempDir() + "/mlp_params2.bin";
+  ASSERT_TRUE(a.SaveParameters(path).ok());
+  EXPECT_FALSE(b.LoadParameters(path).ok());
+}
+
+TEST(ModuleTest, SetRequiresGradFreezes) {
+  Rng rng(37);
+  Linear lin(2, 2, rng);
+  lin.SetRequiresGrad(false);
+  Variable y = lin.Forward(Variable(RandomTensor({1, 2}, 38)));
+  EXPECT_FALSE(y.requires_grad());
+}
+
+}  // namespace
+}  // namespace lipformer

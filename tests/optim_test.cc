@@ -1,0 +1,151 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "optim/adamw.h"
+#include "optim/early_stopping.h"
+#include "optim/lr_scheduler.h"
+#include "optim/sgd.h"
+#include "tests/test_util.h"
+
+namespace lipformer {
+namespace {
+
+// Minimizes f(w) = ||w - target||^2 and returns the final w.
+template <typename MakeOpt>
+Tensor Minimize(MakeOpt make_opt, int64_t steps) {
+  Variable w(Tensor({3}, {5.0f, -4.0f, 2.0f}), /*requires_grad=*/true);
+  Tensor target({3}, {1.0f, 2.0f, 3.0f});
+  auto opt = make_opt(std::vector<Variable>{w});
+  for (int64_t i = 0; i < steps; ++i) {
+    opt->ZeroGrad();
+    Variable diff = AddConst(w, Neg(target));
+    SumAll(Mul(diff, diff)).Backward();
+    opt->Step();
+  }
+  return w.value().Clone();
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  Tensor w = Minimize(
+      [](std::vector<Variable> p) {
+        return std::make_unique<Sgd>(std::move(p), 0.1f);
+      },
+      100);
+  EXPECT_NEAR(w.data()[0], 1.0f, 1e-3f);
+  EXPECT_NEAR(w.data()[1], 2.0f, 1e-3f);
+  EXPECT_NEAR(w.data()[2], 3.0f, 1e-3f);
+}
+
+TEST(SgdTest, MomentumAcceleratesFirstSteps) {
+  Tensor plain = Minimize(
+      [](std::vector<Variable> p) {
+        return std::make_unique<Sgd>(std::move(p), 0.01f);
+      },
+      5);
+  Tensor momentum = Minimize(
+      [](std::vector<Variable> p) {
+        return std::make_unique<Sgd>(std::move(p), 0.01f, 0.9f);
+      },
+      5);
+  // After a few steps the momentum variant has moved further from the
+  // start (5.0) toward the target (1.0).
+  EXPECT_LT(momentum.data()[0], plain.data()[0]);
+}
+
+TEST(AdamWTest, ConvergesOnQuadratic) {
+  Tensor w = Minimize(
+      [](std::vector<Variable> p) {
+        return std::make_unique<AdamW>(std::move(p), 0.1f, 0.9f, 0.999f,
+                                       1e-8f, 0.0f);
+      },
+      300);
+  EXPECT_NEAR(w.data()[0], 1.0f, 1e-2f);
+  EXPECT_NEAR(w.data()[2], 3.0f, 1e-2f);
+}
+
+TEST(AdamWTest, DecoupledWeightDecayShrinksWeights) {
+  // With zero gradient, AdamW's decoupled decay still shrinks weights
+  // multiplicatively -- the defining difference from L2-in-gradient Adam.
+  Variable w(Tensor({1}, {2.0f}), true);
+  AdamW opt({w}, /*lr=*/0.1f, 0.9f, 0.999f, 1e-8f, /*weight_decay=*/0.5f);
+  // Install an explicit zero gradient.
+  Variable zero_loss = MulScalar(SumAll(w), 0.0f);
+  zero_loss.Backward();
+  opt.Step();
+  EXPECT_NEAR(w.value().data()[0], 2.0f * (1.0f - 0.1f * 0.5f), 1e-5f);
+}
+
+TEST(AdamWTest, SkipsParamsWithoutGrad) {
+  Variable a(Tensor({1}, {1.0f}), true);
+  Variable b(Tensor({1}, {1.0f}), true);
+  AdamW opt({a, b}, 0.1f);
+  SumAll(Mul(a, a)).Backward();  // only a gets a gradient
+  opt.Step();
+  EXPECT_NE(a.value().data()[0], 1.0f);
+  EXPECT_FLOAT_EQ(b.value().data()[0], 1.0f);
+}
+
+TEST(ClipGradNormTest, ScalesDownLargeGradients) {
+  Variable w(Tensor({2}, {0.0f, 0.0f}), true);
+  Variable loss = SumAll(MulConst(w, Tensor({2}, {3.0f, 4.0f})));
+  loss.Backward();  // grad = (3, 4), norm 5
+  const float norm = ClipGradNorm({w}, 1.0f);
+  EXPECT_NEAR(norm, 5.0f, 1e-5f);
+  EXPECT_NEAR(w.grad().data()[0], 0.6f, 1e-5f);
+  EXPECT_NEAR(w.grad().data()[1], 0.8f, 1e-5f);
+}
+
+TEST(ClipGradNormTest, LeavesSmallGradientsAlone) {
+  Variable w(Tensor({1}, {0.0f}), true);
+  SumAll(MulConst(w, Tensor({1}, {0.5f}))).Backward();
+  ClipGradNorm({w}, 1.0f);
+  EXPECT_NEAR(w.grad().data()[0], 0.5f, 1e-6f);
+}
+
+TEST(StepLrTest, HalvesEverySteps) {
+  Variable w(Tensor({1}, {0.0f}), true);
+  Sgd opt({w}, 1.0f);
+  StepLr sched(&opt, /*step_size=*/2, /*gamma=*/0.5f);
+  sched.Step();
+  EXPECT_FLOAT_EQ(opt.lr(), 1.0f);  // epoch 1
+  sched.Step();
+  EXPECT_FLOAT_EQ(opt.lr(), 0.5f);  // epoch 2
+  sched.Step();
+  sched.Step();
+  EXPECT_FLOAT_EQ(opt.lr(), 0.25f);  // epoch 4
+}
+
+TEST(CosineLrTest, DecaysToMin) {
+  Variable w(Tensor({1}, {0.0f}), true);
+  Sgd opt({w}, 1.0f);
+  CosineLr sched(&opt, /*total_epochs=*/10, /*min_lr=*/0.1f);
+  for (int i = 0; i < 10; ++i) sched.Step();
+  EXPECT_NEAR(opt.lr(), 0.1f, 1e-5f);
+  sched.Step();  // past the end: clamped
+  EXPECT_NEAR(opt.lr(), 0.1f, 1e-5f);
+}
+
+TEST(EarlyStoppingTest, StopsAfterPatienceBadEpochs) {
+  EarlyStopping stop(2);
+  EXPECT_TRUE(stop.Update(1.0f));
+  EXPECT_FALSE(stop.ShouldStop());
+  EXPECT_FALSE(stop.Update(1.1f));
+  EXPECT_FALSE(stop.ShouldStop());
+  EXPECT_FALSE(stop.Update(1.2f));
+  EXPECT_TRUE(stop.ShouldStop());
+  EXPECT_FLOAT_EQ(stop.best_score(), 1.0f);
+  EXPECT_EQ(stop.best_epoch(), 0);
+}
+
+TEST(EarlyStoppingTest, ImprovementResetsCounter) {
+  EarlyStopping stop(2);
+  stop.Update(1.0f);
+  stop.Update(1.5f);
+  EXPECT_TRUE(stop.Update(0.5f));
+  EXPECT_FALSE(stop.ShouldStop());
+  EXPECT_EQ(stop.best_epoch(), 2);
+}
+
+}  // namespace
+}  // namespace lipformer

@@ -1,0 +1,198 @@
+// Property-style parameterized sweeps over configuration space: the base
+// predictor and attentions must behave across patch lengths, hidden sizes
+// and head counts, and core invariants (instance-norm identities,
+// channel-independence weight sharing) must hold for random inputs.
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/base_predictor.h"
+#include "core/instance_norm.h"
+#include "core/lipformer.h"
+#include "data/synthetic.h"
+#include "tests/test_util.h"
+
+namespace lipformer {
+namespace {
+
+using testing::RandomTensor;
+
+// (input_len, patch_len, hidden_dim, num_heads)
+using BaseParams = std::tuple<int64_t, int64_t, int64_t, int64_t>;
+
+class BasePredictorSweep : public ::testing::TestWithParam<BaseParams> {};
+
+TEST_P(BasePredictorSweep, ForwardAndBackwardAcrossConfigs) {
+  const auto [input_len, patch_len, hidden_dim, num_heads] = GetParam();
+  BasePredictorConfig config;
+  config.input_len = input_len;
+  config.pred_len = 40;  // exercises the ragged-horizon slice for most pl
+  config.patch_len = patch_len;
+  config.hidden_dim = hidden_dim;
+  config.num_heads = num_heads;
+  config.dropout = 0.0f;
+  Rng rng(1);
+  BasePredictor base(config, rng);
+
+  Variable x(RandomTensor({5, input_len}, 2), /*requires_grad=*/true);
+  Variable y = base.Forward(x);
+  ASSERT_EQ(y.shape(), (Shape{5, 40}));
+  SumAll(Mul(y, y)).Backward();
+  EXPECT_TRUE(x.has_grad());
+  for (const Variable& p : base.Parameters()) {
+    EXPECT_TRUE(p.has_grad());
+  }
+  // Output must be finite.
+  for (int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(y.value().data()[i]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, BasePredictorSweep,
+    ::testing::Values(BaseParams{48, 6, 8, 1}, BaseParams{48, 12, 16, 2},
+                      BaseParams{48, 24, 16, 4}, BaseParams{96, 24, 32, 4},
+                      BaseParams{96, 48, 64, 4}, BaseParams{96, 8, 24, 3},
+                      BaseParams{144, 48, 32, 2}));
+
+class PatchLenSweep : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(PatchLenSweep, LiPFormerEndToEndAcrossPatchLens) {
+  const int64_t pl = GetParam();
+  LiPFormerConfig config;
+  config.input_len = 96;
+  config.pred_len = 24;
+  config.channels = 3;
+  config.patch_len = pl;
+  config.hidden_dim = 16;
+  config.dropout = 0.0f;
+  LiPFormer model(config);
+
+  SeasonalConfig gen;
+  gen.steps = 500;
+  gen.channels = 3;
+  TimeSeries series = GenerateSeasonal(gen);
+  WindowDataset::Options options;
+  options.input_len = 96;
+  options.pred_len = 24;
+  WindowDataset data(series, options);
+  Batch batch = data.MakeBatch(Split::kTrain, {0, 1});
+  Variable pred = model.Forward(batch);
+  EXPECT_EQ(pred.shape(), (Shape{2, 24, 3}));
+  MseLoss(pred, batch.y).Backward();
+}
+
+INSTANTIATE_TEST_SUITE_P(PatchLens, PatchLenSweep,
+                         ::testing::Values(6, 12, 24, 48, 96));
+
+TEST(ChannelIndependenceProperty, PermutingChannelsPermutesOutputs) {
+  // LiPFormer shares weights across channels; permuting the input
+  // channels must permute the outputs identically (no cross-channel
+  // leakage in the backbone).
+  LiPFormerConfig config;
+  config.input_len = 48;
+  config.pred_len = 12;
+  config.channels = 3;
+  config.patch_len = 12;
+  config.hidden_dim = 16;
+  config.dropout = 0.0f;
+  LiPFormer model(config);
+  model.SetTraining(false);
+  NoGradGuard ng;
+
+  Batch batch;
+  batch.size = 2;
+  batch.x = RandomTensor({2, 48, 3}, 7);
+  batch.y = Tensor::Zeros({2, 12, 3});
+  Tensor out = model.Forward(batch).value().Clone();
+
+  // Swap channels 0 and 2 of the input.
+  Batch swapped = batch;
+  swapped.x = IndexSelect(batch.x, 2, {2, 1, 0});
+  Tensor out_swapped = model.Forward(swapped).value().Clone();
+  Tensor expected = IndexSelect(out, 2, {2, 1, 0});
+  EXPECT_TRUE(AllClose(out_swapped, expected, 1e-5f, 1e-4f));
+}
+
+TEST(InstanceNormProperty, ShiftInvarianceOfTheBackbone) {
+  // Adding a constant offset to the history shifts the prediction by the
+  // same constant (last-value normalization makes the backbone
+  // shift-equivariant).
+  LiPFormerConfig config;
+  config.input_len = 48;
+  config.pred_len = 12;
+  config.channels = 2;
+  config.patch_len = 12;
+  config.hidden_dim = 16;
+  config.dropout = 0.0f;
+  LiPFormer model(config);
+  model.SetTraining(false);
+  NoGradGuard ng;
+
+  Batch batch;
+  batch.size = 1;
+  batch.x = RandomTensor({1, 48, 2}, 9);
+  batch.y = Tensor::Zeros({1, 12, 2});
+  Tensor base = model.Forward(batch).value().Clone();
+
+  Batch shifted = batch;
+  shifted.x = AddScalar(batch.x, 5.0f);
+  Tensor out = model.Forward(shifted).value().Clone();
+  EXPECT_TRUE(AllClose(out, AddScalar(base, 5.0f), 1e-4f, 1e-3f));
+}
+
+TEST(SeedProperty, SameSeedSameModelDifferentSeedDifferent) {
+  LiPFormerConfig config;
+  config.input_len = 48;
+  config.pred_len = 12;
+  config.channels = 2;
+  config.patch_len = 12;
+  config.hidden_dim = 16;
+  config.dropout = 0.0f;
+  config.seed = 123;
+  LiPFormer a(config);
+  LiPFormer b(config);
+  config.seed = 124;
+  LiPFormer c(config);
+
+  Batch batch;
+  batch.size = 1;
+  batch.x = RandomTensor({1, 48, 2}, 10);
+  batch.y = Tensor::Zeros({1, 12, 2});
+  a.SetTraining(false);
+  b.SetTraining(false);
+  c.SetTraining(false);
+  NoGradGuard ng;
+  EXPECT_TRUE(AllClose(a.Forward(batch).value(), b.Forward(batch).value(),
+                       0.0f, 0.0f));
+  EXPECT_FALSE(AllClose(a.Forward(batch).value(), c.Forward(batch).value(),
+                        1e-4f, 1e-4f));
+}
+
+class HiddenDimSweep : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(HiddenDimSweep, ParameterCountScalesWithHiddenDim) {
+  auto count = [](int64_t hd) {
+    BasePredictorConfig config;
+    config.input_len = 48;
+    config.pred_len = 24;
+    config.patch_len = 12;
+    config.hidden_dim = hd;
+    config.num_heads = 1;
+    Rng rng(1);
+    return BasePredictor(config, rng).ParameterCount();
+  };
+  const int64_t hd = GetParam();
+  // Inter-patch attention dominates: ~4 hd^2; doubling hd must grow the
+  // count at least 2x (and far less than 8x).
+  EXPECT_GT(count(2 * hd), 2 * count(hd));
+  EXPECT_LT(count(2 * hd), 8 * count(hd));
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, HiddenDimSweep,
+                         ::testing::Values(8, 16, 32, 64));
+
+}  // namespace
+}  // namespace lipformer

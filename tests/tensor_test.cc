@@ -1,0 +1,301 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "tests/test_util.h"
+
+namespace lipformer {
+namespace {
+
+TEST(TensorTest, DefaultIsScalarZero) {
+  Tensor t;
+  EXPECT_EQ(t.dim(), 0);
+  EXPECT_EQ(t.numel(), 1);
+  EXPECT_FLOAT_EQ(t.item(), 0.0f);
+}
+
+TEST(TensorTest, ZerosOnesFull) {
+  Tensor z = Tensor::Zeros({2, 3});
+  Tensor o = Tensor::Ones({2, 3});
+  Tensor f = Tensor::Full({2, 3}, 2.5f);
+  for (int64_t i = 0; i < 6; ++i) {
+    EXPECT_FLOAT_EQ(z.data()[i], 0.0f);
+    EXPECT_FLOAT_EQ(o.data()[i], 1.0f);
+    EXPECT_FLOAT_EQ(f.data()[i], 2.5f);
+  }
+}
+
+TEST(TensorTest, FromVectorAndAt) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_FLOAT_EQ(t.at({0, 0}), 1.0f);
+  EXPECT_FLOAT_EQ(t.at({0, 2}), 3.0f);
+  EXPECT_FLOAT_EQ(t.at({1, 0}), 4.0f);
+  EXPECT_FLOAT_EQ(t.at({1, 2}), 6.0f);
+}
+
+TEST(TensorTest, ReshapeSharesStorage) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.Reshape({3, 2});
+  r.data()[0] = 42.0f;
+  EXPECT_FLOAT_EQ(t.data()[0], 42.0f);
+}
+
+TEST(TensorTest, ReshapeInfersDim) {
+  Tensor t = Tensor::Zeros({4, 6});
+  EXPECT_EQ(t.Reshape({2, -1}).shape(), (Shape{2, 12}));
+  EXPECT_EQ(t.Reshape({-1}).shape(), (Shape{24}));
+}
+
+TEST(TensorTest, CloneIsDeep) {
+  Tensor t = Tensor::Ones({3});
+  Tensor c = t.Clone();
+  c.data()[0] = 7.0f;
+  EXPECT_FLOAT_EQ(t.data()[0], 1.0f);
+}
+
+TEST(TensorTest, UnsqueezeSqueeze) {
+  Tensor t = Tensor::Zeros({2, 3});
+  EXPECT_EQ(t.Unsqueeze(0).shape(), (Shape{1, 2, 3}));
+  EXPECT_EQ(t.Unsqueeze(-1).shape(), (Shape{2, 3, 1}));
+  EXPECT_EQ(t.Unsqueeze(1).Squeeze(1).shape(), (Shape{2, 3}));
+}
+
+TEST(TensorTest, ArangeAndRandomDeterminism) {
+  Tensor a = Tensor::Arange(5);
+  EXPECT_FLOAT_EQ(a.data()[4], 4.0f);
+  Rng r1(5);
+  Rng r2(5);
+  Tensor x = Tensor::Randn({16}, r1);
+  Tensor y = Tensor::Randn({16}, r2);
+  EXPECT_TRUE(AllClose(x, y, 0.0f, 0.0f));
+}
+
+TEST(OpsTest, BroadcastShape) {
+  EXPECT_EQ(BroadcastShape({2, 3}, {3}), (Shape{2, 3}));
+  EXPECT_EQ(BroadcastShape({4, 1, 3}, {2, 1}), (Shape{4, 2, 3}));
+  EXPECT_EQ(BroadcastShape({}, {5}), (Shape{5}));
+}
+
+TEST(OpsTest, AddBroadcastBias) {
+  Tensor x({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b({3}, {10, 20, 30});
+  Tensor y = Add(x, b);
+  EXPECT_FLOAT_EQ(y.at({0, 0}), 11.0f);
+  EXPECT_FLOAT_EQ(y.at({1, 2}), 36.0f);
+}
+
+TEST(OpsTest, ElementwiseBasics) {
+  Tensor a({3}, {1, -2, 3});
+  Tensor b({3}, {2, 2, 2});
+  EXPECT_TRUE(AllClose(Sub(a, b), Tensor({3}, {-1, -4, 1})));
+  EXPECT_TRUE(AllClose(Mul(a, b), Tensor({3}, {2, -4, 6})));
+  EXPECT_TRUE(AllClose(Div(a, b), Tensor({3}, {0.5f, -1.0f, 1.5f})));
+  EXPECT_TRUE(AllClose(Maximum(a, b), Tensor({3}, {2, 2, 3})));
+  EXPECT_TRUE(AllClose(Relu(a), Tensor({3}, {1, 0, 3})));
+  EXPECT_TRUE(AllClose(Abs(a), Tensor({3}, {1, 2, 3})));
+}
+
+TEST(OpsTest, MatMul2D) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 2}));
+  EXPECT_FLOAT_EQ(c.at({0, 0}), 58.0f);
+  EXPECT_FLOAT_EQ(c.at({0, 1}), 64.0f);
+  EXPECT_FLOAT_EQ(c.at({1, 0}), 139.0f);
+  EXPECT_FLOAT_EQ(c.at({1, 1}), 154.0f);
+}
+
+TEST(OpsTest, MatMulMatchesNaiveOnRandom) {
+  Rng rng(9);
+  const int64_t m = 5, k = 7, n = 4;
+  Tensor a = Tensor::Randn({m, k}, rng);
+  Tensor b = Tensor::Randn({k, n}, rng);
+  Tensor c = MatMul(a, b);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        acc += a.at({i, kk}) * b.at({kk, j});
+      }
+      EXPECT_NEAR(c.at({i, j}), acc, 1e-4f);
+    }
+  }
+}
+
+TEST(OpsTest, MatMulBatchBroadcast) {
+  Rng rng(10);
+  Tensor a = Tensor::Randn({2, 4, 3, 5}, rng);
+  Tensor b = Tensor::Randn({5, 6}, rng);  // broadcast over batch dims
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 4, 3, 6}));
+  // Check one batch element against 2-d matmul.
+  Tensor a00 = Slice(Slice(a, 0, 0, 1), 1, 0, 1).Reshape({3, 5});
+  Tensor c00 = Slice(Slice(c, 0, 0, 1), 1, 0, 1).Reshape({3, 6});
+  EXPECT_TRUE(AllClose(MatMul(a00, b), c00, 1e-4f, 1e-4f));
+}
+
+TEST(OpsTest, MatMulVectorPromotion) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor m({3, 2}, {1, 0, 0, 1, 1, 1});
+  Tensor v = MatMul(a, m);
+  EXPECT_EQ(v.shape(), (Shape{2}));
+  EXPECT_FLOAT_EQ(v.data()[0], 4.0f);
+  EXPECT_FLOAT_EQ(v.data()[1], 5.0f);
+}
+
+TEST(OpsTest, TransposeAndPermute) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor tt = Transpose(t, 0, 1);
+  EXPECT_EQ(tt.shape(), (Shape{3, 2}));
+  EXPECT_FLOAT_EQ(tt.at({0, 1}), 4.0f);
+  EXPECT_FLOAT_EQ(tt.at({2, 0}), 3.0f);
+
+  Rng rng(11);
+  Tensor x = Tensor::Randn({2, 3, 4}, rng);
+  Tensor p = Permute(x, {2, 0, 1});
+  EXPECT_EQ(p.shape(), (Shape{4, 2, 3}));
+  EXPECT_FLOAT_EQ(p.at({1, 0, 2}), x.at({0, 2, 1}));
+}
+
+TEST(OpsTest, TransposeRoundTrip) {
+  Rng rng(12);
+  Tensor x = Tensor::Randn({3, 5, 7}, rng);
+  EXPECT_TRUE(AllClose(Transpose(Transpose(x, 1, 2), 1, 2), x, 0.0f, 0.0f));
+}
+
+TEST(OpsTest, SliceAndConcatRoundTrip) {
+  Rng rng(13);
+  Tensor x = Tensor::Randn({4, 6}, rng);
+  Tensor left = Slice(x, 1, 0, 2);
+  Tensor right = Slice(x, 1, 2, 6);
+  EXPECT_EQ(left.shape(), (Shape{4, 2}));
+  Tensor joined = Concat({left, right}, 1);
+  EXPECT_TRUE(AllClose(joined, x, 0.0f, 0.0f));
+}
+
+TEST(OpsTest, SliceNegativeIndices) {
+  Tensor x({5}, {0, 1, 2, 3, 4});
+  Tensor tail = Slice(x, 0, -2, 5);
+  EXPECT_EQ(tail.shape(), (Shape{2}));
+  EXPECT_FLOAT_EQ(tail.data()[0], 3.0f);
+}
+
+TEST(OpsTest, IndexSelect) {
+  Tensor x({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor sel = IndexSelect(x, 0, {2, 0, 2});
+  EXPECT_EQ(sel.shape(), (Shape{3, 2}));
+  EXPECT_FLOAT_EQ(sel.at({0, 0}), 5.0f);
+  EXPECT_FLOAT_EQ(sel.at({1, 1}), 2.0f);
+  EXPECT_FLOAT_EQ(sel.at({2, 0}), 5.0f);
+}
+
+TEST(OpsTest, PadZeros) {
+  Tensor x({2, 2}, {1, 2, 3, 4});
+  Tensor p = Pad(x, 1, 1, 2);
+  EXPECT_EQ(p.shape(), (Shape{2, 5}));
+  EXPECT_FLOAT_EQ(p.at({0, 0}), 0.0f);
+  EXPECT_FLOAT_EQ(p.at({0, 1}), 1.0f);
+  EXPECT_FLOAT_EQ(p.at({1, 2}), 4.0f);
+  EXPECT_FLOAT_EQ(p.at({1, 4}), 0.0f);
+}
+
+TEST(OpsTest, Reductions) {
+  Tensor x({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor s0 = Sum(x, 0);
+  EXPECT_EQ(s0.shape(), (Shape{3}));
+  EXPECT_FLOAT_EQ(s0.data()[0], 5.0f);
+  Tensor s1 = Sum(x, 1, /*keepdim=*/true);
+  EXPECT_EQ(s1.shape(), (Shape{2, 1}));
+  EXPECT_FLOAT_EQ(s1.data()[1], 15.0f);
+  EXPECT_FLOAT_EQ(MeanAll(x), 3.5f);
+  auto [values, argmax] = Max(x, 1);
+  EXPECT_FLOAT_EQ(values.data()[0], 3.0f);
+  EXPECT_FLOAT_EQ(argmax.data()[1], 2.0f);
+}
+
+TEST(OpsTest, ReduceToShape) {
+  Rng rng(14);
+  Tensor x = Tensor::Randn({4, 3}, rng);
+  Tensor r = ReduceToShape(x, {3});
+  EXPECT_TRUE(AllClose(r, Sum(x, 0), 1e-5f, 1e-5f));
+  Tensor r2 = ReduceToShape(x, {4, 1});
+  EXPECT_TRUE(AllClose(r2, Sum(x, 1, true), 1e-5f, 1e-5f));
+}
+
+TEST(OpsTest, SoftmaxRowsSumToOne) {
+  Rng rng(15);
+  Tensor x = Tensor::Randn({5, 9}, rng, 3.0f);
+  Tensor s = Softmax(x, 1);
+  Tensor row_sums = Sum(s, 1);
+  for (int64_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(row_sums.data()[i], 1.0f, 1e-5f);
+  }
+  // Stability under large offsets.
+  Tensor shifted = AddScalar(x, 1000.0f);
+  EXPECT_TRUE(AllClose(Softmax(shifted, 1), s, 1e-4f, 1e-3f));
+}
+
+TEST(OpsTest, LogSoftmaxMatchesLogOfSoftmax) {
+  Rng rng(16);
+  Tensor x = Tensor::Randn({3, 7}, rng, 2.0f);
+  EXPECT_TRUE(AllClose(LogSoftmax(x, 1), Log(Softmax(x, 1)), 1e-4f, 1e-3f));
+}
+
+TEST(OpsTest, SoftmaxAlongMiddleDim) {
+  Rng rng(17);
+  Tensor x = Tensor::Randn({2, 4, 3}, rng);
+  Tensor s = Softmax(x, 1);
+  Tensor sums = Sum(s, 1);
+  for (int64_t i = 0; i < sums.numel(); ++i) {
+    EXPECT_NEAR(sums.data()[i], 1.0f, 1e-5f);
+  }
+}
+
+TEST(OpsTest, MacCounting) {
+  ResetMacCount();
+  SetMacCountingEnabled(true);
+  Rng rng(18);
+  Tensor a = Tensor::Randn({2, 3, 4}, rng);
+  Tensor b = Tensor::Randn({2, 4, 5}, rng);
+  (void)MatMul(a, b);
+  SetMacCountingEnabled(false);
+  EXPECT_EQ(MacCount(), 2 * 3 * 5 * 4);
+  (void)MatMul(a, b);  // disabled: unchanged
+  EXPECT_EQ(MacCount(), 2 * 3 * 5 * 4);
+  ResetMacCount();
+  EXPECT_EQ(MacCount(), 0);
+}
+
+TEST(OpsTest, GeluMatchesReference) {
+  // Reference values from the tanh approximation.
+  Tensor x({3}, {-1.0f, 0.0f, 2.0f});
+  Tensor y = Gelu(x);
+  EXPECT_NEAR(y.data()[0], -0.1588f, 1e-3f);
+  EXPECT_NEAR(y.data()[1], 0.0f, 1e-6f);
+  EXPECT_NEAR(y.data()[2], 1.9546f, 1e-3f);
+}
+
+// Property sweep: elementwise ops agree with std:: on random data for many
+// shapes.
+class UnaryOpShapeTest : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(UnaryOpShapeTest, ExpLogSqrtConsistency) {
+  Rng rng(21);
+  Tensor x = Tensor::RandUniform(GetParam(), rng, 0.1f, 4.0f);
+  EXPECT_TRUE(AllClose(Exp(Log(x)), x, 1e-4f, 1e-3f));
+  EXPECT_TRUE(AllClose(Mul(Sqrt(x), Sqrt(x)), x, 1e-4f, 1e-3f));
+  EXPECT_TRUE(AllClose(Sigmoid(Neg(x)),
+                       AddScalar(Neg(Sigmoid(x)), 1.0f), 1e-5f, 1e-4f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, UnaryOpShapeTest,
+                         ::testing::Values(Shape{1}, Shape{7}, Shape{3, 5},
+                                           Shape{2, 3, 4},
+                                           Shape{2, 1, 4, 3}));
+
+}  // namespace
+}  // namespace lipformer

@@ -1,0 +1,138 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "train/losses.h"
+#include "train/metrics.h"
+
+namespace lipformer {
+namespace {
+
+using testing::CheckGradient;
+using testing::RandomTensor;
+
+TEST(LossTest, MseValue) {
+  Variable pred(Tensor({2}, {1.0f, 3.0f}));
+  Tensor target({2}, {0.0f, 1.0f});
+  EXPECT_NEAR(MseLoss(pred, target).value().item(), (1.0f + 4.0f) / 2.0f,
+              1e-6f);
+}
+
+TEST(LossTest, MaeValue) {
+  Variable pred(Tensor({2}, {1.0f, -3.0f}));
+  Tensor target({2}, {0.0f, 1.0f});
+  EXPECT_NEAR(MaeLoss(pred, target).value().item(), (1.0f + 4.0f) / 2.0f,
+              1e-6f);
+}
+
+TEST(LossTest, SmoothL1MatchesQuadraticBranch) {
+  // |err| < beta -> err^2 / (2 beta).
+  Variable pred(Tensor({1}, {0.5f}));
+  Tensor target({1}, {0.0f});
+  EXPECT_NEAR(SmoothL1Loss(pred, target, 1.0f).value().item(),
+              0.5f * 0.25f, 1e-6f);
+}
+
+TEST(LossTest, SmoothL1MatchesLinearBranch) {
+  // |err| >= beta -> |err| - beta/2.
+  Variable pred(Tensor({1}, {3.0f}));
+  Tensor target({1}, {0.0f});
+  EXPECT_NEAR(SmoothL1Loss(pred, target, 1.0f).value().item(), 2.5f, 1e-6f);
+}
+
+TEST(LossTest, SmoothL1ContinuousAtSeam) {
+  Tensor target({1}, {0.0f});
+  const float beta = 0.7f;
+  const float below =
+      SmoothL1Loss(Variable(Tensor({1}, {beta - 1e-4f})), target, beta)
+          .value()
+          .item();
+  const float above =
+      SmoothL1Loss(Variable(Tensor({1}, {beta + 1e-4f})), target, beta)
+          .value()
+          .item();
+  EXPECT_NEAR(below, above, 1e-3f);
+}
+
+// Property sweep over beta: SmoothL1 is bounded above by 0.5*MSE/beta and
+// approaches MAE for large errors.
+class SmoothL1BetaTest : public ::testing::TestWithParam<float> {};
+
+TEST_P(SmoothL1BetaTest, GradCheckAndBranches) {
+  const float beta = GetParam();
+  Tensor target = RandomTensor({8}, 301);
+  Tensor x0 = RandomTensor({8}, 302, 2.0f);
+  // Keep |err| away from the beta seam for the finite-difference check.
+  for (int64_t i = 0; i < x0.numel(); ++i) {
+    const float err = std::fabs(x0.data()[i] - target.data()[i]);
+    if (std::fabs(err - beta) < 0.05f) x0.data()[i] += 0.2f;
+  }
+  CheckGradient(
+      [&](const Variable& p) { return SmoothL1Loss(p, target, beta); }, x0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Betas, SmoothL1BetaTest,
+                         ::testing::Values(0.25f, 0.5f, 1.0f, 2.0f));
+
+TEST(LossTest, ForecastLossDispatch) {
+  Variable pred(Tensor({2}, {1.0f, 2.0f}));
+  Tensor target({2}, {0.0f, 0.0f});
+  EXPECT_NEAR(ForecastLoss(LossKind::kMse, pred, target).value().item(),
+              2.5f, 1e-6f);
+  EXPECT_NEAR(ForecastLoss(LossKind::kMae, pred, target).value().item(),
+              1.5f, 1e-6f);
+}
+
+TEST(ContrastiveLossTest, PerfectAlignmentBeatsRandom) {
+  // Strongly diagonal logits -> low loss; uniform logits -> log(b).
+  const int64_t b = 6;
+  Tensor diag = Tensor::Zeros({b, b});
+  for (int64_t i = 0; i < b; ++i) diag.at({i, i}) = 20.0f;
+  const float aligned =
+      SymmetricContrastiveLoss(Variable(diag)).value().item();
+  const float uniform =
+      SymmetricContrastiveLoss(Variable(Tensor::Zeros({b, b})))
+          .value()
+          .item();
+  EXPECT_LT(aligned, 0.01f);
+  EXPECT_NEAR(uniform, std::log(static_cast<float>(b)), 1e-4f);
+  EXPECT_LT(aligned, uniform);
+}
+
+TEST(ContrastiveLossTest, GradCheck) {
+  CheckGradient(
+      [](const Variable& logits) {
+        return SymmetricContrastiveLoss(logits);
+      },
+      RandomTensor({4, 4}, 303));
+}
+
+TEST(ContrastiveLossTest, SymmetricInRowsAndColumns) {
+  // Transposing the logits leaves the symmetric loss unchanged.
+  Tensor logits = RandomTensor({5, 5}, 304, 2.0f);
+  const float a = SymmetricContrastiveLoss(Variable(logits)).value().item();
+  const float b =
+      SymmetricContrastiveLoss(Variable(Transpose(logits, 0, 1)))
+          .value()
+          .item();
+  EXPECT_NEAR(a, b, 1e-5f);
+}
+
+TEST(MetricsTest, MatchesDirectComputation) {
+  Tensor pred({2, 2}, {1, 2, 3, 4});
+  Tensor target({2, 2}, {0, 2, 5, 4});
+  EXPECT_NEAR(MseMetric(pred, target), (1.0f + 0 + 4 + 0) / 4.0f, 1e-6f);
+  EXPECT_NEAR(MaeMetric(pred, target), (1.0f + 0 + 2 + 0) / 4.0f, 1e-6f);
+}
+
+TEST(MetricsTest, AccumulatorWeightsByElements) {
+  MetricAccumulator acc;
+  acc.Add(Tensor({1}, {1.0f}), Tensor({1}, {0.0f}));    // sq err 1
+  acc.Add(Tensor({3}, {0, 0, 0}), Tensor({3}, {0, 0, 0}));
+  EXPECT_NEAR(acc.mse(), 0.25f, 1e-6f);
+  EXPECT_EQ(acc.count(), 4);
+}
+
+}  // namespace
+}  // namespace lipformer

@@ -1,0 +1,6 @@
+// Thin entry point; all logic lives in src/cli (see cli/cli.h for the
+// command and option reference).
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) { return lipformer::cli::Main(argc, argv); }
