@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/thread_pool.h"
 #include "core/base_predictor.h"
 #include "core/lipformer.h"
 #include "data/synthetic.h"
@@ -14,8 +15,19 @@
 namespace lipformer {
 namespace {
 
+// Pins the kernel thread count for one benchmark run and restores the
+// default afterwards, so the `threads` column is the only variable.
+class ThreadScope {
+ public:
+  explicit ThreadScope(int64_t threads) {
+    SetNumThreads(static_cast<int>(threads));
+  }
+  ~ThreadScope() { SetNumThreads(DefaultNumThreads()); }
+};
+
 void BM_MatMul(benchmark::State& state) {
   const int64_t n = state.range(0);
+  ThreadScope threads(state.range(1));
   Rng rng(1);
   Tensor a = Tensor::Randn({n, n}, rng);
   Tensor b = Tensor::Randn({n, n}, rng);
@@ -24,9 +36,12 @@ void BM_MatMul(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
-BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_MatMul)
+    ->ArgNames({"n", "threads"})
+    ->ArgsProduct({{32, 64, 128, 256}, {1, 2, 4}});
 
 void BM_BatchedMatMul(benchmark::State& state) {
+  ThreadScope threads(state.range(0));
   Rng rng(1);
   Tensor a = Tensor::Randn({64, 16, 64}, rng);
   Tensor b = Tensor::Randn({64, 64, 64}, rng);
@@ -34,16 +49,37 @@ void BM_BatchedMatMul(benchmark::State& state) {
     benchmark::DoNotOptimize(MatMul(a, b));
   }
 }
-BENCHMARK(BM_BatchedMatMul);
+BENCHMARK(BM_BatchedMatMul)->ArgName("threads")->Arg(1)->Arg(2)->Arg(4);
+
+// The acceptance workload from ISSUE 1: [64, 96, 128] x [64, 128, 96],
+// the [b*c, n, hd]-style batched matmul shape patch models live on.
+void BM_PatchBatchMatMul(benchmark::State& state) {
+  ThreadScope threads(state.range(0));
+  Rng rng(1);
+  Tensor a = Tensor::Randn({64, 96, 128}, rng);
+  Tensor b = Tensor::Randn({64, 128, 96}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * 96 * 128 * 96);
+}
+BENCHMARK(BM_PatchBatchMatMul)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
 
 void BM_Softmax(benchmark::State& state) {
+  ThreadScope threads(state.range(0));
   Rng rng(2);
   Tensor x = Tensor::Randn({64, 128, 128}, rng);
   for (auto _ : state) {
     benchmark::DoNotOptimize(Softmax(x, -1));
   }
 }
-BENCHMARK(BM_Softmax);
+BENCHMARK(BM_Softmax)->ArgName("threads")->Arg(1)->Arg(2)->Arg(4);
 
 void BM_SelfAttention(benchmark::State& state) {
   const int64_t s = state.range(0);

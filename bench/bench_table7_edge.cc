@@ -4,11 +4,17 @@
 // box, so the quantity is measured directly. Reproduced claims: the
 // Transformer's latency grows superlinearly (O(T^2) attention) while
 // LiPFormer stays nearly flat, and the gap widens with channel count.
+//
+// A Threads column sweeps the kernel pool size (1 = the serial baseline)
+// so the parallel-backend speedup is measured, not asserted; outputs are
+// bitwise identical across thread counts by the ops.h determinism
+// contract.
 
 #include <cstdio>
 
 #include "bench_util/experiment.h"
 #include "bench_util/table_printer.h"
+#include "common/thread_pool.h"
 #include "models/transformer.h"
 
 using namespace lipformer;  // NOLINT
@@ -19,8 +25,9 @@ int main(int argc, char** argv) {
       env.full ? std::vector<int64_t>{96, 192, 336, 720}
                : std::vector<int64_t>{96, 192, 336};
   const int64_t pred_len = 96;
+  const std::vector<int> thread_counts = {1, 2, 4};
 
-  TablePrinter table({"Dataset", "InputLen", "Transformer(s)",
+  TablePrinter table({"Dataset", "InputLen", "Threads", "Transformer(s)",
                       "LiPFormer(s)", "Speedup"});
   for (const std::string& dataset : {"etth1", "weather"}) {
     DatasetSpec spec = MakeDataset(dataset, env.data_scale);
@@ -45,21 +52,27 @@ int main(int argc, char** argv) {
       lconfig.hidden_dim = env.hidden_dim;
       LiPFormer lip(lconfig);
 
-      ModelProfile pt = ProfileModel(&transformer, data, /*batch_size=*/8,
-                                     /*repeats=*/5);
-      ModelProfile pl = ProfileModel(&lip, data, 8, 5);
-      table.AddRow({dataset, std::to_string(input_len),
-                    FmtFloat(pt.seconds_per_inference, 4),
-                    FmtFloat(pl.seconds_per_inference, 4),
-                    FmtFloat(pt.seconds_per_inference /
-                                 pl.seconds_per_inference,
-                             1) +
-                        "x"});
+      for (int threads : thread_counts) {
+        SetNumThreads(threads);
+        ModelProfile pt = ProfileModel(&transformer, data, /*batch_size=*/8,
+                                       /*repeats=*/5);
+        ModelProfile pl = ProfileModel(&lip, data, 8, 5);
+        table.AddRow({dataset, std::to_string(input_len),
+                      std::to_string(threads),
+                      FmtFloat(pt.seconds_per_inference, 4),
+                      FmtFloat(pl.seconds_per_inference, 4),
+                      FmtFloat(pt.seconds_per_inference /
+                                   pl.seconds_per_inference,
+                               1) +
+                          "x"});
+      }
       std::fprintf(stderr, "[table7] %s T=%lld done\n", dataset.c_str(),
                    static_cast<long long>(input_len));
     }
   }
-  table.Print("Table VII: CPU-only inference latency vs input length");
+  SetNumThreads(1);
+  table.Print(
+      "Table VII: CPU-only inference latency vs input length and threads");
   (void)table.WriteCsv(ResultsPath(env, "table7_edge"));
   return 0;
 }

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Builds the repo under a sanitizer (ThreadSanitizer by default) and runs
+# the test suite, so the thread-pool tensor backend stays race-free.
+#
+# Usage:
+#   scripts/check_sanitize.sh [thread|address]
+#
+# Uses a dedicated build directory per sanitizer (build-tsan/build-asan)
+# so the regular build/ tree is untouched.
+
+set -euo pipefail
+
+SANITIZER="${1:-thread}"
+case "${SANITIZER}" in
+  thread)  BUILD_DIR="build-tsan" ;;
+  address) BUILD_DIR="build-asan" ;;
+  *)
+    echo "usage: $0 [thread|address]" >&2
+    exit 2
+    ;;
+esac
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "${REPO_ROOT}"
+
+echo "== configuring ${BUILD_DIR} with LIPF_SANITIZE=${SANITIZER}"
+cmake -B "${BUILD_DIR}" -S . -DLIPF_SANITIZE="${SANITIZER}"
+cmake --build "${BUILD_DIR}" -j "$(nproc)" --target lipformer_tests
+
+echo "== running tests under ${SANITIZER} sanitizer"
+# halt_on_error makes a single race fail the run instead of just logging.
+if [ "${SANITIZER}" = "thread" ]; then
+  export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+else
+  export ASAN_OPTIONS="halt_on_error=1 ${ASAN_OPTIONS:-}"
+fi
+ctest --test-dir "${BUILD_DIR}" --output-on-failure
+
+echo "== ${SANITIZER} sanitizer run passed"

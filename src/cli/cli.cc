@@ -20,6 +20,9 @@
 //   --save=FILE       write best-validation parameters
 //   --out=FILE        (forecast) output CSV path
 //   --seed=N          RNG seed
+//   --threads=N       tensor-kernel threads (default: LIPF_NUM_THREADS or
+//                     hardware concurrency; 1 = serial; results are
+//                     bitwise identical for every N)
 
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +30,7 @@
 #include <map>
 #include <string>
 
+#include "common/thread_pool.h"
 #include "core/lipformer.h"
 #include "data/csv.h"
 #include "data/registry.h"
@@ -294,6 +298,14 @@ int Usage() {
 
 int Main(int argc, char** argv) {
   CliArgs args = Parse(argc, argv);
+  if (args.Has("threads")) {
+    const int64_t threads = args.GetInt("threads", 0);
+    if (threads < 1) {
+      std::fprintf(stderr, "error: --threads must be >= 1\n");
+      return 2;
+    }
+    SetNumThreads(static_cast<int>(threads));
+  }
   if (args.command == "list") return CmdList();
   if (args.command == "train") return CmdTrain(args);
   if (args.command == "forecast") return CmdForecast(args);

@@ -12,6 +12,9 @@ Variable Dropout::Forward(const Variable& x) const {
   Tensor mask(x.shape());
   float* pm = mask.data();
   const float scale = 1.0f / (1.0f - p_);
+  // Mask generation must stay a serial loop on this thread: each draw
+  // advances rng_ (see the mutable comment in dropout.h), so spreading it
+  // over the thread pool would both race and reorder the stream.
   for (int64_t i = 0; i < mask.numel(); ++i) {
     pm[i] = rng_.Bernoulli(p_) ? 0.0f : scale;
   }

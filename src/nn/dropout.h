@@ -18,6 +18,13 @@ class Dropout : public Module {
 
  private:
   float p_;
+  // Deliberately mutated from the const Forward(): drawing a mask advances
+  // the stream, which is hidden state, not logical state. The draw loop
+  // runs serially on the calling thread (never on the tensor thread pool),
+  // and a given Dropout instance is only ever driven by one thread at a
+  // time, so masks are deterministic per seed at any --threads setting.
+  // Calling Forward on the same instance from multiple threads would race
+  // on this stream and is not supported.
   mutable Rng rng_;
 };
 

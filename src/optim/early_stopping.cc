@@ -1,5 +1,7 @@
 #include "optim/early_stopping.h"
 
+#include <cmath>
+
 #include "common/logging.h"
 
 namespace lipformer {
@@ -11,7 +13,10 @@ EarlyStopping::EarlyStopping(int64_t patience, float min_delta)
 
 bool EarlyStopping::Update(float score) {
   ++epoch_;
-  if (score < best_ - min_delta_) {
+  // NaN (e.g. an evaluation over an empty split) is explicitly a
+  // non-improvement; the comparison below would already be false for NaN,
+  // but we don't want to rely on that subtlety.
+  if (!std::isnan(score) && score < best_ - min_delta_) {
     best_ = score;
     best_epoch_ = epoch_;
     bad_epochs_ = 0;

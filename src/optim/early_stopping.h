@@ -13,7 +13,8 @@ class EarlyStopping {
  public:
   explicit EarlyStopping(int64_t patience, float min_delta = 0.0f);
 
-  // Records a validation score; returns true if this is a new best.
+  // Records a validation score; returns true if this is a new best. NaN
+  // scores (empty validation split) never count as an improvement.
   bool Update(float score);
 
   bool ShouldStop() const { return bad_epochs_ >= patience_; }

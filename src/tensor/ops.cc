@@ -1,16 +1,43 @@
 #include "tensor/ops.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
+
+#include "common/thread_pool.h"
 
 namespace lipformer {
 
 namespace {
 
-// Global MAC counter (single-threaded workload; plain globals suffice).
-bool g_mac_enabled = false;
-int64_t g_mac_count = 0;
+// Global MAC counter. Kernels run on the shared thread pool and callers
+// may issue kernels from several threads, so both the flag and the count
+// are atomics; parallel MatMul chunks accumulate locally and flush once
+// per chunk (see AddMacs).
+std::atomic<bool> g_mac_enabled{false};
+std::atomic<int64_t> g_mac_count{0};
+
+inline bool MacsEnabled() {
+  return g_mac_enabled.load(std::memory_order_relaxed);
+}
+
+inline void AddMacs(int64_t macs) {
+  g_mac_count.fetch_add(macs, std::memory_order_relaxed);
+}
+
+// Minimum work per chunk before a kernel fans out to the pool; keeps tiny
+// tensors on the exact serial path with zero dispatch overhead. Chunk
+// boundaries derived from these are functions of shape only, so outputs
+// stay bitwise identical at every thread count.
+constexpr int64_t kElementwiseGrain = 8192;  // elements
+constexpr int64_t kReductionGrain = 8192;    // accumulated scalars
+constexpr int64_t kMatMulGrainMacs = 16384;  // multiply-accumulates
+
+// Chunk grain for kernels whose per-index cost is `work_per_index`.
+inline int64_t GrainFor(int64_t total_grain, int64_t work_per_index) {
+  return std::max<int64_t>(1, total_grain / std::max<int64_t>(1, work_per_index));
+}
 
 // Expands `shape` to `ndim` dims by prepending 1s.
 Shape PadShape(const Shape& shape, int64_t ndim) {
@@ -38,6 +65,21 @@ Shape BroadcastStrides(const Shape& shape, const Shape& out_shape) {
   return strides;
 }
 
+// Decomposes linear index `i` over `shape` and returns the dot product of
+// the multi-index with `strides` (the broadcast offset of element i); also
+// fills `idx` with the multi-index when non-null.
+int64_t StridedOffset(int64_t i, const Shape& shape, const Shape& strides,
+                      std::vector<int64_t>* idx) {
+  int64_t off = 0;
+  for (int64_t d = static_cast<int64_t>(shape.size()) - 1; d >= 0; --d) {
+    const int64_t id = i % shape[d];
+    i /= shape[d];
+    off += id * strides[d];
+    if (idx != nullptr) (*idx)[d] = id;
+  }
+  return off;
+}
+
 template <typename F>
 Tensor BinaryOp(const Tensor& a, const Tensor& b, F f) {
   if (SameShape(a.shape(), b.shape())) {
@@ -45,8 +87,12 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, F f) {
     const float* pa = a.data();
     const float* pb = b.data();
     float* po = out.data();
-    const int64_t n = a.numel();
-    for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+    ParallelFor(a.numel(), kElementwiseGrain,
+                [&](int64_t begin, int64_t end) {
+                  for (int64_t i = begin; i < end; ++i) {
+                    po[i] = f(pa[i], pb[i]);
+                  }
+                });
     return out;
   }
   const Shape out_shape = BroadcastShape(a.shape(), b.shape());
@@ -57,23 +103,25 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, F f) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  std::vector<int64_t> idx(nd, 0);
-  int64_t oa = 0;
-  int64_t ob = 0;
-  const int64_t n = out.numel();
-  for (int64_t i = 0; i < n; ++i) {
-    po[i] = f(pa[oa], pb[ob]);
-    // Increment the multi-index (odometer).
-    for (int64_t d = nd - 1; d >= 0; --d) {
-      ++idx[d];
-      oa += sa[d];
-      ob += sb[d];
-      if (idx[d] < out_shape[d]) break;
-      idx[d] = 0;
-      oa -= sa[d] * out_shape[d];
-      ob -= sb[d] * out_shape[d];
+  ParallelFor(out.numel(), kElementwiseGrain, [&](int64_t begin, int64_t end) {
+    // Seed the odometer at the chunk's first element, then walk serially.
+    std::vector<int64_t> idx(nd, 0);
+    int64_t oa = StridedOffset(begin, out_shape, sa, &idx);
+    int64_t ob = StridedOffset(begin, out_shape, sb, nullptr);
+    for (int64_t i = begin; i < end; ++i) {
+      po[i] = f(pa[oa], pb[ob]);
+      // Increment the multi-index (odometer).
+      for (int64_t d = nd - 1; d >= 0; --d) {
+        ++idx[d];
+        oa += sa[d];
+        ob += sb[d];
+        if (idx[d] < out_shape[d]) break;
+        idx[d] = 0;
+        oa -= sa[d] * out_shape[d];
+        ob -= sb[d] * out_shape[d];
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -82,8 +130,9 @@ Tensor UnaryOp(const Tensor& a, F f) {
   Tensor out(a.shape());
   const float* pa = a.data();
   float* po = out.data();
-  const int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i]);
+  ParallelFor(a.numel(), kElementwiseGrain, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) po[i] = f(pa[i]);
+  });
   return out;
 }
 
@@ -227,7 +276,6 @@ Tensor MatMul(const Tensor& a_in, const Tensor& b_in) {
   Tensor out(out_shape);
 
   // Per-batch offsets honoring broadcast.
-  const int64_t nbd = static_cast<int64_t>(batch.size());
   const Shape sa = BroadcastStrides(ba, batch);
   const Shape sb = BroadcastStrides(bb, batch);
   const int64_t a_mat = m * k;
@@ -238,37 +286,47 @@ Tensor MatMul(const Tensor& a_in, const Tensor& b_in) {
   const float* pb_base = b.data();
   float* po_base = out.data();
 
-  std::vector<int64_t> idx(nbd, 0);
-  int64_t oa = 0;
-  int64_t ob = 0;
-  for (int64_t bi = 0; bi < nbatch; ++bi) {
-    const float* pa = pa_base + oa * a_mat;
-    const float* pb = pb_base + ob * b_mat;
-    float* po = po_base + bi * o_mat;
-    // ikj loop order: streams over pb rows, accumulates into po rows.
-    std::memset(po, 0, sizeof(float) * static_cast<size_t>(o_mat));
-    for (int64_t i = 0; i < m; ++i) {
-      const float* pa_row = pa + i * k;
-      float* po_row = po + i * n;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const float av = pa_row[kk];
-        if (av == 0.0f) continue;
-        const float* pb_row = pb + kk * n;
-        for (int64_t j = 0; j < n; ++j) po_row[j] += av * pb_row[j];
-      }
-    }
-    for (int64_t d = nbd - 1; d >= 0; --d) {
-      ++idx[d];
-      oa += sa[d];
-      ob += sb[d];
-      if (idx[d] < batch[d]) break;
-      idx[d] = 0;
-      oa -= sa[d] * batch[d];
-      ob -= sb[d] * batch[d];
-    }
-  }
-
-  if (g_mac_enabled) g_mac_count += nbatch * m * n * k;
+  // Partition over batch x output rows. Each output row is produced by
+  // exactly one chunk with the serial ikj inner loops, so results are
+  // bitwise identical for any thread count. MACs are charged per chunk
+  // from shape alone (theoretical count): the historical `av == 0.0f`
+  // zero-skip was dropped because it made wall clock and executed MACs
+  // vary with data sparsity (e.g. post-ReLU activations) while the counter
+  // still charged the full m*n*k.
+  const int64_t total_rows = nbatch * m;
+  const int64_t row_macs = k * n;
+  ParallelFor(total_rows, GrainFor(kMatMulGrainMacs, row_macs),
+              [&](int64_t begin, int64_t end) {
+                int64_t cached_bi = -1;
+                const float* pa = nullptr;
+                const float* pb = nullptr;
+                for (int64_t r = begin; r < end; ++r) {
+                  const int64_t bi = r / m;
+                  const int64_t i = r % m;
+                  if (bi != cached_bi) {
+                    const int64_t oa = StridedOffset(bi, batch, sa, nullptr);
+                    const int64_t ob = StridedOffset(bi, batch, sb, nullptr);
+                    pa = pa_base + oa * a_mat;
+                    pb = pb_base + ob * b_mat;
+                    cached_bi = bi;
+                  }
+                  const float* pa_row = pa + i * k;
+                  float* po_row = po_base + bi * o_mat + i * n;
+                  // ikj order: streams over pb rows, accumulates into
+                  // po_row.
+                  std::memset(po_row, 0,
+                              sizeof(float) * static_cast<size_t>(n));
+                  for (int64_t kk = 0; kk < k; ++kk) {
+                    const float av = pa_row[kk];
+                    const float* pb_row = pb + kk * n;
+                    for (int64_t j = 0; j < n; ++j) {
+                      po_row[j] += av * pb_row[j];
+                    }
+                  }
+                }
+                // Chunk-local accumulation, one flush into the atomic.
+                if (MacsEnabled()) AddMacs((end - begin) * row_macs);
+              });
 
   Tensor result = out;
   if (squeeze_m) result = result.Squeeze(result.dim() - 2);
@@ -432,13 +490,20 @@ Tensor Sum(const Tensor& t, int64_t dim, bool keepdim) {
   Tensor out(out_shape);
   const float* pi = t.data();
   float* po = out.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t i = 0; i < inner; ++i) {
-      float acc = 0.0f;
-      for (int64_t m = 0; m < mid; ++m) acc += pi[(o * mid + m) * inner + i];
-      po[o * inner + i] = acc;
-    }
-  }
+  // One chunk owns each output element's full accumulation, in the serial
+  // order, so sums are bitwise identical at any thread count.
+  ParallelFor(outer * inner, GrainFor(kReductionGrain, mid),
+              [&](int64_t begin, int64_t end) {
+                for (int64_t e = begin; e < end; ++e) {
+                  const int64_t o = e / inner;
+                  const int64_t i = e % inner;
+                  float acc = 0.0f;
+                  for (int64_t m = 0; m < mid; ++m) {
+                    acc += pi[(o * mid + m) * inner + i];
+                  }
+                  po[e] = acc;
+                }
+              });
   return keepdim ? out : out.Squeeze(dim);
 }
 
@@ -459,21 +524,24 @@ std::pair<Tensor, Tensor> Max(const Tensor& t, int64_t dim) {
   const float* pi = t.data();
   float* pv = values.data();
   float* pa = argmax.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t i = 0; i < inner; ++i) {
-      float best = pi[o * mid * inner + i];
-      int64_t best_idx = 0;
-      for (int64_t m = 1; m < mid; ++m) {
-        const float v = pi[(o * mid + m) * inner + i];
-        if (v > best) {
-          best = v;
-          best_idx = m;
-        }
-      }
-      pv[o * inner + i] = best;
-      pa[o * inner + i] = static_cast<float>(best_idx);
-    }
-  }
+  ParallelFor(outer * inner, GrainFor(kReductionGrain, mid),
+              [&](int64_t begin, int64_t end) {
+                for (int64_t e = begin; e < end; ++e) {
+                  const int64_t o = e / inner;
+                  const int64_t i = e % inner;
+                  float best = pi[o * mid * inner + i];
+                  int64_t best_idx = 0;
+                  for (int64_t m = 1; m < mid; ++m) {
+                    const float v = pi[(o * mid + m) * inner + i];
+                    if (v > best) {
+                      best = v;
+                      best_idx = m;
+                    }
+                  }
+                  pv[e] = best;
+                  pa[e] = static_cast<float>(best_idx);
+                }
+              });
   return {values, argmax};
 }
 
@@ -514,23 +582,28 @@ Tensor Softmax(const Tensor& t, int64_t dim) {
   Tensor out(t.shape());
   const float* pi = t.data();
   float* po = out.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t i = 0; i < inner; ++i) {
-      const int64_t base = o * mid * inner + i;
-      float mx = pi[base];
-      for (int64_t m = 1; m < mid; ++m) {
-        mx = std::max(mx, pi[base + m * inner]);
-      }
-      float denom = 0.0f;
-      for (int64_t m = 0; m < mid; ++m) {
-        const float e = std::exp(pi[base + m * inner] - mx);
-        po[base + m * inner] = e;
-        denom += e;
-      }
-      const float inv = 1.0f / denom;
-      for (int64_t m = 0; m < mid; ++m) po[base + m * inner] *= inv;
-    }
-  }
+  ParallelFor(outer * inner, GrainFor(kReductionGrain, 3 * mid),
+              [&](int64_t begin, int64_t end) {
+                for (int64_t e = begin; e < end; ++e) {
+                  const int64_t o = e / inner;
+                  const int64_t i = e % inner;
+                  const int64_t base = o * mid * inner + i;
+                  float mx = pi[base];
+                  for (int64_t m = 1; m < mid; ++m) {
+                    mx = std::max(mx, pi[base + m * inner]);
+                  }
+                  float denom = 0.0f;
+                  for (int64_t m = 0; m < mid; ++m) {
+                    const float ex = std::exp(pi[base + m * inner] - mx);
+                    po[base + m * inner] = ex;
+                    denom += ex;
+                  }
+                  const float inv = 1.0f / denom;
+                  for (int64_t m = 0; m < mid; ++m) {
+                    po[base + m * inner] *= inv;
+                  }
+                }
+              });
   return out;
 }
 
@@ -541,23 +614,26 @@ Tensor LogSoftmax(const Tensor& t, int64_t dim) {
   Tensor out(t.shape());
   const float* pi = t.data();
   float* po = out.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t i = 0; i < inner; ++i) {
-      const int64_t base = o * mid * inner + i;
-      float mx = pi[base];
-      for (int64_t m = 1; m < mid; ++m) {
-        mx = std::max(mx, pi[base + m * inner]);
-      }
-      float denom = 0.0f;
-      for (int64_t m = 0; m < mid; ++m) {
-        denom += std::exp(pi[base + m * inner] - mx);
-      }
-      const float log_denom = std::log(denom) + mx;
-      for (int64_t m = 0; m < mid; ++m) {
-        po[base + m * inner] = pi[base + m * inner] - log_denom;
-      }
-    }
-  }
+  ParallelFor(outer * inner, GrainFor(kReductionGrain, 3 * mid),
+              [&](int64_t begin, int64_t end) {
+                for (int64_t e = begin; e < end; ++e) {
+                  const int64_t o = e / inner;
+                  const int64_t i = e % inner;
+                  const int64_t base = o * mid * inner + i;
+                  float mx = pi[base];
+                  for (int64_t m = 1; m < mid; ++m) {
+                    mx = std::max(mx, pi[base + m * inner]);
+                  }
+                  float denom = 0.0f;
+                  for (int64_t m = 0; m < mid; ++m) {
+                    denom += std::exp(pi[base + m * inner] - mx);
+                  }
+                  const float log_denom = std::log(denom) + mx;
+                  for (int64_t m = 0; m < mid; ++m) {
+                    po[base + m * inner] = pi[base + m * inner] - log_denom;
+                  }
+                }
+              });
   return out;
 }
 
@@ -584,9 +660,13 @@ float MaxAbsDiff(const Tensor& a, const Tensor& b) {
   return mx;
 }
 
-void SetMacCountingEnabled(bool enabled) { g_mac_enabled = enabled; }
-bool MacCountingEnabled() { return g_mac_enabled; }
-void ResetMacCount() { g_mac_count = 0; }
-int64_t MacCount() { return g_mac_count; }
+void SetMacCountingEnabled(bool enabled) {
+  g_mac_enabled.store(enabled, std::memory_order_relaxed);
+}
+bool MacCountingEnabled() {
+  return g_mac_enabled.load(std::memory_order_relaxed);
+}
+void ResetMacCount() { g_mac_count.store(0, std::memory_order_relaxed); }
+int64_t MacCount() { return g_mac_count.load(std::memory_order_relaxed); }
 
 }  // namespace lipformer

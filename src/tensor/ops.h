@@ -11,6 +11,13 @@
 // gradient rules; models never call these directly except in inference-only
 // helpers. Elementwise binary ops broadcast numpy-style; MatMul broadcasts
 // its batch dimensions.
+//
+// The hot kernels (MatMul, elementwise, Softmax/LogSoftmax, Sum/Mean/Max)
+// fan out over the shared pool in common/thread_pool.h. Outputs are
+// bitwise identical at every thread count: each output element is computed
+// by exactly one chunk with the serial inner loops, and chunk boundaries
+// are functions of shape only. Thread count: SetNumThreads / --threads /
+// LIPF_NUM_THREADS (1 = the historical serial path).
 
 namespace lipformer {
 
@@ -87,8 +94,12 @@ bool AllClose(const Tensor& a, const Tensor& b, float atol = 1e-5f,
 float MaxAbsDiff(const Tensor& a, const Tensor& b);
 
 // ---- MAC (multiply-accumulate) instrumentation ----
-// When enabled, MatMul accumulates batch*m*n*k into a global counter; used
-// by bench_util to report the paper's MACs column.
+// When enabled, MatMul accumulates the theoretical batch*m*n*k into a
+// global counter; used by bench_util to report the paper's MACs column.
+// The count is a pure function of operand shapes (never of data), matches
+// the work the kernel executes, and is thread-safe: parallel chunks
+// accumulate locally and flush into an atomic, so concurrent MatMuls (and
+// the pool-parallel kernel itself) sum exactly.
 void SetMacCountingEnabled(bool enabled);
 bool MacCountingEnabled();
 void ResetMacCount();

@@ -54,6 +54,9 @@ EvalResult Evaluate(Forecaster* model, const WindowDataset& data, Split split,
     if (max_batches > 0 && ++batches >= max_batches) break;
   }
   model->SetTraining(was_training);
+  // An empty split leaves the NaN defaults in place: returning 0.0 here
+  // used to register as the best validation score ever, snapshot untrained
+  // weights and early-stop on them.
   EvalResult result;
   if (acc.count() > 0) {
     result.mse = acc.mse();

@@ -2,6 +2,7 @@
 #define LIPFORMER_TRAIN_TRAINER_H_
 
 #include <cstdint>
+#include <limits>
 #include <string>
 
 #include "data/dataloader.h"
@@ -31,9 +32,13 @@ struct TrainConfig {
   std::string checkpoint_path;
 };
 
+// NaN means "no data": an evaluation over a split that yields zero batches
+// must not look like a perfect score (EarlyStopping treats NaN as a
+// non-improvement; see the empty-split regression test in
+// tests/parallel_test.cc).
 struct EvalResult {
-  float mse = 0.0f;
-  float mae = 0.0f;
+  float mse = std::numeric_limits<float>::quiet_NaN();
+  float mae = std::numeric_limits<float>::quiet_NaN();
 };
 
 struct TrainResult {
