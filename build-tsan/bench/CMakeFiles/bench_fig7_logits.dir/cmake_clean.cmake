@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_logits.dir/bench_fig7_logits.cc.o"
+  "CMakeFiles/bench_fig7_logits.dir/bench_fig7_logits.cc.o.d"
+  "bench_fig7_logits"
+  "bench_fig7_logits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_logits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multiscale.dir/bench_multiscale.cc.o"
+  "CMakeFiles/bench_multiscale.dir/bench_multiscale.cc.o.d"
+  "bench_multiscale"
+  "bench_multiscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table12_transplant.dir/bench_table12_transplant.cc.o"
+  "CMakeFiles/bench_table12_transplant.dir/bench_table12_transplant.cc.o.d"
+  "bench_table12_transplant"
+  "bench_table12_transplant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table12_transplant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

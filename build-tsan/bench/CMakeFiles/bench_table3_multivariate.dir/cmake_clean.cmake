@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_multivariate.dir/bench_table3_multivariate.cc.o"
+  "CMakeFiles/bench_table3_multivariate.dir/bench_table3_multivariate.cc.o.d"
+  "bench_table3_multivariate"
+  "bench_table3_multivariate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_multivariate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_univariate.dir/bench_table5_univariate.cc.o"
+  "CMakeFiles/bench_table5_univariate.dir/bench_table5_univariate.cc.o.d"
+  "bench_table5_univariate"
+  "bench_table5_univariate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_univariate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_pretrain.dir/bench_table6_pretrain.cc.o"
+  "CMakeFiles/bench_table6_pretrain.dir/bench_table6_pretrain.cc.o.d"
+  "bench_table6_pretrain"
+  "bench_table6_pretrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_pretrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

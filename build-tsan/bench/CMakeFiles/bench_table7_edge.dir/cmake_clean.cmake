@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_edge.dir/bench_table7_edge.cc.o"
+  "CMakeFiles/bench_table7_edge.dir/bench_table7_edge.cc.o.d"
+  "bench_table7_edge"
+  "bench_table7_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_patchsize.dir/bench_table8_patchsize.cc.o"
+  "CMakeFiles/bench_table8_patchsize.dir/bench_table8_patchsize.cc.o.d"
+  "bench_table8_patchsize"
+  "bench_table8_patchsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_patchsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

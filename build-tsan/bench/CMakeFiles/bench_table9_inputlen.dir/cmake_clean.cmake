@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_inputlen.dir/bench_table9_inputlen.cc.o"
+  "CMakeFiles/bench_table9_inputlen.dir/bench_table9_inputlen.cc.o.d"
+  "bench_table9_inputlen"
+  "bench_table9_inputlen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_inputlen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vector_mapping.dir/bench_vector_mapping.cc.o"
+  "CMakeFiles/bench_vector_mapping.dir/bench_vector_mapping.cc.o.d"
+  "bench_vector_mapping"
+  "bench_vector_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vector_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_csv.dir/custom_csv.cpp.o"
+  "CMakeFiles/custom_csv.dir/custom_csv.cpp.o.d"
+  "custom_csv"
+  "custom_csv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_csv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

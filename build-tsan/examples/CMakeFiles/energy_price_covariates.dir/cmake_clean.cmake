@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_price_covariates.dir/energy_price_covariates.cpp.o"
+  "CMakeFiles/energy_price_covariates.dir/energy_price_covariates.cpp.o.d"
+  "energy_price_covariates"
+  "energy_price_covariates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_price_covariates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,80 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autograd/ops.cc" "src/CMakeFiles/lipformer.dir/autograd/ops.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/autograd/ops.cc.o.d"
+  "/root/repo/src/autograd/variable.cc" "src/CMakeFiles/lipformer.dir/autograd/variable.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/autograd/variable.cc.o.d"
+  "/root/repo/src/bench_util/experiment.cc" "src/CMakeFiles/lipformer.dir/bench_util/experiment.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/bench_util/experiment.cc.o.d"
+  "/root/repo/src/bench_util/profiler.cc" "src/CMakeFiles/lipformer.dir/bench_util/profiler.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/bench_util/profiler.cc.o.d"
+  "/root/repo/src/bench_util/table_printer.cc" "src/CMakeFiles/lipformer.dir/bench_util/table_printer.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/bench_util/table_printer.cc.o.d"
+  "/root/repo/src/cli/cli.cc" "src/CMakeFiles/lipformer.dir/cli/cli.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/cli/cli.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/lipformer.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/lipformer.dir/common/random.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/lipformer.dir/common/status.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/common/status.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/lipformer.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/core/base_predictor.cc" "src/CMakeFiles/lipformer.dir/core/base_predictor.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/core/base_predictor.cc.o.d"
+  "/root/repo/src/core/covariate_augmented.cc" "src/CMakeFiles/lipformer.dir/core/covariate_augmented.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/core/covariate_augmented.cc.o.d"
+  "/root/repo/src/core/covariate_encoder.cc" "src/CMakeFiles/lipformer.dir/core/covariate_encoder.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/core/covariate_encoder.cc.o.d"
+  "/root/repo/src/core/cross_patch_attention.cc" "src/CMakeFiles/lipformer.dir/core/cross_patch_attention.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/core/cross_patch_attention.cc.o.d"
+  "/root/repo/src/core/dual_encoder.cc" "src/CMakeFiles/lipformer.dir/core/dual_encoder.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/core/dual_encoder.cc.o.d"
+  "/root/repo/src/core/instance_norm.cc" "src/CMakeFiles/lipformer.dir/core/instance_norm.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/core/instance_norm.cc.o.d"
+  "/root/repo/src/core/inter_patch_attention.cc" "src/CMakeFiles/lipformer.dir/core/inter_patch_attention.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/core/inter_patch_attention.cc.o.d"
+  "/root/repo/src/core/lipformer.cc" "src/CMakeFiles/lipformer.dir/core/lipformer.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/core/lipformer.cc.o.d"
+  "/root/repo/src/core/multi_scale.cc" "src/CMakeFiles/lipformer.dir/core/multi_scale.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/core/multi_scale.cc.o.d"
+  "/root/repo/src/core/patching.cc" "src/CMakeFiles/lipformer.dir/core/patching.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/core/patching.cc.o.d"
+  "/root/repo/src/data/csv.cc" "src/CMakeFiles/lipformer.dir/data/csv.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/data/csv.cc.o.d"
+  "/root/repo/src/data/dataloader.cc" "src/CMakeFiles/lipformer.dir/data/dataloader.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/data/dataloader.cc.o.d"
+  "/root/repo/src/data/registry.cc" "src/CMakeFiles/lipformer.dir/data/registry.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/data/registry.cc.o.d"
+  "/root/repo/src/data/scaler.cc" "src/CMakeFiles/lipformer.dir/data/scaler.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/data/scaler.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/CMakeFiles/lipformer.dir/data/synthetic.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/data/synthetic.cc.o.d"
+  "/root/repo/src/data/time_features.cc" "src/CMakeFiles/lipformer.dir/data/time_features.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/data/time_features.cc.o.d"
+  "/root/repo/src/data/time_series.cc" "src/CMakeFiles/lipformer.dir/data/time_series.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/data/time_series.cc.o.d"
+  "/root/repo/src/data/window_dataset.cc" "src/CMakeFiles/lipformer.dir/data/window_dataset.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/data/window_dataset.cc.o.d"
+  "/root/repo/src/models/autoformer.cc" "src/CMakeFiles/lipformer.dir/models/autoformer.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/models/autoformer.cc.o.d"
+  "/root/repo/src/models/decomposition.cc" "src/CMakeFiles/lipformer.dir/models/decomposition.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/models/decomposition.cc.o.d"
+  "/root/repo/src/models/dlinear.cc" "src/CMakeFiles/lipformer.dir/models/dlinear.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/models/dlinear.cc.o.d"
+  "/root/repo/src/models/encoder_layer.cc" "src/CMakeFiles/lipformer.dir/models/encoder_layer.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/models/encoder_layer.cc.o.d"
+  "/root/repo/src/models/factory.cc" "src/CMakeFiles/lipformer.dir/models/factory.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/models/factory.cc.o.d"
+  "/root/repo/src/models/fgnn.cc" "src/CMakeFiles/lipformer.dir/models/fgnn.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/models/fgnn.cc.o.d"
+  "/root/repo/src/models/forecaster.cc" "src/CMakeFiles/lipformer.dir/models/forecaster.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/models/forecaster.cc.o.d"
+  "/root/repo/src/models/informer.cc" "src/CMakeFiles/lipformer.dir/models/informer.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/models/informer.cc.o.d"
+  "/root/repo/src/models/itransformer.cc" "src/CMakeFiles/lipformer.dir/models/itransformer.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/models/itransformer.cc.o.d"
+  "/root/repo/src/models/patchtst.cc" "src/CMakeFiles/lipformer.dir/models/patchtst.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/models/patchtst.cc.o.d"
+  "/root/repo/src/models/tide.cc" "src/CMakeFiles/lipformer.dir/models/tide.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/models/tide.cc.o.d"
+  "/root/repo/src/models/timemixer.cc" "src/CMakeFiles/lipformer.dir/models/timemixer.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/models/timemixer.cc.o.d"
+  "/root/repo/src/models/transformer.cc" "src/CMakeFiles/lipformer.dir/models/transformer.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/models/transformer.cc.o.d"
+  "/root/repo/src/models/tsmixer.cc" "src/CMakeFiles/lipformer.dir/models/tsmixer.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/models/tsmixer.cc.o.d"
+  "/root/repo/src/nn/activations.cc" "src/CMakeFiles/lipformer.dir/nn/activations.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/nn/activations.cc.o.d"
+  "/root/repo/src/nn/attention.cc" "src/CMakeFiles/lipformer.dir/nn/attention.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/nn/attention.cc.o.d"
+  "/root/repo/src/nn/dropout.cc" "src/CMakeFiles/lipformer.dir/nn/dropout.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/nn/dropout.cc.o.d"
+  "/root/repo/src/nn/embedding.cc" "src/CMakeFiles/lipformer.dir/nn/embedding.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/nn/embedding.cc.o.d"
+  "/root/repo/src/nn/layer_norm.cc" "src/CMakeFiles/lipformer.dir/nn/layer_norm.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/nn/layer_norm.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/CMakeFiles/lipformer.dir/nn/linear.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/nn/linear.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/CMakeFiles/lipformer.dir/nn/module.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/nn/module.cc.o.d"
+  "/root/repo/src/nn/positional_encoding.cc" "src/CMakeFiles/lipformer.dir/nn/positional_encoding.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/nn/positional_encoding.cc.o.d"
+  "/root/repo/src/optim/adamw.cc" "src/CMakeFiles/lipformer.dir/optim/adamw.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/optim/adamw.cc.o.d"
+  "/root/repo/src/optim/early_stopping.cc" "src/CMakeFiles/lipformer.dir/optim/early_stopping.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/optim/early_stopping.cc.o.d"
+  "/root/repo/src/optim/lr_scheduler.cc" "src/CMakeFiles/lipformer.dir/optim/lr_scheduler.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/optim/lr_scheduler.cc.o.d"
+  "/root/repo/src/optim/optimizer.cc" "src/CMakeFiles/lipformer.dir/optim/optimizer.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/optim/optimizer.cc.o.d"
+  "/root/repo/src/optim/sgd.cc" "src/CMakeFiles/lipformer.dir/optim/sgd.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/optim/sgd.cc.o.d"
+  "/root/repo/src/tensor/fft.cc" "src/CMakeFiles/lipformer.dir/tensor/fft.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/tensor/fft.cc.o.d"
+  "/root/repo/src/tensor/ops.cc" "src/CMakeFiles/lipformer.dir/tensor/ops.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/tensor/ops.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/CMakeFiles/lipformer.dir/tensor/tensor.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/tensor/tensor.cc.o.d"
+  "/root/repo/src/train/extended_metrics.cc" "src/CMakeFiles/lipformer.dir/train/extended_metrics.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/train/extended_metrics.cc.o.d"
+  "/root/repo/src/train/losses.cc" "src/CMakeFiles/lipformer.dir/train/losses.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/train/losses.cc.o.d"
+  "/root/repo/src/train/metrics.cc" "src/CMakeFiles/lipformer.dir/train/metrics.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/train/metrics.cc.o.d"
+  "/root/repo/src/train/trainer.cc" "src/CMakeFiles/lipformer.dir/train/trainer.cc.o" "gcc" "src/CMakeFiles/lipformer.dir/train/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/autograd_stress_test.cc" "tests/CMakeFiles/lipformer_tests.dir/autograd_stress_test.cc.o" "gcc" "tests/CMakeFiles/lipformer_tests.dir/autograd_stress_test.cc.o.d"
+  "/root/repo/tests/autograd_test.cc" "tests/CMakeFiles/lipformer_tests.dir/autograd_test.cc.o" "gcc" "tests/CMakeFiles/lipformer_tests.dir/autograd_test.cc.o.d"
+  "/root/repo/tests/baseline_test.cc" "tests/CMakeFiles/lipformer_tests.dir/baseline_test.cc.o" "gcc" "tests/CMakeFiles/lipformer_tests.dir/baseline_test.cc.o.d"
+  "/root/repo/tests/bench_util_test.cc" "tests/CMakeFiles/lipformer_tests.dir/bench_util_test.cc.o" "gcc" "tests/CMakeFiles/lipformer_tests.dir/bench_util_test.cc.o.d"
+  "/root/repo/tests/cli_test.cc" "tests/CMakeFiles/lipformer_tests.dir/cli_test.cc.o" "gcc" "tests/CMakeFiles/lipformer_tests.dir/cli_test.cc.o.d"
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/lipformer_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/lipformer_tests.dir/core_test.cc.o.d"
+  "/root/repo/tests/data_test.cc" "tests/CMakeFiles/lipformer_tests.dir/data_test.cc.o" "gcc" "tests/CMakeFiles/lipformer_tests.dir/data_test.cc.o.d"
+  "/root/repo/tests/edge_case_test.cc" "tests/CMakeFiles/lipformer_tests.dir/edge_case_test.cc.o" "gcc" "tests/CMakeFiles/lipformer_tests.dir/edge_case_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/lipformer_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/lipformer_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/fft_test.cc" "tests/CMakeFiles/lipformer_tests.dir/fft_test.cc.o" "gcc" "tests/CMakeFiles/lipformer_tests.dir/fft_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/lipformer_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/lipformer_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/model_test.cc" "tests/CMakeFiles/lipformer_tests.dir/model_test.cc.o" "gcc" "tests/CMakeFiles/lipformer_tests.dir/model_test.cc.o.d"
+  "/root/repo/tests/nn_test.cc" "tests/CMakeFiles/lipformer_tests.dir/nn_test.cc.o" "gcc" "tests/CMakeFiles/lipformer_tests.dir/nn_test.cc.o.d"
+  "/root/repo/tests/optim_test.cc" "tests/CMakeFiles/lipformer_tests.dir/optim_test.cc.o" "gcc" "tests/CMakeFiles/lipformer_tests.dir/optim_test.cc.o.d"
+  "/root/repo/tests/parallel_test.cc" "tests/CMakeFiles/lipformer_tests.dir/parallel_test.cc.o" "gcc" "tests/CMakeFiles/lipformer_tests.dir/parallel_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/lipformer_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/lipformer_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/tensor_test.cc" "tests/CMakeFiles/lipformer_tests.dir/tensor_test.cc.o" "gcc" "tests/CMakeFiles/lipformer_tests.dir/tensor_test.cc.o.d"
+  "/root/repo/tests/train_test.cc" "tests/CMakeFiles/lipformer_tests.dir/train_test.cc.o" "gcc" "tests/CMakeFiles/lipformer_tests.dir/train_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/lipformer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

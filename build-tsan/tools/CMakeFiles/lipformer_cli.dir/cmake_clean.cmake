@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lipformer_cli.dir/lipformer_cli.cc.o"
+  "CMakeFiles/lipformer_cli.dir/lipformer_cli.cc.o.d"
+  "lipformer_cli"
+  "lipformer_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lipformer_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
