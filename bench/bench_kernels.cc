@@ -38,7 +38,104 @@ void BM_MatMul(benchmark::State& state) {
 }
 BENCHMARK(BM_MatMul)
     ->ArgNames({"n", "threads"})
-    ->ArgsProduct({{32, 64, 128, 256}, {1, 2, 4}});
+    ->ArgsProduct({{32, 64, 128, 256, 384, 512}, {1, 2, 4}})
+    ->UseRealTime();
+
+// The retained serial ikj kernel (tensor/ops.h MatMulReference): the
+// packed GEMM's speedup is reported relative to this.
+void BM_MatMulReference(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, rng);
+  Tensor b = Tensor::Randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMulReference(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMulReference)
+    ->ArgName("n")
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(384)
+    ->Arg(512);
+
+void BM_MatMulTransB(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  ThreadScope threads(state.range(1));
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, rng);
+  Tensor b = Tensor::Randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMulTransB(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMulTransB)
+    ->ArgNames({"n", "threads"})
+    ->ArgsProduct({{128, 256}, {1, 4}})
+    ->UseRealTime();
+
+// What attention used to do for scores: materialize k^T, then MatMul.
+// Kept so the win of folding the transpose into packing stays visible.
+void BM_MatMulViaTranspose(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  ThreadScope threads(state.range(1));
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, rng);
+  Tensor b = Tensor::Randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, Transpose(b, -2, -1)));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMulViaTranspose)
+    ->ArgNames({"n", "threads"})
+    ->ArgsProduct({{128, 256}, {1, 4}})
+    ->UseRealTime();
+
+// ---- LiPFormer's real GEMM shapes (b=32, c=7 -> b*c=224 windows) ----
+
+// Patch-token mixer: tokens [b*c, n, hd] x weight [hd, hd].
+void BM_GemmPatchToken(benchmark::State& state) {
+  ThreadScope threads(state.range(0));
+  Rng rng(1);
+  Tensor a = Tensor::Randn({224, 14, 64}, rng);
+  Tensor b = Tensor::Randn({64, 64}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 224 * 14 * 64 * 64);
+}
+BENCHMARK(BM_GemmPatchToken)->ArgName("threads")->Arg(1)->Arg(4)->UseRealTime();
+
+// Cross-Patch trend attention scores: [b*c, pl, n] x itself^T -> pl x pl.
+void BM_GemmTrendScores(benchmark::State& state) {
+  ThreadScope threads(state.range(0));
+  Rng rng(1);
+  Tensor q = Tensor::Randn({224, 24, 14}, rng);
+  Tensor k = Tensor::Randn({224, 24, 14}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMulTransB(q, k));
+  }
+  state.SetItemsProcessed(state.iterations() * 224 * 24 * 24 * 14);
+}
+BENCHMARK(BM_GemmTrendScores)->ArgName("threads")->Arg(1)->Arg(4)->UseRealTime();
+
+// Inter-Patch head-batched scores: [b*c, h, n, dh] x itself^T.
+void BM_GemmHeadBatchedScores(benchmark::State& state) {
+  ThreadScope threads(state.range(0));
+  Rng rng(1);
+  Tensor q = Tensor::Randn({224, 4, 14, 16}, rng);
+  Tensor k = Tensor::Randn({224, 4, 14, 16}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMulTransB(q, k));
+  }
+  state.SetItemsProcessed(state.iterations() * 224 * 4 * 14 * 14 * 16);
+}
+BENCHMARK(BM_GemmHeadBatchedScores)->ArgName("threads")->Arg(1)->Arg(4)->UseRealTime();
 
 void BM_BatchedMatMul(benchmark::State& state) {
   ThreadScope threads(state.range(0));

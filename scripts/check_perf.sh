@@ -1,0 +1,122 @@
+#!/usr/bin/env bash
+# Builds bench_kernels in Release mode, runs the GEMM shape sweep, and
+# fails if single-thread GEMM real time regressed more than the threshold
+# against the committed baseline (results/BENCH_kernels.json).
+#
+# Usage:
+#   scripts/check_perf.sh            # compare against the baseline
+#   scripts/check_perf.sh --update   # rewrite the baseline instead
+#
+# Only threads:1 (and the un-threaded reference) rows are compared:
+# multi-thread wall times depend on how many cores the machine exposes,
+# single-thread times only on the kernel code. Each side uses the MINIMUM
+# over repetitions — the floor is the least noisy statistic on shared
+# boxes, where means/medians absorb scheduler and frequency jitter.
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "${REPO_ROOT}"
+
+BASELINE="results/BENCH_kernels.json"
+FILTER='BM_MatMul(TransB)?/|BM_MatMulReference|BM_Gemm'
+THRESHOLD="${LIPF_PERF_THRESHOLD:-1.10}"
+UPDATE=0
+if [ "${1:-}" = "--update" ]; then
+  UPDATE=1
+elif [ -n "${1:-}" ]; then
+  echo "usage: $0 [--update]" >&2
+  exit 2
+fi
+
+echo "== building bench_kernels (Release)"
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j "$(nproc)" --target bench_kernels
+
+RUN_OUT="$(mktemp /tmp/bench_kernels.XXXXXX.json)"
+trap 'rm -f "${RUN_OUT}"' EXIT
+
+echo "== running GEMM sweep"
+./build/bench/bench_kernels \
+  --benchmark_filter="${FILTER}" \
+  --benchmark_min_time=0.2 \
+  --benchmark_repetitions=5 \
+  --benchmark_out="${RUN_OUT}" \
+  --benchmark_out_format=json
+
+if [ "${UPDATE}" = "1" ]; then
+  mkdir -p results
+  cp "${RUN_OUT}" "${BASELINE}"
+  echo "== baseline updated: ${BASELINE}"
+  exit 0
+fi
+
+if [ ! -f "${BASELINE}" ]; then
+  echo "error: no baseline at ${BASELINE}; run $0 --update first" >&2
+  exit 2
+fi
+
+echo "== comparing single-thread best-of-reps against ${BASELINE}" \
+     "(threshold ${THRESHOLD}x)"
+python3 - "${BASELINE}" "${RUN_OUT}" "${THRESHOLD}" <<'EOF'
+import json
+import sys
+
+baseline_path, run_path, threshold = sys.argv[1], sys.argv[2], sys.argv[3]
+threshold = float(threshold)
+
+
+def best_times(path):
+    """Minimum real_time per benchmark family over its repetitions."""
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") != "iteration":
+            continue
+        name = b.get("run_name", b["name"])
+        # Single-thread rows only; the reference benchmark has no
+        # threads arg and is single-thread by construction.
+        if "threads:" in name and "threads:1" not in name:
+            continue
+        t = float(b["real_time"])
+        if name not in out or t < out[name]:
+            out[name] = t
+    return out
+
+
+base = best_times(baseline_path)
+run = best_times(run_path)
+# Rows under this floor measure timer granularity and scheduler jitter
+# more than kernel speed; they are reported but never gate.
+MIN_GATED_NS = 100_000
+failures = []
+compared = 0
+for name, base_ns in sorted(base.items()):
+    run_ns = run.get(name)
+    if run_ns is None:
+        failures.append(f"{name}: missing from this run")
+        continue
+    if base_ns < MIN_GATED_NS:
+        print(f"  skip {name}: {base_ns / 1e6:.3f} ms baseline "
+              "(below gating floor)")
+        continue
+    compared += 1
+    ratio = run_ns / base_ns
+    mark = "FAIL" if ratio > threshold else "ok"
+    print(f"  {mark:4} {name}: {base_ns / 1e6:.3f} ms -> "
+          f"{run_ns / 1e6:.3f} ms ({ratio:.2f}x)")
+    if ratio > threshold:
+        failures.append(f"{name}: {ratio:.2f}x slower")
+
+if compared == 0:
+    failures.append("no comparable single-thread benchmarks found")
+if failures:
+    print("\nperf check FAILED:")
+    for f in failures:
+        print(f"  {f}")
+    sys.exit(1)
+print(f"\nperf check passed ({compared} benchmarks within {threshold}x)")
+EOF
+
+echo "== perf check passed"

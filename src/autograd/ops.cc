@@ -187,10 +187,10 @@ Variable MatMul(const Variable& a_in, const Variable& b_in) {
   const Tensor bv = b.value();
   Variable out = Variable::MakeNode(
       std::move(value), {a, b}, [av, bv](const Tensor& g) {
-        Tensor ga = ReduceToShape(MatMul(g, Transpose(bv, -2, -1)),
-                                  av.shape());
-        Tensor gb = ReduceToShape(MatMul(Transpose(av, -2, -1), g),
-                                  bv.shape());
+        // da = g b^T, db = a^T g; both transposes are folded into the
+        // packed GEMM instead of materialized.
+        Tensor ga = ReduceToShape(MatMulTransB(g, bv), av.shape());
+        Tensor gb = ReduceToShape(MatMulTransA(av, g), bv.shape());
         return std::vector<Tensor>{std::move(ga), std::move(gb)};
       });
   if (squeeze_m || squeeze_n) {
@@ -200,6 +200,32 @@ Variable MatMul(const Variable& a_in, const Variable& b_in) {
     out = Reshape(out, std::move(s));
   }
   return out;
+}
+
+Variable MatMulTransB(const Variable& a, const Variable& b) {
+  Tensor value = MatMulTransB(a.value(), b.value());
+  const Tensor av = a.value();
+  const Tensor bv = b.value();
+  return Variable::MakeNode(
+      std::move(value), {a, b}, [av, bv](const Tensor& g) {
+        // c = a b^T with g [..., m, n]: da = g b, db = g^T a.
+        Tensor ga = ReduceToShape(MatMul(g, bv), av.shape());
+        Tensor gb = ReduceToShape(MatMulTransA(g, av), bv.shape());
+        return std::vector<Tensor>{std::move(ga), std::move(gb)};
+      });
+}
+
+Variable MatMulTransA(const Variable& a, const Variable& b) {
+  Tensor value = MatMulTransA(a.value(), b.value());
+  const Tensor av = a.value();
+  const Tensor bv = b.value();
+  return Variable::MakeNode(
+      std::move(value), {a, b}, [av, bv](const Tensor& g) {
+        // c = a^T b with g [..., m, n]: da = b g^T, db = a g.
+        Tensor ga = ReduceToShape(MatMulTransB(bv, g), av.shape());
+        Tensor gb = ReduceToShape(MatMul(av, g), bv.shape());
+        return std::vector<Tensor>{std::move(ga), std::move(gb)};
+      });
 }
 
 Variable Reshape(const Variable& a, Shape new_shape) {

@@ -38,6 +38,12 @@ Variable Gelu(const Variable& a);
 
 // ---- Linear algebra ----
 Variable MatMul(const Variable& a, const Variable& b);
+// a [..., m, k] x b^T for b [..., n, k] -> [..., m, n]. Forward and
+// backward are transpose-free (the fold happens inside the packed GEMM),
+// which is what attention score computation uses.
+Variable MatMulTransB(const Variable& a, const Variable& b);
+// a^T x b for a [..., k, m], b [..., k, n] -> [..., m, n].
+Variable MatMulTransA(const Variable& a, const Variable& b);
 
 // ---- Shape ----
 Variable Reshape(const Variable& a, Shape new_shape);

@@ -38,7 +38,7 @@ Variable DualEncoder::Logits(const Batch& batch) const {
   Variable vc = RowNormalize(covariate_encoder_->Encode(batch));  // [b, L]
   Variable vt = RowNormalize(target_encoder_->Encode(batch.y));   // [b, L]
   Variable scale = Exp(log_temperature_);
-  Variable logits = MatMul(vt, Transpose(vc, 0, 1));  // [b, b]
+  Variable logits = MatMulTransB(vt, vc);  // [b, b]
   return Mul(logits, scale);
 }
 

@@ -31,7 +31,7 @@ Variable ProbSparseSelfAttention::Forward(const Variable& x) const {
   Variable v = wv_->Forward(x);
 
   const float scale = 1.0f / std::sqrt(static_cast<float>(model_dim_));
-  Variable scores = MulScalar(MatMul(q, Transpose(k, 1, 2)), scale);
+  Variable scores = MulScalar(MatMulTransB(q, k), scale);
 
   // Sparsity measure from the *values* of the scores (selection is a
   // discrete decision; gradients flow through the attention itself).

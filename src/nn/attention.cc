@@ -4,25 +4,46 @@
 
 namespace lipformer {
 
-Variable ScaledDotProductAttention(const Variable& q, const Variable& k,
-                                   const Variable& v, bool causal) {
+Tensor MakeCausalMask(int64_t sq, int64_t sk) {
+  Tensor mask(Shape{sq, sk});
+  float* pm = mask.data();
+  for (int64_t i = 0; i < sq; ++i) {
+    for (int64_t j = 0; j < sk; ++j) {
+      pm[i * sk + j] = j > i ? -1e9f : 0.0f;
+    }
+  }
+  return mask;
+}
+
+namespace {
+
+Variable AttentionCore(const Variable& q, const Variable& k,
+                       const Variable& v, const Tensor* causal_mask) {
   const int64_t dh = q.size(-1);
   const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
-  Variable scores = MulScalar(MatMul(q, Transpose(k, -2, -1)), scale);
-  if (causal) {
-    const int64_t sq = scores.size(-2);
-    const int64_t sk = scores.size(-1);
-    Tensor mask(Shape{sq, sk});
-    float* pm = mask.data();
-    for (int64_t i = 0; i < sq; ++i) {
-      for (int64_t j = 0; j < sk; ++j) {
-        pm[i * sk + j] = j > i ? -1e9f : 0.0f;
-      }
-    }
-    scores = AddConst(scores, mask);
+  // Scores q k^T without materializing a transposed copy of k: the
+  // transpose is folded into the packed GEMM's operand packing.
+  Variable scores = MulScalar(MatMulTransB(q, k), scale);
+  if (causal_mask != nullptr) {
+    scores = AddConst(scores, *causal_mask);
   }
   Variable attn = Softmax(scores, -1);
   return MatMul(attn, v);
+}
+
+}  // namespace
+
+Variable ScaledDotProductAttention(const Variable& q, const Variable& k,
+                                   const Variable& v, bool causal) {
+  if (!causal) return AttentionCore(q, k, v, nullptr);
+  const Tensor mask = MakeCausalMask(q.size(-2), k.size(-2));
+  return AttentionCore(q, k, v, &mask);
+}
+
+Variable ScaledDotProductAttention(const Variable& q, const Variable& k,
+                                   const Variable& v,
+                                   const Tensor& causal_mask) {
+  return AttentionCore(q, k, v, &causal_mask);
 }
 
 MultiHeadSelfAttention::MultiHeadSelfAttention(int64_t model_dim,
@@ -57,6 +78,16 @@ Variable MultiHeadSelfAttention::Forward(const Variable& q_input,
   return Attend(q_input, kv_input);
 }
 
+const Tensor& MultiHeadSelfAttention::CausalMask(int64_t sq,
+                                                 int64_t sk) const {
+  if (sq != mask_sq_ || sk != mask_sk_) {
+    mask_cache_ = MakeCausalMask(sq, sk);
+    mask_sq_ = sq;
+    mask_sk_ = sk;
+  }
+  return mask_cache_;
+}
+
 Variable MultiHeadSelfAttention::Attend(const Variable& q_in,
                                         const Variable& kv_in) const {
   LIPF_CHECK_EQ(q_in.dim(), 3);
@@ -75,7 +106,9 @@ Variable MultiHeadSelfAttention::Attend(const Variable& q_in,
   Variable k = split_heads(wk_->Forward(kv_in), skv);
   Variable v = split_heads(wv_->Forward(kv_in), skv);
 
-  Variable ctx = ScaledDotProductAttention(q, k, v, causal_);
+  Variable ctx = causal_
+                     ? ScaledDotProductAttention(q, k, v, CausalMask(sq, skv))
+                     : ScaledDotProductAttention(q, k, v, /*causal=*/false);
   if (attn_dropout_) ctx = attn_dropout_->Forward(ctx);
 
   // [B, h, Sq, dh] -> [B, Sq, D]

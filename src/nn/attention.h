@@ -9,11 +9,20 @@
 
 namespace lipformer {
 
+// Additive causal mask [sq, sk]: 0 on/below the diagonal, -1e9 above.
+Tensor MakeCausalMask(int64_t sq, int64_t sk);
+
 // Scaled dot-product attention core: q,k [*, S, dh] / v [*, S, dh] ->
-// [*, Sq, dh]. Causal masks future positions. Standalone so custom
+// [*, Sq, dh]. Scores are computed transpose-free as q k^T via
+// MatMulTransB. Causal masks future positions. Standalone so custom
 // attention variants (ProbSparse, autocorrelation) can reuse pieces.
 Variable ScaledDotProductAttention(const Variable& q, const Variable& k,
                                    const Variable& v, bool causal = false);
+// Variant taking a precomputed additive mask (see MakeCausalMask), so
+// callers that run many forwards at a fixed (sq, sk) can cache it.
+Variable ScaledDotProductAttention(const Variable& q, const Variable& k,
+                                   const Variable& v,
+                                   const Tensor& causal_mask);
 
 // Multi-head self-attention with learned Q/K/V/O projections over the last
 // dimension. Input [B, S, D] -> output [B, S, D]. This is the `Attn`
@@ -36,11 +45,18 @@ class MultiHeadSelfAttention : public Module {
 
  private:
   Variable Attend(const Variable& q_in, const Variable& kv_in) const;
+  // Returns the cached causal mask for (sq, sk), rebuilding it only when
+  // the sequence lengths change. Like the module's Rng-backed dropout,
+  // the cache makes Forward non-reentrant across threads.
+  const Tensor& CausalMask(int64_t sq, int64_t sk) const;
 
   int64_t model_dim_;
   int64_t num_heads_;
   int64_t head_dim_;
   bool causal_;
+  mutable Tensor mask_cache_;
+  mutable int64_t mask_sq_ = -1;
+  mutable int64_t mask_sk_ = -1;
   std::unique_ptr<Linear> wq_;
   std::unique_ptr<Linear> wk_;
   std::unique_ptr<Linear> wv_;

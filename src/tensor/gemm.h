@@ -1,0 +1,55 @@
+#ifndef LIPFORMER_TENSOR_GEMM_H_
+#define LIPFORMER_TENSOR_GEMM_H_
+
+#include <cstdint>
+
+// Cache-blocked, register-tiled batched GEMM used by MatMul and its
+// transpose-free variants (tensor/ops.h). The kernel packs B into
+// contiguous kGemmNR-wide column panels (built once per distinct B matrix
+// and shared read-only across pool workers), packs A into kGemmMR-row
+// micro-panels per MC x KC block, and drives a kGemmMR x kGemmNR
+// register-tile micro-kernel over MC/KC/NC cache blocks.
+//
+// Determinism contract (see DESIGN.md "Kernel architecture"): every output
+// element accumulates its k products in the same order regardless of
+// thread count or blocking — KC blocks ascending, then sequentially within
+// a block — and each output row is written by exactly one ParallelFor
+// chunk whose boundaries are a function of shape only. Outputs are
+// therefore bitwise identical at every thread count. They may differ from
+// a plain ikj loop in the last bits (FMA contraction), which is why tests
+// compare against MatMulReference with AllClose rather than memcmp.
+
+namespace lipformer {
+
+// Blocking parameters. kGemmMC must be a multiple of kGemmMR and kGemmNC a
+// multiple of kGemmNR. Retuning: see DESIGN.md — the invariants are
+// (a) a packed B sub-panel (kGemmKC x kGemmNR floats) fits in L1,
+// (b) a packed A block (kGemmMC x kGemmKC floats) fits in L2,
+// (c) kGemmMR x kGemmNR accumulators fit in the vector register file.
+inline constexpr int64_t kGemmMR = 4;
+inline constexpr int64_t kGemmNR = 16;
+inline constexpr int64_t kGemmMC = 128;
+inline constexpr int64_t kGemmKC = 256;
+inline constexpr int64_t kGemmNC = 4096;
+
+// Batch bookkeeping for a broadcast batched GEMM. The index arrays map a
+// broadcast batch position bi to the matrix actually stored in each
+// operand (a broadcast operand repeats indices).
+struct GemmBatch {
+  int64_t nbatch = 1;                    // broadcast batch count
+  const int64_t* a_mat_index = nullptr;  // [nbatch] matrix index into a
+  const int64_t* b_mat_index = nullptr;  // [nbatch] matrix index into b
+  int64_t num_b_mats = 1;                // distinct matrices stored in b
+};
+
+// c[bi] = opA(a[batch.a_mat_index[bi]]) * opB(b[batch.b_mat_index[bi]]),
+// where opX transposes the stored matrix when trans_x is set. Stored
+// shapes per matrix: a is [m, k] (or [k, m] if trans_a), b is [k, n] (or
+// [n, k] if trans_b), c is [m, n]. Runs on the shared thread pool.
+void PackedGemmBatched(const float* a, bool trans_a, const float* b,
+                       bool trans_b, float* c, int64_t m, int64_t n,
+                       int64_t k, const GemmBatch& batch);
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_TENSOR_GEMM_H_

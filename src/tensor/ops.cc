@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "common/thread_pool.h"
+#include "tensor/gemm.h"
 
 namespace lipformer {
 
@@ -32,7 +33,7 @@ inline void AddMacs(int64_t macs) {
 // stay bitwise identical at every thread count.
 constexpr int64_t kElementwiseGrain = 8192;  // elements
 constexpr int64_t kReductionGrain = 8192;    // accumulated scalars
-constexpr int64_t kMatMulGrainMacs = 16384;  // multiply-accumulates
+constexpr int64_t kCopyGrain = 16384;        // copied elements
 
 // Chunk grain for kernels whose per-index cost is `work_per_index`.
 inline int64_t GrainFor(int64_t total_grain, int64_t work_per_index) {
@@ -242,7 +243,89 @@ Tensor Gelu(const Tensor& a) {
   });
 }
 
+namespace {
+
+// Shared shape/broadcast prologue for the packed GEMM entry points.
+// Logical operand shapes: a [.., m, k] (stored [.., k, m] when trans_a),
+// b [.., k, n] (stored [.., n, k] when trans_b). Charges the theoretical
+// nbatch*m*n*k MACs — a pure function of shapes, matching the executed
+// work (see the MAC section in ops.h).
+Tensor MatMulImpl(const Tensor& a, const Tensor& b, bool trans_a,
+                  bool trans_b) {
+  LIPF_CHECK_GE(a.dim(), 2);
+  LIPF_CHECK_GE(b.dim(), 2);
+  const int64_t m = trans_a ? a.size(-1) : a.size(-2);
+  const int64_t k = trans_a ? a.size(-2) : a.size(-1);
+  const int64_t kb = trans_b ? b.size(-1) : b.size(-2);
+  const int64_t n = trans_b ? b.size(-2) : b.size(-1);
+  LIPF_CHECK_EQ(k, kb) << "matmul inner dims: " << ShapeToString(a.shape())
+                       << (trans_a ? "^T" : "") << " x "
+                       << ShapeToString(b.shape()) << (trans_b ? "^T" : "");
+
+  // Broadcast batch dims.
+  Shape ba(a.shape().begin(), a.shape().end() - 2);
+  Shape bb(b.shape().begin(), b.shape().end() - 2);
+  Shape batch = BroadcastShape(ba, bb);
+  const int64_t nbatch = NumElements(batch);
+
+  Shape out_shape = batch;
+  out_shape.push_back(m);
+  out_shape.push_back(n);
+  Tensor out(out_shape);
+
+  // Per-batch matrix indices honoring broadcast (stride-0 dims repeat).
+  const Shape sa = BroadcastStrides(ba, batch);
+  const Shape sb = BroadcastStrides(bb, batch);
+  std::vector<int64_t> a_idx(nbatch);
+  std::vector<int64_t> b_idx(nbatch);
+  for (int64_t bi = 0; bi < nbatch; ++bi) {
+    a_idx[bi] = StridedOffset(bi, batch, sa, nullptr);
+    b_idx[bi] = StridedOffset(bi, batch, sb, nullptr);
+  }
+
+  GemmBatch gb;
+  gb.nbatch = nbatch;
+  gb.a_mat_index = a_idx.data();
+  gb.b_mat_index = b_idx.data();
+  gb.num_b_mats = b.numel() / std::max<int64_t>(1, k * n);
+  PackedGemmBatched(a.data(), trans_a, b.data(), trans_b, out.data(), m, n,
+                    k, gb);
+  if (MacsEnabled()) AddMacs(nbatch * m * n * k);
+  return out;
+}
+
+}  // namespace
+
 Tensor MatMul(const Tensor& a_in, const Tensor& b_in) {
+  Tensor a = a_in;
+  Tensor b = b_in;
+  bool squeeze_m = false;
+  bool squeeze_n = false;
+  if (a.dim() == 1) {
+    a = a.Unsqueeze(0);
+    squeeze_m = true;
+  }
+  if (b.dim() == 1) {
+    b = b.Unsqueeze(1);
+    squeeze_n = true;
+  }
+  Tensor result = MatMulImpl(a, b, /*trans_a=*/false, /*trans_b=*/false);
+  if (squeeze_m) result = result.Squeeze(result.dim() - 2);
+  if (squeeze_n) result = result.Squeeze(result.dim() - 1);
+  return result;
+}
+
+Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
+  return MatMulImpl(a, b, /*trans_a=*/false, /*trans_b=*/true);
+}
+
+Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
+  return MatMulImpl(a, b, /*trans_a=*/true, /*trans_b=*/false);
+}
+
+Tensor MatMulReference(const Tensor& a_in, const Tensor& b_in) {
+  // The pre-blocking serial ikj kernel, retained verbatim as the ground
+  // truth the packed GEMM is tested against. Serial, no MAC accounting.
   Tensor a = a_in;
   Tensor b = b_in;
   bool squeeze_m = false;
@@ -264,7 +347,6 @@ Tensor MatMul(const Tensor& a_in, const Tensor& b_in) {
   LIPF_CHECK_EQ(k, k2) << "matmul inner dims: " << ShapeToString(a.shape())
                        << " x " << ShapeToString(b.shape());
 
-  // Broadcast batch dims.
   Shape ba(a.shape().begin(), a.shape().end() - 2);
   Shape bb(b.shape().begin(), b.shape().end() - 2);
   Shape batch = BroadcastShape(ba, bb);
@@ -275,7 +357,6 @@ Tensor MatMul(const Tensor& a_in, const Tensor& b_in) {
   out_shape.push_back(n);
   Tensor out(out_shape);
 
-  // Per-batch offsets honoring broadcast.
   const Shape sa = BroadcastStrides(ba, batch);
   const Shape sb = BroadcastStrides(bb, batch);
   const int64_t a_mat = m * k;
@@ -286,47 +367,22 @@ Tensor MatMul(const Tensor& a_in, const Tensor& b_in) {
   const float* pb_base = b.data();
   float* po_base = out.data();
 
-  // Partition over batch x output rows. Each output row is produced by
-  // exactly one chunk with the serial ikj inner loops, so results are
-  // bitwise identical for any thread count. MACs are charged per chunk
-  // from shape alone (theoretical count): the historical `av == 0.0f`
-  // zero-skip was dropped because it made wall clock and executed MACs
-  // vary with data sparsity (e.g. post-ReLU activations) while the counter
-  // still charged the full m*n*k.
-  const int64_t total_rows = nbatch * m;
-  const int64_t row_macs = k * n;
-  ParallelFor(total_rows, GrainFor(kMatMulGrainMacs, row_macs),
-              [&](int64_t begin, int64_t end) {
-                int64_t cached_bi = -1;
-                const float* pa = nullptr;
-                const float* pb = nullptr;
-                for (int64_t r = begin; r < end; ++r) {
-                  const int64_t bi = r / m;
-                  const int64_t i = r % m;
-                  if (bi != cached_bi) {
-                    const int64_t oa = StridedOffset(bi, batch, sa, nullptr);
-                    const int64_t ob = StridedOffset(bi, batch, sb, nullptr);
-                    pa = pa_base + oa * a_mat;
-                    pb = pb_base + ob * b_mat;
-                    cached_bi = bi;
-                  }
-                  const float* pa_row = pa + i * k;
-                  float* po_row = po_base + bi * o_mat + i * n;
-                  // ikj order: streams over pb rows, accumulates into
-                  // po_row.
-                  std::memset(po_row, 0,
-                              sizeof(float) * static_cast<size_t>(n));
-                  for (int64_t kk = 0; kk < k; ++kk) {
-                    const float av = pa_row[kk];
-                    const float* pb_row = pb + kk * n;
-                    for (int64_t j = 0; j < n; ++j) {
-                      po_row[j] += av * pb_row[j];
-                    }
-                  }
-                }
-                // Chunk-local accumulation, one flush into the atomic.
-                if (MacsEnabled()) AddMacs((end - begin) * row_macs);
-              });
+  for (int64_t bi = 0; bi < nbatch; ++bi) {
+    const float* pa = pa_base + StridedOffset(bi, batch, sa, nullptr) * a_mat;
+    const float* pb = pb_base + StridedOffset(bi, batch, sb, nullptr) * b_mat;
+    for (int64_t i = 0; i < m; ++i) {
+      const float* pa_row = pa + i * k;
+      float* po_row = po_base + bi * o_mat + i * n;
+      std::memset(po_row, 0, sizeof(float) * static_cast<size_t>(n));
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float av = pa_row[kk];
+        const float* pb_row = pb + kk * n;
+        for (int64_t j = 0; j < n; ++j) {
+          po_row[j] += av * pb_row[j];
+        }
+      }
+    }
+  }
 
   Tensor result = out;
   if (squeeze_m) result = result.Squeeze(result.dim() - 2);
@@ -357,19 +413,23 @@ Tensor Permute(const Tensor& t, const std::vector<int64_t>& perm) {
 
   const float* pi = t.data();
   float* po = out.data();
-  std::vector<int64_t> idx(nd, 0);
-  int64_t src = 0;
-  const int64_t n = t.numel();
-  for (int64_t i = 0; i < n; ++i) {
-    po[i] = pi[src];
-    for (int64_t d = nd - 1; d >= 0; --d) {
-      ++idx[d];
-      src += gather[d];
-      if (idx[d] < out_shape[d]) break;
-      idx[d] = 0;
-      src -= gather[d] * out_shape[d];
+  // Gather parallelized over output positions; chunks write disjoint
+  // ranges of po, so the result is chunking-independent.
+  ParallelFor(t.numel(), kCopyGrain, [&](int64_t begin, int64_t end) {
+    // Seed the odometer at the chunk's first element, then walk serially.
+    std::vector<int64_t> idx(nd, 0);
+    int64_t src = StridedOffset(begin, out_shape, gather, &idx);
+    for (int64_t i = begin; i < end; ++i) {
+      po[i] = pi[src];
+      for (int64_t d = nd - 1; d >= 0; --d) {
+        ++idx[d];
+        src += gather[d];
+        if (idx[d] < out_shape[d]) break;
+        idx[d] = 0;
+        src -= gather[d] * out_shape[d];
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -398,11 +458,15 @@ Tensor Slice(const Tensor& t, int64_t dim, int64_t start, int64_t end) {
   const float* pi = t.data();
   float* po = out.data();
   const int64_t len = end - start;
-  for (int64_t o = 0; o < outer; ++o) {
-    const float* src = pi + (o * mid + start) * inner;
-    float* dst = po + o * len * inner;
-    std::memcpy(dst, src, sizeof(float) * static_cast<size_t>(len * inner));
-  }
+  ParallelFor(outer, GrainFor(kCopyGrain, len * inner),
+              [&](int64_t o_begin, int64_t o_end) {
+                for (int64_t o = o_begin; o < o_end; ++o) {
+                  const float* src = pi + (o * mid + start) * inner;
+                  float* dst = po + o * len * inner;
+                  std::memcpy(dst, src,
+                              sizeof(float) * static_cast<size_t>(len * inner));
+                }
+              });
   return out;
 }
 
@@ -428,11 +492,16 @@ Tensor Concat(const std::vector<Tensor>& ts, int64_t dim) {
   for (const Tensor& t : ts) {
     const int64_t mid = t.size(dim);
     const float* pi = t.data();
-    for (int64_t o = 0; o < outer; ++o) {
-      float* dst = po + (o * mid_out + offset) * inner;
-      const float* src = pi + o * mid * inner;
-      std::memcpy(dst, src, sizeof(float) * static_cast<size_t>(mid * inner));
-    }
+    ParallelFor(outer, GrainFor(kCopyGrain, mid * inner),
+                [&](int64_t o_begin, int64_t o_end) {
+                  for (int64_t o = o_begin; o < o_end; ++o) {
+                    float* dst = po + (o * mid_out + offset) * inner;
+                    const float* src = pi + o * mid * inner;
+                    std::memcpy(dst, src,
+                                sizeof(float) *
+                                    static_cast<size_t>(mid * inner));
+                  }
+                });
     offset += mid;
   }
   return out;
@@ -449,16 +518,23 @@ Tensor IndexSelect(const Tensor& t, int64_t dim,
   const float* pi = t.data();
   float* po = out.data();
   const int64_t nsel = static_cast<int64_t>(indices.size());
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t s = 0; s < nsel; ++s) {
-      const int64_t idx = indices[s];
-      LIPF_CHECK_GE(idx, 0);
-      LIPF_CHECK_LT(idx, mid);
-      const float* src = pi + (o * mid + idx) * inner;
-      float* dst = po + (o * nsel + s) * inner;
-      std::memcpy(dst, src, sizeof(float) * static_cast<size_t>(inner));
-    }
+  // Validate on the calling thread so a bad index CHECK-fails outside the
+  // pool, then gather rows in parallel (disjoint writes).
+  for (int64_t s = 0; s < nsel; ++s) {
+    LIPF_CHECK_GE(indices[s], 0);
+    LIPF_CHECK_LT(indices[s], mid);
   }
+  ParallelFor(outer * nsel, GrainFor(kCopyGrain, inner),
+              [&](int64_t begin, int64_t end) {
+                for (int64_t e = begin; e < end; ++e) {
+                  const int64_t o = e / nsel;
+                  const int64_t s = e % nsel;
+                  const float* src = pi + (o * mid + indices[s]) * inner;
+                  float* dst = po + e * inner;
+                  std::memcpy(dst, src,
+                              sizeof(float) * static_cast<size_t>(inner));
+                }
+              });
   return out;
 }
 
@@ -473,11 +549,15 @@ Tensor Pad(const Tensor& t, int64_t dim, int64_t before, int64_t after) {
   Tensor out(out_shape);  // zero-initialized
   const float* pi = t.data();
   float* po = out.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    float* dst = po + (o * out_shape[dim] + before) * inner;
-    const float* src = pi + o * mid * inner;
-    std::memcpy(dst, src, sizeof(float) * static_cast<size_t>(mid * inner));
-  }
+  ParallelFor(outer, GrainFor(kCopyGrain, mid * inner),
+              [&](int64_t o_begin, int64_t o_end) {
+                for (int64_t o = o_begin; o < o_end; ++o) {
+                  float* dst = po + (o * out_shape[dim] + before) * inner;
+                  const float* src = pi + o * mid * inner;
+                  std::memcpy(dst, src,
+                              sizeof(float) * static_cast<size_t>(mid * inner));
+                }
+              });
   return out;
 }
 

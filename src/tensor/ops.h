@@ -12,7 +12,8 @@
 // helpers. Elementwise binary ops broadcast numpy-style; MatMul broadcasts
 // its batch dimensions.
 //
-// The hot kernels (MatMul, elementwise, Softmax/LogSoftmax, Sum/Mean/Max)
+// The hot kernels (the MatMul family, elementwise, Softmax/LogSoftmax,
+// Sum/Mean/Max, and the data movers Permute/Slice/Concat/IndexSelect/Pad)
 // fan out over the shared pool in common/thread_pool.h. Outputs are
 // bitwise identical at every thread count: each output element is computed
 // by exactly one chunk with the serial inner loops, and chunk boundaries
@@ -52,9 +53,26 @@ Tensor Relu(const Tensor& a);
 Tensor Gelu(const Tensor& a);
 
 // ---- Linear algebra ----
+// All matmul variants run on the packed, cache-blocked GEMM in
+// tensor/gemm.h (see DESIGN.md "Kernel architecture"). Outputs are
+// bitwise identical at every thread count; versus the plain ikj reference
+// they can differ in the last bits (FMA contraction), so tests compare
+// with AllClose.
+//
 // a: [..., m, k], b: [..., k, n] -> [..., m, n]; batch dims broadcast.
 // 1-d operands get the usual vector promotion (m=1 / n=1) and squeeze.
 Tensor MatMul(const Tensor& a, const Tensor& b);
+// a: [..., m, k], b: [..., n, k] -> [..., m, n] = a x b^T. The transpose
+// is folded into the GEMM's operand packing, so no transposed copy of b
+// is ever materialized (attention scores, MatMul backward).
+Tensor MatMulTransB(const Tensor& a, const Tensor& b);
+// a: [..., k, m], b: [..., k, n] -> [..., m, n] = a^T x b (weight
+// gradients in the Linear/MatMul backward), likewise transpose-free.
+Tensor MatMulTransA(const Tensor& a, const Tensor& b);
+// The pre-blocking serial ikj kernel, kept as the ground-truth reference
+// the packed GEMM is validated against in tests/benches. No threading, no
+// MAC accounting.
+Tensor MatMulReference(const Tensor& a, const Tensor& b);
 
 // ---- Shape ops (materializing) ----
 // Reorders dimensions; perm must be a permutation of [0, dim).
@@ -94,12 +112,12 @@ bool AllClose(const Tensor& a, const Tensor& b, float atol = 1e-5f,
 float MaxAbsDiff(const Tensor& a, const Tensor& b);
 
 // ---- MAC (multiply-accumulate) instrumentation ----
-// When enabled, MatMul accumulates the theoretical batch*m*n*k into a
-// global counter; used by bench_util to report the paper's MACs column.
-// The count is a pure function of operand shapes (never of data), matches
-// the work the kernel executes, and is thread-safe: parallel chunks
-// accumulate locally and flush into an atomic, so concurrent MatMuls (and
-// the pool-parallel kernel itself) sum exactly.
+// When enabled, the matmul variants accumulate the theoretical
+// batch*m*n*k into a global counter; used by bench_util to report the
+// paper's MACs column. The count is a pure function of operand shapes
+// (never of data), matches the work the kernel executes, and is
+// thread-safe: each call flushes its full count into an atomic once, so
+// concurrent MatMuls sum exactly.
 void SetMacCountingEnabled(bool enabled);
 bool MacCountingEnabled();
 void ResetMacCount();

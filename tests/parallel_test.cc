@@ -103,6 +103,21 @@ std::vector<Tensor> RunKernelSuite() {
                        RandomTensor({3, 7, 6}, 14)));
   out.push_back(MatMul(RandomTensor({7}, 15), RandomTensor({7, 4}, 16)));
   out.push_back(MatMul(RandomTensor({5, 7}, 17), RandomTensor({7}, 18)));
+  // Packed GEMM spanning several KC/MC blocks, plus the transpose-folded
+  // variants used by attention scores and the Linear backward pass.
+  out.push_back(MatMul(RandomTensor({300, 270, 130}, 61),
+                       RandomTensor({130, 140}, 62)));
+  out.push_back(MatMulTransB(RandomTensor({6, 24, 14}, 63),
+                             RandomTensor({6, 24, 14}, 64)));
+  out.push_back(MatMulTransA(RandomTensor({6, 14, 24}, 65),
+                             RandomTensor({6, 14, 24}, 66)));
+  // Data-movement kernels parallelized on the same grain scheme.
+  Tensor dm = RandomTensor({12, 34, 56}, 67);
+  out.push_back(Permute(dm, {2, 0, 1}));
+  out.push_back(Concat({dm, RandomTensor({12, 10, 56}, 68)}, 1));
+  out.push_back(Slice(dm, 1, 3, 29));
+  out.push_back(IndexSelect(dm, 2, {55, 0, 17, 17, 3}));
+  out.push_back(Pad(dm, 1, 2, 5));
   // Elementwise, same-shape and broadcast.
   Tensor ea = RandomTensor({8, 4, 16, 32}, 19);
   Tensor eb = RandomTensor({8, 4, 16, 32}, 20);
