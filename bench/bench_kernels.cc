@@ -227,13 +227,64 @@ void BM_LiPFormerTrainStep(benchmark::State& state) {
   config.hidden_dim = 64;
   LiPFormer model(config);
   Batch batch = data.MakeBatch(Split::kTrain, {0, 1, 2, 3, 4, 5, 6, 7});
+  // One warmup step populates the storage-pool freelists so the timed
+  // loop (and the allocation counters) reflect steady state.
+  model.ZeroGrad();
+  MseLoss(model.Forward(batch), batch.y).Backward();
+  ResetStoragePoolCounters();
+  int64_t steps = 0;
   for (auto _ : state) {
     model.ZeroGrad();
     Variable pred = model.Forward(batch);
     MseLoss(pred, batch.y).Backward();
+    ++steps;
   }
+  const StoragePoolStats pool = GetStoragePoolStats();
+  const double per_step = steps > 0 ? 1.0 / static_cast<double>(steps) : 0.0;
+  state.counters["acquires_per_step"] =
+      static_cast<double>(pool.acquires) * per_step;
+  state.counters["heap_allocs_per_step"] =
+      static_cast<double>(pool.heap_allocs) * per_step;
 }
 BENCHMARK(BM_LiPFormerTrainStep);
+
+// Eval-mode forward under NoGradGuard: the no-grad fast path skips tape
+// nodes entirely and every intermediate returns to the pool as soon as
+// the next op finishes with it.
+void BM_LiPFormerInference(benchmark::State& state) {
+  SeasonalConfig gen;
+  gen.steps = 600;
+  gen.channels = 7;
+  TimeSeries series = GenerateSeasonal(gen);
+  WindowDataset::Options options;
+  options.input_len = 96;
+  options.pred_len = 24;
+  WindowDataset data(series, options);
+  LiPFormerConfig config;
+  config.input_len = 96;
+  config.pred_len = 24;
+  config.channels = 7;
+  config.patch_len = 24;
+  config.hidden_dim = 64;
+  LiPFormer model(config);
+  model.SetTraining(false);
+  Batch batch = data.MakeBatch(Split::kTest, {0, 1, 2, 3, 4, 5, 6, 7});
+  NoGradGuard ng;
+  (void)model.Forward(batch);  // warmup: populate the pool freelists
+  ResetStoragePoolCounters();
+  int64_t steps = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Forward(batch));
+    ++steps;
+  }
+  const StoragePoolStats pool = GetStoragePoolStats();
+  const double per_step = steps > 0 ? 1.0 / static_cast<double>(steps) : 0.0;
+  state.counters["acquires_per_step"] =
+      static_cast<double>(pool.acquires) * per_step;
+  state.counters["heap_allocs_per_step"] =
+      static_cast<double>(pool.heap_allocs) * per_step;
+}
+BENCHMARK(BM_LiPFormerInference);
 
 }  // namespace
 }  // namespace lipformer

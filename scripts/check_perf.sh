@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
-# Builds bench_kernels in Release mode, runs the GEMM shape sweep, and
-# fails if single-thread GEMM real time regressed more than the threshold
-# against the committed baseline (results/BENCH_kernels.json).
+# Builds bench_kernels in Release mode, runs the GEMM shape sweep plus the
+# end-to-end train-step and inference-step benchmarks, and fails if
+# single-thread real time regressed more than the threshold against the
+# committed baseline (results/BENCH_kernels.json), or if the storage-pool
+# allocation counters of the step benchmarks increased at all (the pool
+# makes steady-state steps allocation-free; any new heap alloc per step is
+# a leak in that contract, not noise).
 #
 # Usage:
 #   scripts/check_perf.sh            # compare against the baseline
@@ -19,7 +23,7 @@ REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "${REPO_ROOT}"
 
 BASELINE="results/BENCH_kernels.json"
-FILTER='BM_MatMul(TransB)?/|BM_MatMulReference|BM_Gemm'
+FILTER='BM_MatMul(TransB)?/|BM_MatMulReference|BM_Gemm|BM_LiPFormerTrainStep|BM_LiPFormerInference'
 THRESHOLD="${LIPF_PERF_THRESHOLD:-1.10}"
 UPDATE=0
 if [ "${1:-}" = "--update" ]; then
@@ -36,7 +40,7 @@ cmake --build build -j "$(nproc)" --target bench_kernels
 RUN_OUT="$(mktemp /tmp/bench_kernels.XXXXXX.json)"
 trap 'rm -f "${RUN_OUT}"' EXIT
 
-echo "== running GEMM sweep"
+echo "== running GEMM + train/inference step sweep"
 ./build/bench/bench_kernels \
   --benchmark_filter="${FILTER}" \
   --benchmark_min_time=0.2 \
@@ -66,11 +70,16 @@ baseline_path, run_path, threshold = sys.argv[1], sys.argv[2], sys.argv[3]
 threshold = float(threshold)
 
 
+ALLOC_COUNTERS = ("acquires_per_step", "heap_allocs_per_step")
+
+
 def best_times(path):
-    """Minimum real_time per benchmark family over its repetitions."""
+    """Minimum real_time per benchmark family over its repetitions, plus
+    the minimum of each storage-pool allocation counter where present."""
     with open(path) as f:
         data = json.load(f)
     out = {}
+    allocs = {}
     for b in data.get("benchmarks", []):
         if b.get("run_type") != "iteration":
             continue
@@ -82,11 +91,17 @@ def best_times(path):
         t = float(b["real_time"])
         if name not in out or t < out[name]:
             out[name] = t
-    return out
+        for counter in ALLOC_COUNTERS:
+            if counter in b:
+                key = (name, counter)
+                v = float(b[counter])
+                if key not in allocs or v < allocs[key]:
+                    allocs[key] = v
+    return out, allocs
 
 
-base = best_times(baseline_path)
-run = best_times(run_path)
+base, base_allocs = best_times(baseline_path)
+run, run_allocs = best_times(run_path)
 # Rows under this floor measure timer granularity and scheduler jitter
 # more than kernel speed; they are reported but never gate.
 MIN_GATED_NS = 100_000
@@ -111,6 +126,20 @@ for name, base_ns in sorted(base.items()):
 
 if compared == 0:
     failures.append("no comparable single-thread benchmarks found")
+
+# Allocation counters gate absolutely, not by ratio: a steady-state step
+# should acquire the same number of storages every run, so any increase
+# over the baseline is a real regression. (+0.5 absorbs the per-step
+# amortization rounding of the warmup acquisitions.)
+for (name, counter), base_v in sorted(base_allocs.items()):
+    run_v = run_allocs.get((name, counter))
+    if run_v is None:
+        failures.append(f"{name}: counter {counter} missing from this run")
+        continue
+    mark = "FAIL" if run_v > base_v + 0.5 else "ok"
+    print(f"  {mark:4} {name} {counter}: {base_v:.1f} -> {run_v:.1f}")
+    if run_v > base_v + 0.5:
+        failures.append(f"{name}: {counter} rose {base_v:.1f} -> {run_v:.1f}")
 if failures:
     print("\nperf check FAILED:")
     for f in failures:

@@ -5,8 +5,34 @@
 
 namespace lipformer {
 
+namespace {
+
+// True when this op must be recorded on the tape: gradients are on and at
+// least one input requires grad. When false, ops return a plain Variable
+// without touching Variable::MakeNode — no closure allocation and no
+// captured parent tensors, so inference intermediates release their
+// pooled storage as soon as the Variable dies.
+inline bool Taped(const Variable& a) {
+  return GradEnabled() && a.requires_grad();
+}
+
+inline bool Taped(const Variable& a, const Variable& b) {
+  return GradEnabled() && (a.requires_grad() || b.requires_grad());
+}
+
+inline bool Taped(const std::vector<Variable>& vs) {
+  if (!GradEnabled()) return false;
+  for (const Variable& v : vs) {
+    if (v.requires_grad()) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 Variable Add(const Variable& a, const Variable& b) {
   Tensor value = Add(a.value(), b.value());
+  if (!Taped(a, b)) return Variable(std::move(value));
   const Shape sa = a.shape();
   const Shape sb = b.shape();
   return Variable::MakeNode(
@@ -17,6 +43,7 @@ Variable Add(const Variable& a, const Variable& b) {
 
 Variable Sub(const Variable& a, const Variable& b) {
   Tensor value = Sub(a.value(), b.value());
+  if (!Taped(a, b)) return Variable(std::move(value));
   const Shape sa = a.shape();
   const Shape sb = b.shape();
   return Variable::MakeNode(
@@ -28,6 +55,7 @@ Variable Sub(const Variable& a, const Variable& b) {
 
 Variable Mul(const Variable& a, const Variable& b) {
   Tensor value = Mul(a.value(), b.value());
+  if (!Taped(a, b)) return Variable(std::move(value));
   const Tensor av = a.value();
   const Tensor bv = b.value();
   return Variable::MakeNode(
@@ -39,6 +67,7 @@ Variable Mul(const Variable& a, const Variable& b) {
 
 Variable Div(const Variable& a, const Variable& b) {
   Tensor value = Div(a.value(), b.value());
+  if (!Taped(a, b)) return Variable(std::move(value));
   const Tensor av = a.value();
   const Tensor bv = b.value();
   return Variable::MakeNode(
@@ -53,6 +82,7 @@ Variable Div(const Variable& a, const Variable& b) {
 
 Variable AddScalar(const Variable& a, float s) {
   Tensor value = AddScalar(a.value(), s);
+  if (!Taped(a)) return Variable(std::move(value));
   return Variable::MakeNode(std::move(value), {a}, [](const Tensor& g) {
     return std::vector<Tensor>{g};
   });
@@ -60,6 +90,7 @@ Variable AddScalar(const Variable& a, float s) {
 
 Variable MulScalar(const Variable& a, float s) {
   Tensor value = MulScalar(a.value(), s);
+  if (!Taped(a)) return Variable(std::move(value));
   return Variable::MakeNode(std::move(value), {a}, [s](const Tensor& g) {
     return std::vector<Tensor>{MulScalar(g, s)};
   });
@@ -67,6 +98,7 @@ Variable MulScalar(const Variable& a, float s) {
 
 Variable PowScalar(const Variable& a, float p) {
   Tensor value = PowScalar(a.value(), p);
+  if (!Taped(a)) return Variable(std::move(value));
   const Tensor av = a.value();
   return Variable::MakeNode(std::move(value), {a}, [av, p](const Tensor& g) {
     // d/dx x^p = p * x^(p-1)
@@ -79,6 +111,7 @@ Variable Neg(const Variable& a) { return MulScalar(a, -1.0f); }
 
 Variable Exp(const Variable& a) {
   Tensor value = Exp(a.value());
+  if (!Taped(a)) return Variable(std::move(value));
   const Tensor out = value;
   return Variable::MakeNode(std::move(value), {a}, [out](const Tensor& g) {
     return std::vector<Tensor>{Mul(g, out)};
@@ -87,6 +120,7 @@ Variable Exp(const Variable& a) {
 
 Variable Log(const Variable& a) {
   Tensor value = Log(a.value());
+  if (!Taped(a)) return Variable(std::move(value));
   const Tensor av = a.value();
   return Variable::MakeNode(std::move(value), {a}, [av](const Tensor& g) {
     return std::vector<Tensor>{Div(g, av)};
@@ -95,6 +129,7 @@ Variable Log(const Variable& a) {
 
 Variable Sqrt(const Variable& a) {
   Tensor value = Sqrt(a.value());
+  if (!Taped(a)) return Variable(std::move(value));
   const Tensor out = value;
   return Variable::MakeNode(std::move(value), {a}, [out](const Tensor& g) {
     return std::vector<Tensor>{Div(g, MulScalar(out, 2.0f))};
@@ -103,9 +138,10 @@ Variable Sqrt(const Variable& a) {
 
 Variable Abs(const Variable& a) {
   Tensor value = Abs(a.value());
+  if (!Taped(a)) return Variable(std::move(value));
   const Tensor av = a.value();
   return Variable::MakeNode(std::move(value), {a}, [av](const Tensor& g) {
-    Tensor sign(av.shape());
+    Tensor sign = Tensor::Empty(av.shape());
     const float* p = av.data();
     float* ps = sign.data();
     for (int64_t i = 0; i < av.numel(); ++i) {
@@ -117,6 +153,7 @@ Variable Abs(const Variable& a) {
 
 Variable Tanh(const Variable& a) {
   Tensor value = Tanh(a.value());
+  if (!Taped(a)) return Variable(std::move(value));
   const Tensor out = value;
   return Variable::MakeNode(std::move(value), {a}, [out](const Tensor& g) {
     // 1 - tanh^2
@@ -127,6 +164,7 @@ Variable Tanh(const Variable& a) {
 
 Variable Sigmoid(const Variable& a) {
   Tensor value = Sigmoid(a.value());
+  if (!Taped(a)) return Variable(std::move(value));
   const Tensor out = value;
   return Variable::MakeNode(std::move(value), {a}, [out](const Tensor& g) {
     Tensor d = Mul(out, AddScalar(Neg(out), 1.0f));
@@ -136,9 +174,10 @@ Variable Sigmoid(const Variable& a) {
 
 Variable Relu(const Variable& a) {
   Tensor value = Relu(a.value());
+  if (!Taped(a)) return Variable(std::move(value));
   const Tensor av = a.value();
   return Variable::MakeNode(std::move(value), {a}, [av](const Tensor& g) {
-    Tensor mask(av.shape());
+    Tensor mask = Tensor::Empty(av.shape());
     const float* p = av.data();
     float* pm = mask.data();
     for (int64_t i = 0; i < av.numel(); ++i) pm[i] = p[i] > 0.0f ? 1.0f : 0.0f;
@@ -148,11 +187,13 @@ Variable Relu(const Variable& a) {
 
 Variable Gelu(const Variable& a) {
   Tensor value = Gelu(a.value());
+  if (!Taped(a)) return Variable(std::move(value));
   const Tensor av = a.value();
   return Variable::MakeNode(std::move(value), {a}, [av](const Tensor& g) {
-    // Derivative of the tanh-approximation GELU.
+    // Derivative of the tanh-approximation GELU (same formula as the
+    // fused AddBiasActBackward in tensor/ops.cc).
     constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
-    Tensor d(av.shape());
+    Tensor d = Tensor::Empty(av.shape());
     const float* p = av.data();
     float* pd = d.data();
     for (int64_t i = 0; i < av.numel(); ++i) {
@@ -183,16 +224,21 @@ Variable MatMul(const Variable& a_in, const Variable& b_in) {
     squeeze_n = true;
   }
   Tensor value = MatMul(a.value(), b.value());
-  const Tensor av = a.value();
-  const Tensor bv = b.value();
-  Variable out = Variable::MakeNode(
-      std::move(value), {a, b}, [av, bv](const Tensor& g) {
-        // da = g b^T, db = a^T g; both transposes are folded into the
-        // packed GEMM instead of materialized.
-        Tensor ga = ReduceToShape(MatMulTransB(g, bv), av.shape());
-        Tensor gb = ReduceToShape(MatMulTransA(av, g), bv.shape());
-        return std::vector<Tensor>{std::move(ga), std::move(gb)};
-      });
+  Variable out;
+  if (!Taped(a, b)) {
+    out = Variable(std::move(value));
+  } else {
+    const Tensor av = a.value();
+    const Tensor bv = b.value();
+    out = Variable::MakeNode(
+        std::move(value), {a, b}, [av, bv](const Tensor& g) {
+          // da = g b^T, db = a^T g; both transposes are folded into the
+          // packed GEMM instead of materialized.
+          Tensor ga = ReduceToShape(MatMulTransB(g, bv), av.shape());
+          Tensor gb = ReduceToShape(MatMulTransA(av, g), bv.shape());
+          return std::vector<Tensor>{std::move(ga), std::move(gb)};
+        });
+  }
   if (squeeze_m || squeeze_n) {
     Shape s = out.shape();
     if (squeeze_n) s.erase(s.end() - 1);
@@ -204,6 +250,7 @@ Variable MatMul(const Variable& a_in, const Variable& b_in) {
 
 Variable MatMulTransB(const Variable& a, const Variable& b) {
   Tensor value = MatMulTransB(a.value(), b.value());
+  if (!Taped(a, b)) return Variable(std::move(value));
   const Tensor av = a.value();
   const Tensor bv = b.value();
   return Variable::MakeNode(
@@ -217,6 +264,7 @@ Variable MatMulTransB(const Variable& a, const Variable& b) {
 
 Variable MatMulTransA(const Variable& a, const Variable& b) {
   Tensor value = MatMulTransA(a.value(), b.value());
+  if (!Taped(a, b)) return Variable(std::move(value));
   const Tensor av = a.value();
   const Tensor bv = b.value();
   return Variable::MakeNode(
@@ -230,6 +278,7 @@ Variable MatMulTransA(const Variable& a, const Variable& b) {
 
 Variable Reshape(const Variable& a, Shape new_shape) {
   Tensor value = a.value().Reshape(std::move(new_shape));
+  if (!Taped(a)) return Variable(std::move(value));
   const Shape orig = a.shape();
   return Variable::MakeNode(std::move(value), {a}, [orig](const Tensor& g) {
     return std::vector<Tensor>{g.Reshape(orig)};
@@ -238,6 +287,7 @@ Variable Reshape(const Variable& a, Shape new_shape) {
 
 Variable Permute(const Variable& a, const std::vector<int64_t>& perm) {
   Tensor value = Permute(a.value(), perm);
+  if (!Taped(a)) return Variable(std::move(value));
   std::vector<int64_t> inverse(perm.size());
   for (size_t i = 0; i < perm.size(); ++i) {
     inverse[static_cast<size_t>(perm[i])] = static_cast<int64_t>(i);
@@ -264,6 +314,7 @@ Variable Slice(const Variable& a, int64_t dim, int64_t start, int64_t end) {
   if (start < 0) start += a.size(dim);
   if (end < 0) end += a.size(dim);
   Tensor value = Slice(a.value(), dim, start, end);
+  if (!Taped(a)) return Variable(std::move(value));
   const Shape orig = a.shape();
   return Variable::MakeNode(
       std::move(value), {a}, [orig, dim, start, end](const Tensor& g) {
@@ -285,6 +336,7 @@ Variable Concat(const std::vector<Variable>& vs, int64_t dim) {
     sizes.push_back(v.size(dim));
   }
   Tensor value = Concat(values, dim);
+  if (!Taped(vs)) return Variable(std::move(value));
   return Variable::MakeNode(
       std::move(value), vs, [sizes, dim](const Tensor& g) {
         std::vector<Tensor> grads;
@@ -303,6 +355,7 @@ Variable IndexSelect(const Variable& a, int64_t dim,
   const int64_t nd = a.dim();
   if (dim < 0) dim += nd;
   Tensor value = IndexSelect(a.value(), dim, indices);
+  if (!Taped(a)) return Variable(std::move(value));
   const Shape orig = a.shape();
   return Variable::MakeNode(
       std::move(value), {a}, [orig, dim, indices](const Tensor& g) {
@@ -332,13 +385,14 @@ Variable Sum(const Variable& a, int64_t dim, bool keepdim) {
   const int64_t nd = a.dim();
   if (dim < 0) dim += nd;
   Tensor value = Sum(a.value(), dim, keepdim);
+  if (!Taped(a)) return Variable(std::move(value));
   const Shape orig = a.shape();
   return Variable::MakeNode(
       std::move(value), {a}, [orig, dim, keepdim](const Tensor& g) {
         Tensor gk = g;
         if (!keepdim) gk = g.Unsqueeze(dim);
         // Broadcast back over the reduced dim.
-        Tensor out = Add(gk, Tensor::Zeros(orig));
+        Tensor out = BroadcastTo(gk, orig);
         return std::vector<Tensor>{std::move(out)};
       });
 }
@@ -352,6 +406,7 @@ Variable Mean(const Variable& a, int64_t dim, bool keepdim) {
 
 Variable SumAll(const Variable& a) {
   Tensor value = Tensor::Scalar(SumAll(a.value()));
+  if (!Taped(a)) return Variable(std::move(value));
   const Shape orig = a.shape();
   return Variable::MakeNode(std::move(value), {a}, [orig](const Tensor& g) {
     return std::vector<Tensor>{Tensor::Full(orig, g.item())};
@@ -367,6 +422,7 @@ Variable Softmax(const Variable& a, int64_t dim) {
   const int64_t nd = a.dim();
   if (dim < 0) dim += nd;
   Tensor value = Softmax(a.value(), dim);
+  if (!Taped(a)) return Variable(std::move(value));
   const Tensor out = value;
   return Variable::MakeNode(
       std::move(value), {a}, [out, dim](const Tensor& g) {
@@ -382,6 +438,7 @@ Variable LogSoftmax(const Variable& a, int64_t dim) {
   const int64_t nd = a.dim();
   if (dim < 0) dim += nd;
   Tensor value = LogSoftmax(a.value(), dim);
+  if (!Taped(a)) return Variable(std::move(value));
   const Tensor out = value;
   return Variable::MakeNode(
       std::move(value), {a}, [out, dim](const Tensor& g) {
@@ -394,6 +451,7 @@ Variable LogSoftmax(const Variable& a, int64_t dim) {
 
 Variable MulConst(const Variable& a, const Tensor& c) {
   Tensor value = Mul(a.value(), c);
+  if (!Taped(a)) return Variable(std::move(value));
   const Shape sa = a.shape();
   return Variable::MakeNode(std::move(value), {a}, [sa, c](const Tensor& g) {
     return std::vector<Tensor>{ReduceToShape(Mul(g, c), sa)};
@@ -402,10 +460,58 @@ Variable MulConst(const Variable& a, const Tensor& c) {
 
 Variable AddConst(const Variable& a, const Tensor& c) {
   Tensor value = Add(a.value(), c);
+  if (!Taped(a)) return Variable(std::move(value));
   const Shape sa = a.shape();
   return Variable::MakeNode(std::move(value), {a}, [sa](const Tensor& g) {
     return std::vector<Tensor>{ReduceToShape(g, sa)};
   });
+}
+
+Variable ScaledMaskedSoftmax(const Variable& a, float scale,
+                             const Tensor* mask) {
+  Tensor value = ScaledMaskedSoftmax(a.value(), scale, mask);
+  if (!Taped(a)) return Variable(std::move(value));
+  const Tensor out = value;
+  return Variable::MakeNode(
+      std::move(value), {a}, [out, scale](const Tensor& g) {
+        return std::vector<Tensor>{
+            ScaledMaskedSoftmaxBackward(g, out, scale)};
+      });
+}
+
+Variable AddBiasAct(const Variable& a, const Variable& bias, FusedAct act) {
+  Tensor value = AddBiasAct(a.value(), bias.value(), act);
+  if (!Taped(a, bias)) return Variable(std::move(value));
+  const Tensor av = a.value();
+  const Tensor bv = bias.value();
+  return Variable::MakeNode(
+      std::move(value), {a, bias}, [av, bv, act](const Tensor& g) {
+        // dz = g * act'(a + bias); da is dz itself, dbias reduces dz over
+        // every dim but the last (same column order as the unfused chain).
+        Tensor dz = AddBiasActBackward(g, av, bv, act);
+        Tensor db = ReduceToShape(dz, bv.shape());
+        return std::vector<Tensor>{dz, std::move(db)};
+      });
+}
+
+Variable SubBroadcastMid(const Variable& a, const Variable& b) {
+  Tensor value = SubBroadcastMid(a.value(), b.value());
+  if (!Taped(a, b)) return Variable(std::move(value));
+  const Shape sb = b.shape();
+  return Variable::MakeNode(
+      std::move(value), {a, b}, [sb](const Tensor& g) {
+        return std::vector<Tensor>{g, ReduceToShape(Neg(g), sb)};
+      });
+}
+
+Variable AddBroadcastMid(const Variable& a, const Variable& b) {
+  Tensor value = AddBroadcastMid(a.value(), b.value());
+  if (!Taped(a, b)) return Variable(std::move(value));
+  const Shape sb = b.shape();
+  return Variable::MakeNode(
+      std::move(value), {a, b}, [sb](const Tensor& g) {
+        return std::vector<Tensor>{g, ReduceToShape(g, sb)};
+      });
 }
 
 }  // namespace lipformer

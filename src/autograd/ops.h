@@ -11,6 +11,12 @@
 // forward kernels from tensor/ops.h and records a closure implementing the
 // corresponding vector-Jacobian product. Overloads share names with the
 // Tensor kernels; overload resolution picks by argument type.
+//
+// Inference fast path: when gradients are off (NoGradGuard) or no input
+// requires grad, every op returns a plain Variable WITHOUT calling
+// Variable::MakeNode — no backward closure is built and no parent
+// reference is captured, so intermediate tensors return to the storage
+// pool the moment their Variable goes out of scope.
 
 namespace lipformer {
 
@@ -70,6 +76,21 @@ Variable LogSoftmax(const Variable& a, int64_t dim);
 Variable MulConst(const Variable& a, const Tensor& c);
 // Elementwise sum with a constant tensor (broadcasting).
 Variable AddConst(const Variable& a, const Tensor& c);
+
+// ---- Fused ops (single-pass kernels from tensor/ops.h) ----
+// softmax(scale * a [+ mask], dim=-1); mask is a constant 2-d additive
+// mask (or null). Value and gradient are bitwise identical to the
+// Softmax(AddConst(MulScalar(a, scale), mask), -1) chain.
+Variable ScaledMaskedSoftmax(const Variable& a, float scale,
+                             const Tensor* mask);
+// act(a + bias) with bias broadcast over the last dim — the Linear
+// epilogue. The backward recomputes the pre-activation from the saved
+// inputs instead of storing it.
+Variable AddBiasAct(const Variable& a, const Variable& bias, FusedAct act);
+// a [B, T, C] -/+ b [B, 1, C]: instance-norm shift and unshift without
+// the generic odometer broadcast.
+Variable SubBroadcastMid(const Variable& a, const Variable& b);
+Variable AddBroadcastMid(const Variable& a, const Variable& b);
 
 // ---- Operator sugar ----
 inline Variable operator+(const Variable& a, const Variable& b) {

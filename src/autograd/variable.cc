@@ -1,5 +1,7 @@
 #include "autograd/variable.h"
 
+#include <atomic>
+#include <cstring>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -9,6 +11,7 @@ namespace lipformer {
 
 namespace {
 bool g_grad_enabled = true;
+std::atomic<int64_t> g_make_node_calls{0};
 }  // namespace
 
 namespace internal {
@@ -18,13 +21,28 @@ void VarImpl::AccumulateGrad(const Tensor& g) {
       << "gradient shape " << ShapeToString(g.shape())
       << " does not match value shape " << ShapeToString(value.shape());
   if (!has_grad) {
-    grad = g.Clone();
+    if (SameShape(grad.shape(), value.shape())) {
+      // Buffer kept by ZeroGrad (or the lazy grad() accessor): overwrite
+      // in place instead of allocating a fresh clone every step.
+      std::memcpy(grad.data(), g.data(),
+                  static_cast<size_t>(g.numel()) * sizeof(float));
+    } else {
+      grad = g.Clone();
+    }
     has_grad = true;
   } else {
     float* pg = grad.data();
     const float* ps = g.data();
     for (int64_t i = 0; i < grad.numel(); ++i) pg[i] += ps[i];
   }
+}
+
+int64_t MakeNodeCalls() {
+  return g_make_node_calls.load(std::memory_order_relaxed);
+}
+
+void ResetMakeNodeCalls() {
+  g_make_node_calls.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace internal
@@ -53,7 +71,11 @@ Tensor& Variable::mutable_value() {
 const Tensor& Variable::grad() const {
   LIPF_CHECK(defined());
   if (!impl_->has_grad) {
-    impl_->grad = Tensor::Zeros(impl_->value.shape());
+    if (SameShape(impl_->grad.shape(), impl_->value.shape())) {
+      impl_->grad.Fill(0.0f);  // stale buffer kept by ZeroGrad
+    } else {
+      impl_->grad = Tensor::Zeros(impl_->value.shape());
+    }
     impl_->has_grad = true;
   }
   return impl_->grad;
@@ -66,8 +88,9 @@ bool Variable::has_grad() const {
 
 void Variable::ZeroGrad() {
   LIPF_CHECK(defined());
+  // Keep the buffer: AccumulateGrad's first write overwrites it in place,
+  // so steady-state training never reallocates parameter gradients.
   impl_->has_grad = false;
-  impl_->grad = Tensor();
 }
 
 bool Variable::requires_grad() const {
@@ -87,6 +110,7 @@ Variable Variable::Detach() const {
 
 Variable Variable::MakeNode(Tensor value, std::vector<Variable> parents,
                             internal::BackwardFn backward_fn) {
+  g_make_node_calls.fetch_add(1, std::memory_order_relaxed);
   bool any_grad = false;
   for (const Variable& p : parents) {
     if (p.defined() && p.requires_grad()) {

@@ -34,6 +34,11 @@ struct VarImpl {
   void AccumulateGrad(const Tensor& g);
 };
 
+// Running count of MakeNode calls (tape nodes built). Tests assert the
+// inference fast path never reaches MakeNode under NoGradGuard.
+int64_t MakeNodeCalls();
+void ResetMakeNodeCalls();
+
 }  // namespace internal
 
 // Returns false inside a NoGradGuard scope; ops then skip tape recording.
@@ -67,6 +72,10 @@ class Variable {
   // Gradient accumulated by the last Backward(); zeros-shaped if never set.
   const Tensor& grad() const;
   bool has_grad() const;
+  // Marks the gradient cleared but KEEPS the buffer: the next Backward()
+  // overwrites it in place instead of allocating. Consequently the tensor
+  // returned by grad() is reused across steps — callers that need a
+  // snapshot must Clone() it.
   void ZeroGrad();
 
   bool requires_grad() const;

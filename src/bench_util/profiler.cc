@@ -32,13 +32,26 @@ ModelProfile ProfileModel(Forecaster* model, const WindowDataset& data,
   profile.macs = MacCount();
   ResetMacCount();
 
-  // Timed forwards.
+  // Timed forwards. The instrumented forward above has already warmed the
+  // pool, so these repeats see steady-state allocation behaviour.
+  ResetStoragePoolCounters();
   const auto t0 = std::chrono::steady_clock::now();
   for (int64_t r = 0; r < repeats; ++r) (void)model->Forward(batch);
   const double total =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   profile.seconds_per_inference = total / static_cast<double>(repeats);
+
+  const StoragePoolStats pool = GetStoragePoolStats();
+  const double reps = static_cast<double>(repeats);
+  profile.storage_acquires_per_inference =
+      static_cast<double>(pool.acquires) / reps;
+  profile.heap_allocs_per_inference =
+      static_cast<double>(pool.heap_allocs) / reps;
+  profile.pool_hit_rate =
+      pool.acquires > 0 ? static_cast<double>(pool.pool_hits) /
+                              static_cast<double>(pool.acquires)
+                        : 0.0;
 
   model->SetTraining(was_training);
   return profile;

@@ -15,6 +15,12 @@ struct ModelProfile {
   int64_t parameters = 0;
   int64_t macs = 0;                 // multiply-accumulates per forward
   double seconds_per_inference = 0; // batch forward, eval mode
+  // Storage-pool behaviour of one eval-mode forward (averaged over the
+  // timed repeats): how many tensor storages were acquired, how many fell
+  // through to the heap, and the freelist hit rate.
+  double storage_acquires_per_inference = 0;
+  double heap_allocs_per_inference = 0;
+  double pool_hit_rate = 0;  // pool_hits / acquires, in [0, 1]
 };
 
 // Runs `repeats` timed forwards of one batch (eval mode, no grad) and one

@@ -51,7 +51,7 @@ Variable InterPatchAttention::Forward(const Variable& tokens) const {
   if (dropout_) out = dropout_->Forward(out);
   if (layer_norm_) out = layer_norm_->Forward(out);
   if (ffn_up_) {
-    Variable ffn = ffn_down_->Forward(Relu(ffn_up_->Forward(out)));
+    Variable ffn = ffn_down_->Forward(ffn_up_->Forward(out, Activation::kRelu));
     out = Add(out, ffn);
     if (ffn_norm_) out = ffn_norm_->Forward(out);
   }

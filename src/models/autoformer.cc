@@ -180,7 +180,8 @@ Variable Autoformer::Forward(const Batch& batch) {
   for (const Layer& layer : layers_) {
     Variable attended = layer.attention->Forward(tokens);
     Variable h = Add(tokens, attended);
-    Variable ffn = layer.ffn_down->Forward(Gelu(layer.ffn_up->Forward(h)));
+    Variable ffn =
+        layer.ffn_down->Forward(layer.ffn_up->Forward(h, Activation::kGelu));
     tokens = layer.norm->Forward(Add(h, ffn));
   }
   Variable per_step = channel_head_->Forward(tokens);  // [b, T, c]

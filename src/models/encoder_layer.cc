@@ -27,7 +27,7 @@ Variable TransformerEncoderLayer::Forward(const Variable& x) const {
   Variable attended = attention_->Forward(x);
   if (dropout_) attended = dropout_->Forward(attended);
   Variable h = norm1_->Forward(Add(x, attended));
-  Variable ffn = ffn_down_->Forward(Gelu(ffn_up_->Forward(h)));
+  Variable ffn = ffn_down_->Forward(ffn_up_->Forward(h, Activation::kGelu));
   if (dropout_) ffn = dropout_->Forward(ffn);
   return norm2_->Forward(Add(h, ffn));
 }

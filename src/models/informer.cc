@@ -123,7 +123,8 @@ Variable Informer::Forward(const Batch& batch) {
     Variable attended = layer.attention->Forward(tokens);
     if (layer.dropout) attended = layer.dropout->Forward(attended);
     Variable h = layer.norm1->Forward(Add(tokens, attended));
-    Variable ffn = layer.ffn_down->Forward(Gelu(layer.ffn_up->Forward(h)));
+    Variable ffn =
+        layer.ffn_down->Forward(layer.ffn_up->Forward(h, Activation::kGelu));
     if (layer.dropout) ffn = layer.dropout->Forward(ffn);
     tokens = layer.norm2->Forward(Add(h, ffn));
   }

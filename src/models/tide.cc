@@ -21,7 +21,7 @@ TideResBlock::TideResBlock(int64_t in_dim, int64_t hidden_dim,
 }
 
 Variable TideResBlock::Forward(const Variable& x) const {
-  Variable h = down_->Forward(Relu(up_->Forward(x)));
+  Variable h = down_->Forward(up_->Forward(x, Activation::kRelu));
   if (dropout_) h = dropout_->Forward(h);
   return norm_->Forward(Add(skip_->Forward(x), h));
 }

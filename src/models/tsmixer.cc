@@ -46,14 +46,15 @@ Variable TsMixer::Forward(const Batch& batch) {
   for (const Block& block : blocks_) {
     // Time mixing: operate on [b, c, T].
     Variable by_channel = Permute(h, {0, 2, 1});
-    Variable mixed_time = Relu(block.time_mix->Forward(by_channel));
+    Variable mixed_time =
+        block.time_mix->Forward(by_channel, Activation::kRelu);
     Variable time_out = Permute(mixed_time, {0, 2, 1});
     if (block.dropout) time_out = block.dropout->Forward(time_out);
     h = block.time_norm->Forward(Add(h, time_out));
 
     // Feature mixing: per time step across channels.
     Variable feat =
-        block.feat_down->Forward(Relu(block.feat_up->Forward(h)));
+        block.feat_down->Forward(block.feat_up->Forward(h, Activation::kRelu));
     if (block.dropout) feat = block.dropout->Forward(feat);
     h = block.feat_norm->Forward(Add(h, feat));
   }

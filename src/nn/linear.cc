@@ -22,11 +22,26 @@ Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng, bool bias)
 }
 
 Variable Linear::Forward(const Variable& x) const {
+  return Forward(x, Activation::kNone);
+}
+
+Variable Linear::Forward(const Variable& x, Activation act) const {
   LIPF_CHECK_EQ(x.size(-1), in_features_)
       << "Linear expects last dim " << in_features_;
   Variable y = MatMul(x, weight_);
-  if (has_bias_) y = Add(y, bias_);
-  return y;
+  if (!has_bias_) return ApplyActivation(y, act);
+  switch (act) {
+    case Activation::kNone:
+      return AddBiasAct(y, bias_, FusedAct::kNone);
+    case Activation::kRelu:
+      return AddBiasAct(y, bias_, FusedAct::kRelu);
+    case Activation::kGelu:
+      return AddBiasAct(y, bias_, FusedAct::kGelu);
+    case Activation::kTanh:
+    case Activation::kSigmoid:
+      break;
+  }
+  return ApplyActivation(AddBiasAct(y, bias_, FusedAct::kNone), act);
 }
 
 Mlp::Mlp(std::vector<int64_t> dims, Rng& rng, Activation activation)
@@ -41,8 +56,8 @@ Mlp::Mlp(std::vector<int64_t> dims, Rng& rng, Activation activation)
 Variable Mlp::Forward(const Variable& x) const {
   Variable h = x;
   for (size_t i = 0; i < layers_.size(); ++i) {
-    h = layers_[i]->Forward(h);
-    if (i + 1 < layers_.size()) h = ApplyActivation(h, activation_);
+    const bool last = i + 1 == layers_.size();
+    h = layers_[i]->Forward(h, last ? Activation::kNone : activation_);
   }
   return h;
 }

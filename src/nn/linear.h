@@ -18,6 +18,10 @@ class Linear : public Module {
          bool bias = true);
 
   Variable Forward(const Variable& x) const;
+  // Forward with the activation fused into the bias-add epilogue (ReLU /
+  // GELU / none run as one kernel; tanh and sigmoid fall back to the
+  // unfused activation after the fused bias-add).
+  Variable Forward(const Variable& x, Activation act) const;
 
   int64_t in_features() const { return in_features_; }
   int64_t out_features() const { return out_features_; }

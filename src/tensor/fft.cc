@@ -51,7 +51,7 @@ Tensor Autocorrelation(const Tensor& x) {
   const int64_t rows = x.size(0);
   const int64_t n = x.size(1);
   const int64_t padded = NextPowerOfTwo(2 * n);
-  Tensor out(Shape{rows, n});
+  Tensor out = Tensor::Empty(Shape{rows, n});
   const float* px = x.data();
   float* po = out.data();
   std::vector<std::complex<float>> buf(static_cast<size_t>(padded));
@@ -76,8 +76,8 @@ Tensor Autocorrelation(const Tensor& x) {
 
 void DftBasis(int64_t n, int64_t k, Tensor* cos_mat, Tensor* sin_mat) {
   LIPF_CHECK_LE(k, n / 2 + 1);
-  *cos_mat = Tensor(Shape{n, k});
-  *sin_mat = Tensor(Shape{n, k});
+  *cos_mat = Tensor::Empty(Shape{n, k});
+  *sin_mat = Tensor::Empty(Shape{n, k});
   float* pc = cos_mat->data();
   float* ps = sin_mat->data();
   for (int64_t t = 0; t < n; ++t) {
@@ -92,8 +92,8 @@ void DftBasis(int64_t n, int64_t k, Tensor* cos_mat, Tensor* sin_mat) {
 
 void InverseDftBasis(int64_t n, int64_t k, Tensor* cos_mat, Tensor* sin_mat) {
   LIPF_CHECK_LE(k, n / 2 + 1);
-  *cos_mat = Tensor(Shape{k, n});
-  *sin_mat = Tensor(Shape{k, n});
+  *cos_mat = Tensor::Empty(Shape{k, n});
+  *sin_mat = Tensor::Empty(Shape{k, n});
   float* pc = cos_mat->data();
   float* ps = sin_mat->data();
   for (int64_t f = 0; f < k; ++f) {

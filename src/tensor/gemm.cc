@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
-#include <vector>
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "tensor/storage_pool.h"
 
 namespace lipformer {
 
@@ -163,8 +163,8 @@ void PackedGemmBatched(const float* a, bool trans_a, const float* b,
   const int64_t npanels = CeilDiv(n, kGemmNR);
   const int64_t panel_size = k * kGemmNR;
   const int64_t b_mat = k * n;
-  std::vector<float> packed_b(
-      static_cast<size_t>(batch.num_b_mats * npanels * panel_size));
+  Storage packed_b =
+      Storage::Acquire(batch.num_b_mats * npanels * panel_size);
   float* packed_base = packed_b.data();
   ParallelFor(batch.num_b_mats * npanels,
               std::max<int64_t>(1, kPackGrainElems / panel_size),
@@ -190,8 +190,9 @@ void PackedGemmBatched(const float* a, bool trans_a, const float* b,
   ParallelFor(
       nbatch * mblocks, std::max<int64_t>(1, kGemmGrainMacs / block_macs),
       [&](int64_t begin, int64_t end) {
-        std::vector<float> apack(
-            static_cast<size_t>(kGemmMC * std::min(k, kGemmKC)));
+        // Per-chunk A-pack scratch from the storage pool: a freelist pop
+        // after the first step instead of a malloc per chunk.
+        Storage apack = Storage::Acquire(kGemmMC * std::min(k, kGemmKC));
         int64_t blk = begin;
         while (blk < end) {
           const int64_t bi = blk / mblocks;

@@ -84,7 +84,7 @@ int64_t StridedOffset(int64_t i, const Shape& shape, const Shape& strides,
 template <typename F>
 Tensor BinaryOp(const Tensor& a, const Tensor& b, F f) {
   if (SameShape(a.shape(), b.shape())) {
-    Tensor out(a.shape());
+    Tensor out = Tensor::Empty(a.shape());
     const float* pa = a.data();
     const float* pb = b.data();
     float* po = out.data();
@@ -97,7 +97,7 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, F f) {
     return out;
   }
   const Shape out_shape = BroadcastShape(a.shape(), b.shape());
-  Tensor out(out_shape);
+  Tensor out = Tensor::Empty(out_shape);
   const int64_t nd = static_cast<int64_t>(out_shape.size());
   const Shape sa = BroadcastStrides(a.shape(), out_shape);
   const Shape sb = BroadcastStrides(b.shape(), out_shape);
@@ -128,7 +128,7 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, F f) {
 
 template <typename F>
 Tensor UnaryOp(const Tensor& a, F f) {
-  Tensor out(a.shape());
+  Tensor out = Tensor::Empty(a.shape());
   const float* pa = a.data();
   float* po = out.data();
   ParallelFor(a.numel(), kElementwiseGrain, [&](int64_t begin, int64_t end) {
@@ -152,6 +152,24 @@ int64_t NormalizeDim(int64_t dim, int64_t ndim) {
   LIPF_CHECK_GE(dim, 0);
   LIPF_CHECK_LT(dim, ndim);
   return dim;
+}
+
+// tanh-approximation GELU and its derivative, shared by the standalone
+// Gelu kernel, the fused AddBiasAct epilogue, and (via autograd) the Gelu
+// backward — one definition so fused and unfused paths agree bit for bit.
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+
+inline float GeluFwd(float x) {
+  const float inner = kGeluC * (x + 0.044715f * x * x * x);
+  return 0.5f * x * (1.0f + std::tanh(inner));
+}
+
+inline float GeluGrad(float x) {
+  const float inner = kGeluC * (x + 0.044715f * x * x * x);
+  const float th = std::tanh(inner);
+  const float sech2 = 1.0f - th * th;
+  const float dinner = kGeluC * (1.0f + 3.0f * 0.044715f * x * x);
+  return 0.5f * (1.0f + th) + 0.5f * x * sech2 * dinner;
 }
 
 }  // namespace
@@ -236,11 +254,7 @@ Tensor Relu(const Tensor& a) {
   return UnaryOp(a, [](float x) { return x > 0.0f ? x : 0.0f; });
 }
 Tensor Gelu(const Tensor& a) {
-  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
-  return UnaryOp(a, [](float x) {
-    const float inner = kC * (x + 0.044715f * x * x * x);
-    return 0.5f * x * (1.0f + std::tanh(inner));
-  });
+  return UnaryOp(a, [](float x) { return GeluFwd(x); });
 }
 
 namespace {
@@ -271,7 +285,8 @@ Tensor MatMulImpl(const Tensor& a, const Tensor& b, bool trans_a,
   Shape out_shape = batch;
   out_shape.push_back(m);
   out_shape.push_back(n);
-  Tensor out(out_shape);
+  // The GEMM writes (or memsets, when k == 0) every output element.
+  Tensor out = Tensor::Empty(out_shape);
 
   // Per-batch matrix indices honoring broadcast (stride-0 dims repeat).
   const Shape sa = BroadcastStrides(ba, batch);
@@ -355,7 +370,7 @@ Tensor MatMulReference(const Tensor& a_in, const Tensor& b_in) {
   Shape out_shape = batch;
   out_shape.push_back(m);
   out_shape.push_back(n);
-  Tensor out(out_shape);
+  Tensor out = Tensor::Empty(out_shape);  // every row memset then accumulated
 
   const Shape sa = BroadcastStrides(ba, batch);
   const Shape sb = BroadcastStrides(bb, batch);
@@ -403,7 +418,7 @@ Tensor Permute(const Tensor& t, const std::vector<int64_t>& perm) {
     seen[p] = true;
     out_shape[i] = t.size(p);
   }
-  Tensor out(out_shape);
+  Tensor out = Tensor::Empty(out_shape);
   if (t.numel() == 0) return out;
 
   const Shape& in_strides = t.strides();
@@ -454,7 +469,7 @@ Tensor Slice(const Tensor& t, int64_t dim, int64_t start, int64_t end) {
   SplitAt(t.shape(), dim, &outer, &mid, &inner);
   Shape out_shape = t.shape();
   out_shape[dim] = end - start;
-  Tensor out(out_shape);
+  Tensor out = Tensor::Empty(out_shape);
   const float* pi = t.data();
   float* po = out.data();
   const int64_t len = end - start;
@@ -484,7 +499,7 @@ Tensor Concat(const std::vector<Tensor>& ts, int64_t dim) {
   }
   Shape out_shape = ts[0].shape();
   out_shape[dim] = total;
-  Tensor out(out_shape);
+  Tensor out = Tensor::Empty(out_shape);
   int64_t outer, mid_out, inner;
   SplitAt(out_shape, dim, &outer, &mid_out, &inner);
   float* po = out.data();
@@ -514,7 +529,7 @@ Tensor IndexSelect(const Tensor& t, int64_t dim,
   SplitAt(t.shape(), dim, &outer, &mid, &inner);
   Shape out_shape = t.shape();
   out_shape[dim] = static_cast<int64_t>(indices.size());
-  Tensor out(out_shape);
+  Tensor out = Tensor::Empty(out_shape);
   const float* pi = t.data();
   float* po = out.data();
   const int64_t nsel = static_cast<int64_t>(indices.size());
@@ -546,16 +561,23 @@ Tensor Pad(const Tensor& t, int64_t dim, int64_t before, int64_t after) {
   SplitAt(t.shape(), dim, &outer, &mid, &inner);
   Shape out_shape = t.shape();
   out_shape[dim] = mid + before + after;
-  Tensor out(out_shape);  // zero-initialized
+  // Each outer block zeroes its own pad regions and copies the payload,
+  // so the whole output is written exactly once (no upfront zero-fill).
+  Tensor out = Tensor::Empty(out_shape);
   const float* pi = t.data();
   float* po = out.data();
-  ParallelFor(outer, GrainFor(kCopyGrain, mid * inner),
+  const int64_t out_mid = out_shape[dim];
+  ParallelFor(outer, GrainFor(kCopyGrain, out_mid * inner),
               [&](int64_t o_begin, int64_t o_end) {
                 for (int64_t o = o_begin; o < o_end; ++o) {
-                  float* dst = po + (o * out_shape[dim] + before) * inner;
+                  float* dst = po + o * out_mid * inner;
                   const float* src = pi + o * mid * inner;
-                  std::memcpy(dst, src,
+                  std::memset(dst, 0,
+                              sizeof(float) * static_cast<size_t>(before * inner));
+                  std::memcpy(dst + before * inner, src,
                               sizeof(float) * static_cast<size_t>(mid * inner));
+                  std::memset(dst + (before + mid) * inner, 0,
+                              sizeof(float) * static_cast<size_t>(after * inner));
                 }
               });
   return out;
@@ -567,7 +589,7 @@ Tensor Sum(const Tensor& t, int64_t dim, bool keepdim) {
   SplitAt(t.shape(), dim, &outer, &mid, &inner);
   Shape out_shape = t.shape();
   out_shape[dim] = 1;
-  Tensor out(out_shape);
+  Tensor out = Tensor::Empty(out_shape);
   const float* pi = t.data();
   float* po = out.data();
   // One chunk owns each output element's full accumulation, in the serial
@@ -599,8 +621,8 @@ std::pair<Tensor, Tensor> Max(const Tensor& t, int64_t dim) {
   SplitAt(t.shape(), dim, &outer, &mid, &inner);
   Shape out_shape = t.shape();
   out_shape[dim] = 1;
-  Tensor values(out_shape);
-  Tensor argmax(out_shape);
+  Tensor values = Tensor::Empty(out_shape);
+  Tensor argmax = Tensor::Empty(out_shape);
   const float* pi = t.data();
   float* pv = values.data();
   float* pa = argmax.data();
@@ -655,11 +677,38 @@ Tensor ReduceToShape(const Tensor& t, const Shape& target) {
   return cur.Reshape(target);
 }
 
+Tensor BroadcastTo(const Tensor& t, const Shape& shape) {
+  if (SameShape(t.shape(), shape)) return t;
+  LIPF_CHECK(SameShape(BroadcastShape(t.shape(), shape), shape))
+      << "cannot broadcast " << ShapeToString(t.shape()) << " to "
+      << ShapeToString(shape);
+  Tensor out = Tensor::Empty(shape);
+  const int64_t nd = static_cast<int64_t>(shape.size());
+  const Shape st = BroadcastStrides(t.shape(), shape);
+  const float* pi = t.data();
+  float* po = out.data();
+  ParallelFor(out.numel(), kCopyGrain, [&](int64_t begin, int64_t end) {
+    std::vector<int64_t> idx(nd, 0);
+    int64_t src = StridedOffset(begin, shape, st, &idx);
+    for (int64_t i = begin; i < end; ++i) {
+      po[i] = pi[src];
+      for (int64_t d = nd - 1; d >= 0; --d) {
+        ++idx[d];
+        src += st[d];
+        if (idx[d] < shape[d]) break;
+        idx[d] = 0;
+        src -= st[d] * shape[d];
+      }
+    }
+  });
+  return out;
+}
+
 Tensor Softmax(const Tensor& t, int64_t dim) {
   dim = NormalizeDim(dim, t.dim());
   int64_t outer, mid, inner;
   SplitAt(t.shape(), dim, &outer, &mid, &inner);
-  Tensor out(t.shape());
+  Tensor out = Tensor::Empty(t.shape());
   const float* pi = t.data();
   float* po = out.data();
   ParallelFor(outer * inner, GrainFor(kReductionGrain, 3 * mid),
@@ -691,7 +740,7 @@ Tensor LogSoftmax(const Tensor& t, int64_t dim) {
   dim = NormalizeDim(dim, t.dim());
   int64_t outer, mid, inner;
   SplitAt(t.shape(), dim, &outer, &mid, &inner);
-  Tensor out(t.shape());
+  Tensor out = Tensor::Empty(t.shape());
   const float* pi = t.data();
   float* po = out.data();
   ParallelFor(outer * inner, GrainFor(kReductionGrain, 3 * mid),
@@ -715,6 +764,224 @@ Tensor LogSoftmax(const Tensor& t, int64_t dim) {
                 }
               });
   return out;
+}
+
+// The fused softmax pair promises bitwise identity with the unfused
+// MulScalar -> AddConst -> Softmax chain (and its backward), whose
+// kernels round every intermediate to float. GCC contracts mul+add into
+// fma even across statements at -O3 -march=native, which would skip one
+// rounding, so contraction is off for exactly these two functions.
+#pragma GCC push_options
+#pragma GCC optimize("fp-contract=off")
+
+Tensor ScaledMaskedSoftmax(const Tensor& t, float scale, const Tensor* mask) {
+  LIPF_CHECK_GE(t.dim(), 1);
+  const int64_t mid = t.size(-1);
+  const int64_t rows = t.numel() / std::max<int64_t>(1, mid);
+  int64_t sq = 1;
+  const float* pm = nullptr;
+  if (mask != nullptr) {
+    LIPF_CHECK_EQ(mask->dim(), 2);
+    LIPF_CHECK_EQ(mask->size(1), mid);
+    LIPF_CHECK_GE(t.dim(), 2);
+    LIPF_CHECK_EQ(t.size(-2), mask->size(0));
+    sq = mask->size(0);
+    pm = mask->data();
+  }
+  Tensor out = Tensor::Empty(t.shape());
+  const float* pi = t.data();
+  float* po = out.data();
+  ParallelFor(rows, GrainFor(kReductionGrain, 3 * mid),
+              [&](int64_t begin, int64_t end) {
+                for (int64_t r = begin; r < end; ++r) {
+                  const float* in_row = pi + r * mid;
+                  float* out_row = po + r * mid;
+                  const float* mask_row =
+                      pm != nullptr ? pm + (r % sq) * mid : nullptr;
+                  // v = scale*x (+ mask), with the same two roundings as
+                  // the unfused MulScalar -> AddConst chain (kept as two
+                  // statements so the compiler cannot contract to an fma).
+                  for (int64_t m = 0; m < mid; ++m) {
+                    const float sv = in_row[m] * scale;
+                    out_row[m] =
+                        mask_row != nullptr ? sv + mask_row[m] : sv;
+                  }
+                  float mx = out_row[0];
+                  for (int64_t m = 1; m < mid; ++m) {
+                    mx = std::max(mx, out_row[m]);
+                  }
+                  float denom = 0.0f;
+                  for (int64_t m = 0; m < mid; ++m) {
+                    const float ex = std::exp(out_row[m] - mx);
+                    out_row[m] = ex;
+                    denom += ex;
+                  }
+                  const float inv = 1.0f / denom;
+                  for (int64_t m = 0; m < mid; ++m) {
+                    out_row[m] *= inv;
+                  }
+                }
+              });
+  return out;
+}
+
+Tensor ScaledMaskedSoftmaxBackward(const Tensor& g, const Tensor& y,
+                                   float scale) {
+  LIPF_CHECK(SameShape(g.shape(), y.shape()));
+  LIPF_CHECK_GE(y.dim(), 1);
+  const int64_t mid = y.size(-1);
+  const int64_t rows = y.numel() / std::max<int64_t>(1, mid);
+  Tensor out = Tensor::Empty(y.shape());
+  const float* pg = g.data();
+  const float* py = y.data();
+  float* po = out.data();
+  ParallelFor(rows, GrainFor(kReductionGrain, 2 * mid),
+              [&](int64_t begin, int64_t end) {
+                for (int64_t r = begin; r < end; ++r) {
+                  const float* g_row = pg + r * mid;
+                  const float* y_row = py + r * mid;
+                  float* out_row = po + r * mid;
+                  // The unfused chain (Mul then Sum) stores each rounded
+                  // product before accumulating; fp-contract is off here
+                  // so `p` rounds the same way.
+                  float dot = 0.0f;
+                  for (int64_t m = 0; m < mid; ++m) {
+                    const float p = g_row[m] * y_row[m];
+                    dot += p;
+                  }
+                  for (int64_t m = 0; m < mid; ++m) {
+                    out_row[m] = ((g_row[m] - dot) * y_row[m]) * scale;
+                  }
+                }
+              });
+  return out;
+}
+
+#pragma GCC pop_options
+
+namespace {
+
+// Row-wise driver for the bias-add epilogue: rows of x's last dim against
+// the 1-d bias, act applied scalar-wise. Keeps the act dispatch outside
+// the inner loop.
+template <typename F>
+Tensor AddBiasEpilogue(const Tensor& x, const Tensor& bias, F f) {
+  LIPF_CHECK_EQ(bias.dim(), 1);
+  const int64_t c = bias.size(0);
+  LIPF_CHECK_GE(x.dim(), 1);
+  LIPF_CHECK_EQ(x.size(-1), c);
+  const int64_t rows = x.numel() / std::max<int64_t>(1, c);
+  Tensor out = Tensor::Empty(x.shape());
+  const float* pi = x.data();
+  const float* pb = bias.data();
+  float* po = out.data();
+  ParallelFor(rows, GrainFor(kElementwiseGrain, c),
+              [&](int64_t begin, int64_t end) {
+                for (int64_t r = begin; r < end; ++r) {
+                  const float* x_row = pi + r * c;
+                  float* out_row = po + r * c;
+                  for (int64_t j = 0; j < c; ++j) {
+                    out_row[j] = f(x_row[j] + pb[j]);
+                  }
+                }
+              });
+  return out;
+}
+
+// Same traversal for the backward: f(g, z) with z the recomputed
+// pre-activation.
+template <typename F>
+Tensor AddBiasEpilogueBwd(const Tensor& g, const Tensor& x,
+                          const Tensor& bias, F f) {
+  LIPF_CHECK(SameShape(g.shape(), x.shape()));
+  const int64_t c = bias.size(0);
+  const int64_t rows = x.numel() / std::max<int64_t>(1, c);
+  Tensor out = Tensor::Empty(x.shape());
+  const float* pg = g.data();
+  const float* pi = x.data();
+  const float* pb = bias.data();
+  float* po = out.data();
+  ParallelFor(rows, GrainFor(kElementwiseGrain, c),
+              [&](int64_t begin, int64_t end) {
+                for (int64_t r = begin; r < end; ++r) {
+                  const float* g_row = pg + r * c;
+                  const float* x_row = pi + r * c;
+                  float* out_row = po + r * c;
+                  for (int64_t j = 0; j < c; ++j) {
+                    out_row[j] = f(g_row[j], x_row[j] + pb[j]);
+                  }
+                }
+              });
+  return out;
+}
+
+}  // namespace
+
+Tensor AddBiasAct(const Tensor& x, const Tensor& bias, FusedAct act) {
+  switch (act) {
+    case FusedAct::kRelu:
+      return AddBiasEpilogue(x, bias,
+                             [](float z) { return z > 0.0f ? z : 0.0f; });
+    case FusedAct::kGelu:
+      return AddBiasEpilogue(x, bias, [](float z) { return GeluFwd(z); });
+    case FusedAct::kNone:
+      break;
+  }
+  return AddBiasEpilogue(x, bias, [](float z) { return z; });
+}
+
+Tensor AddBiasActBackward(const Tensor& g, const Tensor& x,
+                          const Tensor& bias, FusedAct act) {
+  switch (act) {
+    case FusedAct::kRelu:
+      return AddBiasEpilogueBwd(
+          g, x, bias, [](float gv, float z) { return z > 0.0f ? gv : 0.0f; });
+    case FusedAct::kGelu:
+      return AddBiasEpilogueBwd(
+          g, x, bias, [](float gv, float z) { return gv * GeluGrad(z); });
+    case FusedAct::kNone:
+      break;
+  }
+  return g;  // identity epilogue: dL/dz is the upstream gradient itself
+}
+
+namespace {
+
+template <typename F>
+Tensor BroadcastMidOp(const Tensor& a, const Tensor& b, F f) {
+  LIPF_CHECK_EQ(a.dim(), 3);
+  LIPF_CHECK_EQ(b.dim(), 3);
+  LIPF_CHECK_EQ(b.size(1), 1);
+  LIPF_CHECK_EQ(a.size(0), b.size(0));
+  LIPF_CHECK_EQ(a.size(2), b.size(2));
+  const int64_t t = a.size(1);
+  const int64_t c = a.size(2);
+  Tensor out = Tensor::Empty(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  ParallelFor(a.size(0) * t, GrainFor(kElementwiseGrain, c),
+              [&](int64_t begin, int64_t end) {
+                for (int64_t r = begin; r < end; ++r) {
+                  const float* a_row = pa + r * c;
+                  const float* b_row = pb + (r / t) * c;
+                  float* out_row = po + r * c;
+                  for (int64_t j = 0; j < c; ++j) {
+                    out_row[j] = f(a_row[j], b_row[j]);
+                  }
+                }
+              });
+  return out;
+}
+
+}  // namespace
+
+Tensor SubBroadcastMid(const Tensor& a, const Tensor& b) {
+  return BroadcastMidOp(a, b, [](float x, float y) { return x - y; });
+}
+
+Tensor AddBroadcastMid(const Tensor& a, const Tensor& b) {
+  return BroadcastMidOp(a, b, [](float x, float y) { return x + y; });
 }
 
 bool AllClose(const Tensor& a, const Tensor& b, float atol, float rtol) {

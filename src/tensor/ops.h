@@ -101,10 +101,50 @@ float MeanAll(const Tensor& t);
 // autograd to fold gradients of broadcast operands.
 Tensor ReduceToShape(const Tensor& t, const Shape& target);
 
+// Materializes t broadcast up to `shape` (the inverse data movement of
+// ReduceToShape; used by autograd to expand reduced gradients without a
+// Zeros + Add round trip).
+Tensor BroadcastTo(const Tensor& t, const Shape& shape);
+
 // ---- Normalization ----
 // Softmax along dim with max-subtraction for stability.
 Tensor Softmax(const Tensor& t, int64_t dim);
 Tensor LogSoftmax(const Tensor& t, int64_t dim);
+
+// ---- Fused kernels ----
+// Single-pass fusions of the model's hot elementwise chains (see DESIGN.md
+// "Memory architecture"). Each performs the same float operations in the
+// same order as the unfused chain it replaces, so results are bitwise
+// identical — the win is one output tensor and one memory pass instead of
+// three.
+
+// softmax(scale * t [+ mask], dim=-1). mask, when non-null, is 2-d
+// [t.size(-2), t.size(-1)] and broadcasts over the leading dims (the
+// attention-score layout). Equals Softmax(AddConst(MulScalar(t, scale),
+// mask), -1) bit for bit.
+Tensor ScaledMaskedSoftmax(const Tensor& t, float scale, const Tensor* mask);
+// Gradient of the above w.r.t. t given upstream g and output y:
+// ((g - sum(g*y, -1)) * y) * scale, one pass per row.
+Tensor ScaledMaskedSoftmaxBackward(const Tensor& g, const Tensor& y,
+                                   float scale);
+
+// Activations fusable into the bias-add epilogue of Linear. The tensor
+// layer keeps its own enum so it stays independent of nn/; kTanh/kSigmoid
+// chains stay unfused (they are not on the model's hot path).
+enum class FusedAct { kNone, kRelu, kGelu };
+
+// act(x + bias), bias 1-d broadcast over x's last dim.
+Tensor AddBiasAct(const Tensor& x, const Tensor& bias, FusedAct act);
+// Gradient w.r.t. the pre-activation: g * act'(x + bias), recomputing the
+// pre-activation instead of storing it (bitwise-identical inputs give
+// bitwise-identical act'). The bias gradient is ReduceToShape of this.
+Tensor AddBiasActBackward(const Tensor& g, const Tensor& x,
+                          const Tensor& bias, FusedAct act);
+
+// a [B, T, C] (-) b [B, 1, C]: the instance-norm shift/unshift, row-wise
+// instead of through the generic odometer broadcast path.
+Tensor SubBroadcastMid(const Tensor& a, const Tensor& b);
+Tensor AddBroadcastMid(const Tensor& a, const Tensor& b);
 
 // ---- Testing helpers ----
 bool AllClose(const Tensor& a, const Tensor& b, float atol = 1e-5f,

@@ -1,5 +1,7 @@
 #include "tensor/tensor.h"
 
+#include <algorithm>
+#include <cstring>
 #include <numeric>
 #include <sstream>
 
@@ -27,13 +29,21 @@ std::string ShapeToString(const Shape& shape) {
 
 bool SameShape(const Shape& a, const Shape& b) { return a == b; }
 
+namespace {
+// Even 0-element tensors carry one addressable (zeroed) float so data()
+// and the placeholder-scalar default Tensor() stay valid.
+inline int64_t StorageCount(int64_t numel) {
+  return std::max<int64_t>(numel, 1);
+}
+}  // namespace
+
 Tensor::Tensor() : Tensor(Shape{}) {}
 
 Tensor::Tensor(Shape shape)
-    : shape_(std::move(shape)),
-      numel_(NumElements(shape_)),
-      storage_(std::make_shared<std::vector<float>>(
-          static_cast<size_t>(std::max<int64_t>(numel_, 1)), 0.0f)) {
+    : shape_(std::move(shape)), numel_(NumElements(shape_)) {
+  storage_ = Storage::Acquire(StorageCount(numel_));
+  std::memset(storage_.data(), 0,
+              static_cast<size_t>(StorageCount(numel_)) * sizeof(float));
   InitStrides();
 }
 
@@ -41,8 +51,13 @@ Tensor::Tensor(Shape shape, std::vector<float> data)
     : shape_(std::move(shape)), numel_(NumElements(shape_)) {
   LIPF_CHECK_EQ(numel_, static_cast<int64_t>(data.size()))
       << "data size does not match shape " << ShapeToString(shape_);
-  storage_ = std::make_shared<std::vector<float>>(std::move(data));
-  if (storage_->empty()) storage_->resize(1, 0.0f);
+  storage_ = Storage::Acquire(StorageCount(numel_));
+  if (numel_ > 0) {
+    std::memcpy(storage_.data(), data.data(),
+                static_cast<size_t>(numel_) * sizeof(float));
+  } else {
+    storage_.data()[0] = 0.0f;
+  }
   InitStrides();
 }
 
@@ -53,24 +68,34 @@ void Tensor::InitStrides() {
   }
 }
 
+Tensor Tensor::Empty(Shape shape) {
+  Tensor t{NoAllocTag{}};
+  t.shape_ = std::move(shape);
+  t.numel_ = NumElements(t.shape_);
+  t.storage_ = Storage::Acquire(StorageCount(t.numel_));
+  if (t.numel_ == 0) t.storage_.data()[0] = 0.0f;
+  t.InitStrides();
+  return t;
+}
+
 Tensor Tensor::Zeros(Shape shape) { return Tensor(std::move(shape)); }
 
 Tensor Tensor::Ones(Shape shape) { return Full(std::move(shape), 1.0f); }
 
 Tensor Tensor::Full(Shape shape, float value) {
-  Tensor t(std::move(shape));
+  Tensor t = Empty(std::move(shape));
   t.Fill(value);
   return t;
 }
 
 Tensor Tensor::Scalar(float value) {
-  Tensor t{Shape{}};
+  Tensor t = Empty(Shape{});
   t.data()[0] = value;
   return t;
 }
 
 Tensor Tensor::Randn(Shape shape, Rng& rng, float stddev) {
-  Tensor t(std::move(shape));
+  Tensor t = Empty(std::move(shape));
   float* p = t.data();
   for (int64_t i = 0; i < t.numel(); ++i) {
     p[i] = static_cast<float>(rng.Normal()) * stddev;
@@ -79,7 +104,7 @@ Tensor Tensor::Randn(Shape shape, Rng& rng, float stddev) {
 }
 
 Tensor Tensor::RandUniform(Shape shape, Rng& rng, float lo, float hi) {
-  Tensor t(std::move(shape));
+  Tensor t = Empty(std::move(shape));
   float* p = t.data();
   for (int64_t i = 0; i < t.numel(); ++i) {
     p[i] = static_cast<float>(rng.Uniform(lo, hi));
@@ -88,7 +113,7 @@ Tensor Tensor::RandUniform(Shape shape, Rng& rng, float lo, float hi) {
 }
 
 Tensor Tensor::Arange(int64_t n) {
-  Tensor t(Shape{n});
+  Tensor t = Empty(Shape{n});
   float* p = t.data();
   for (int64_t i = 0; i < n; ++i) p[i] = static_cast<float>(i);
   return t;
@@ -104,7 +129,7 @@ int64_t Tensor::size(int64_t d) const {
 float Tensor::item() const {
   LIPF_CHECK_EQ(numel_, 1) << "item() on tensor with shape "
                            << ShapeToString(shape_);
-  return storage_->at(0);
+  return data()[0];
 }
 
 float& Tensor::at(std::initializer_list<int64_t> idx) {
@@ -117,7 +142,7 @@ float& Tensor::at(std::initializer_list<int64_t> idx) {
     off += i * strides_[d];
     ++d;
   }
-  return (*storage_)[off];
+  return data()[off];
 }
 
 float Tensor::at(std::initializer_list<int64_t> idx) const {
@@ -144,7 +169,7 @@ Tensor Tensor::Reshape(Shape new_shape) const {
   LIPF_CHECK_EQ(NumElements(new_shape), numel_)
       << "reshape " << ShapeToString(shape_) << " -> "
       << ShapeToString(new_shape);
-  Tensor out;
+  Tensor out{NoAllocTag{}};
   out.shape_ = std::move(new_shape);
   out.numel_ = numel_;
   out.storage_ = storage_;
@@ -172,16 +197,16 @@ Tensor Tensor::Squeeze(int64_t d) const {
 }
 
 Tensor Tensor::Clone() const {
-  Tensor out;
-  out.shape_ = shape_;
-  out.numel_ = numel_;
-  out.storage_ = std::make_shared<std::vector<float>>(*storage_);
-  out.InitStrides();
+  Tensor out = Empty(shape_);
+  std::memcpy(out.data(), data(),
+              static_cast<size_t>(StorageCount(numel_)) * sizeof(float));
   return out;
 }
 
 void Tensor::Fill(float value) {
-  std::fill(storage_->begin(), storage_->end(), value);
+  float* p = data();
+  const int64_t n = StorageCount(numel_);
+  for (int64_t i = 0; i < n; ++i) p[i] = value;
 }
 
 std::string Tensor::ToString(int64_t max_per_dim) const {
@@ -190,7 +215,7 @@ std::string Tensor::ToString(int64_t max_per_dim) const {
   const int64_t n = std::min<int64_t>(numel_, max_per_dim);
   for (int64_t i = 0; i < n; ++i) {
     if (i) os << ", ";
-    os << (*storage_)[i];
+    os << data()[i];
   }
   if (numel_ > n) os << ", ...";
   os << "]";

@@ -3,16 +3,18 @@
 
 #include <cstdint>
 #include <initializer_list>
-#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/logging.h"
 #include "common/random.h"
+#include "tensor/storage_pool.h"
 
 // Dense, contiguous, row-major float32 tensor. Storage is shared between
 // tensors produced by Reshape/View so reshapes are free; all arithmetic ops
-// (see tensor/ops.h) allocate fresh outputs. This is the numeric substrate
+// (see tensor/ops.h) allocate fresh outputs. Storage comes from the
+// size-bucketed pool in tensor/storage_pool.h, so steady-state allocation
+// is a freelist pop rather than a malloc. This is the numeric substrate
 // for the whole library -- there is no external BLAS dependency.
 
 namespace lipformer {
@@ -35,6 +37,9 @@ class Tensor {
   Tensor(Shape shape, std::vector<float> data);
 
   // ---- Factories ----
+  // UNINITIALIZED tensor: contents are arbitrary (possibly stale pool
+  // data). Only for callers that write every element before reading.
+  static Tensor Empty(Shape shape);
   static Tensor Zeros(Shape shape);
   static Tensor Ones(Shape shape);
   static Tensor Full(Shape shape, float value);
@@ -52,8 +57,8 @@ class Tensor {
   int64_t numel() const { return numel_; }
   const Shape& strides() const { return strides_; }
 
-  float* data() { return storage_->data(); }
-  const float* data() const { return storage_->data(); }
+  float* data() { return storage_.data(); }
+  const float* data() const { return storage_.data(); }
 
   // Scalar access for 0-d / 1-element tensors.
   float item() const;
@@ -79,12 +84,17 @@ class Tensor {
   std::string ToString(int64_t max_per_dim = 8) const;
 
  private:
+  // Tag ctor producing a tensor with no storage; internal factories fill
+  // in shape_/storage_ themselves (avoids the default ctor's allocation).
+  struct NoAllocTag {};
+  explicit Tensor(NoAllocTag) {}
+
   void InitStrides();
 
   Shape shape_;
   Shape strides_;
   int64_t numel_ = 0;
-  std::shared_ptr<std::vector<float>> storage_;
+  Storage storage_;
 };
 
 }  // namespace lipformer

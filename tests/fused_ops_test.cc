@@ -1,0 +1,137 @@
+// Fused elementwise kernels must be drop-in replacements for the op
+// chains they collapse: identical float operations in identical order, so
+// forward values AND gradients are bitwise equal to the unfused chain.
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "nn/linear.h"
+#include "tests/test_util.h"
+
+namespace lipformer {
+namespace {
+
+using testing::RandomTensor;
+
+bool BitwiseEqual(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+TEST(FusedOpsTest, ScaledMaskedSoftmaxMatchesUnfusedChain) {
+  const Tensor x0 = RandomTensor({3, 4, 6, 6}, 11);
+  Tensor mask = Tensor::Empty(Shape{6, 6});
+  for (int64_t i = 0; i < 6; ++i) {
+    for (int64_t j = 0; j < 6; ++j) {
+      mask.data()[i * 6 + j] = j > i ? -1e9f : 0.0f;
+    }
+  }
+  const float scale = 0.40824829f;  // 1/sqrt(6)
+
+  Variable xa(x0.Clone(), /*requires_grad=*/true);
+  Variable unfused = Softmax(AddConst(MulScalar(xa, scale), mask), -1);
+  SumAll(Mul(unfused, unfused)).Backward();
+
+  Variable xb(x0.Clone(), /*requires_grad=*/true);
+  Variable fused = ScaledMaskedSoftmax(xb, scale, &mask);
+  SumAll(Mul(fused, fused)).Backward();
+
+  EXPECT_TRUE(BitwiseEqual(unfused.value(), fused.value()));
+  EXPECT_TRUE(BitwiseEqual(xa.grad(), xb.grad()));
+}
+
+TEST(FusedOpsTest, ScaledMaskedSoftmaxWithoutMaskMatchesUnfusedChain) {
+  const Tensor x0 = RandomTensor({8, 5, 7}, 12);
+  const float scale = 0.25f;
+
+  Variable xa(x0.Clone(), /*requires_grad=*/true);
+  Variable unfused = Softmax(MulScalar(xa, scale), -1);
+  SumAll(Mul(unfused, unfused)).Backward();
+
+  Variable xb(x0.Clone(), /*requires_grad=*/true);
+  Variable fused = ScaledMaskedSoftmax(xb, scale, nullptr);
+  SumAll(Mul(fused, fused)).Backward();
+
+  EXPECT_TRUE(BitwiseEqual(unfused.value(), fused.value()));
+  EXPECT_TRUE(BitwiseEqual(xa.grad(), xb.grad()));
+}
+
+class AddBiasActSweep : public ::testing::TestWithParam<FusedAct> {};
+
+TEST_P(AddBiasActSweep, MatchesUnfusedAddThenActivation) {
+  const FusedAct act = GetParam();
+  const Tensor x0 = RandomTensor({6, 9, 13}, 21);
+  const Tensor b0 = RandomTensor({13}, 22);
+
+  auto unfused_chain = [&](const Variable& x, const Variable& b) {
+    Variable z = Add(x, b);
+    switch (act) {
+      case FusedAct::kNone:
+        return z;
+      case FusedAct::kRelu:
+        return Relu(z);
+      case FusedAct::kGelu:
+        return Gelu(z);
+    }
+    return z;
+  };
+
+  Variable xa(x0.Clone(), /*requires_grad=*/true);
+  Variable ba(b0.Clone(), /*requires_grad=*/true);
+  Variable unfused = unfused_chain(xa, ba);
+  SumAll(Mul(unfused, unfused)).Backward();
+
+  Variable xb(x0.Clone(), /*requires_grad=*/true);
+  Variable bb(b0.Clone(), /*requires_grad=*/true);
+  Variable fused = AddBiasAct(xb, bb, act);
+  SumAll(Mul(fused, fused)).Backward();
+
+  EXPECT_TRUE(BitwiseEqual(unfused.value(), fused.value()));
+  EXPECT_TRUE(BitwiseEqual(xa.grad(), xb.grad()));
+  EXPECT_TRUE(BitwiseEqual(ba.grad(), bb.grad()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Acts, AddBiasActSweep,
+                         ::testing::Values(FusedAct::kNone, FusedAct::kRelu,
+                                           FusedAct::kGelu));
+
+TEST(FusedOpsTest, SubAndAddBroadcastMidMatchUnfusedBroadcasts) {
+  const Tensor x0 = RandomTensor({4, 10, 3}, 31);
+  const Tensor s0 = RandomTensor({4, 1, 3}, 32);
+
+  Variable xa(x0.Clone(), /*requires_grad=*/true);
+  Variable sa(s0.Clone(), /*requires_grad=*/true);
+  Variable unfused = Add(Sub(xa, sa), sa);
+  SumAll(Mul(unfused, unfused)).Backward();
+
+  Variable xb(x0.Clone(), /*requires_grad=*/true);
+  Variable sb(s0.Clone(), /*requires_grad=*/true);
+  Variable fused = AddBroadcastMid(SubBroadcastMid(xb, sb), sb);
+  SumAll(Mul(fused, fused)).Backward();
+
+  EXPECT_TRUE(BitwiseEqual(unfused.value(), fused.value()));
+  EXPECT_TRUE(BitwiseEqual(xa.grad(), xb.grad()));
+  EXPECT_TRUE(BitwiseEqual(sa.grad(), sb.grad()));
+}
+
+TEST(FusedOpsTest, LinearFusedForwardMatchesSeparateActivation) {
+  Rng rng(41);
+  Linear layer(12, 20, rng);
+  const Tensor x0 = RandomTensor({5, 12}, 42);
+
+  for (Activation act : {Activation::kNone, Activation::kRelu,
+                         Activation::kGelu, Activation::kTanh,
+                         Activation::kSigmoid}) {
+    Variable x(x0.Clone());
+    Tensor fused = layer.Forward(x, act).value().Clone();
+    Tensor separate =
+        ApplyActivation(layer.Forward(x), act).value().Clone();
+    EXPECT_TRUE(BitwiseEqual(fused, separate))
+        << "activation " << ActivationName(act);
+  }
+}
+
+}  // namespace
+}  // namespace lipformer

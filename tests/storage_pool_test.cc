@@ -1,0 +1,232 @@
+// Storage pool contract: size-class rounding, release-to-freelist reuse,
+// refcounted sharing, cross-thread traffic, zero-fill semantics on top of
+// recycled (dirty) blocks, and the end-to-end guarantee that the pool
+// never changes numerics — a model forward/backward is bitwise identical
+// with the pool on and off, at any thread count.
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "core/lipformer.h"
+#include "data/synthetic.h"
+#include "tensor/storage_pool.h"
+#include "tests/test_util.h"
+
+namespace lipformer {
+namespace {
+
+using testing::RandomTensor;
+
+// Restores pool enablement and thread count on scope exit so a failing
+// assertion cannot leak state into later tests.
+class PoolStateScope {
+ public:
+  PoolStateScope() : enabled_(StoragePoolEnabled()) {}
+  ~PoolStateScope() {
+    SetStoragePoolEnabled(enabled_);
+    SetNumThreads(DefaultNumThreads());
+  }
+
+ private:
+  bool enabled_;
+};
+
+TEST(StoragePoolTest, SizeClassRounding) {
+  EXPECT_EQ(StorageCapacityForNumel(0), 16);
+  EXPECT_EQ(StorageCapacityForNumel(1), 16);
+  EXPECT_EQ(StorageCapacityForNumel(16), 16);
+  EXPECT_EQ(StorageCapacityForNumel(17), 32);
+  EXPECT_EQ(StorageCapacityForNumel(32), 32);
+  EXPECT_EQ(StorageCapacityForNumel(33), 64);
+  EXPECT_EQ(StorageCapacityForNumel(1000), 1024);
+  EXPECT_EQ(StorageCapacityForNumel(1024), 1024);
+  EXPECT_EQ(StorageCapacityForNumel(1025), 2048);
+}
+
+TEST(StoragePoolTest, ReleaseParksBlockAndNextAcquireReusesIt) {
+  PoolStateScope scope;
+  SetStoragePoolEnabled(true);
+  ClearStoragePool();
+  ResetStoragePoolCounters();
+
+  float* first = nullptr;
+  {
+    Storage s = Storage::Acquire(100);
+    first = s.data();
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(s.capacity(), 128);
+  }  // released -> parked on the 128-float freelist
+
+  Storage t = Storage::Acquire(100);
+  EXPECT_EQ(t.data(), first) << "same size class must pop the parked block";
+
+  const StoragePoolStats stats = GetStoragePoolStats();
+  EXPECT_EQ(stats.acquires, 2);
+  EXPECT_EQ(stats.pool_hits, 1);
+  EXPECT_EQ(stats.heap_allocs, 1);
+}
+
+TEST(StoragePoolTest, CopiedHandlesShareTheBlock) {
+  Storage s = Storage::Acquire(10);
+  s.data()[3] = 42.0f;
+  Storage t = s;
+  EXPECT_TRUE(t.SharesWith(s));
+  EXPECT_EQ(t.data(), s.data());
+  EXPECT_EQ(t.data()[3], 42.0f);
+  t.data()[3] = 7.0f;
+  EXPECT_EQ(s.data()[3], 7.0f);
+
+  Storage moved = std::move(t);
+  EXPECT_TRUE(moved.SharesWith(s));
+  EXPECT_EQ(t.data(), nullptr);  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(StoragePoolTest, ZerosIsZeroOnTopOfDirtyRecycledBlocks) {
+  PoolStateScope scope;
+  SetStoragePoolEnabled(true);
+  // Dirty a block, release it, then ask for zeros of the same class: the
+  // recycled block must still come back fully zeroed.
+  { Tensor dirty = Tensor::Full(Shape{100}, 3.25f); }
+  Tensor z = Tensor::Zeros(Shape{100});
+  for (int64_t i = 0; i < z.numel(); ++i) {
+    ASSERT_EQ(z.data()[i], 0.0f) << "index " << i;
+  }
+  { Tensor dirty = Tensor::Full(Shape{100}, -1.5f); }
+  Tensor f = Tensor::Full(Shape{100}, 2.0f);
+  for (int64_t i = 0; i < f.numel(); ++i) {
+    ASSERT_EQ(f.data()[i], 2.0f) << "index " << i;
+  }
+}
+
+TEST(StoragePoolTest, DisabledPoolStillWorksAndDoesNotPark) {
+  PoolStateScope scope;
+  SetStoragePoolEnabled(false);
+  ClearStoragePool();
+  ResetStoragePoolCounters();
+  {
+    Storage s = Storage::Acquire(64);
+    ASSERT_NE(s.data(), nullptr);
+    s.data()[0] = 1.0f;
+  }
+  const StoragePoolStats stats = GetStoragePoolStats();
+  EXPECT_EQ(stats.pool_hits, 0);
+  EXPECT_EQ(stats.heap_allocs, 1);
+  EXPECT_EQ(stats.bytes_pooled, 0) << "disabled pool must not park blocks";
+}
+
+TEST(StoragePoolTest, CrossThreadAcquireReleaseIsSafe) {
+  PoolStateScope scope;
+  SetStoragePoolEnabled(true);
+  ResetStoragePoolCounters();
+
+  // Blocks allocated on the main thread, released on workers, and
+  // re-acquired concurrently — the sanitizer build (scripts/
+  // check_sanitize.sh) runs this under TSan.
+  constexpr int kThreads = 4;
+  constexpr int kIters = 500;
+  std::vector<std::vector<Storage>> handoff(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < 8; ++i) {
+      Storage s = Storage::Acquire(64 * (i + 1));
+      s.data()[0] = static_cast<float>(t);
+      handoff[t].push_back(std::move(s));
+    }
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&handoff, t] {
+      handoff[t].clear();  // release main-thread blocks on this thread
+      for (int i = 0; i < kIters; ++i) {
+        Storage s = Storage::Acquire(16 + (i % 7) * 100);
+        s.data()[0] = static_cast<float>(i);
+        Storage copy = s;
+        ASSERT_EQ(copy.data()[0], static_cast<float>(i));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  const StoragePoolStats stats = GetStoragePoolStats();
+  EXPECT_EQ(stats.acquires, stats.pool_hits + stats.heap_allocs);
+  EXPECT_GE(stats.acquires, kThreads * kIters);
+}
+
+TEST(StoragePoolTest, EmptyTensorHasShapeAndWritableStorage) {
+  Tensor t = Tensor::Empty(Shape{3, 5});
+  EXPECT_EQ(t.shape(), (Shape{3, 5}));
+  EXPECT_EQ(t.numel(), 15);
+  t.Fill(1.5f);
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t.data()[i], 1.5f);
+}
+
+// Runs one deterministic forward/backward and returns the prediction bits
+// plus every parameter-gradient tensor (cloned: grad buffers are reused
+// across steps).
+struct StepResult {
+  Tensor pred;
+  std::vector<Tensor> grads;
+};
+
+StepResult RunTrainStep(const Batch& batch) {
+  LiPFormerConfig config;
+  config.input_len = 48;
+  config.pred_len = 12;
+  config.channels = 3;
+  config.patch_len = 12;
+  config.hidden_dim = 16;
+  config.dropout = 0.0f;
+  config.seed = 77;
+  LiPFormer model(config);
+  Variable pred = model.Forward(batch);
+  MseLoss(pred, batch.y).Backward();
+  StepResult result;
+  result.pred = pred.value().Clone();
+  for (const Variable& p : model.Parameters()) {
+    result.grads.push_back(p.grad().Clone());
+  }
+  return result;
+}
+
+bool BitwiseEqual(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+TEST(StoragePoolTest, ModelStepBitwiseIdenticalPoolOnVsOffAcrossThreads) {
+  PoolStateScope scope;
+  SeasonalConfig gen;
+  gen.steps = 200;
+  gen.channels = 3;
+  TimeSeries series = GenerateSeasonal(gen);
+  WindowDataset::Options options;
+  options.input_len = 48;
+  options.pred_len = 12;
+  WindowDataset data(series, options);
+  Batch batch = data.MakeBatch(Split::kTrain, {0, 1, 2});
+
+  for (int threads : {1, 4}) {
+    SetNumThreads(threads);
+    SetStoragePoolEnabled(true);
+    StepResult pooled = RunTrainStep(batch);
+    SetStoragePoolEnabled(false);
+    ClearStoragePool();
+    StepResult heap = RunTrainStep(batch);
+
+    EXPECT_TRUE(BitwiseEqual(pooled.pred, heap.pred))
+        << "prediction differs with pool on vs off at threads=" << threads;
+    ASSERT_EQ(pooled.grads.size(), heap.grads.size());
+    for (size_t i = 0; i < pooled.grads.size(); ++i) {
+      EXPECT_TRUE(BitwiseEqual(pooled.grads[i], heap.grads[i]))
+          << "grad " << i << " differs at threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lipformer
