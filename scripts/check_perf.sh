@@ -7,6 +7,17 @@
 # makes steady-state steps allocation-free; any new heap alloc per step is
 # a leak in that contract, not noise).
 #
+# Also runs bench_serving (the micro-batching serving path). That binary
+# exits non-zero if any batched prediction is not bitwise identical to the
+# serial prediction of the same window, so correctness gates on every run.
+# Throughput gates against results/BENCH_serving.json: batched and single
+# rps must stay within the threshold of the recorded baseline, and the
+# batched/single speedup must reach 2x on machines with >= 4 cores (the
+# batcher's win comes from giving the thread pool a batch dimension to
+# parallelize; on the 1-core container that records the committed
+# baseline the speedup floor is amortization-only, ~1x — see
+# DESIGN.md "Serving architecture" for the profile).
+#
 # Usage:
 #   scripts/check_perf.sh            # compare against the baseline
 #   scripts/check_perf.sh --update   # rewrite the baseline instead
@@ -33,12 +44,13 @@ elif [ -n "${1:-}" ]; then
   exit 2
 fi
 
-echo "== building bench_kernels (Release)"
+echo "== building bench_kernels + bench_serving (Release)"
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build -j "$(nproc)" --target bench_kernels
+cmake --build build -j "$(nproc)" --target bench_kernels bench_serving
 
 RUN_OUT="$(mktemp /tmp/bench_kernels.XXXXXX.json)"
-trap 'rm -f "${RUN_OUT}"' EXIT
+SERVING_OUT="$(mktemp /tmp/bench_serving.XXXXXX.json)"
+trap 'rm -f "${RUN_OUT}" "${SERVING_OUT}"' EXIT
 
 echo "== running GEMM + train/inference step sweep"
 ./build/bench/bench_kernels \
@@ -48,15 +60,21 @@ echo "== running GEMM + train/inference step sweep"
   --benchmark_out="${RUN_OUT}" \
   --benchmark_out_format=json
 
+SERVING_BASELINE="results/BENCH_serving.json"
+echo "== running bench_serving (bitwise identity gates unconditionally)"
+./build/bench/bench_serving --requests=256 --json="${SERVING_OUT}"
+
 if [ "${UPDATE}" = "1" ]; then
   mkdir -p results
   cp "${RUN_OUT}" "${BASELINE}"
-  echo "== baseline updated: ${BASELINE}"
+  cp "${SERVING_OUT}" "${SERVING_BASELINE}"
+  echo "== baselines updated: ${BASELINE}, ${SERVING_BASELINE}"
   exit 0
 fi
 
-if [ ! -f "${BASELINE}" ]; then
-  echo "error: no baseline at ${BASELINE}; run $0 --update first" >&2
+if [ ! -f "${BASELINE}" ] || [ ! -f "${SERVING_BASELINE}" ]; then
+  echo "error: missing baseline (${BASELINE} or ${SERVING_BASELINE});" \
+       "run $0 --update first" >&2
   exit 2
 fi
 
@@ -146,6 +164,63 @@ if failures:
         print(f"  {f}")
     sys.exit(1)
 print(f"\nperf check passed ({compared} benchmarks within {threshold}x)")
+EOF
+
+echo "== comparing serving throughput against ${SERVING_BASELINE}" \
+     "(threshold ${THRESHOLD}x)"
+python3 - "${SERVING_BASELINE}" "${SERVING_OUT}" "${THRESHOLD}" \
+    "$(nproc)" <<'EOF'
+import json
+import sys
+
+baseline_path, run_path, threshold, cores = sys.argv[1:5]
+threshold = float(threshold)
+cores = int(cores)
+
+with open(baseline_path) as f:
+    base = json.load(f)
+with open(run_path) as f:
+    run = json.load(f)
+
+failures = []
+
+# Throughput must not regress past the threshold (rps: higher is better).
+for key in ("single_rps", "batched16_rps"):
+    ratio = base[key] / max(run[key], 1e-9)
+    mark = "FAIL" if ratio > threshold else "ok"
+    print(f"  {mark:4} {key}: {base[key]:.1f} -> {run[key]:.1f} rps "
+          f"({ratio:.2f}x slower)")
+    if ratio > threshold:
+        failures.append(f"{key}: {ratio:.2f}x below baseline")
+
+# Tail latency within threshold of the recorded baseline.
+ratio = run["p99_us"] / max(base["p99_us"], 1e-9)
+mark = "FAIL" if ratio > threshold else "ok"
+print(f"  {mark:4} p99: {base['p99_us']:.0f} -> {run['p99_us']:.0f} us "
+      f"({ratio:.2f}x)")
+if ratio > threshold:
+    failures.append(f"p99 latency: {ratio:.2f}x over baseline")
+
+# The batching speedup itself: the batcher's win is the batch dimension it
+# hands the thread pool, so the 2x requirement only holds where there are
+# cores to parallelize over. On fewer than 4 cores batching is still
+# required not to cost throughput (speedup >= 0.9 bounds coalescing
+# overhead); bitwise identity was already enforced by the bench exiting 0.
+floor = 2.0 if cores >= 4 else 0.9
+mark = "FAIL" if run["speedup"] < floor else "ok"
+print(f"  {mark:4} speedup: {run['speedup']:.2f}x "
+      f"(floor {floor:.1f}x on {cores} cores)")
+if run["speedup"] < floor:
+    failures.append(
+        f"batching speedup {run['speedup']:.2f}x under the {floor:.1f}x "
+        f"floor for {cores} cores")
+
+if failures:
+    print("\nserving perf check FAILED:")
+    for f in failures:
+        print(f"  {f}")
+    sys.exit(1)
+print("\nserving perf check passed")
 EOF
 
 echo "== perf check passed"

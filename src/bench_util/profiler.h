@@ -2,6 +2,7 @@
 #define LIPFORMER_BENCH_UTIL_PROFILER_H_
 
 #include <string>
+#include <vector>
 
 #include "data/window_dataset.h"
 #include "models/forecaster.h"
@@ -32,6 +33,28 @@ ModelProfile ProfileModel(Forecaster* model, const WindowDataset& data,
 std::string FormatCount(double value);
 // Seconds with adaptive precision.
 std::string FormatSeconds(double seconds);
+
+// Bounded sample reservoir with percentile queries; backs the serving
+// batcher's p50/p99 latency counters (serve/batcher.h). Keeps the most
+// recent `capacity` samples in a ring. Not thread-safe: the owner guards
+// it (the batcher records under its own mutex).
+class LatencyRecorder {
+ public:
+  explicit LatencyRecorder(int64_t capacity = 1 << 16);
+
+  void Record(double seconds);
+  int64_t count() const { return count_; }
+
+  // Linear-interpolated percentile (p in [0, 100]) over the retained
+  // samples; NaN when empty.
+  double Percentile(double p) const;
+
+ private:
+  std::vector<double> samples_;  // ring buffer, size <= capacity
+  int64_t capacity_;
+  int64_t next_ = 0;   // ring write cursor
+  int64_t count_ = 0;  // total Record calls (may exceed capacity)
+};
 
 }  // namespace lipformer
 

@@ -5,6 +5,7 @@
 //   lipformer_cli list
 //   lipformer_cli train --model=lipformer --dataset=etth1 [options]
 //   lipformer_cli forecast --dataset=weather --out=pred.csv [options]
+//   lipformer_cli serve --load=FILE [options]
 //
 // Common options:
 //   --csv=FILE        use a CSV time series instead of a registry dataset
@@ -16,25 +17,50 @@
 //   --epochs=N        training epochs (default 5)
 //   --batch=N         batch size (default 32)
 //   --hidden=N        hidden feature size (default 64)
+//   --lr=X            learning rate (default 1e-3; EXPERIMENTS.md lists
+//                     the per-model tuned values)
+//   --loss=NAME       training loss: smoothl1 (default) | mse | mae
+//   --patience=N      early-stopping patience (default max(2, epochs/2))
 //   --covariates      enable the weak-data-enriching pipeline (lipformer)
-//   --save=FILE       write best-validation parameters
+//   --save=FILE       (train) write the trained model as a serving
+//                     bundle: checkpoint v2 with config + scaler, loadable
+//                     by `serve --load` with no retraining. With
+//                     --covariates the file instead holds raw best
+//                     parameters (bundles don't carry the dual encoder).
 //   --out=FILE        (forecast) output CSV path
 //   --seed=N          RNG seed
 //   --threads=N       tensor-kernel threads (default: LIPF_NUM_THREADS or
 //                     hardware concurrency; 1 = serial; results are
 //                     bitwise identical for every N)
+//
+// Serve options (see CmdServe for the request protocol):
+//   --load=FILE       serving bundle written by `train --save`
+//   --requests=FILE   request lines (default: stdin)
+//   --max-batch=N     micro-batcher coalescing cap (default 16)
+//   --max-delay-ms=N  micro-batcher max wait for stragglers (default 2)
+//
+// Unknown --options, stray non-option arguments and malformed numbers are
+// usage errors (they used to be silently ignored / parsed as 0).
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <future>
+#include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/thread_pool.h"
 #include "core/lipformer.h"
 #include "data/csv.h"
 #include "data/registry.h"
 #include "models/factory.h"
+#include "serve/batcher.h"
+#include "serve/session.h"
 #include "train/extended_metrics.h"
 #include "train/trainer.h"
 
@@ -42,7 +68,56 @@ namespace lipformer {
 namespace cli {
 namespace {
 
+enum class OptionKind { kFlag, kInt, kDouble, kString };
+
+struct OptionSpec {
+  const char* key;
+  OptionKind kind;
+};
+
+// Every option any command understands; ValidateArgs rejects the rest.
+constexpr OptionSpec kOptionSpecs[] = {
+    {"csv", OptionKind::kString},      {"dataset", OptionKind::kString},
+    {"scale", OptionKind::kDouble},    {"model", OptionKind::kString},
+    {"input", OptionKind::kInt},       {"horizon", OptionKind::kInt},
+    {"epochs", OptionKind::kInt},      {"batch", OptionKind::kInt},
+    {"hidden", OptionKind::kInt},      {"lr", OptionKind::kDouble},
+    {"loss", OptionKind::kString},     {"patience", OptionKind::kInt},
+    {"covariates", OptionKind::kFlag}, {"save", OptionKind::kString},
+    {"out", OptionKind::kString},      {"seed", OptionKind::kInt},
+    {"threads", OptionKind::kInt},     {"load", OptionKind::kString},
+    {"requests", OptionKind::kString}, {"max-batch", OptionKind::kInt},
+    {"max-delay-ms", OptionKind::kInt},
+};
+
+const OptionSpec* FindOptionSpec(const std::string& key) {
+  for (const OptionSpec& spec : kOptionSpecs) {
+    if (key == spec.key) return &spec;
+  }
+  return nullptr;
+}
+
 }  // namespace
+
+bool ParseInt64(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = value;
+  return true;
+}
 
 std::string CliArgs::Get(const std::string& key,
                          const std::string& def) const {
@@ -52,12 +127,16 @@ std::string CliArgs::Get(const std::string& key,
 
 int64_t CliArgs::GetInt(const std::string& key, int64_t def) const {
   auto it = options.find(key);
-  return it == options.end() ? def : std::atoll(it->second.c_str());
+  if (it == options.end()) return def;
+  int64_t value = def;
+  return ParseInt64(it->second, &value) ? value : def;
 }
 
 double CliArgs::GetDouble(const std::string& key, double def) const {
   auto it = options.find(key);
-  return it == options.end() ? def : std::atof(it->second.c_str());
+  if (it == options.end()) return def;
+  double value = def;
+  return ParseDouble(it->second, &value) ? value : def;
 }
 
 CliArgs Parse(int argc, char** argv) {
@@ -65,7 +144,10 @@ CliArgs Parse(int argc, char** argv) {
   if (argc > 1) args.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg.rfind("--", 0) != 0) continue;
+    if (arg.rfind("--", 0) != 0) {
+      args.stragglers.push_back(std::move(arg));
+      continue;
+    }
     arg = arg.substr(2);
     const size_t eq = arg.find('=');
     if (eq == std::string::npos) {
@@ -75,6 +157,36 @@ CliArgs Parse(int argc, char** argv) {
     }
   }
   return args;
+}
+
+Status ValidateArgs(const CliArgs& args) {
+  if (!args.stragglers.empty()) {
+    return Status::InvalidArgument("unexpected argument '" +
+                                   args.stragglers.front() +
+                                   "' (options are --key or --key=value)");
+  }
+  for (const auto& [key, value] : args.options) {
+    const OptionSpec* spec = FindOptionSpec(key);
+    if (spec == nullptr) {
+      return Status::InvalidArgument("unknown option --" + key);
+    }
+    if (spec->kind == OptionKind::kInt) {
+      int64_t parsed;
+      if (!ParseInt64(value, &parsed)) {
+        return Status::InvalidArgument("option --" + key +
+                                       " expects an integer, got '" +
+                                       value + "'");
+      }
+    } else if (spec->kind == OptionKind::kDouble) {
+      double parsed;
+      if (!ParseDouble(value, &parsed)) {
+        return Status::InvalidArgument("option --" + key +
+                                       " expects a number, got '" + value +
+                                       "'");
+      }
+    }
+  }
+  return Status::OK();
 }
 
 int CmdList() {
@@ -127,7 +239,25 @@ struct TrainedModel {
   std::unique_ptr<LiPFormer> lip;  // set when model_name == lipformer
   std::unique_ptr<DualEncoder> dual;
   TrainResult result;
+  // What the model was built with, so CmdTrain can write a serving bundle
+  // the factory can reconstruct (serve/session.h).
+  std::string model_name;
+  ModelOptions options;
 };
+
+// Maps a --loss value to LossKind; false on unknown names.
+bool ParseLossKind(const std::string& name, LossKind* out) {
+  if (name == "smoothl1") {
+    *out = LossKind::kSmoothL1;
+  } else if (name == "mse") {
+    *out = LossKind::kMse;
+  } else if (name == "mae") {
+    *out = LossKind::kMae;
+  } else {
+    return false;
+  }
+  return true;
+}
 
 bool TrainFromArgs(const CliArgs& args, WindowDataset& data,
                    TrainedModel* out) {
@@ -137,12 +267,21 @@ bool TrainFromArgs(const CliArgs& args, WindowDataset& data,
 
   TrainConfig train;
   train.epochs = args.GetInt("epochs", 5);
-  train.patience = std::max<int64_t>(2, train.epochs / 2);
+  train.patience =
+      args.GetInt("patience", std::max<int64_t>(2, train.epochs / 2));
   train.batch_size = args.GetInt("batch", 32);
   train.seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  train.lr = static_cast<float>(args.GetDouble("lr", train.lr));
+  if (!ParseLossKind(args.Get("loss", "smoothl1"), &train.loss)) {
+    std::fprintf(stderr,
+                 "error: unknown loss '%s' (want smoothl1, mse or mae)\n",
+                 args.Get("loss", "").c_str());
+    return false;
+  }
   train.verbose = true;
   if (args.Has("save")) train.checkpoint_path = args.Get("save", "");
 
+  out->model_name = model_name;
   if (model_name == "lipformer") {
     LiPFormerConfig config;
     config.input_len = input_len;
@@ -157,6 +296,11 @@ bool TrainFromArgs(const CliArgs& args, WindowDataset& data,
         break;
       }
     }
+    out->options.patch_len = config.patch_len;
+    out->options.hidden_dim = config.hidden_dim;
+    out->options.num_heads = config.num_heads;
+    out->options.dropout = config.dropout;
+    out->options.seed = config.seed;
     out->lip = std::make_unique<LiPFormer>(config);
     if (args.Has("covariates")) {
       Rng rng(train.seed + 1);
@@ -188,6 +332,7 @@ bool TrainFromArgs(const CliArgs& args, WindowDataset& data,
   options.hidden_dim = args.GetInt("hidden", 64);
   options.seed = train.seed;
   options.num_covariates = data.num_numeric_covariates();
+  out->options = options;
   out->model = CreateModel(model_name, dims, options);
   out->result = TrainAndEvaluate(out->model.get(), data, train);
   return true;
@@ -234,7 +379,27 @@ int CmdTrain(const CliArgs& args) {
               static_cast<long long>(model->ParameterCount()),
               trained.result.seconds_per_epoch);
   if (args.Has("save")) {
-    std::printf("  best checkpoint at %s\n", args.Get("save", "").c_str());
+    const std::string save_path = args.Get("save", "");
+    if (trained.dual) {
+      // The covariate-enriched model needs the dual encoder at inference;
+      // bundles don't carry it, so the trainer-written parameter
+      // checkpoint (best-validation weights) is all we can offer.
+      std::printf("  best parameter checkpoint at %s (covariate pipeline: "
+                  "not a serving bundle)\n",
+                  save_path.c_str());
+    } else {
+      // The trainer restored the best-validation weights above, so the
+      // bundle (config + scaler + parameters) snapshots exactly them —
+      // loadable by `lipformer_cli serve --load` with no retraining.
+      const Status st = serve::SaveModelBundle(save_path, trained.model_name,
+                                               trained.options, *model,
+                                               data.scaler());
+      if (!st.ok()) {
+        std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::printf("  serving bundle at %s\n", save_path.c_str());
+    }
   }
   return 0;
 }
@@ -258,8 +423,16 @@ int CmdForecast(const CliArgs& args) {
 
   model->SetTraining(false);
   NoGradGuard ng;
-  const int64_t last = data.NumWindows(Split::kTest) - 1;
-  Batch batch = data.MakeBatch(Split::kTest, {last});
+  const int64_t num_test = data.NumWindows(Split::kTest);
+  if (num_test <= 0) {
+    std::fprintf(stderr,
+                 "error: series too short for input=%lld horizon=%lld "
+                 "(no complete test window)\n",
+                 static_cast<long long>(options.input_len),
+                 static_cast<long long>(options.pred_len));
+    return 1;
+  }
+  Batch batch = data.MakeBatch(Split::kTest, {num_test - 1});
   Tensor pred = model->Forward(batch).value().Reshape(
       {options.pred_len, data.channels()});
   Tensor truth = batch.y.Reshape({options.pred_len, data.channels()});
@@ -274,8 +447,16 @@ int CmdForecast(const CliArgs& args) {
   for (int64_t j = 0; j < data.channels(); ++j) {
     out.channel_names.push_back("true_ch" + std::to_string(j));
   }
-  out.timestamps.assign(series.timestamps.end() - options.pred_len,
-                        series.timestamps.end());
+  if (static_cast<int64_t>(series.timestamps.size()) >= options.pred_len) {
+    out.timestamps.assign(series.timestamps.end() - options.pred_len,
+                          series.timestamps.end());
+  } else {
+    // Series without (enough) timestamps: synthesize index-based ones so
+    // the output CSV stays well-formed instead of reading past the front
+    // of the timestamp vector (UB in the old code).
+    out.timestamps = MakeTimestamps(DateTime{}, /*minutes_per_step=*/60,
+                                    options.pred_len);
+  }
   const std::string out_path = args.Get("out", "forecast.csv");
   Status st = WriteCsvTimeSeries(out_path, out);
   if (!st.ok()) {
@@ -287,17 +468,141 @@ int CmdForecast(const CliArgs& args) {
   return 0;
 }
 
+// Request protocol of `serve`: one request per line, the flattened
+// row-major [input_len, channels] history as comma-separated numbers.
+// Each answer line is the flattened [pred_len, channels] prediction (raw
+// units), or "error: ..." for malformed/rejected requests. Requests are
+// answered in input order but executed through the dynamic micro-batcher,
+// so concurrent lines coalesce into batched forwards. A summary with
+// throughput and latency percentiles goes to stderr on exit.
+int CmdServe(const CliArgs& args) {
+  if (!args.Has("load")) {
+    std::fprintf(stderr, "error: serve needs --load=FILE "
+                         "(a bundle written by train --save)\n");
+    return 2;
+  }
+  Result<std::unique_ptr<serve::InferenceSession>> opened =
+      serve::InferenceSession::Open(args.Get("load", ""));
+  if (!opened.ok()) {
+    std::fprintf(stderr, "error: %s\n", opened.status().ToString().c_str());
+    return 1;
+  }
+  serve::InferenceSession* session = opened.value().get();
+  std::fprintf(stderr,
+               "serving %s (input=%lld horizon=%lld channels=%lld); one "
+               "request per line: %lld comma-separated values\n",
+               session->model_name().c_str(),
+               static_cast<long long>(session->input_len()),
+               static_cast<long long>(session->pred_len()),
+               static_cast<long long>(session->channels()),
+               static_cast<long long>(session->input_len() *
+                                      session->channels()));
+
+  serve::BatcherOptions batcher_options;
+  batcher_options.max_batch_size = args.GetInt("max-batch", 16);
+  batcher_options.max_delay =
+      std::chrono::milliseconds(args.GetInt("max-delay-ms", 2));
+  if (batcher_options.max_batch_size < 1) {
+    std::fprintf(stderr, "error: --max-batch must be >= 1\n");
+    return 2;
+  }
+  serve::Batcher batcher(session, batcher_options);
+
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (args.Has("requests")) {
+    file.open(args.Get("requests", ""));
+    if (!file) {
+      std::fprintf(stderr, "error: cannot open %s\n",
+                   args.Get("requests", "").c_str());
+      return 1;
+    }
+    in = &file;
+  }
+
+  const int64_t window = session->input_len() * session->channels();
+  // Submit every request up front (so the batcher can coalesce), answer
+  // in order. A parse failure occupies its output line, not a model call.
+  std::vector<std::future<Result<Tensor>>> pending;
+  std::vector<std::string> parse_errors;  // aligned with pending; "" = ok
+  std::string line;
+  while (std::getline(*in, line)) {
+    if (line.empty()) continue;
+    std::vector<float> values;
+    values.reserve(static_cast<size_t>(window));
+    std::stringstream fields(line);
+    std::string field;
+    bool ok = true;
+    while (std::getline(fields, field, ',')) {
+      double value;
+      if (!ParseDouble(field, &value)) {
+        ok = false;
+        break;
+      }
+      values.push_back(static_cast<float>(value));
+    }
+    if (!ok || static_cast<int64_t>(values.size()) != window) {
+      parse_errors.push_back(
+          "error: request needs " + std::to_string(window) +
+          " comma-separated numbers, got " + std::to_string(values.size()));
+      pending.emplace_back();
+      continue;
+    }
+    parse_errors.emplace_back();
+    pending.push_back(batcher.Submit(
+        Tensor({session->input_len(), session->channels()},
+               std::move(values))));
+  }
+
+  for (size_t i = 0; i < pending.size(); ++i) {
+    if (!parse_errors[i].empty()) {
+      std::printf("%s\n", parse_errors[i].c_str());
+      continue;
+    }
+    Result<Tensor> result = pending[i].get();
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    const Tensor& pred = result.value();
+    const float* p = pred.data();
+    for (int64_t j = 0; j < pred.numel(); ++j) {
+      std::printf(j == 0 ? "%g" : ",%g", p[j]);
+    }
+    std::printf("\n");
+  }
+
+  batcher.Shutdown();
+  const serve::BatcherStats stats = batcher.Stats();
+  std::fprintf(stderr,
+               "served %lld requests in %lld batches (p50 %.3f ms, "
+               "p99 %.3f ms, %lld rejected, %lld expired)\n",
+               static_cast<long long>(stats.completed),
+               static_cast<long long>(stats.batches),
+               stats.p50_latency_seconds * 1e3,
+               stats.p99_latency_seconds * 1e3,
+               static_cast<long long>(stats.rejected_full),
+               static_cast<long long>(stats.expired));
+  return 0;
+}
+
 namespace {
 int Usage() {
   std::fprintf(stderr,
-               "usage: lipformer_cli <list|train|forecast> [--options]\n"
-               "see the header of tools/lipformer_cli.cc for options\n");
+               "usage: lipformer_cli <list|train|forecast|serve> "
+               "[--options]\n"
+               "see the header of src/cli/cli.cc for options\n");
   return 2;
 }
 }  // namespace
 
 int Main(int argc, char** argv) {
   CliArgs args = Parse(argc, argv);
+  const Status valid = ValidateArgs(args);
+  if (!valid.ok()) {
+    std::fprintf(stderr, "error: %s\n", valid.message().c_str());
+    return Usage();
+  }
   if (args.Has("threads")) {
     const int64_t threads = args.GetInt("threads", 0);
     if (threads < 1) {
@@ -309,6 +614,7 @@ int Main(int argc, char** argv) {
   if (args.command == "list") return CmdList();
   if (args.command == "train") return CmdTrain(args);
   if (args.command == "forecast") return CmdForecast(args);
+  if (args.command == "serve") return CmdServe(args);
   return Usage();
 }
 

@@ -4,29 +4,46 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
+#include "common/status.h"
 #include "data/time_series.h"
 
 // Implementation of the lipformer_cli command-line front end, split into a
 // library so argument parsing and command dispatch are unit-testable.
-// Commands: list, train, forecast (see tools/lipformer_cli.cc header for
+// Commands: list, train, forecast, serve (see src/cli/cli.cc header for
 // the option reference).
 
 namespace lipformer {
 namespace cli {
 
+// Strict number parsing: the whole string must be consumed. Used by
+// ValidateArgs so `--batch=abc` is a usage error instead of silently
+// becoming 0 (the old atoll behaviour) and crashing later.
+bool ParseInt64(const std::string& s, int64_t* out);
+bool ParseDouble(const std::string& s, double* out);
+
 struct CliArgs {
   std::string command;
   std::map<std::string, std::string> options;
+  // Non-option arguments after the command (previously silently ignored;
+  // ValidateArgs rejects them).
+  std::vector<std::string> stragglers;
 
   bool Has(const std::string& key) const { return options.count(key) > 0; }
   std::string Get(const std::string& key, const std::string& def) const;
+  // Return def when the key is absent or (defensively) malformed;
+  // ValidateArgs has already rejected malformed values on the CLI path.
   int64_t GetInt(const std::string& key, int64_t def) const;
   double GetDouble(const std::string& key, double def) const;
 };
 
-// Parses argv into command + --key[=value] options.
+// Parses argv into command + --key[=value] options + stragglers.
 CliArgs Parse(int argc, char** argv);
+
+// Rejects unknown --options, stray non-option arguments and malformed
+// numeric values against the known-option table in cli.cc.
+Status ValidateArgs(const CliArgs& args);
 
 // Loads the series selected by --csv / --dataset; fills split ratios.
 // Returns false (with a message on stderr) on bad input.
@@ -36,6 +53,10 @@ bool LoadSeries(const CliArgs& args, TimeSeries* series, double* train_ratio,
 int CmdList();
 int CmdTrain(const CliArgs& args);
 int CmdForecast(const CliArgs& args);
+// Batched inference from a serving bundle (--load); answers one request
+// per input line without retraining. See the cli.cc header for the
+// request protocol.
+int CmdServe(const CliArgs& args);
 
 // Dispatches to the command; returns the process exit code.
 int Main(int argc, char** argv);

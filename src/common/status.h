@@ -18,6 +18,10 @@ enum class StatusCode {
   kIOError,
   kOutOfRange,
   kInternal,
+  // Serving backpressure: a bounded queue rejected the request.
+  kUnavailable,
+  // The request's deadline expired before it could be executed.
+  kDeadlineExceeded,
 };
 
 class Status {
@@ -41,6 +45,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,6 +1,7 @@
 #include "data/scaler.h"
 
 #include <cmath>
+#include <utility>
 
 #include "common/logging.h"
 #include "tensor/ops.h"
@@ -30,6 +31,18 @@ void StandardScaler::Fit(const Tensor& data, int64_t fit_rows) {
     mean_.data()[j] = static_cast<float>(mu);
     std_.data()[j] = static_cast<float>(sd);
   }
+  fitted_ = true;
+}
+
+void StandardScaler::Restore(Tensor mean, Tensor std) {
+  LIPF_CHECK_EQ(mean.dim(), 1);
+  LIPF_CHECK_EQ(std.dim(), 1);
+  LIPF_CHECK_EQ(mean.size(0), std.size(0));
+  for (int64_t j = 0; j < std.size(0); ++j) {
+    LIPF_CHECK_GT(std.data()[j], 0.0f) << "non-positive std at channel " << j;
+  }
+  mean_ = std::move(mean);
+  std_ = std::move(std);
   fitted_ = true;
 }
 

@@ -23,6 +23,10 @@ class StandardScaler {
   // std * x + mean.
   Tensor InverseTransform(const Tensor& data) const;
 
+  // Restores a previously fitted scaler from its statistics (both [c],
+  // same length, std entries > 0) — used when loading a serving bundle.
+  void Restore(Tensor mean, Tensor std);
+
   bool fitted() const { return fitted_; }
   const Tensor& mean() const { return mean_; }
   const Tensor& std() const { return std_; }

@@ -45,9 +45,25 @@ class Module {
   // freeze the Covariate Encoder during prediction training.
   void SetRequiresGrad(bool requires_grad);
 
-  // Binary parameter (de)serialization; layout must match exactly.
+  // Binary parameter (de)serialization in the self-describing checkpoint
+  // v2 format (serve/checkpoint.h): every parameter is stored with its
+  // qualified name and shape, and loading verifies both per tensor, so a
+  // checkpoint from a different architecture fails with an error naming
+  // the offending parameter instead of silently producing garbage.
+  // Tensors whose name starts with serve::kReservedTensorPrefix ("__",
+  // e.g. the fitted scaler of a serving bundle) are ignored by
+  // LoadParameters. Legacy v1 files (shape-blind flat dumps) are detected
+  // and rejected with migration advice; convert them with the
+  // `checkpoint_convert` tool.
   Status SaveParameters(const std::string& path) const;
   Status LoadParameters(const std::string& path);
+
+  // Reads the legacy v1 layout (u64 count, then u64 numel + raw floats
+  // per parameter, in Parameters() order). Only the flat sizes can be
+  // verified — kept solely so `checkpoint_convert` can migrate old files;
+  // new code must use LoadParameters. Rejects short/truncated files and
+  // trailing bytes.
+  Status LoadParametersLegacyV1(const std::string& path);
 
  protected:
   // Registers a parameter; returns a handle sharing storage.

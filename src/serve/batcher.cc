@@ -1,0 +1,191 @@
+#include "serve/batcher.h"
+
+#include <cstring>
+#include <utility>
+
+namespace lipformer {
+namespace serve {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+}  // namespace
+
+Batcher::Batcher(InferenceSession* session, BatcherOptions options)
+    : session_(session), options_(options) {
+  LIPF_CHECK(session != nullptr);
+  LIPF_CHECK_GT(options_.max_batch_size, 0);
+  LIPF_CHECK_GT(options_.queue_capacity, 0);
+  batch_size_histogram_.assign(
+      static_cast<size_t>(options_.max_batch_size), 0);
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+Batcher::~Batcher() { Shutdown(); }
+
+std::future<Result<Tensor>> Batcher::Submit(
+    Tensor history, std::chrono::microseconds deadline) {
+  std::promise<Result<Tensor>> rejected;
+  std::future<Result<Tensor>> rejected_future = rejected.get_future();
+  if (history.dim() != 2 || history.size(0) != session_->input_len() ||
+      history.size(1) != session_->channels()) {
+    rejected.set_value(Status::InvalidArgument(
+        "Submit expects [" + std::to_string(session_->input_len()) + ", " +
+        std::to_string(session_->channels()) + "], got " +
+        ShapeToString(history.shape())));
+    return rejected_future;
+  }
+
+  Request request;
+  request.history = std::move(history);
+  request.submitted_at = Clock::now();
+  if (deadline.count() > 0) {
+    request.has_deadline = true;
+    request.deadline = request.submitted_at + deadline;
+  }
+  std::future<Result<Tensor>> future = request.promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      rejected.set_value(
+          Status::Unavailable("batcher is shut down"));
+      return rejected_future;
+    }
+    if (static_cast<int64_t>(queue_.size()) >= options_.queue_capacity) {
+      ++rejected_full_;
+      rejected.set_value(Status::Unavailable(
+          "serving queue full (" + std::to_string(options_.queue_capacity) +
+          " pending requests); retry later"));
+      return rejected_future;
+    }
+    ++submitted_;
+    queue_.push_back(std::move(request));
+  }
+  cv_.notify_all();
+  return future;
+}
+
+void Batcher::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  // Separate mutex so concurrent Shutdown calls serialize on the join
+  // without holding mu_ (the worker needs it to drain).
+  std::lock_guard<std::mutex> join_lock(join_mu_);
+  if (worker_.joinable()) worker_.join();
+}
+
+void Batcher::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (shutdown_) return;  // drained
+      continue;
+    }
+    if (!shutdown_) {
+      // Coalesce: give concurrent submitters max_delay to fill the batch.
+      // On shutdown the remaining queue is executed immediately.
+      const auto wait_until = Clock::now() + options_.max_delay;
+      cv_.wait_until(lock, wait_until, [this] {
+        return shutdown_ ||
+               static_cast<int64_t>(queue_.size()) >= options_.max_batch_size;
+      });
+    }
+    RunOneBatch(&lock);
+  }
+}
+
+bool Batcher::RunOneBatch(std::unique_lock<std::mutex>* lock) {
+  const auto now = Clock::now();
+  std::vector<Request> batch;
+  std::vector<Request> expired;
+  while (!queue_.empty() &&
+         static_cast<int64_t>(batch.size()) < options_.max_batch_size) {
+    Request request = std::move(queue_.front());
+    queue_.pop_front();
+    if (request.has_deadline && now >= request.deadline) {
+      ++expired_;
+      expired.push_back(std::move(request));
+    } else {
+      batch.push_back(std::move(request));
+    }
+  }
+  if (!batch.empty()) {
+    ++batches_;
+    ++batch_size_histogram_[batch.size() - 1];
+  }
+  lock->unlock();
+
+  for (Request& request : expired) {
+    request.promise.set_value(Status::DeadlineExceeded(
+        "request expired before its batch was executed"));
+  }
+
+  if (batch.empty()) {
+    lock->lock();
+    return false;
+  }
+
+  const int64_t k = static_cast<int64_t>(batch.size());
+  const int64_t t = session_->input_len();
+  const int64_t c = session_->channels();
+  Tensor histories = Tensor::Empty({k, t, c});
+  for (int64_t i = 0; i < k; ++i) {
+    std::memcpy(histories.data() + i * t * c, batch[i].history.data(),
+                static_cast<size_t>(t * c) * sizeof(float));
+  }
+
+  Result<Tensor> predictions = session_->PredictBatch(histories);
+  const int64_t l = session_->pred_len();
+  const auto done = Clock::now();
+
+  // Commit the stats BEFORE fulfilling any promise: a caller whose future
+  // resolved must find itself counted in Stats(). (Latency is measured to
+  // batch completion, not to promise delivery.)
+  lock->lock();
+  completed_ += k;
+  for (const Request& request : batch) {
+    latency_.Record(Seconds(done - request.submitted_at));
+  }
+  lock->unlock();
+
+  for (int64_t i = 0; i < k; ++i) {
+    if (!predictions.ok()) {
+      batch[i].promise.set_value(predictions.status());
+      continue;
+    }
+    Tensor row = Tensor::Empty({l, c});
+    std::memcpy(row.data(), predictions.value().data() + i * l * c,
+                static_cast<size_t>(l * c) * sizeof(float));
+    batch[i].promise.set_value(std::move(row));
+  }
+
+  lock->lock();
+  return true;
+}
+
+BatcherStats Batcher::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  BatcherStats stats;
+  stats.submitted = submitted_;
+  stats.rejected_full = rejected_full_;
+  stats.expired = expired_;
+  stats.completed = completed_;
+  stats.batches = batches_;
+  stats.batch_size_histogram = batch_size_histogram_;
+  if (latency_.count() > 0) {
+    stats.p50_latency_seconds = latency_.Percentile(50.0);
+    stats.p99_latency_seconds = latency_.Percentile(99.0);
+  }
+  return stats;
+}
+
+}  // namespace serve
+}  // namespace lipformer

@@ -1,0 +1,120 @@
+#ifndef LIPFORMER_SERVE_BATCHER_H_
+#define LIPFORMER_SERVE_BATCHER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench_util/profiler.h"
+#include "serve/session.h"
+
+// Dynamic micro-batching for the inference session. Concurrent callers
+// submit single windows; a worker thread coalesces whatever is queued
+// into one batched Forward (up to max_batch_size, waiting at most
+// max_delay for stragglers), which amortizes per-forward overhead and
+// lets the tensor kernels parallelize across the batch instead of
+// serializing many tiny forwards behind the session mutex.
+//
+// Semantics:
+//  - Backpressure: Submit on a full queue fails fast with
+//    Status::Unavailable (the returned future is immediately ready).
+//  - Deadlines: a request whose deadline passes before its batch is
+//    assembled completes with Status::DeadlineExceeded instead of
+//    occupying batch slots.
+//  - Shutdown drains: pending accepted requests are still executed;
+//    only new submissions are rejected.
+//  - Determinism: results are bitwise identical to an unbatched
+//    session->Predict of the same window, whatever batch the request
+//    happened to share (see InferenceSession::PredictBatch).
+
+namespace lipformer {
+namespace serve {
+
+struct BatcherOptions {
+  // Largest coalesced batch per Forward.
+  int64_t max_batch_size = 16;
+  // How long the worker waits for more requests once one is pending.
+  std::chrono::microseconds max_delay{1000};
+  // Accepted-but-unexecuted request cap; Submit rejects beyond it.
+  int64_t queue_capacity = 256;
+};
+
+struct BatcherStats {
+  int64_t submitted = 0;       // accepted requests
+  int64_t rejected_full = 0;   // bounced by backpressure
+  int64_t expired = 0;         // deadline passed before execution
+  int64_t completed = 0;       // answered (ok or model error)
+  int64_t batches = 0;         // batched Forward calls
+  double p50_latency_seconds = 0;  // submit -> completion
+  double p99_latency_seconds = 0;
+  // histogram[s] = number of executed batches of size s+1
+  // (index 0 = size 1 ... index max_batch_size-1 = full batches).
+  std::vector<int64_t> batch_size_histogram;
+};
+
+class Batcher {
+ public:
+  // `session` must outlive the batcher.
+  Batcher(InferenceSession* session, BatcherOptions options);
+  ~Batcher();  // Shutdown()
+
+  Batcher(const Batcher&) = delete;
+  Batcher& operator=(const Batcher&) = delete;
+
+  // Enqueues one [input_len, channels] window. The future resolves to the
+  // [pred_len, channels] prediction, or to Unavailable (queue full at
+  // submit), DeadlineExceeded (deadline hit before execution), or an
+  // InvalidArgument from shape validation. deadline: zero means none.
+  std::future<Result<Tensor>> Submit(
+      Tensor history, std::chrono::microseconds deadline =
+                          std::chrono::microseconds::zero());
+
+  // Stops accepting, executes everything already accepted, joins the
+  // worker. Idempotent; called by the destructor.
+  void Shutdown();
+
+  BatcherStats Stats() const;
+
+ private:
+  struct Request {
+    Tensor history;
+    std::promise<Result<Tensor>> promise;
+    std::chrono::steady_clock::time_point submitted_at;
+    std::chrono::steady_clock::time_point deadline;  // epoch == none
+    bool has_deadline = false;
+  };
+
+  void WorkerLoop();
+  // Pops up to max_batch_size requests (expiring stale ones) and answers
+  // them with one PredictBatch. Returns false when queue was empty.
+  bool RunOneBatch(std::unique_lock<std::mutex>* lock);
+
+  InferenceSession* session_;
+  BatcherOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  bool shutdown_ = false;
+
+  // Stats, guarded by mu_.
+  int64_t submitted_ = 0;
+  int64_t rejected_full_ = 0;
+  int64_t expired_ = 0;
+  int64_t completed_ = 0;
+  int64_t batches_ = 0;
+  std::vector<int64_t> batch_size_histogram_;
+  LatencyRecorder latency_;
+
+  std::mutex join_mu_;  // serializes concurrent Shutdown joins
+  std::thread worker_;
+};
+
+}  // namespace serve
+}  // namespace lipformer
+
+#endif  // LIPFORMER_SERVE_BATCHER_H_

@@ -1,0 +1,71 @@
+#ifndef LIPFORMER_SERVE_CHECKPOINT_H_
+#define LIPFORMER_SERVE_CHECKPOINT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+// Checkpoint v2: a self-describing container of named, shaped tensors plus
+// a string metadata map. This replaces the legacy v1 parameter dump
+// (`u64 count` then `u64 numel` + raw floats per parameter), which was
+// shape-blind: any checkpoint whose flat sizes happened to line up loaded
+// "successfully" into the wrong architecture and produced garbage.
+//
+// File layout (native-endian, like v1):
+//
+//   [0..7]   magic "LPFCKPT2"
+//   u32      version (currently 2)
+//   u32      metadata entry count
+//            per entry: u32 key_len, key bytes, u32 value_len, value bytes
+//   u32      tensor count
+//            per tensor: u32 name_len, name bytes,
+//                        u32 rank, i64 dims[rank],
+//                        u64 byte_len (= numel * sizeof(float)),
+//                        float data[numel]
+//   EOF      trailing bytes are an error
+//
+// Readers verify the magic, the version, every length field against the
+// remaining file size, the dims/byte_len consistency of every tensor, and
+// that the file ends exactly after the last tensor. A file that starts
+// with the v1 layout instead of the magic is detected and rejected with a
+// pointer at the `checkpoint_convert` migration tool.
+
+namespace lipformer {
+namespace serve {
+
+// Reserved name prefix for non-parameter tensors carried alongside model
+// weights (e.g. the fitted scaler of a serving bundle).
+// Module::LoadParameters skips tensors with this prefix.
+inline constexpr char kReservedTensorPrefix[] = "__";
+
+struct CheckpointTensor {
+  std::string name;
+  Tensor data;  // shape is authoritative: data.shape()
+};
+
+// In-memory checkpoint: ordered tensors + metadata.
+struct Checkpoint {
+  std::map<std::string, std::string> metadata;
+  std::vector<CheckpointTensor> tensors;
+
+  // nullptr when absent.
+  const CheckpointTensor* Find(const std::string& name) const;
+  // Metadata lookup with default.
+  std::string Meta(const std::string& key, const std::string& def) const;
+};
+
+// Writes `ckpt` to `path` in the v2 layout above.
+Status WriteCheckpoint(const std::string& path, const Checkpoint& ckpt);
+
+// Reads and fully validates a v2 checkpoint. Returns InvalidArgument for
+// legacy v1 files (with migration advice), short/truncated files, length
+// fields that overrun the file, and trailing bytes after the last tensor.
+Result<Checkpoint> ReadCheckpoint(const std::string& path);
+
+}  // namespace serve
+}  // namespace lipformer
+
+#endif  // LIPFORMER_SERVE_CHECKPOINT_H_

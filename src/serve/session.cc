@@ -1,0 +1,222 @@
+#include "serve/session.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "autograd/variable.h"
+#include "core/lipformer.h"
+#include "data/time_features.h"
+#include "data/window_dataset.h"
+
+namespace lipformer {
+namespace serve {
+
+namespace {
+
+// Metadata keys of a serving bundle.
+constexpr char kMetaBundle[] = "bundle";
+constexpr char kMetaModel[] = "model";
+constexpr char kMetaInputLen[] = "input_len";
+constexpr char kMetaPredLen[] = "pred_len";
+constexpr char kMetaChannels[] = "channels";
+constexpr char kMetaPatchLen[] = "patch_len";
+constexpr char kMetaHiddenDim[] = "hidden_dim";
+constexpr char kMetaNumHeads[] = "num_heads";
+constexpr char kMetaNumLayers[] = "num_layers";
+constexpr char kMetaDropout[] = "dropout";
+constexpr char kMetaSeed[] = "seed";
+constexpr char kMetaNumCovariates[] = "num_covariates";
+
+Status ParseMetaInt(const Checkpoint& ckpt, const std::string& key,
+                    int64_t* out) {
+  const std::string value = ckpt.Meta(key, "");
+  if (value.empty()) {
+    return Status::InvalidArgument("bundle metadata missing '" + key + "'");
+  }
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    return Status::InvalidArgument("bundle metadata '" + key +
+                                   "' is not an integer: " + value);
+  }
+  *out = parsed;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveModelBundle(const std::string& path, const std::string& model_name,
+                       const ModelOptions& options, const Forecaster& model,
+                       const StandardScaler& scaler) {
+  bool known = false;
+  for (const std::string& name : RegisteredModelNames()) {
+    if (name == model_name) known = true;
+  }
+  if (!known) {
+    return Status::InvalidArgument("cannot bundle unknown model '" +
+                                   model_name + "'");
+  }
+  if (const auto* lip = dynamic_cast<const LiPFormer*>(&model)) {
+    if (lip->has_covariate_encoder()) {
+      return Status::InvalidArgument(
+          "serving bundles do not support a LiPFormer with an attached "
+          "covariate encoder (the weak-label path needs the dual encoder); "
+          "save the backbone-only model instead");
+    }
+  }
+
+  Checkpoint ckpt;
+  ckpt.metadata[kMetaBundle] = "1";
+  ckpt.metadata[kMetaModel] = model_name;
+  ckpt.metadata[kMetaInputLen] = std::to_string(model.input_len());
+  ckpt.metadata[kMetaPredLen] = std::to_string(model.pred_len());
+  ckpt.metadata[kMetaChannels] = std::to_string(model.channels());
+  ckpt.metadata[kMetaPatchLen] = std::to_string(options.patch_len);
+  ckpt.metadata[kMetaHiddenDim] = std::to_string(options.hidden_dim);
+  ckpt.metadata[kMetaNumHeads] = std::to_string(options.num_heads);
+  ckpt.metadata[kMetaNumLayers] = std::to_string(options.num_layers);
+  ckpt.metadata[kMetaDropout] = std::to_string(options.dropout);
+  ckpt.metadata[kMetaSeed] = std::to_string(options.seed);
+  ckpt.metadata[kMetaNumCovariates] = std::to_string(options.num_covariates);
+
+  if (scaler.fitted()) {
+    ckpt.tensors.push_back({kScalerMeanTensor, scaler.mean().Clone()});
+    ckpt.tensors.push_back({kScalerStdTensor, scaler.std().Clone()});
+  }
+  std::vector<std::string> names = model.ParameterNames();
+  std::vector<Variable> params = model.Parameters();
+  for (size_t i = 0; i < params.size(); ++i) {
+    ckpt.tensors.push_back({names[i], params[i].value().Clone()});
+  }
+  return WriteCheckpoint(path, ckpt);
+}
+
+Result<std::unique_ptr<InferenceSession>> InferenceSession::Open(
+    const std::string& path) {
+  Result<Checkpoint> loaded = ReadCheckpoint(path);
+  if (!loaded.ok()) return loaded.status();
+  const Checkpoint& ckpt = loaded.value();
+  if (ckpt.Meta(kMetaBundle, "") != "1") {
+    return Status::InvalidArgument(
+        path + " is a bare parameter checkpoint, not a serving bundle; "
+        "re-save it with `lipformer_cli train --save=...` (which writes "
+        "model config and scaler alongside the weights)");
+  }
+
+  const std::string model_name = ckpt.Meta(kMetaModel, "");
+  ForecasterDims dims;
+  ModelOptions options;
+  int64_t tmp = 0;
+  LIPF_RETURN_IF_ERROR(ParseMetaInt(ckpt, kMetaInputLen, &dims.input_len));
+  LIPF_RETURN_IF_ERROR(ParseMetaInt(ckpt, kMetaPredLen, &dims.pred_len));
+  LIPF_RETURN_IF_ERROR(ParseMetaInt(ckpt, kMetaChannels, &dims.channels));
+  LIPF_RETURN_IF_ERROR(ParseMetaInt(ckpt, kMetaPatchLen, &options.patch_len));
+  LIPF_RETURN_IF_ERROR(
+      ParseMetaInt(ckpt, kMetaHiddenDim, &options.hidden_dim));
+  LIPF_RETURN_IF_ERROR(ParseMetaInt(ckpt, kMetaNumHeads, &options.num_heads));
+  LIPF_RETURN_IF_ERROR(
+      ParseMetaInt(ckpt, kMetaNumLayers, &options.num_layers));
+  LIPF_RETURN_IF_ERROR(ParseMetaInt(ckpt, kMetaSeed, &tmp));
+  options.seed = static_cast<uint64_t>(tmp);
+  LIPF_RETURN_IF_ERROR(
+      ParseMetaInt(ckpt, kMetaNumCovariates, &options.num_covariates));
+  options.dropout =
+      std::strtof(ckpt.Meta(kMetaDropout, "0.1").c_str(), nullptr);
+
+  bool known = false;
+  for (const std::string& name : RegisteredModelNames()) {
+    if (name == model_name) known = true;
+  }
+  if (!known) {
+    return Status::InvalidArgument("bundle " + path +
+                                   " names unknown model '" + model_name +
+                                   "'");
+  }
+  if (dims.input_len <= 0 || dims.pred_len <= 0 || dims.channels <= 0) {
+    return Status::InvalidArgument("bundle " + path +
+                                   " has non-positive dimensions");
+  }
+
+  auto session = std::unique_ptr<InferenceSession>(new InferenceSession());
+  session->model_name_ = model_name;
+  session->num_covariates_ = options.num_covariates;
+  session->model_ = CreateModel(model_name, dims, options);
+  session->model_->SetTraining(false);
+  session->model_->SetRequiresGrad(false);
+  // The per-tensor name/shape verification inside LoadParameters is what
+  // makes the metadata trustworthy: a bundle whose weights belong to a
+  // different architecture fails here, naming the offending parameter.
+  LIPF_RETURN_IF_ERROR(session->model_->LoadParameters(path));
+
+  const CheckpointTensor* mean = ckpt.Find(kScalerMeanTensor);
+  const CheckpointTensor* std_t = ckpt.Find(kScalerStdTensor);
+  if ((mean == nullptr) != (std_t == nullptr)) {
+    return Status::InvalidArgument("bundle " + path +
+                                   " has half a scaler (mean xor std)");
+  }
+  if (mean != nullptr) {
+    if (mean->data.dim() != 1 || std_t->data.dim() != 1 ||
+        mean->data.size(0) != dims.channels ||
+        std_t->data.size(0) != dims.channels) {
+      return Status::InvalidArgument(
+          "bundle " + path + " scaler shape does not match channels=" +
+          std::to_string(dims.channels));
+    }
+    for (int64_t j = 0; j < std_t->data.size(0); ++j) {
+      if (!(std_t->data.data()[j] > 0.0f)) {
+        return Status::InvalidArgument("bundle " + path +
+                                       " scaler has non-positive std");
+      }
+    }
+    session->scaler_.Restore(mean->data.Clone(), std_t->data.Clone());
+  }
+  return session;
+}
+
+Result<Tensor> InferenceSession::Predict(const Tensor& history) {
+  if (history.dim() != 2) {
+    return Status::InvalidArgument("Predict expects [input_len, channels], "
+                                   "got " + ShapeToString(history.shape()));
+  }
+  Result<Tensor> batched =
+      PredictBatch(history.Reshape({1, history.size(0), history.size(1)}));
+  if (!batched.ok()) return batched.status();
+  return batched.value().Reshape({pred_len(), channels()});
+}
+
+Result<Tensor> InferenceSession::PredictBatch(const Tensor& histories) {
+  if (histories.dim() != 3 || histories.size(1) != input_len() ||
+      histories.size(2) != channels()) {
+    return Status::InvalidArgument(
+        "PredictBatch expects [b, " + std::to_string(input_len()) + ", " +
+        std::to_string(channels()) + "], got " +
+        ShapeToString(histories.shape()));
+  }
+  const int64_t b = histories.size(0);
+  if (b == 0) {
+    return Status::InvalidArgument("PredictBatch got an empty batch");
+  }
+
+  Batch batch;
+  batch.size = b;
+  batch.x = scaler_.fitted() ? scaler_.Transform(histories) : histories;
+  // Serving requests carry raw values only; implicit time features and
+  // future covariates are zero (bundles record num_covariates so models
+  // that read batch.y_cov_num still see the channel count they expect).
+  batch.x_time = Tensor(Shape{b, input_len(), kNumTimeFeatures});
+  batch.y_time = Tensor(Shape{b, pred_len(), kNumTimeFeatures});
+  batch.y_cov_num = Tensor(Shape{b, pred_len(), num_covariates_});
+  batch.y_cov_cat = Tensor(Shape{b, pred_len(), 0});
+
+  Tensor scaled_pred;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    NoGradGuard no_grad;
+    scaled_pred = model_->Forward(batch).value();
+  }
+  return scaler_.fitted() ? scaler_.InverseTransform(scaled_pred)
+                          : scaled_pred;
+}
+
+}  // namespace serve
+}  // namespace lipformer

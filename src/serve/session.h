@@ -1,0 +1,79 @@
+#ifndef LIPFORMER_SERVE_SESSION_H_
+#define LIPFORMER_SERVE_SESSION_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "data/scaler.h"
+#include "models/factory.h"
+#include "serve/checkpoint.h"
+
+// Train-once / serve-many: a serving bundle is a checkpoint v2 file that
+// additionally carries the model architecture (factory name + dims +
+// ModelOptions as metadata) and the fitted scaler (reserved "__scaler__.*"
+// tensors), so inference needs nothing but the file — no retraining, no
+// out-of-band config. InferenceSession loads a bundle once and answers
+// Predict calls in raw (unscaled) units.
+
+namespace lipformer {
+namespace serve {
+
+// Reserved tensor names carrying the fitted scaler inside a bundle.
+inline constexpr char kScalerMeanTensor[] = "__scaler__.mean";
+inline constexpr char kScalerStdTensor[] = "__scaler__.std";
+
+// Writes a self-contained serving bundle for a factory-reconstructible
+// model. `model_name` must be a RegisteredModelNames() entry and
+// `options` the hyperparameters the model was built with (the factory
+// rebuilds the architecture from them at load time; LoadParameters'
+// per-tensor name/shape verification then guarantees the metadata and
+// the weights agree). A LiPFormer with an attached covariate encoder is
+// rejected: its weak-label path needs the dual encoder, which bundles do
+// not carry. An unfitted scaler is allowed (the session then serves in
+// model units).
+Status SaveModelBundle(const std::string& path, const std::string& model_name,
+                       const ModelOptions& options, const Forecaster& model,
+                       const StandardScaler& scaler);
+
+// A loaded model + scaler ready for inference. Forwards run in eval mode
+// under NoGradGuard on pooled buffers. Safe for concurrent callers: a
+// mutex serializes model access (modules keep lazily-built caches, so
+// Forward is not reentrant); the dynamic batcher (serve/batcher.h) is the
+// intended way to get concurrency — it coalesces concurrent requests into
+// one batched Forward instead of interleaving many small ones.
+class InferenceSession {
+ public:
+  // Reads a bundle written by SaveModelBundle and reconstructs the model.
+  static Result<std::unique_ptr<InferenceSession>> Open(
+      const std::string& path);
+
+  // history: [input_len, channels] raw units -> [pred_len, channels].
+  Result<Tensor> Predict(const Tensor& history);
+
+  // histories: [b, input_len, channels] -> [b, pred_len, channels].
+  // Row i of the result is bitwise identical to Predict(histories[i]):
+  // every kernel computes each output element with the same serial inner
+  // loop regardless of batch size (see common/thread_pool.h).
+  Result<Tensor> PredictBatch(const Tensor& histories);
+
+  const std::string& model_name() const { return model_name_; }
+  int64_t input_len() const { return model_->input_len(); }
+  int64_t pred_len() const { return model_->pred_len(); }
+  int64_t channels() const { return model_->channels(); }
+  int64_t num_covariates() const { return num_covariates_; }
+
+ private:
+  InferenceSession() = default;
+
+  std::string model_name_;
+  std::unique_ptr<Forecaster> model_;
+  StandardScaler scaler_;
+  int64_t num_covariates_ = 0;
+  std::mutex mu_;  // serializes Forward on the shared model
+};
+
+}  // namespace serve
+}  // namespace lipformer
+
+#endif  // LIPFORMER_SERVE_SESSION_H_

@@ -288,6 +288,28 @@ Tensor MatMulImpl(const Tensor& a, const Tensor& b, bool trans_a,
   // The GEMM writes (or memsets, when k == 0) every output element.
   Tensor out = Tensor::Empty(out_shape);
 
+  // Shared-B fast path: [nbatch, m, k] x [k, n] (a Linear applied to
+  // batched activations) is the same computation as one [nbatch*m, k] x
+  // [k, n] GEMM when A is row-major non-transposed and not broadcast —
+  // batch and row dims are adjacent, so the flattened A is the same
+  // buffer. One big GEMM packs B once and fills MR-row blocks instead of
+  // running nbatch tiny matmuls that each repack B and pad out partial
+  // blocks. Bitwise identical: each output element's k-summation order
+  // depends only on the KC blocking, not on how rows are grouped.
+  if (!trans_a && nbatch > 1 && NumElements(bb) == 1 &&
+      NumElements(ba) == nbatch) {
+    GemmBatch flat;
+    flat.nbatch = 1;
+    const int64_t zero = 0;
+    flat.a_mat_index = &zero;
+    flat.b_mat_index = &zero;
+    flat.num_b_mats = 1;
+    PackedGemmBatched(a.data(), /*trans_a=*/false, b.data(), trans_b,
+                      out.data(), nbatch * m, n, k, flat);
+    if (MacsEnabled()) AddMacs(nbatch * m * n * k);
+    return out;
+  }
+
   // Per-batch matrix indices honoring broadcast (stride-0 dims repeat).
   const Shape sa = BroadcastStrides(ba, batch);
   const Shape sb = BroadcastStrides(bb, batch);

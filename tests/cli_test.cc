@@ -32,10 +32,81 @@ TEST(CliParseTest, DefaultsWhenMissing) {
   EXPECT_DOUBLE_EQ(args.GetDouble("scale", 0.2), 0.2);
 }
 
-TEST(CliParseTest, NonOptionArgumentsIgnored) {
-  CliArgs args = ParseVec({"prog", "list", "stray", "--x=1"});
+TEST(CliParseTest, NonOptionArgumentsRecordedAsStragglers) {
+  CliArgs args = ParseVec({"prog", "list", "stray", "--seed=1"});
   EXPECT_EQ(args.command, "list");
-  EXPECT_EQ(args.GetInt("x", 0), 1);
+  EXPECT_EQ(args.GetInt("seed", 0), 1);
+  ASSERT_EQ(args.stragglers.size(), 1u);
+  EXPECT_EQ(args.stragglers[0], "stray");
+}
+
+TEST(CliParseTest, TrainingHyperparameterOptions) {
+  CliArgs args = ParseVec({"prog", "train", "--lr=0.005", "--loss=huber",
+                           "--patience=3"});
+  EXPECT_TRUE(ValidateArgs(args).ok());
+  EXPECT_DOUBLE_EQ(args.GetDouble("lr", 1e-3), 0.005);
+  EXPECT_EQ(args.Get("loss", "mse"), "huber");
+  EXPECT_EQ(args.GetInt("patience", 0), 3);
+}
+
+TEST(CliValidateTest, AcceptsKnownWellFormedOptions) {
+  CliArgs args = ParseVec({"prog", "train", "--model=dlinear", "--epochs=2",
+                           "--scale=0.1", "--covariates"});
+  EXPECT_TRUE(ValidateArgs(args).ok());
+}
+
+TEST(CliValidateTest, RejectsUnknownOption) {
+  CliArgs args = ParseVec({"prog", "train", "--learning-rate=0.01"});
+  Status st = ValidateArgs(args);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("unknown option --learning-rate"),
+            std::string::npos);
+}
+
+TEST(CliValidateTest, RejectsStragglerArgument) {
+  CliArgs args = ParseVec({"prog", "train", "etth1"});
+  Status st = ValidateArgs(args);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("'etth1'"), std::string::npos);
+}
+
+TEST(CliValidateTest, RejectsMalformedInteger) {
+  CliArgs args = ParseVec({"prog", "train", "--epochs=five"});
+  Status st = ValidateArgs(args);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("--epochs expects an integer"),
+            std::string::npos);
+}
+
+TEST(CliValidateTest, RejectsMalformedDouble) {
+  CliArgs args = ParseVec({"prog", "train", "--lr=0.01x"});
+  Status st = ValidateArgs(args);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("--lr expects a number"), std::string::npos);
+}
+
+TEST(CliNumberParseTest, ParseInt64IsStrict) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(ParseInt64("-7", &v));
+  EXPECT_EQ(v, -7);
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64("12abc", &v));
+  EXPECT_FALSE(ParseInt64("abc", &v));
+  EXPECT_FALSE(ParseInt64("1.5", &v));
+  EXPECT_FALSE(ParseInt64("99999999999999999999", &v));  // overflow
+}
+
+TEST(CliNumberParseTest, ParseDoubleIsStrict) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("0.25", &v));
+  EXPECT_DOUBLE_EQ(v, 0.25);
+  EXPECT_TRUE(ParseDouble("1e-3", &v));
+  EXPECT_DOUBLE_EQ(v, 1e-3);
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble("0.1x", &v));
+  EXPECT_FALSE(ParseDouble("nanx", &v));
 }
 
 TEST(CliLoadSeriesTest, RegistryDataset) {
@@ -78,6 +149,13 @@ TEST(CliLoadSeriesTest, MissingCsvFails) {
 
 TEST(CliMainTest, UnknownCommandReturnsUsageCode) {
   std::vector<std::string> argv_strings = {"prog", "frobnicate"};
+  std::vector<char*> argv;
+  for (auto& s : argv_strings) argv.push_back(s.data());
+  EXPECT_EQ(Main(static_cast<int>(argv.size()), argv.data()), 2);
+}
+
+TEST(CliMainTest, UnknownOptionReturnsUsageCode) {
+  std::vector<std::string> argv_strings = {"prog", "list", "--frobnicate=1"};
   std::vector<char*> argv;
   for (auto& s : argv_strings) argv.push_back(s.data());
   EXPECT_EQ(Main(static_cast<int>(argv.size()), argv.data()), 2);
