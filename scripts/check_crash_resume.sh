@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Crash-safety acceptance loop: trains a small model to completion, then
+# kills the same training run at several distinct points (hard kill via
+# fault injection, graceful SIGTERM-equivalent interrupt), resumes each
+# one from its snapshot, and requires the resumed run's serving bundle to
+# be BYTE-IDENTICAL to the uninterrupted reference. Also verifies that an
+# injected write failure mid-snapshot leaves the previous snapshot intact
+# and resumable.
+#
+# Usage:
+#   scripts/check_crash_resume.sh path/to/lipformer_cli
+#
+# Registered as the `crash_resume` ctest (tests/CMakeLists.txt).
+
+set -euo pipefail
+
+CLI="${1:?usage: check_crash_resume.sh path/to/lipformer_cli}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "${WORK}"' EXIT
+
+# Small but real config: ~16 train batches/epoch on the scaled-down
+# registry series, 4 epochs, dropout active (so the per-module RNG streams
+# matter for exactness).
+FLAGS=(--dataset=etth1 --scale=0.05 --model=lipformer --input=96
+       --horizon=24 --hidden=32 --epochs=4 --batch=32 --seed=7
+       --lr-schedule=cosine)
+
+run_cli() {
+  # Quiet on success, full log on unexpected failure (callers check $?).
+  "${CLI}" "$@" >"${WORK}/last.log" 2>&1
+}
+
+fail() {
+  echo "FAIL: $*" >&2
+  echo "---- last cli log ----" >&2
+  cat "${WORK}/last.log" >&2 || true
+  exit 1
+}
+
+echo "== reference run (uninterrupted)"
+run_cli train "${FLAGS[@]}" --snapshot="${WORK}/ref.snap" \
+  --save="${WORK}/ref.bundle" \
+  || fail "reference run failed"
+[ -f "${WORK}/ref.bundle" ] || fail "reference bundle missing"
+
+kill_resume_check() {
+  local faults="$1" expect_rc="$2" label="$3"
+  rm -f "${WORK}/run.snap" "${WORK}/run.bundle"
+  echo "== ${label}: LIPF_FAULT=${faults}"
+  local rc=0
+  LIPF_FAULT="${faults}" "${CLI}" train "${FLAGS[@]}" \
+    --snapshot="${WORK}/run.snap" --save="${WORK}/run.bundle" \
+    >"${WORK}/last.log" 2>&1 || rc=$?
+  [ "${rc}" -eq "${expect_rc}" ] \
+    || fail "${label}: expected exit ${expect_rc}, got ${rc}"
+  [ -f "${WORK}/run.snap" ] || fail "${label}: no snapshot left behind"
+  run_cli train "${FLAGS[@]}" --resume="${WORK}/run.snap" \
+    --snapshot="${WORK}/run.snap" --save="${WORK}/run.bundle" \
+    || fail "${label}: resume failed"
+  cmp -s "${WORK}/ref.bundle" "${WORK}/run.bundle" \
+    || fail "${label}: resumed bundle differs from reference"
+  echo "   resumed bundle is byte-identical to reference"
+}
+
+# Two distinct hard-kill points (SIGKILL semantics: _Exit(137) right after
+# the optimizer step commits) plus a graceful interrupt (the SIGINT/
+# SIGTERM path: snapshot after the in-flight step, exit 3).
+kill_resume_check "kill_after_step=3" 137 "hard kill, early epoch 0"
+kill_resume_check "kill_after_step=21" 137 "hard kill, later epoch"
+kill_resume_check "interrupt_after_step=5" 3 "graceful interrupt"
+
+echo "== torn snapshot write leaves the previous snapshot intact"
+# run.snap currently holds the final snapshot of a completed run. A fresh
+# training run pointed at it with an exhausted write budget must fail
+# every snapshot write mid-stream without corrupting the existing file.
+# (No --save here: the final bundle write would hit the same injected
+# failure, and bundle-write errors are fatal by design.)
+SNAP_SHA_BEFORE="$(sha256sum "${WORK}/run.snap" | cut -d' ' -f1)"
+LIPF_FAULT="fail_write_after_bytes=512" run_cli train "${FLAGS[@]}" \
+  --snapshot="${WORK}/run.snap" \
+  || fail "torn-write run failed (snapshot failures must only warn)"
+SNAP_SHA_AFTER="$(sha256sum "${WORK}/run.snap" | cut -d' ' -f1)"
+[ "${SNAP_SHA_BEFORE}" = "${SNAP_SHA_AFTER}" ] \
+  || fail "interrupted snapshot write corrupted the previous snapshot"
+ls "${WORK}"/run.snap.tmp.* >/dev/null 2>&1 \
+  && fail "torn temp file left behind"
+
+echo "== surviving snapshot is still resumable"
+rm -f "${WORK}/run.bundle"
+run_cli train "${FLAGS[@]}" --resume="${WORK}/run.snap" \
+  --snapshot="${WORK}/run.snap" --save="${WORK}/run.bundle" \
+  || fail "resume from surviving snapshot failed"
+cmp -s "${WORK}/ref.bundle" "${WORK}/run.bundle" \
+  || fail "resume from surviving snapshot diverged from reference"
+
+echo "== crash/resume checks passed"

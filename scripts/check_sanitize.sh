@@ -1,21 +1,23 @@
 #!/usr/bin/env bash
 # Builds the repo under a sanitizer (ThreadSanitizer by default) and runs
-# the test suite, so the thread-pool tensor backend stays race-free.
+# the test suite, so the thread-pool tensor backend stays race-free and
+# the checkpoint/snapshot serialization code stays UB-free.
 #
 # Usage:
-#   scripts/check_sanitize.sh [thread|address]
+#   scripts/check_sanitize.sh [thread|address|undefined]
 #
-# Uses a dedicated build directory per sanitizer (build-tsan/build-asan)
-# so the regular build/ tree is untouched.
+# Uses a dedicated build directory per sanitizer (build-tsan/build-asan/
+# build-ubsan) so the regular build/ tree is untouched.
 
 set -euo pipefail
 
 SANITIZER="${1:-thread}"
 case "${SANITIZER}" in
-  thread)  BUILD_DIR="build-tsan" ;;
-  address) BUILD_DIR="build-asan" ;;
+  thread)    BUILD_DIR="build-tsan" ;;
+  address)   BUILD_DIR="build-asan" ;;
+  undefined) BUILD_DIR="build-ubsan" ;;
   *)
-    echo "usage: $0 [thread|address]" >&2
+    echo "usage: $0 [thread|address|undefined]" >&2
     exit 2
     ;;
 esac
@@ -25,12 +27,16 @@ cd "${REPO_ROOT}"
 
 echo "== configuring ${BUILD_DIR} with LIPF_SANITIZE=${SANITIZER}"
 cmake -B "${BUILD_DIR}" -S . -DLIPF_SANITIZE="${SANITIZER}"
-cmake --build "${BUILD_DIR}" -j "$(nproc)" --target lipformer_tests
+# lipformer_cli is needed too: the crash_resume ctest drives it.
+cmake --build "${BUILD_DIR}" -j "$(nproc)" \
+  --target lipformer_tests lipformer_cli
 
 echo "== running tests under ${SANITIZER} sanitizer"
 # halt_on_error makes a single race fail the run instead of just logging.
 if [ "${SANITIZER}" = "thread" ]; then
   export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+elif [ "${SANITIZER}" = "undefined" ]; then
+  export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
 else
   export ASAN_OPTIONS="halt_on_error=1 ${ASAN_OPTIONS:-}"
 fi

@@ -1,0 +1,146 @@
+#include "common/atomic_file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/fault_injection.h"
+
+namespace lipformer {
+
+namespace {
+
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+std::string ErrnoMessage(const char* op, const std::string& path) {
+  return std::string(op) + " failed for " + path + ": " +
+         std::strerror(errno);
+}
+
+}  // namespace
+
+bool PathExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Result<AtomicFile> AtomicFile::Create(const std::string& path) {
+  AtomicFile file;
+  file.path_ = path;
+  file.tmp_path_ = path + ".tmp." + std::to_string(::getpid());
+  file.fd_ = ::open(file.tmp_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                    0644);
+  if (file.fd_ < 0) {
+    return Status::IOError(ErrnoMessage("open", file.tmp_path_));
+  }
+  return file;
+}
+
+AtomicFile::~AtomicFile() { Abort(); }
+
+AtomicFile::AtomicFile(AtomicFile&& other) noexcept
+    : path_(std::move(other.path_)),
+      tmp_path_(std::move(other.tmp_path_)),
+      fd_(other.fd_),
+      committed_(other.committed_) {
+  other.fd_ = -1;
+  other.committed_ = false;
+}
+
+AtomicFile& AtomicFile::operator=(AtomicFile&& other) noexcept {
+  if (this != &other) {
+    Abort();
+    path_ = std::move(other.path_);
+    tmp_path_ = std::move(other.tmp_path_);
+    fd_ = other.fd_;
+    committed_ = other.committed_;
+    other.fd_ = -1;
+    other.committed_ = false;
+  }
+  return *this;
+}
+
+Status AtomicFile::Append(const void* data, size_t n) {
+  if (fd_ < 0) {
+    return Status::Internal("Append on a closed AtomicFile: " + path_);
+  }
+  // Fault injection: an armed fail-write point truncates this write at the
+  // configured byte budget, leaving the temp file torn mid-stream exactly
+  // as a crashed writer would.
+  size_t allowed = n;
+  const bool injected_failure = fault::ConsumeWriteBudget(n, &allowed);
+  const char* p = static_cast<const char*>(data);
+  size_t remaining = allowed;
+  while (remaining > 0) {
+    const ssize_t written = ::write(fd_, p, remaining);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(ErrnoMessage("write", tmp_path_));
+    }
+    p += written;
+    remaining -= static_cast<size_t>(written);
+  }
+  if (injected_failure) {
+    return Status::IOError("injected write failure after " +
+                           std::to_string(allowed) + " of " +
+                           std::to_string(n) + " bytes: " + tmp_path_);
+  }
+  return Status::OK();
+}
+
+Status AtomicFile::Commit() {
+  if (fd_ < 0) {
+    return Status::Internal("Commit on a closed AtomicFile: " + path_);
+  }
+  if (::fsync(fd_) != 0) {
+    return Status::IOError(ErrnoMessage("fsync", tmp_path_));
+  }
+  if (::close(fd_) != 0) {
+    fd_ = -1;
+    return Status::IOError(ErrnoMessage("close", tmp_path_));
+  }
+  fd_ = -1;
+  if (::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    return Status::IOError(ErrnoMessage("rename", tmp_path_));
+  }
+  committed_ = true;
+  // Persist the rename itself: without the directory fsync a crash can
+  // roll the directory entry back to the old file (acceptable) or to a
+  // missing one (not).
+  const std::string dir = ParentDir(path_);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return Status::OK();
+}
+
+void AtomicFile::Abort() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!committed_ && !tmp_path_.empty()) {
+    ::unlink(tmp_path_.c_str());
+  }
+  tmp_path_.clear();
+}
+
+Status AtomicWriteFile(const std::string& path, const void* data, size_t n) {
+  Result<AtomicFile> file = AtomicFile::Create(path);
+  if (!file.ok()) return file.status();
+  LIPF_RETURN_IF_ERROR(file.value().Append(data, n));
+  return file.value().Commit();
+}
+
+}  // namespace lipformer

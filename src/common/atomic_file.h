@@ -1,0 +1,60 @@
+#ifndef LIPFORMER_COMMON_ATOMIC_FILE_H_
+#define LIPFORMER_COMMON_ATOMIC_FILE_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+
+// Crash-durable file replacement: every writer that must never leave a
+// torn file on disk (checkpoints, training snapshots, CSV exports) streams
+// into a same-directory temp file and publishes it with fsync + rename.
+// A crash — or an injected write failure (common/fault_injection.h) — at
+// any point leaves the previous file at `path` byte-identical; the partial
+// temp file is unlinked on Abort/destruction and ignored by readers.
+
+namespace lipformer {
+
+// True when `path` names an existing filesystem entry.
+bool PathExists(const std::string& path);
+
+class AtomicFile {
+ public:
+  // Opens `path + ".tmp.<pid>"` for writing. The target is untouched
+  // until Commit().
+  static Result<AtomicFile> Create(const std::string& path);
+
+  AtomicFile() = default;
+  ~AtomicFile();  // Abort() unless committed
+
+  AtomicFile(AtomicFile&& other) noexcept;
+  AtomicFile& operator=(AtomicFile&& other) noexcept;
+  AtomicFile(const AtomicFile&) = delete;
+  AtomicFile& operator=(const AtomicFile&) = delete;
+
+  // Appends `n` bytes to the temp file. On failure (disk error or an armed
+  // fail-write injection point) the temp file is left torn; the caller
+  // should drop the AtomicFile, which unlinks it.
+  Status Append(const void* data, size_t n);
+
+  // fsync + close + rename over `path` + fsync of the parent directory.
+  // After Commit returns OK the new bytes are durable under the final
+  // name; on error the previous file is untouched.
+  Status Commit();
+
+  // Closes and unlinks the temp file; the target is untouched. Idempotent.
+  void Abort();
+
+ private:
+  std::string path_;
+  std::string tmp_path_;
+  int fd_ = -1;
+  bool committed_ = false;
+};
+
+// Convenience wrapper: atomically replaces `path` with `n` bytes.
+Status AtomicWriteFile(const std::string& path, const void* data, size_t n);
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_COMMON_ATOMIC_FILE_H_

@@ -1,0 +1,149 @@
+#include "common/fault_injection.h"
+
+#include <cstdlib>
+#include <mutex>
+
+#include "common/interrupt.h"
+#include "common/logging.h"
+
+namespace lipformer {
+namespace fault {
+
+namespace {
+
+// All armed points; guarded by Mu(). -1 / SIZE_MAX mean "disarmed".
+struct FaultState {
+  int64_t kill_after_step = -1;
+  int64_t interrupt_after_step = -1;
+  int64_t poison_grad_at_step = -1;
+  int64_t poison_grad_steps = 1;
+  size_t write_budget = SIZE_MAX;
+  size_t bytes_written = 0;
+  bool env_checked = false;
+};
+
+FaultState& State() {
+  static FaultState state;
+  return state;
+}
+
+std::mutex& Mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+void ArmLocked(const std::string& spec) {
+  FaultState& st = State();
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string directive = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (directive.empty()) continue;
+    const size_t eq = directive.find('=');
+    LIPF_CHECK(eq != std::string::npos)
+        << "malformed fault directive '" << directive << "' (want key=value)";
+    const std::string key = directive.substr(0, eq);
+    const std::string value = directive.substr(eq + 1);
+    char* parse_end = nullptr;
+    const long long parsed = std::strtoll(value.c_str(), &parse_end, 10);
+    LIPF_CHECK(parse_end != value.c_str() && *parse_end == '\0' && parsed >= 0)
+        << "fault directive '" << directive
+        << "' needs a non-negative integer value";
+    if (key == "kill_after_step") {
+      st.kill_after_step = parsed;
+    } else if (key == "interrupt_after_step") {
+      st.interrupt_after_step = parsed;
+    } else if (key == "poison_grad_at_step") {
+      st.poison_grad_at_step = parsed;
+    } else if (key == "poison_grad_steps") {
+      st.poison_grad_steps = parsed;
+    } else if (key == "fail_write_after_bytes") {
+      st.write_budget = static_cast<size_t>(parsed);
+      st.bytes_written = 0;
+    } else {
+      LIPF_CHECK(false) << "unknown fault injection point '" << key << "'";
+    }
+  }
+}
+
+void EnsureEnvArmedLocked() {
+  FaultState& st = State();
+  if (st.env_checked) return;
+  st.env_checked = true;
+  const char* spec = std::getenv("LIPF_FAULT");
+  if (spec != nullptr && spec[0] != '\0') {
+    LIPF_LOG(Warning) << "fault injection armed from LIPF_FAULT: " << spec;
+    ArmLocked(spec);
+  }
+}
+
+}  // namespace
+
+void Arm(const std::string& spec) {
+  std::lock_guard<std::mutex> lock(Mu());
+  State().env_checked = true;  // explicit arming overrides the environment
+  ArmLocked(spec);
+}
+
+void ArmFromEnv() {
+  std::lock_guard<std::mutex> lock(Mu());
+  EnsureEnvArmedLocked();
+}
+
+void Disarm() {
+  std::lock_guard<std::mutex> lock(Mu());
+  State() = FaultState();
+  State().env_checked = true;
+}
+
+void OnOptimizerStep(int64_t step) {
+  int64_t kill = -1;
+  int64_t interrupt = -1;
+  {
+    std::lock_guard<std::mutex> lock(Mu());
+    EnsureEnvArmedLocked();
+    kill = State().kill_after_step;
+    interrupt = State().interrupt_after_step;
+  }
+  if (kill >= 0 && step == kill) {
+    LIPF_LOG(Warning) << "fault injection: hard kill after step " << step;
+    std::_Exit(137);
+  }
+  if (interrupt >= 0 && step == interrupt) {
+    LIPF_LOG(Warning) << "fault injection: graceful interrupt after step "
+                      << step;
+    RequestInterrupt();
+  }
+}
+
+bool ShouldPoisonGrad(int64_t step) {
+  std::lock_guard<std::mutex> lock(Mu());
+  EnsureEnvArmedLocked();
+  const FaultState& st = State();
+  if (st.poison_grad_at_step < 0) return false;
+  return step >= st.poison_grad_at_step &&
+         step < st.poison_grad_at_step + st.poison_grad_steps;
+}
+
+bool ConsumeWriteBudget(size_t n, size_t* allowed) {
+  std::lock_guard<std::mutex> lock(Mu());
+  EnsureEnvArmedLocked();
+  FaultState& st = State();
+  *allowed = n;
+  if (st.write_budget == SIZE_MAX) return false;
+  const size_t remaining = st.write_budget > st.bytes_written
+                               ? st.write_budget - st.bytes_written
+                               : 0;
+  if (n <= remaining) {
+    st.bytes_written += n;
+    return false;
+  }
+  st.bytes_written += remaining;
+  *allowed = remaining;
+  return true;
+}
+
+}  // namespace fault
+}  // namespace lipformer

@@ -1,0 +1,66 @@
+#ifndef LIPFORMER_COMMON_FAULT_INJECTION_H_
+#define LIPFORMER_COMMON_FAULT_INJECTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+// Deterministic fault injection for crash-safety tests. Injection points
+// are disarmed (and cost one branch on a cold flag) unless armed either
+// programmatically (unit tests) or through the LIPF_FAULT environment
+// variable (scripts/check_crash_resume.sh), whose value is a
+// comma-separated list of `point=value` directives:
+//
+//   kill_after_step=K        _Exit(137) immediately after the K-th
+//                            optimizer step commits (1-based), simulating
+//                            SIGKILL / power loss mid-training.
+//   interrupt_after_step=K   request a graceful interrupt (the same flag
+//                            the SIGINT/SIGTERM handlers set) after the
+//                            K-th optimizer step; the trainer then
+//                            snapshots and exits cleanly.
+//   poison_grad_at_step=K    overwrite one gradient value with NaN before
+//                            the K-th step commits, exercising the
+//                            non-finite guard. With poison_grad_steps=N
+//                            (default 1) steps K..K+N-1 are all poisoned.
+//   fail_write_after_bytes=N every AtomicFile write past a cumulative
+//                            budget of N bytes is truncated and fails
+//                            with IOError, simulating a crash mid-write.
+//
+// Step counters are process-wide and monotonic: a trainer resumed after a
+// rollback re-runs batches under fresh step indices, so a poison window
+// never re-fires.
+
+namespace lipformer {
+namespace fault {
+
+// Parses `spec` and arms the listed points. Unknown points or malformed
+// values abort via LIPF_CHECK — a typo in a fault spec must never read as
+// "the fault did not fire".
+void Arm(const std::string& spec);
+
+// Arms from the LIPF_FAULT environment variable if set. Called lazily by
+// every query below; calling it explicitly is never required.
+void ArmFromEnv();
+
+// Disarms everything and resets all counters (unit-test teardown).
+void Disarm();
+
+// Called by the trainer after optimizer step `step` (1-based, global)
+// commits. May _Exit(137) (kill_after_step) or request a graceful
+// interrupt via common/interrupt.h (interrupt_after_step).
+void OnOptimizerStep(int64_t step);
+
+// True when step `step` (1-based, global) falls inside an armed poison
+// window; the trainer then writes NaN into a gradient before stepping.
+bool ShouldPoisonGrad(int64_t step);
+
+// Accounts `n` bytes against the armed write budget. Returns false with
+// *allowed == n when the write may proceed in full; returns true when the
+// budget is exhausted mid-write, with *allowed set to the bytes that may
+// still be written before the injected failure (possibly 0).
+bool ConsumeWriteBudget(size_t n, size_t* allowed);
+
+}  // namespace fault
+}  // namespace lipformer
+
+#endif  // LIPFORMER_COMMON_FAULT_INJECTION_H_

@@ -1,0 +1,34 @@
+#include "common/interrupt.h"
+
+#include <csignal>
+
+namespace lipformer {
+
+namespace {
+
+// Written from signal context: must be a lock-free sig_atomic-compatible
+// type with no constructor side effects.
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void HandleSignal(int /*signum*/) { g_interrupted = 1; }
+
+}  // namespace
+
+void InstallInterruptHandlers() {
+  struct sigaction action = {};
+  action.sa_handler = HandleSignal;
+  sigemptyset(&action.sa_mask);
+  // One-shot: a second SIGINT/SIGTERM falls through to the default
+  // disposition and kills the process.
+  action.sa_flags = SA_RESETHAND;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+bool InterruptRequested() { return g_interrupted != 0; }
+
+void RequestInterrupt() { g_interrupted = 1; }
+
+void ClearInterrupt() { g_interrupted = 0; }
+
+}  // namespace lipformer

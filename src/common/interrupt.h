@@ -1,0 +1,32 @@
+#ifndef LIPFORMER_COMMON_INTERRUPT_H_
+#define LIPFORMER_COMMON_INTERRUPT_H_
+
+// Process-wide graceful-shutdown flag shared by long-running loops: the
+// trainer (snapshot after the in-flight step, then exit) and the serve
+// loop (stop accepting requests, drain the batcher). The flag is set by
+// SIGINT/SIGTERM once InstallInterruptHandlers() has run, by fault
+// injection (interrupt_after_step), or programmatically from tests.
+//
+// The handlers are one-shot (SA_RESETHAND): the first signal requests a
+// graceful stop, a second one kills the process with default semantics —
+// a wedged drain must stay killable.
+
+namespace lipformer {
+
+// Installs SIGINT + SIGTERM handlers that set the interrupt flag.
+// Idempotent.
+void InstallInterruptHandlers();
+
+// True once an interrupt was requested (signal, fault injection, or
+// RequestInterrupt).
+bool InterruptRequested();
+
+// Sets the flag without a signal (fault injection, tests).
+void RequestInterrupt();
+
+// Clears the flag (tests; a new CLI run starts clean anyway).
+void ClearInterrupt();
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_COMMON_INTERRUPT_H_

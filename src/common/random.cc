@@ -1,6 +1,7 @@
 #include "common/random.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "common/logging.h"
 
@@ -79,5 +80,17 @@ uint64_t Rng::UniformInt(uint64_t n) {
 bool Rng::Bernoulli(double p) { return Uniform() < p; }
 
 Rng Rng::Fork() { return Rng(NextUint64()); }
+
+void Rng::ExportState(uint64_t out[kStateWords]) const {
+  for (int i = 0; i < 4; ++i) out[i] = state_[i];
+  out[4] = has_cached_normal_ ? 1 : 0;
+  std::memcpy(&out[5], &cached_normal_, sizeof(cached_normal_));
+}
+
+void Rng::ImportState(const uint64_t in[kStateWords]) {
+  for (int i = 0; i < 4; ++i) state_[i] = in[i];
+  has_cached_normal_ = in[4] != 0;
+  std::memcpy(&cached_normal_, &in[5], sizeof(cached_normal_));
+}
 
 }  // namespace lipformer

@@ -38,6 +38,13 @@ class Rng {
   // Derives an independent stream (e.g. per-module init streams).
   Rng Fork();
 
+  // Exact-resume support: the full generator state (xoshiro words plus the
+  // Box-Muller cache) as kStateWords opaque 64-bit words. Import restores
+  // a stream bit-for-bit, so a resumed run draws the identical sequence.
+  static constexpr int kStateWords = 6;
+  void ExportState(uint64_t out[kStateWords]) const;
+  void ImportState(const uint64_t in[kStateWords]);
+
  private:
   uint64_t state_[4];
   bool has_cached_normal_ = false;

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <vector>
 
+#include "common/atomic_file.h"
+
 namespace lipformer {
 
 namespace {
@@ -90,8 +92,9 @@ Result<TimeSeries> ReadCsvTimeSeries(const std::string& path) {
 }
 
 Status WriteCsvTimeSeries(const std::string& path, const TimeSeries& series) {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open for write: " + path);
+  // Rendered in memory and published atomically: a crash mid-export never
+  // leaves a half-written CSV where a previous export used to be.
+  std::ostringstream out;
   out << "date";
   for (int64_t j = 0; j < series.channels(); ++j) {
     if (j < static_cast<int64_t>(series.channel_names.size())) {
@@ -108,8 +111,8 @@ Status WriteCsvTimeSeries(const std::string& path, const TimeSeries& series) {
     for (int64_t j = 0; j < c; ++j) out << "," << p[i * c + j];
     out << "\n";
   }
-  if (!out) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  const std::string text = out.str();
+  return AtomicWriteFile(path, text.data(), text.size());
 }
 
 }  // namespace lipformer

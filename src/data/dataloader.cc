@@ -24,7 +24,12 @@ DataLoader::DataLoader(const WindowDataset* dataset, Split split,
 void DataLoader::Reset() {
   cursor_ = 0;
   if (shuffle_) {
-    // Fisher-Yates.
+    // Fisher-Yates over the identity permutation: the epoch's order must be
+    // a pure function of the rng state, never of previous epochs' shuffles,
+    // or exact resume (which restores only the rng) could not reproduce it.
+    for (int64_t i = 0; i < static_cast<int64_t>(order_.size()); ++i) {
+      order_[static_cast<size_t>(i)] = i;
+    }
     for (int64_t i = static_cast<int64_t>(order_.size()) - 1; i > 0; --i) {
       const int64_t j =
           static_cast<int64_t>(rng_.UniformInt(static_cast<uint64_t>(i + 1)));
@@ -48,6 +53,14 @@ Batch DataLoader::Next() {
   std::vector<int64_t> ids(order_.begin() + cursor_, order_.begin() + end);
   cursor_ = end;
   return dataset_->MakeBatch(split_, ids);
+}
+
+void DataLoader::Skip(int64_t num_batches) {
+  LIPF_CHECK_GE(num_batches, 0);
+  const int64_t n = static_cast<int64_t>(order_.size());
+  for (int64_t i = 0; i < num_batches && HasNext(); ++i) {
+    cursor_ = std::min(cursor_ + batch_size_, n);
+  }
 }
 
 int64_t DataLoader::NumBatches() const {

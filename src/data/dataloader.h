@@ -22,8 +22,17 @@ class DataLoader {
   bool HasNext() const;
   Batch Next();
 
+  // Advances past `num_batches` batches without materializing them; used
+  // by exact resume to fast-forward to the snapshot's batch cursor after
+  // Reset() has regenerated the epoch's shuffle order.
+  void Skip(int64_t num_batches);
+
   int64_t NumBatches() const;
   int64_t batch_size() const { return batch_size_; }
+
+  // The shuffle stream; exact resume exports its state at each epoch
+  // start and re-imports it before Reset() to regenerate the same order.
+  Rng* mutable_rng() { return &rng_; }
 
  private:
   const WindowDataset* dataset_;

@@ -7,6 +7,12 @@ Dropout::Dropout(float p, Rng& rng) : p_(p), rng_(rng.Fork()) {
   LIPF_CHECK_LT(p, 1.0f);
 }
 
+void Dropout::CollectRngs(const std::string& prefix,
+                          std::vector<std::pair<std::string, Rng*>>* out) {
+  out->emplace_back(prefix.empty() ? "rng" : prefix, &rng_);
+  Module::CollectRngs(prefix, out);
+}
+
 Variable Dropout::Forward(const Variable& x) const {
   if (!training() || p_ == 0.0f) return x;
   Tensor mask(x.shape());

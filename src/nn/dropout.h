@@ -16,6 +16,10 @@ class Dropout : public Module {
 
   float p() const { return p_; }
 
+ protected:
+  void CollectRngs(const std::string& prefix,
+                   std::vector<std::pair<std::string, Rng*>>* out) override;
+
  private:
   float p_;
   // Deliberately mutated from the const Forward(): drawing a mask advances

@@ -39,6 +39,19 @@ void Module::CollectParameters(
   }
 }
 
+std::vector<std::pair<std::string, Rng*>> Module::NamedRngs() {
+  std::vector<std::pair<std::string, Rng*>> out;
+  CollectRngs("", &out);
+  return out;
+}
+
+void Module::CollectRngs(const std::string& prefix,
+                         std::vector<std::pair<std::string, Rng*>>* out) {
+  for (auto& [name, child] : children_) {
+    child->CollectRngs(prefix.empty() ? name : prefix + "." + name, out);
+  }
+}
+
 void Module::ZeroGrad() {
   for (Variable& v : const_cast<Module*>(this)->Parameters()) {
     v.ZeroGrad();

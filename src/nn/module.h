@@ -7,6 +7,7 @@
 
 #include "autograd/ops.h"
 #include "autograd/variable.h"
+#include "common/random.h"
 #include "common/status.h"
 
 // Module base class: owns named parameters, composes child modules, and
@@ -65,7 +66,18 @@ class Module {
   // trailing bytes.
   Status LoadParametersLegacyV1(const std::string& path);
 
+  // Live RNG streams of this module tree (e.g. per-Dropout mask streams),
+  // named by child-module path like ParameterNames(). Exact training
+  // resume serializes them: a mid-run snapshot that restored weights but
+  // not these streams would draw different dropout masks after resume.
+  std::vector<std::pair<std::string, Rng*>> NamedRngs();
+
  protected:
+  // Modules owning an RNG stream override this to expose it (and must
+  // still recurse via Module::CollectRngs for children).
+  virtual void CollectRngs(const std::string& prefix,
+                           std::vector<std::pair<std::string, Rng*>>* out);
+
   // Registers a parameter; returns a handle sharing storage.
   Variable RegisterParameter(std::string name, Variable param);
   // Registers a child; the child must outlive this module (normally a

@@ -1,6 +1,9 @@
 #include "optim/adamw.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "common/logging.h"
 
 namespace lipformer {
 
@@ -18,6 +21,20 @@ AdamW::AdamW(std::vector<Variable> params, float lr, float beta1, float beta2,
     m_.push_back(Tensor::Zeros(p.shape()));
     v_.push_back(Tensor::Zeros(p.shape()));
   }
+}
+
+void AdamW::RestoreState(const std::vector<Tensor>& m,
+                         const std::vector<Tensor>& v, int64_t step) {
+  LIPF_CHECK_EQ(m.size(), params_.size());
+  LIPF_CHECK_EQ(v.size(), params_.size());
+  LIPF_CHECK_GE(step, 0);
+  for (size_t i = 0; i < params_.size(); ++i) {
+    LIPF_CHECK_EQ(m[i].numel(), m_[i].numel());
+    LIPF_CHECK_EQ(v[i].numel(), v_[i].numel());
+    std::copy(m[i].data(), m[i].data() + m[i].numel(), m_[i].data());
+    std::copy(v[i].data(), v[i].data() + v[i].numel(), v_[i].data());
+  }
+  step_ = step;
 }
 
 void AdamW::Step() {

@@ -19,6 +19,17 @@ class AdamW : public Optimizer {
 
   int64_t step_count() const { return step_; }
 
+  // Exact-resume support: the first/second moment estimates, aligned with
+  // params(). A snapshot that dropped them would restart bias correction
+  // and drift from the uninterrupted run on the first resumed step.
+  const std::vector<Tensor>& moment1() const { return m_; }
+  const std::vector<Tensor>& moment2() const { return v_; }
+
+  // Overwrites moments and step count from a snapshot. Shapes must match
+  // params() element-for-element (checked).
+  void RestoreState(const std::vector<Tensor>& m, const std::vector<Tensor>& v,
+                    int64_t step);
+
  private:
   float beta1_;
   float beta2_;

@@ -11,6 +11,15 @@ EarlyStopping::EarlyStopping(int64_t patience, float min_delta)
   LIPF_CHECK_GT(patience, 0);
 }
 
+void EarlyStopping::Restore(float best, int64_t best_epoch,
+                            int64_t bad_epochs, int64_t epoch) {
+  LIPF_CHECK_GE(bad_epochs, 0);
+  best_ = best;
+  best_epoch_ = best_epoch;
+  bad_epochs_ = bad_epochs;
+  epoch_ = epoch;
+}
+
 bool EarlyStopping::Update(float score) {
   ++epoch_;
   // NaN (e.g. an evaluation over an empty split) is explicitly a

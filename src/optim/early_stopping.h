@@ -20,6 +20,14 @@ class EarlyStopping {
   bool ShouldStop() const { return bad_epochs_ >= patience_; }
   float best_score() const { return best_; }
   int64_t best_epoch() const { return best_epoch_; }
+  int64_t bad_epochs() const { return bad_epochs_; }
+  int64_t epoch() const { return epoch_; }
+
+  // Exact-resume support: rewinds the stopper to a snapshotted state so a
+  // resumed run stops (and keeps the same best) exactly where the
+  // uninterrupted run would.
+  void Restore(float best, int64_t best_epoch, int64_t bad_epochs,
+               int64_t epoch);
 
  private:
   int64_t patience_;

@@ -11,13 +11,23 @@ LrScheduler::LrScheduler(Optimizer* optimizer)
   LIPF_CHECK(optimizer != nullptr);
 }
 
+void LrScheduler::Step() {
+  ++epoch_;
+  Apply();
+}
+
+void LrScheduler::SetEpoch(int64_t epoch) {
+  LIPF_CHECK_GE(epoch, 0);
+  epoch_ = epoch;
+  Apply();
+}
+
 StepLr::StepLr(Optimizer* optimizer, int64_t step_size, float gamma)
     : LrScheduler(optimizer), step_size_(step_size), gamma_(gamma) {
   LIPF_CHECK_GT(step_size, 0);
 }
 
-void StepLr::Step() {
-  ++epoch_;
+void StepLr::Apply() {
   const float factor =
       std::pow(gamma_, static_cast<float>(epoch_ / step_size_));
   optimizer_->set_lr(base_lr_ * factor);
@@ -28,8 +38,7 @@ CosineLr::CosineLr(Optimizer* optimizer, int64_t total_epochs, float min_lr)
   LIPF_CHECK_GT(total_epochs, 0);
 }
 
-void CosineLr::Step() {
-  ++epoch_;
+void CosineLr::Apply() {
   const float t = std::min<float>(
       1.0f, static_cast<float>(epoch_) / static_cast<float>(total_epochs_));
   const float cosine = 0.5f * (1.0f + std::cos(static_cast<float>(M_PI) * t));

@@ -15,9 +15,21 @@ class LrScheduler {
   LrScheduler(const LrScheduler&) = delete;
   LrScheduler& operator=(const LrScheduler&) = delete;
 
-  virtual void Step() = 0;
+  // Advances the schedule by one epoch and applies the new lr.
+  void Step();
+
+  int64_t epoch() const { return epoch_; }
+
+  // Exact-resume support: fast-forwards the schedule to `epoch` completed
+  // Step() calls and re-applies the corresponding lr to the optimizer.
+  // Schedules here are pure functions of the epoch counter, so this
+  // reproduces the state of an uninterrupted run exactly.
+  void SetEpoch(int64_t epoch);
 
  protected:
+  // Recomputes and applies the lr for the current epoch_.
+  virtual void Apply() = 0;
+
   Optimizer* optimizer_;
   float base_lr_;
   int64_t epoch_ = 0;
@@ -27,7 +39,9 @@ class LrScheduler {
 class StepLr : public LrScheduler {
  public:
   StepLr(Optimizer* optimizer, int64_t step_size, float gamma = 0.5f);
-  void Step() override;
+
+ protected:
+  void Apply() override;
 
  private:
   int64_t step_size_;
@@ -38,7 +52,9 @@ class StepLr : public LrScheduler {
 class CosineLr : public LrScheduler {
  public:
   CosineLr(Optimizer* optimizer, int64_t total_epochs, float min_lr = 0.0f);
-  void Step() override;
+
+ protected:
+  void Apply() override;
 
  private:
   int64_t total_epochs_;

@@ -15,7 +15,7 @@ void Optimizer::ZeroGrad() {
   for (Variable& p : params_) p.ZeroGrad();
 }
 
-float ClipGradNorm(const std::vector<Variable>& params, float max_norm) {
+float GlobalGradNorm(const std::vector<Variable>& params) {
   double total_sq = 0.0;
   for (const Variable& p : params) {
     if (!p.has_grad()) continue;
@@ -24,14 +24,21 @@ float ClipGradNorm(const std::vector<Variable>& params, float max_norm) {
       total_sq += static_cast<double>(g[i]) * g[i];
     }
   }
-  const float norm = static_cast<float>(std::sqrt(total_sq));
+  return static_cast<float>(std::sqrt(total_sq));
+}
+
+void ScaleGradients(const std::vector<Variable>& params, float scale) {
+  for (const Variable& p : params) {
+    if (!p.has_grad()) continue;
+    float* g = const_cast<float*>(p.grad().data());
+    for (int64_t i = 0; i < p.numel(); ++i) g[i] *= scale;
+  }
+}
+
+float ClipGradNorm(const std::vector<Variable>& params, float max_norm) {
+  const float norm = GlobalGradNorm(params);
   if (norm > max_norm && norm > 0.0f) {
-    const float scale = max_norm / norm;
-    for (const Variable& p : params) {
-      if (!p.has_grad()) continue;
-      float* g = const_cast<float*>(p.grad().data());
-      for (int64_t i = 0; i < p.numel(); ++i) g[i] *= scale;
-    }
+    ScaleGradients(params, max_norm / norm);
   }
   return norm;
 }

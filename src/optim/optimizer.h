@@ -33,6 +33,15 @@ class Optimizer {
   float lr_ = 1e-3f;
 };
 
+// Global L2 norm over all gradients. NaN/Inf anywhere in the gradients
+// propagates into the result, which is what the trainer's non-finite
+// guard keys on.
+float GlobalGradNorm(const std::vector<Variable>& params);
+
+// Scales gradients in place by `scale` (used by ClipGradNorm and by the
+// trainer, which reuses an already-computed norm).
+void ScaleGradients(const std::vector<Variable>& params, float scale);
+
 // Scales gradients so their global L2 norm is at most max_norm; returns the
 // pre-clip norm.
 float ClipGradNorm(const std::vector<Variable>& params, float max_norm);

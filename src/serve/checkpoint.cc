@@ -4,6 +4,9 @@
 #include <cstring>
 #include <fstream>
 #include <limits>
+#include <utility>
+
+#include "common/atomic_file.h"
 
 namespace lipformer {
 namespace serve {
@@ -60,13 +63,14 @@ class Reader {
 };
 
 template <typename T>
-void WriteScalar(std::ofstream& out, T value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+Status AppendScalar(AtomicFile& out, T value) {
+  return out.Append(&value, sizeof(T));
 }
 
-void WriteString(std::ofstream& out, const std::string& s) {
-  WriteScalar<uint32_t>(out, static_cast<uint32_t>(s.size()));
-  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+Status AppendString(AtomicFile& out, const std::string& s) {
+  LIPF_RETURN_IF_ERROR(AppendScalar<uint32_t>(
+      out, static_cast<uint32_t>(s.size())));
+  return out.Append(s.data(), s.size());
 }
 
 }  // namespace
@@ -85,29 +89,36 @@ std::string Checkpoint::Meta(const std::string& key,
 }
 
 Status WriteCheckpoint(const std::string& path, const Checkpoint& ckpt) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IOError("cannot open for write: " + path);
-  out.write(kMagic, sizeof(kMagic));
-  WriteScalar<uint32_t>(out, kVersion);
-  WriteScalar<uint32_t>(out, static_cast<uint32_t>(ckpt.metadata.size()));
+  // All checkpoint writes are crash-durable: a kill (or injected write
+  // failure) at any point leaves whatever was previously at `path`
+  // byte-identical, never a torn v2 file.
+  Result<AtomicFile> created = AtomicFile::Create(path);
+  if (!created.ok()) return created.status();
+  AtomicFile out = std::move(created.value());
+  LIPF_RETURN_IF_ERROR(out.Append(kMagic, sizeof(kMagic)));
+  LIPF_RETURN_IF_ERROR(AppendScalar<uint32_t>(out, kVersion));
+  LIPF_RETURN_IF_ERROR(AppendScalar<uint32_t>(
+      out, static_cast<uint32_t>(ckpt.metadata.size())));
   for (const auto& [key, value] : ckpt.metadata) {
-    WriteString(out, key);
-    WriteString(out, value);
+    LIPF_RETURN_IF_ERROR(AppendString(out, key));
+    LIPF_RETURN_IF_ERROR(AppendString(out, value));
   }
-  WriteScalar<uint32_t>(out, static_cast<uint32_t>(ckpt.tensors.size()));
+  LIPF_RETURN_IF_ERROR(AppendScalar<uint32_t>(
+      out, static_cast<uint32_t>(ckpt.tensors.size())));
   for (const CheckpointTensor& t : ckpt.tensors) {
-    WriteString(out, t.name);
+    LIPF_RETURN_IF_ERROR(AppendString(out, t.name));
     const Shape& shape = t.data.shape();
-    WriteScalar<uint32_t>(out, static_cast<uint32_t>(shape.size()));
-    for (int64_t d : shape) WriteScalar<int64_t>(out, d);
+    LIPF_RETURN_IF_ERROR(
+        AppendScalar<uint32_t>(out, static_cast<uint32_t>(shape.size())));
+    for (int64_t d : shape) {
+      LIPF_RETURN_IF_ERROR(AppendScalar<int64_t>(out, d));
+    }
     const uint64_t bytes =
         static_cast<uint64_t>(t.data.numel()) * sizeof(float);
-    WriteScalar<uint64_t>(out, bytes);
-    out.write(reinterpret_cast<const char*>(t.data.data()),
-              static_cast<std::streamsize>(bytes));
+    LIPF_RETURN_IF_ERROR(AppendScalar<uint64_t>(out, bytes));
+    LIPF_RETURN_IF_ERROR(out.Append(t.data.data(), bytes));
   }
-  if (!out) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  return out.Commit();
 }
 
 Result<Checkpoint> ReadCheckpoint(const std::string& path) {

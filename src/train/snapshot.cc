@@ -1,0 +1,383 @@
+#include "train/snapshot.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+
+#include "common/logging.h"
+#include "serve/checkpoint.h"
+
+namespace lipformer {
+
+namespace {
+
+constexpr char kFormatKey[] = "__train__.format";
+constexpr char kFormatValue[] = "1";
+
+constexpr char kBestPrefix[] = "__best__.";
+constexpr char kMomentMPrefix[] = "__opt__.m.";
+constexpr char kMomentVPrefix[] = "__opt__.v.";
+constexpr char kLoaderRngName[] = "__rng__.loader";
+constexpr char kModuleRngPrefix[] = "__rng__.module.";
+
+bool HasPrefix(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+// ---- Exact scalar <-> string codecs -------------------------------------
+//
+// Floats go through printf's hexfloat ("%a"), which prints the exact bit
+// pattern in a form strtod parses back losslessly (including inf, and the
+// +inf EarlyStopping starts from). Decimal "%g" would not round-trip.
+
+std::string EncodeDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+std::string EncodeInt(int64_t v) { return std::to_string(v); }
+
+Status ParseDouble(const std::string& key, const std::string& text,
+                   double* out) {
+  if (text.empty()) {
+    return Status::InvalidArgument("snapshot metadata " + key + " is empty");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    return Status::InvalidArgument("snapshot metadata " + key +
+                                   " is not a number: '" + text + "'");
+  }
+  *out = v;
+  return Status::OK();
+}
+
+Status ParseInt(const std::string& key, const std::string& text,
+                int64_t* out) {
+  if (text.empty()) {
+    return Status::InvalidArgument("snapshot metadata " + key + " is empty");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument("snapshot metadata " + key +
+                                   " is not an integer: '" + text + "'");
+  }
+  *out = static_cast<int64_t>(v);
+  return Status::OK();
+}
+
+Status GetInt(const serve::Checkpoint& ckpt, const std::string& key,
+              int64_t* out) {
+  auto it = ckpt.metadata.find(key);
+  if (it == ckpt.metadata.end()) {
+    return Status::InvalidArgument("snapshot is missing metadata key " + key);
+  }
+  return ParseInt(key, it->second, out);
+}
+
+Status GetDouble(const serve::Checkpoint& ckpt, const std::string& key,
+                 double* out) {
+  auto it = ckpt.metadata.find(key);
+  if (it == ckpt.metadata.end()) {
+    return Status::InvalidArgument("snapshot is missing metadata key " + key);
+  }
+  return ParseDouble(key, it->second, out);
+}
+
+Status GetFloat(const serve::Checkpoint& ckpt, const std::string& key,
+                float* out) {
+  double v = 0.0;
+  const Status st = GetDouble(ckpt, key, &v);
+  if (!st.ok()) return st;
+  *out = static_cast<float>(v);
+  return Status::OK();
+}
+
+// ---- RNG state <-> tensor ------------------------------------------------
+//
+// The xoshiro words are memcpy'd into float storage and back; the bytes
+// are never interpreted as floats, so signaling-NaN bit patterns survive.
+
+static_assert(sizeof(uint64_t) == 2 * sizeof(float),
+              "rng word packing assumes 2 floats per u64");
+
+constexpr int64_t kRngTensorLen = Rng::kStateWords * 2;
+
+Tensor RngStateToTensor(const std::array<uint64_t, Rng::kStateWords>& words) {
+  Tensor t(Shape{kRngTensorLen});
+  std::memcpy(t.data(), words.data(), sizeof(uint64_t) * Rng::kStateWords);
+  return t;
+}
+
+Status TensorToRngState(const std::string& name, const Tensor& t,
+                        std::array<uint64_t, Rng::kStateWords>* words) {
+  if (t.numel() != kRngTensorLen) {
+    return Status::InvalidArgument(
+        "snapshot rng tensor " + name + " has " + std::to_string(t.numel()) +
+        " elements, expected " + std::to_string(kRngTensorLen));
+  }
+  std::memcpy(words->data(), t.data(), sizeof(uint64_t) * Rng::kStateWords);
+  return Status::OK();
+}
+
+std::array<uint64_t, Rng::kStateWords> ExportRng(const Rng& rng) {
+  std::array<uint64_t, Rng::kStateWords> words{};
+  rng.ExportState(words.data());
+  return words;
+}
+
+}  // namespace
+
+TrainState CaptureTrainState(Module* model,
+                             const std::vector<Tensor>& best_params,
+                             const AdamW& optimizer,
+                             const EarlyStopping& stopper,
+                             const Rng& loader_rng,
+                             const TrainCursor& cursor) {
+  TrainState state;
+  state.param_names = model->ParameterNames();
+  const std::vector<Variable> params = model->Parameters();
+  LIPF_CHECK_EQ(state.param_names.size(), params.size());
+  LIPF_CHECK_EQ(best_params.size(), params.size());
+  state.params.reserve(params.size());
+  state.best_params.reserve(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    state.params.push_back(params[i].value().Clone());
+    state.best_params.push_back(best_params[i].Clone());
+  }
+  LIPF_CHECK_EQ(optimizer.moment1().size(), params.size());
+  state.opt_m.reserve(params.size());
+  state.opt_v.reserve(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    state.opt_m.push_back(optimizer.moment1()[i].Clone());
+    state.opt_v.push_back(optimizer.moment2()[i].Clone());
+  }
+  state.opt_step = optimizer.step_count();
+  state.stopper_best = stopper.best_score();
+  state.stopper_best_epoch = stopper.best_epoch();
+  state.stopper_bad = stopper.bad_epochs();
+  state.stopper_epoch = stopper.epoch();
+  state.loader_rng = ExportRng(loader_rng);
+  for (auto& [name, rng] : model->NamedRngs()) {
+    state.module_rngs.emplace_back(name, ExportRng(*rng));
+  }
+  state.cursor = cursor;
+  return state;
+}
+
+Status RestoreTrainState(const TrainState& state, Module* model,
+                         std::vector<Tensor>* best_params, AdamW* optimizer,
+                         EarlyStopping* stopper, Rng* loader_rng,
+                         TrainCursor* cursor) {
+  // Validate everything against the live model before mutating anything.
+  const std::vector<std::string> names = model->ParameterNames();
+  std::vector<Variable> params = model->Parameters();
+  if (state.param_names.size() != names.size()) {
+    return Status::InvalidArgument(
+        "snapshot has " + std::to_string(state.param_names.size()) +
+        " parameters, model expects " + std::to_string(names.size()));
+  }
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (state.param_names[i] != names[i]) {
+      return Status::InvalidArgument("snapshot parameter " +
+                                     std::to_string(i) + " is '" +
+                                     state.param_names[i] +
+                                     "', model expects '" + names[i] + "'");
+    }
+    const Shape& want = params[i].value().shape();
+    if (!SameShape(state.params[i].shape(), want) ||
+        !SameShape(state.best_params[i].shape(), want) ||
+        !SameShape(state.opt_m[i].shape(), want) ||
+        !SameShape(state.opt_v[i].shape(), want)) {
+      return Status::InvalidArgument(
+          "snapshot tensors for parameter '" + names[i] +
+          "' do not match the model shape " + ShapeToString(want));
+    }
+  }
+  std::vector<std::pair<std::string, Rng*>> rngs = model->NamedRngs();
+  if (state.module_rngs.size() != rngs.size()) {
+    return Status::InvalidArgument(
+        "snapshot has " + std::to_string(state.module_rngs.size()) +
+        " module rng streams, model expects " + std::to_string(rngs.size()));
+  }
+  for (size_t i = 0; i < rngs.size(); ++i) {
+    if (state.module_rngs[i].first != rngs[i].first) {
+      return Status::InvalidArgument(
+          "snapshot rng stream " + std::to_string(i) + " is '" +
+          state.module_rngs[i].first + "', model expects '" + rngs[i].first +
+          "'");
+    }
+  }
+
+  // All checked; now mutate the live objects.
+  best_params->clear();
+  for (size_t i = 0; i < params.size(); ++i) {
+    float* dst = params[i].mutable_value().data();
+    const float* src = state.params[i].data();
+    std::copy(src, src + params[i].numel(), dst);
+    best_params->push_back(state.best_params[i].Clone());
+  }
+  optimizer->RestoreState(state.opt_m, state.opt_v, state.opt_step);
+  stopper->Restore(state.stopper_best, state.stopper_best_epoch,
+                   state.stopper_bad, state.stopper_epoch);
+  loader_rng->ImportState(state.loader_rng.data());
+  for (size_t i = 0; i < rngs.size(); ++i) {
+    rngs[i].second->ImportState(state.module_rngs[i].second.data());
+  }
+  *cursor = state.cursor;
+  return Status::OK();
+}
+
+Status SaveTrainState(const std::string& path, const TrainState& state) {
+  serve::Checkpoint ckpt;
+  ckpt.metadata[kFormatKey] = kFormatValue;
+  ckpt.metadata["__train__.epoch"] = EncodeInt(state.cursor.epoch);
+  ckpt.metadata["__train__.batch"] = EncodeInt(state.cursor.batch);
+  ckpt.metadata["__train__.global_step"] = EncodeInt(state.cursor.global_step);
+  ckpt.metadata["__train__.epochs_run"] = EncodeInt(state.cursor.epochs_run);
+  ckpt.metadata["__train__.epoch_loss"] = EncodeDouble(state.cursor.epoch_loss);
+  ckpt.metadata["__train__.nonfinite_steps"] =
+      EncodeInt(state.cursor.nonfinite_steps);
+  ckpt.metadata["__train__.rollbacks"] = EncodeInt(state.cursor.rollbacks);
+  ckpt.metadata["__train__.lr"] = EncodeDouble(state.cursor.lr);
+  ckpt.metadata["__train__.lr_scale"] = EncodeDouble(state.cursor.lr_scale);
+  ckpt.metadata["__train__.stopper_best"] = EncodeDouble(state.stopper_best);
+  ckpt.metadata["__train__.stopper_best_epoch"] =
+      EncodeInt(state.stopper_best_epoch);
+  ckpt.metadata["__train__.stopper_bad"] = EncodeInt(state.stopper_bad);
+  ckpt.metadata["__train__.stopper_epoch"] = EncodeInt(state.stopper_epoch);
+  ckpt.metadata["__opt__.step"] = EncodeInt(state.opt_step);
+
+  // Live weights go in under their plain names first, so the snapshot
+  // doubles as a normal checkpoint for Module::LoadParameters.
+  for (size_t i = 0; i < state.param_names.size(); ++i) {
+    ckpt.tensors.push_back({state.param_names[i], state.params[i]});
+  }
+  for (size_t i = 0; i < state.param_names.size(); ++i) {
+    ckpt.tensors.push_back(
+        {kBestPrefix + state.param_names[i], state.best_params[i]});
+    ckpt.tensors.push_back(
+        {kMomentMPrefix + state.param_names[i], state.opt_m[i]});
+    ckpt.tensors.push_back(
+        {kMomentVPrefix + state.param_names[i], state.opt_v[i]});
+  }
+  ckpt.tensors.push_back({kLoaderRngName, RngStateToTensor(state.loader_rng)});
+  for (const auto& [name, words] : state.module_rngs) {
+    ckpt.tensors.push_back({kModuleRngPrefix + name, RngStateToTensor(words)});
+  }
+  return serve::WriteCheckpoint(path, ckpt);
+}
+
+Result<TrainState> LoadTrainState(const std::string& path) {
+  Result<serve::Checkpoint> read = serve::ReadCheckpoint(path);
+  if (!read.ok()) return read.status();
+  const serve::Checkpoint& ckpt = read.value();
+
+  if (ckpt.Meta(kFormatKey, "") != kFormatValue) {
+    return Status::InvalidArgument(
+        path + " is not a training snapshot (missing " + std::string(kFormatKey) +
+        " metadata); plain checkpoints cannot seed --resume");
+  }
+
+  TrainState state;
+  Status st;
+  if (!(st = GetInt(ckpt, "__train__.epoch", &state.cursor.epoch)).ok() ||
+      !(st = GetInt(ckpt, "__train__.batch", &state.cursor.batch)).ok() ||
+      !(st = GetInt(ckpt, "__train__.global_step", &state.cursor.global_step))
+           .ok() ||
+      !(st = GetInt(ckpt, "__train__.epochs_run", &state.cursor.epochs_run))
+           .ok() ||
+      !(st = GetDouble(ckpt, "__train__.epoch_loss", &state.cursor.epoch_loss))
+           .ok() ||
+      !(st = GetInt(ckpt, "__train__.nonfinite_steps",
+                    &state.cursor.nonfinite_steps))
+           .ok() ||
+      !(st = GetInt(ckpt, "__train__.rollbacks", &state.cursor.rollbacks))
+           .ok() ||
+      !(st = GetFloat(ckpt, "__train__.lr", &state.cursor.lr)).ok() ||
+      !(st = GetFloat(ckpt, "__train__.lr_scale", &state.cursor.lr_scale))
+           .ok() ||
+      !(st = GetFloat(ckpt, "__train__.stopper_best", &state.stopper_best))
+           .ok() ||
+      !(st = GetInt(ckpt, "__train__.stopper_best_epoch",
+                    &state.stopper_best_epoch))
+           .ok() ||
+      !(st = GetInt(ckpt, "__train__.stopper_bad", &state.stopper_bad)).ok() ||
+      !(st = GetInt(ckpt, "__train__.stopper_epoch", &state.stopper_epoch))
+           .ok() ||
+      !(st = GetInt(ckpt, "__opt__.step", &state.opt_step)).ok()) {
+    return st;
+  }
+  if (state.cursor.epoch < 0 || state.cursor.batch < 0 ||
+      state.cursor.global_step < 0 || state.cursor.epochs_run < 0) {
+    return Status::InvalidArgument("snapshot cursors are negative in " + path);
+  }
+
+  // Partition tensors. File order is capture order, so plain parameter
+  // tensors arrive in ParameterNames() order and module rng streams in
+  // NamedRngs() order; RestoreTrainState re-validates both against the
+  // live model.
+  std::map<std::string, const Tensor*> best, mom_m, mom_v;
+  bool have_loader_rng = false;
+  for (const serve::CheckpointTensor& t : ckpt.tensors) {
+    if (HasPrefix(t.name, kBestPrefix)) {
+      best[t.name.substr(std::strlen(kBestPrefix))] = &t.data;
+    } else if (HasPrefix(t.name, kMomentMPrefix)) {
+      mom_m[t.name.substr(std::strlen(kMomentMPrefix))] = &t.data;
+    } else if (HasPrefix(t.name, kMomentVPrefix)) {
+      mom_v[t.name.substr(std::strlen(kMomentVPrefix))] = &t.data;
+    } else if (t.name == kLoaderRngName) {
+      const Status rst = TensorToRngState(t.name, t.data, &state.loader_rng);
+      if (!rst.ok()) return rst;
+      have_loader_rng = true;
+    } else if (HasPrefix(t.name, kModuleRngPrefix)) {
+      std::array<uint64_t, Rng::kStateWords> words{};
+      const Status rst = TensorToRngState(t.name, t.data, &words);
+      if (!rst.ok()) return rst;
+      state.module_rngs.emplace_back(
+          t.name.substr(std::strlen(kModuleRngPrefix)), words);
+    } else if (HasPrefix(t.name, serve::kReservedTensorPrefix)) {
+      return Status::InvalidArgument("snapshot has unknown reserved tensor '" +
+                                     t.name + "'");
+    } else {
+      state.param_names.push_back(t.name);
+      state.params.push_back(t.data);
+    }
+  }
+  if (!have_loader_rng) {
+    return Status::InvalidArgument("snapshot is missing the " +
+                                   std::string(kLoaderRngName) + " stream");
+  }
+  if (state.param_names.empty()) {
+    return Status::InvalidArgument("snapshot has no model parameters");
+  }
+  for (const std::string& name : state.param_names) {
+    auto b = best.find(name);
+    auto m = mom_m.find(name);
+    auto v = mom_v.find(name);
+    if (b == best.end() || m == mom_m.end() || v == mom_v.end()) {
+      return Status::InvalidArgument(
+          "snapshot is missing best/moment tensors for parameter '" + name +
+          "'");
+    }
+    state.best_params.push_back(*b->second);
+    state.opt_m.push_back(*m->second);
+    state.opt_v.push_back(*v->second);
+  }
+  if (best.size() != state.param_names.size() ||
+      mom_m.size() != state.param_names.size() ||
+      mom_v.size() != state.param_names.size()) {
+    return Status::InvalidArgument(
+        "snapshot has best/moment tensors for unknown parameters");
+  }
+  return state;
+}
+
+}  // namespace lipformer

@@ -1,0 +1,98 @@
+#ifndef LIPFORMER_TRAIN_SNAPSHOT_H_
+#define LIPFORMER_TRAIN_SNAPSHOT_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "nn/module.h"
+#include "optim/adamw.h"
+#include "optim/early_stopping.h"
+
+// Training-state snapshots: everything TrainAndEvaluate mutates, captured
+// so a killed run resumes to a final model bitwise identical to an
+// uninterrupted one. The on-disk form is a checkpoint v2 file whose
+// non-reserved tensors are the live model weights (so the snapshot is
+// also loadable by Module::LoadParameters), plus reserved namespaces:
+//
+//   __best__.<param>     best-validation weights held by early stopping
+//   __opt__.m.<param>    AdamW first moments   (+ __opt__.step metadata)
+//   __opt__.v.<param>    AdamW second moments
+//   __rng__.loader       shuffle stream of the train DataLoader, exported
+//                        at the start of the snapshot's epoch (Reset()
+//                        then regenerates the identical order)
+//   __rng__.module.<path> per-module streams (Dropout masks)
+//   __train__.*          metadata: epoch/batch cursors, counters, early-
+//                        stopping scalars, lr — floats stored as hexfloat
+//                        strings so they round-trip bit-exactly
+//
+// All writes go through the atomic write layer (common/atomic_file.h): a
+// crash mid-snapshot leaves the previous snapshot intact.
+
+namespace lipformer {
+
+// Where the training loop stands. `epoch` is the epoch the next step
+// belongs to; `batch` counts batches already consumed inside it (0 at an
+// epoch boundary). `global_step` is monotonic across rollbacks (fault
+// injection and logging key on it).
+struct TrainCursor {
+  int64_t epoch = 0;
+  int64_t batch = 0;
+  int64_t global_step = 0;
+  int64_t epochs_run = 0;
+  double epoch_loss = 0.0;  // partial-epoch loss accumulator
+  int64_t nonfinite_steps = 0;
+  int64_t rollbacks = 0;
+  float lr = 0.0f;       // effective lr (schedule x lr_scale)
+  float lr_scale = 1.0f; // accumulated non-finite rollback halvings
+};
+
+// In-memory image of the full training state; also the unit of rollback.
+struct TrainState {
+  std::vector<std::string> param_names;  // aligned with the tensor vectors
+  std::vector<Tensor> params;
+  std::vector<Tensor> best_params;
+  std::vector<Tensor> opt_m;
+  std::vector<Tensor> opt_v;
+  int64_t opt_step = 0;
+  float stopper_best = 0.0f;
+  int64_t stopper_best_epoch = -1;
+  int64_t stopper_bad = 0;
+  int64_t stopper_epoch = -1;
+  std::array<uint64_t, Rng::kStateWords> loader_rng{};
+  std::vector<std::pair<std::string, std::array<uint64_t, Rng::kStateWords>>>
+      module_rngs;
+  TrainCursor cursor;
+};
+
+// Clones the live training state (tensors are deep copies, detached from
+// optimizer-mutated storage).
+TrainState CaptureTrainState(Module* model,
+                             const std::vector<Tensor>& best_params,
+                             const AdamW& optimizer,
+                             const EarlyStopping& stopper,
+                             const Rng& loader_rng, const TrainCursor& cursor);
+
+// Restores a captured/loaded state into the live objects. Every parameter
+// name, shape, and RNG stream is validated against `model` before
+// anything is mutated, so a snapshot from a different architecture fails
+// with a typed error and an untouched model.
+Status RestoreTrainState(const TrainState& state, Module* model,
+                         std::vector<Tensor>* best_params, AdamW* optimizer,
+                         EarlyStopping* stopper, Rng* loader_rng,
+                         TrainCursor* cursor);
+
+// Atomically serializes `state` to `path` (temp file + fsync + rename).
+Status SaveTrainState(const std::string& path, const TrainState& state);
+
+// Reads and fully validates a snapshot written by SaveTrainState. Plain
+// checkpoints/bundles are rejected (missing __train__ namespace).
+Result<TrainState> LoadTrainState(const std::string& path);
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_TRAIN_SNAPSHOT_H_

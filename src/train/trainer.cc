@@ -1,11 +1,20 @@
 #include "train/trainer.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "common/fault_injection.h"
+#include "common/interrupt.h"
 #include "optim/adamw.h"
 #include "optim/early_stopping.h"
+#include "optim/lr_scheduler.h"
 #include "train/metrics.h"
+#include "train/snapshot.h"
 
 namespace lipformer {
 
@@ -34,6 +43,32 @@ void RestoreParameters(Forecaster* model, const std::vector<Tensor>& snap) {
     float* dst = params[i].mutable_value().data();
     const float* src = snap[i].data();
     std::copy(src, src + params[i].numel(), dst);
+  }
+}
+
+std::unique_ptr<LrScheduler> MakeScheduler(const TrainConfig& config,
+                                           Optimizer* optimizer) {
+  switch (config.lr_schedule) {
+    case LrScheduleKind::kCosine:
+      return std::make_unique<CosineLr>(optimizer,
+                                        std::max<int64_t>(1, config.epochs));
+    case LrScheduleKind::kStep:
+      return std::make_unique<StepLr>(
+          optimizer, std::max<int64_t>(1, config.epochs / 3));
+    case LrScheduleKind::kNone:
+      break;
+  }
+  return nullptr;
+}
+
+// Fault-injection hook: overwrites the first gradient element with NaN so
+// the non-finite guard path is exercised end to end.
+void PoisonFirstGradient(const std::vector<Variable>& params) {
+  for (const Variable& p : params) {
+    if (!p.has_grad() || p.numel() == 0) continue;
+    const_cast<float*>(p.grad().data())[0] =
+        std::numeric_limits<float>::quiet_NaN();
+    return;
   }
 }
 
@@ -67,38 +102,193 @@ EvalResult Evaluate(Forecaster* model, const WindowDataset& data, Split split,
 
 TrainResult TrainAndEvaluate(Forecaster* model, const WindowDataset& data,
                              const TrainConfig& config) {
+  fault::ArmFromEnv();
+  if (config.handle_signals) InstallInterruptHandlers();
+
   AdamW optimizer(model->Parameters(), config.lr, 0.9f, 0.999f, 1e-8f,
                   config.weight_decay);
   EarlyStopping stopper(config.patience);
   Rng rng(config.seed);
   DataLoader train_loader(&data, Split::kTrain, config.batch_size,
                           /*shuffle=*/true, rng.Fork());
+  std::unique_ptr<LrScheduler> scheduler = MakeScheduler(config, &optimizer);
 
   TrainResult result;
   std::vector<Tensor> best_params = SnapshotParameters(model);
-  const auto t0 = Clock::now();
+  TrainCursor cursor;
+  cursor.lr = optimizer.lr();
 
-  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+  // Epoch-start (or resume-point) image: the rollback anchor for the
+  // non-finite guard and the source of periodic disk snapshots.
+  TrainState stable;
+  int64_t epoch = 0;
+  int64_t resume_skip = 0;  // batches to fast-forward inside the first epoch
+
+  if (!config.resume_path.empty()) {
+    Result<TrainState> loaded = LoadTrainState(config.resume_path);
+    if (!loaded.ok()) {
+      result.status = loaded.status();
+      return result;
+    }
+    const Status st = RestoreTrainState(
+        loaded.value(), model, &best_params, &optimizer, &stopper,
+        train_loader.mutable_rng(), &cursor);
+    if (!st.ok()) {
+      result.status = st;
+      return result;
+    }
+    // Schedules are pure functions of the epoch counter; fast-forward the
+    // counter, then restore the exact effective lr (schedule x lr_scale)
+    // rather than recomputing it.
+    if (scheduler) scheduler->SetEpoch(cursor.epoch);
+    optimizer.set_lr(cursor.lr);
+    result.epochs_run = cursor.epochs_run;
+    result.nonfinite_steps = cursor.nonfinite_steps;
+    result.rollbacks = cursor.rollbacks;
+    stable = std::move(loaded.value());
+    epoch = cursor.epoch;
+    resume_skip = cursor.batch;
+    LIPF_LOG(Info) << model->name() << " resumed from " << config.resume_path
+                   << " at epoch " << epoch << " batch " << resume_skip;
+  }
+
+  const auto t0 = Clock::now();
+  int64_t consecutive_bad = 0;
+
+  while (epoch < config.epochs && !stopper.ShouldStop()) {
+    cursor.epoch = epoch;
+    if (resume_skip == 0) {
+      cursor.batch = 0;
+      cursor.epoch_loss = 0.0;
+      // Capture BEFORE Reset(): the snapshot's loader stream must be the
+      // one whose Reset() generates this epoch's shuffle order.
+      stable = CaptureTrainState(model, best_params, optimizer, stopper,
+                                 *train_loader.mutable_rng(), cursor);
+      if (!config.snapshot_path.empty() &&
+          epoch % std::max<int64_t>(1, config.snapshot_every) == 0) {
+        const Status st = SaveTrainState(config.snapshot_path, stable);
+        if (!st.ok()) {
+          LIPF_LOG(Warning) << "snapshot write failed (training continues): "
+                            << st.ToString();
+        }
+      }
+    }
+
     model->SetTraining(true);
-    int64_t batches = 0;
-    double epoch_loss = 0.0;
-    for (train_loader.Reset(); train_loader.HasNext();) {
+    train_loader.Reset();
+    if (resume_skip > 0) train_loader.Skip(resume_skip);
+    int64_t batches = resume_skip;
+    double epoch_loss = cursor.epoch_loss;
+    resume_skip = 0;
+    bool rolled_back = false;
+
+    while (train_loader.HasNext()) {
+      if (config.max_batches_per_epoch > 0 &&
+          batches >= config.max_batches_per_epoch) {
+        break;
+      }
       Batch batch = train_loader.Next();
       optimizer.ZeroGrad();
       Variable pred = model->Forward(batch);
       Variable loss = ForecastLoss(config.loss, pred, batch.y,
                                    config.smooth_l1_beta);
       loss.Backward();
-      if (config.clip_norm > 0.0f) {
-        ClipGradNorm(optimizer.params(), config.clip_norm);
+      ++cursor.global_step;
+      if (fault::ShouldPoisonGrad(cursor.global_step)) {
+        PoisonFirstGradient(optimizer.params());
       }
-      optimizer.Step();
-      epoch_loss += loss.value().item();
+
+      const float loss_value = loss.value().item();
+      const float grad_norm = GlobalGradNorm(optimizer.params());
+      if (!std::isfinite(loss_value) || !std::isfinite(grad_norm)) {
+        // Non-finite guard: skip the poisoned step (the batch stays
+        // consumed so cursors keep matching the loader position).
+        ++result.nonfinite_steps;
+        ++consecutive_bad;
+        LIPF_LOG(Warning) << model->name() << " step " << cursor.global_step
+                          << ": non-finite loss=" << loss_value
+                          << " grad_norm=" << grad_norm << ", step skipped ("
+                          << consecutive_bad << "/"
+                          << config.nonfinite_patience << ")";
+        if (consecutive_bad >= config.nonfinite_patience) {
+          const int64_t global_step = cursor.global_step;
+          const Status st = RestoreTrainState(
+              stable, model, &best_params, &optimizer, &stopper,
+              train_loader.mutable_rng(), &cursor);
+          LIPF_CHECK(st.ok()) << st.ToString();
+          cursor.global_step = global_step;  // monotonic across rollbacks
+          cursor.lr_scale *= 0.5f;
+          cursor.nonfinite_steps = result.nonfinite_steps;
+          cursor.rollbacks = ++result.rollbacks;
+          if (scheduler) {
+            scheduler->SetEpoch(cursor.epoch);
+          } else {
+            optimizer.set_lr(config.lr);
+          }
+          optimizer.set_lr(optimizer.lr() * cursor.lr_scale);
+          cursor.lr = optimizer.lr();
+          LIPF_LOG(Warning) << model->name() << ": " << consecutive_bad
+                            << " consecutive non-finite steps; rolled back to"
+                            << " epoch " << cursor.epoch << " batch "
+                            << cursor.batch << ", lr -> " << cursor.lr;
+          consecutive_bad = 0;
+          rolled_back = true;
+          break;
+        }
+      } else {
+        consecutive_bad = 0;
+        if (config.clip_norm > 0.0f && grad_norm > config.clip_norm &&
+            grad_norm > 0.0f) {
+          ScaleGradients(optimizer.params(), config.clip_norm / grad_norm);
+        }
+        optimizer.Step();
+        epoch_loss += loss_value;
+        fault::OnOptimizerStep(cursor.global_step);
+      }
       ++batches;
-      if (config.max_batches_per_epoch > 0 &&
-          batches >= config.max_batches_per_epoch) {
-        break;
+      cursor.batch = batches;
+      cursor.epoch_loss = epoch_loss;
+
+      if (InterruptRequested()) {
+        // Graceful stop after the in-flight step: persist a mid-epoch
+        // snapshot (with the epoch-START loader stream, so Reset() on
+        // resume regenerates this epoch's order) and return without the
+        // best-weights restore or test eval.
+        result.interrupted = true;
+        if (!config.snapshot_path.empty()) {
+          TrainState s =
+              CaptureTrainState(model, best_params, optimizer, stopper,
+                                *train_loader.mutable_rng(), cursor);
+          s.loader_rng = stable.loader_rng;
+          const Status st = SaveTrainState(config.snapshot_path, s);
+          if (st.ok()) {
+            LIPF_LOG(Info) << model->name() << " interrupted at epoch "
+                           << epoch << " batch " << batches
+                           << "; snapshot written to "
+                           << config.snapshot_path;
+          } else {
+            LIPF_LOG(Warning) << "interrupt snapshot write failed: "
+                              << st.ToString();
+          }
+        } else {
+          LIPF_LOG(Warning) << model->name()
+                            << " interrupted with no snapshot path;"
+                            << " progress is lost";
+        }
+        result.total_seconds = SecondsSince(t0);
+        result.seconds_per_epoch =
+            result.epochs_run > 0
+                ? result.total_seconds /
+                      static_cast<double>(result.epochs_run)
+                : 0.0;
+        result.best_val_loss = stopper.best_score();
+        return result;
       }
+    }
+    if (rolled_back) {
+      epoch = cursor.epoch;
+      resume_skip = cursor.batch;
+      continue;
     }
     ++result.epochs_run;
 
@@ -108,7 +298,7 @@ TrainResult TrainAndEvaluate(Forecaster* model, const WindowDataset& data,
     if (config.verbose) {
       LIPF_LOG(Info) << model->name() << " epoch " << epoch << " train_loss="
                      << (batches > 0 ? epoch_loss / batches : 0.0)
-                     << " val_mse=" << val.mse;
+                     << " val_mse=" << val.mse << " lr=" << optimizer.lr();
     }
     if (stopper.Update(val.mse)) {
       best_params = SnapshotParameters(model);
@@ -119,7 +309,31 @@ TrainResult TrainAndEvaluate(Forecaster* model, const WindowDataset& data,
         }
       }
     }
-    if (stopper.ShouldStop()) break;
+    if (scheduler) {
+      scheduler->Step();
+      optimizer.set_lr(optimizer.lr() * cursor.lr_scale);
+      cursor.lr = optimizer.lr();
+    }
+    cursor.epochs_run = result.epochs_run;
+    cursor.nonfinite_steps = result.nonfinite_steps;
+    cursor.rollbacks = result.rollbacks;
+    ++epoch;
+  }
+
+  // Final snapshot: a finished run's snapshot resumes straight to the
+  // best-restore + test eval below, so re-running --resume after
+  // completion is idempotent.
+  if (!config.snapshot_path.empty()) {
+    cursor.epoch = epoch;
+    cursor.batch = 0;
+    cursor.epoch_loss = 0.0;
+    const Status st = SaveTrainState(
+        config.snapshot_path,
+        CaptureTrainState(model, best_params, optimizer, stopper,
+                          *train_loader.mutable_rng(), cursor));
+    if (!st.ok()) {
+      LIPF_LOG(Warning) << "final snapshot write failed: " << st.ToString();
+    }
   }
 
   result.total_seconds = SecondsSince(t0);

@@ -5,11 +5,19 @@
 #include <limits>
 #include <string>
 
+#include "common/status.h"
 #include "data/dataloader.h"
 #include "models/forecaster.h"
 #include "train/losses.h"
 
 namespace lipformer {
+
+// Per-epoch learning-rate schedule applied on top of TrainConfig::lr.
+enum class LrScheduleKind {
+  kNone,    // constant lr
+  kCosine,  // cosine decay to 0 over `epochs`
+  kStep,    // halve every max(1, epochs/3) epochs
+};
 
 struct TrainConfig {
   int64_t epochs = 10;
@@ -30,6 +38,29 @@ struct TrainConfig {
   // When non-empty, the best-validation parameters are also written here
   // every time validation improves (binary Module::SaveParameters format).
   std::string checkpoint_path;
+
+  // ---- Crash safety (DESIGN.md "Fault tolerance") ----
+  // When non-empty, a full training-state snapshot (weights, AdamW
+  // moments, early-stopping state, RNG streams, epoch/batch cursors) is
+  // written here atomically at the start of every `snapshot_every`-th
+  // epoch, after the in-flight step on SIGINT/SIGTERM, and once more when
+  // the epoch loop finishes.
+  std::string snapshot_path;
+  int64_t snapshot_every = 1;
+  // When non-empty, training state is restored from this snapshot before
+  // the first epoch. With an identical config the run then continues
+  // bitwise identically to an uninterrupted run with the same seed.
+  std::string resume_path;
+  LrScheduleKind lr_schedule = LrScheduleKind::kNone;
+  // Non-finite guard: a step whose loss or global gradient norm is
+  // NaN/Inf is skipped and counted; after this many consecutive bad
+  // steps the trainer rolls back to the last stable state with the
+  // learning rate halved.
+  int64_t nonfinite_patience = 3;
+  // Install SIGINT/SIGTERM handlers and stop gracefully after the
+  // in-flight step (the CLI sets this; library callers and tests arm
+  // fault injection instead).
+  bool handle_signals = false;
 };
 
 // NaN means "no data": an evaluation over a split that yields zero batches
@@ -47,6 +78,15 @@ struct TrainResult {
   double seconds_per_epoch = 0.0;
   double total_seconds = 0.0;
   EvalResult test;
+  // Crash-safety accounting. `status` is non-OK when --resume failed
+  // (bad path, corrupt or mismatched snapshot) and no training ran.
+  Status status;
+  int64_t nonfinite_steps = 0;  // optimizer steps skipped by the guard
+  int64_t rollbacks = 0;        // rollbacks after nonfinite_patience runs
+  // True when training stopped early on SIGINT/SIGTERM. The model then
+  // holds the mid-run (not best-validation) weights and `test` was not
+  // evaluated; resume from the snapshot to finish the run.
+  bool interrupted = false;
 };
 
 // Evaluates a model (eval mode, no grad) over a split.
@@ -55,7 +95,9 @@ EvalResult Evaluate(Forecaster* model, const WindowDataset& data, Split split,
 
 // Full training protocol from the paper: AdamW, SmoothL1 loss, early
 // stopping with patience on validation MSE, best-validation weights
-// restored before the final test evaluation.
+// restored before the final test evaluation. Crash safety (snapshots,
+// exact resume, non-finite guard, graceful interrupt) is controlled by
+// the TrainConfig fields above.
 TrainResult TrainAndEvaluate(Forecaster* model, const WindowDataset& data,
                              const TrainConfig& config);
 

@@ -1,3 +1,4 @@
+#include <csignal>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
@@ -7,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/interrupt.h"
 #include "nn/linear.h"
 #include "serve/batcher.h"
 #include "serve/checkpoint.h"
@@ -500,6 +502,35 @@ TEST_F(SessionTest, BatcherRejectsWrongShapeImmediately) {
   auto r = f.get();
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+// The serve loop's graceful shutdown (cli.cc CmdServe): SIGTERM flips the
+// interrupt flag that stops the accept loop, and everything already
+// submitted still drains through the batcher and resolves.
+TEST_F(SessionTest, SigtermStopsAcceptingButDrainsInFlightRequests) {
+  ClearInterrupt();
+  InstallInterruptHandlers();
+  auto opened = serve::InferenceSession::Open(path_);
+  ASSERT_TRUE(opened.ok());
+  serve::Batcher batcher(opened.value().get(), {});
+
+  std::vector<std::future<Result<Tensor>>> pending;
+  for (int i = 0; i < 8; ++i) {
+    pending.push_back(batcher.Submit(RandomTensor({24, 2}, 500 + i)));
+  }
+  // One signal only: the handlers are one-shot (SA_RESETHAND), a second
+  // SIGTERM would kill the test binary by design.
+  ASSERT_EQ(raise(SIGTERM), 0);
+  EXPECT_TRUE(InterruptRequested());
+
+  for (auto& f : pending) {
+    Result<Tensor> r = f.get();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r.value().shape(), (Shape{6, 2}));
+  }
+  batcher.Shutdown();
+  EXPECT_EQ(batcher.Stats().completed, 8);
+  ClearInterrupt();
 }
 
 }  // namespace

@@ -19,6 +19,7 @@
 #include <string>
 
 #include "cli/cli.h"
+#include "common/atomic_file.h"
 #include "models/factory.h"
 #include "serve/session.h"
 
@@ -30,7 +31,7 @@ int Usage() {
                "usage: checkpoint_convert --in=FILE --out=FILE "
                "--model=NAME --input=N --horizon=N --channels=N\n"
                "    [--hidden=N] [--heads=N] [--layers=N] [--patch=N]\n"
-               "    [--num-covariates=N] [--seed=N] [--bundle]\n"
+               "    [--num-covariates=N] [--seed=N] [--bundle] [--force]\n"
                "see the header of tools/checkpoint_convert.cc\n");
   return 2;
 }
@@ -41,7 +42,7 @@ int Run(int argc, char** argv) {
   static const char* kKnown[] = {"in",     "out",   "model",  "input",
                                  "horizon", "channels", "hidden", "heads",
                                  "layers", "patch", "num-covariates",
-                                 "seed",   "dropout", "bundle"};
+                                 "seed",   "dropout", "bundle", "force"};
   for (const auto& [key, value] : args.options) {
     bool known = false;
     for (const char* k : kKnown) {
@@ -63,6 +64,16 @@ int Run(int argc, char** argv) {
       std::fprintf(stderr, "error: missing --%s\n", required);
       return Usage();
     }
+  }
+
+  // Converting over an existing checkpoint is destructive; require an
+  // explicit --force.
+  if (!args.Has("force") && PathExists(args.Get("out", ""))) {
+    std::fprintf(stderr,
+                 "error: --out target '%s' already exists; pass --force to "
+                 "overwrite\n",
+                 args.Get("out", "").c_str());
+    return 1;
   }
 
   const std::string model_name = args.Get("model", "");
