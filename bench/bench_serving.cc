@@ -9,10 +9,17 @@
 //   bench_serving [--requests=N] [--threads=N] [--clients=N]
 //                 [--max-batch=N] [--json=FILE]
 //
+// A third phase quantizes the bundle to int8 (serve/quantize.h) and
+// replays the serial workload through the quantized session, verifying
+// its own batched == serial bitwise identity and reporting the int8 /
+// fp32 serial speedup that check_perf.sh gates.
+//
 // JSON output (consumed by check_perf.sh):
 //   {"single_rps": ..., "batched16_rps": ..., "speedup": ...,
-//    "p50_us": ..., "p99_us": ...}
+//    "p50_us": ..., "p99_us": ..., "p999_us": ...,
+//    "quant_single_rps": ..., "quant_speedup": ...}
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -26,6 +33,7 @@
 #include "data/scaler.h"
 #include "models/factory.h"
 #include "serve/batcher.h"
+#include "serve/quantize.h"
 #include "serve/session.h"
 
 namespace lipformer {
@@ -170,20 +178,87 @@ int Run(int argc, char** argv) {
     }
   }
 
+  // Quantized phase: int8 bundle, same serial workload. Row-wise
+  // activation scales keep the quantized session's own batched == serial
+  // identity, checked here on one batch before timing.
+  const std::string quant_path = "/tmp/lipformer_bench_serving_int8.ckpt";
+  st = serve::QuantizeBundleFile(bundle_path, quant_path, /*force=*/true);
+  if (!st.ok()) {
+    std::fprintf(stderr, "bundle quantize failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+  auto quant_or = serve::InferenceSession::Open(quant_path);
+  if (!quant_or.ok() || !quant_or.value()->quantized()) {
+    std::fprintf(stderr, "quantized bundle open failed: %s\n",
+                 quant_or.ok() ? "session is not quantized"
+                               : quant_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<serve::InferenceSession> quant =
+      std::move(quant_or.value());
+
+  const int64_t check = std::min<int64_t>(16, num_requests);
+  Tensor check_batch =
+      Tensor::Empty({check, dims.input_len, dims.channels});
+  for (int64_t i = 0; i < check; ++i) {
+    std::memcpy(check_batch.data() + i * dims.input_len * dims.channels,
+                requests[static_cast<size_t>(i)].data(),
+                static_cast<size_t>(dims.input_len * dims.channels) *
+                    sizeof(float));
+  }
+  auto check_or = quant->PredictBatch(check_batch);
+  if (!check_or.ok()) {
+    std::fprintf(stderr, "quantized batch predict failed: %s\n",
+                 check_or.status().ToString().c_str());
+    return 1;
+  }
+  int64_t quant_mismatches = 0;
+  const int64_t out_stride = dims.pred_len * dims.channels;
+  for (int64_t i = 0; i < check; ++i) {
+    auto single = quant->Predict(requests[static_cast<size_t>(i)]);
+    if (!single.ok() ||
+        std::memcmp(single.value().data(),
+                    check_or.value().data() + i * out_stride,
+                    static_cast<size_t>(out_stride) * sizeof(float)) != 0) {
+      ++quant_mismatches;
+    }
+  }
+
+  for (int i = 0; i < 4; ++i) (void)quant->Predict(requests[0]);
+  const auto quant_start = Clock::now();
+  for (const Tensor& request : requests) {
+    auto prediction = quant->Predict(request);
+    if (!prediction.ok()) {
+      std::fprintf(stderr, "quantized predict failed: %s\n",
+                   prediction.status().ToString().c_str());
+      return 1;
+    }
+  }
+  const double quant_seconds = SecondsSince(quant_start);
+  const double quant_rps =
+      static_cast<double>(num_requests) / quant_seconds;
+  const double quant_speedup = quant_rps / single_rps;
+
   const double speedup = batched_rps / single_rps;
   const double p50_us = stats.p50_latency_seconds * 1e6;
   const double p99_us = stats.p99_latency_seconds * 1e6;
+  const double p999_us = stats.p999_latency_seconds * 1e6;
   std::fprintf(stderr,
                "serial:  %6.1f req/s (%lld requests, %lld threads)\n"
                "batched: %6.1f req/s (%lld clients, max_batch %lld, "
-               "%lld batches, p50 %.0f us, p99 %.0f us)\n"
-               "speedup: %.2fx, mismatches: %lld, failures: %lld\n",
+               "%lld batches, p50 %.0f us, p99 %.0f us, p99.9 %.0f us)\n"
+               "int8:    %6.1f req/s (serial, %.2fx over fp32 serial)\n"
+               "speedup: %.2fx, mismatches: %lld (+%lld int8), "
+               "failures: %lld\n",
                single_rps, static_cast<long long>(num_requests),
                static_cast<long long>(threads), batched_rps,
                static_cast<long long>(clients),
                static_cast<long long>(max_batch),
-               static_cast<long long>(stats.batches), p50_us, p99_us, speedup,
+               static_cast<long long>(stats.batches), p50_us, p99_us,
+               p999_us, quant_rps, quant_speedup, speedup,
                static_cast<long long>(mismatches),
+               static_cast<long long>(quant_mismatches),
                static_cast<long long>(total_failures));
 
   if (!json_path.empty()) {
@@ -194,12 +269,15 @@ int Run(int argc, char** argv) {
     }
     std::fprintf(f,
                  "{\"single_rps\": %.3f, \"batched16_rps\": %.3f, "
-                 "\"speedup\": %.4f, \"p50_us\": %.1f, \"p99_us\": %.1f}\n",
-                 single_rps, batched_rps, speedup, p50_us, p99_us);
+                 "\"speedup\": %.4f, \"p50_us\": %.1f, \"p99_us\": %.1f, "
+                 "\"p999_us\": %.1f, \"quant_single_rps\": %.3f, "
+                 "\"quant_speedup\": %.4f}\n",
+                 single_rps, batched_rps, speedup, p50_us, p99_us, p999_us,
+                 quant_rps, quant_speedup);
     std::fclose(f);
   }
 
-  if (mismatches > 0 || total_failures > 0) {
+  if (mismatches > 0 || quant_mismatches > 0 || total_failures > 0) {
     std::fprintf(stderr,
                  "FAIL: batched outputs must be bitwise identical to "
                  "serial outputs\n");

@@ -9,14 +9,20 @@
 #
 # Also runs bench_serving (the micro-batching serving path). That binary
 # exits non-zero if any batched prediction is not bitwise identical to the
-# serial prediction of the same window, so correctness gates on every run.
-# Throughput gates against results/BENCH_serving.json: batched and single
-# rps must stay within the threshold of the recorded baseline, and the
+# serial prediction of the same window — including the int8 quantized
+# session's — so correctness gates on every run. Throughput gates against
+# results/BENCH_serving.json: batched, single and quantized-single rps
+# must stay within the threshold of the recorded baseline, and the
 # batched/single speedup must reach 2x on machines with >= 4 cores (the
 # batcher's win comes from giving the thread pool a batch dimension to
 # parallelize; on the 1-core container that records the committed
 # baseline the speedup floor is amortization-only, ~1x — see
-# DESIGN.md "Serving architecture" for the profile).
+# DESIGN.md "Serving architecture" for the profile). The int8/fp32
+# serial speedup has its own floor on machines with AVX512-VNNI (where
+# the int8 GEMM actually runs packed dot-products); without VNNI the
+# portable fallback is a correctness path and the speedup is only
+# reported. p99.9 is reported but not gated: at 256 requests it is the
+# max, which is scheduler noise, not code.
 #
 # Usage:
 #   scripts/check_perf.sh            # compare against the baseline
@@ -166,16 +172,22 @@ if failures:
 print(f"\nperf check passed ({compared} benchmarks within {threshold}x)")
 EOF
 
+HAS_VNNI=0
+if grep -q avx512_vnni /proc/cpuinfo 2>/dev/null; then
+  HAS_VNNI=1
+fi
+
 echo "== comparing serving throughput against ${SERVING_BASELINE}" \
      "(threshold ${THRESHOLD}x)"
 python3 - "${SERVING_BASELINE}" "${SERVING_OUT}" "${THRESHOLD}" \
-    "$(nproc)" <<'EOF'
+    "$(nproc)" "${HAS_VNNI}" <<'EOF'
 import json
 import sys
 
-baseline_path, run_path, threshold, cores = sys.argv[1:5]
+baseline_path, run_path, threshold, cores, has_vnni = sys.argv[1:6]
 threshold = float(threshold)
 cores = int(cores)
+has_vnni = has_vnni == "1"
 
 with open(baseline_path) as f:
     base = json.load(f)
@@ -185,7 +197,7 @@ with open(run_path) as f:
 failures = []
 
 # Throughput must not regress past the threshold (rps: higher is better).
-for key in ("single_rps", "batched16_rps"):
+for key in ("single_rps", "batched16_rps", "quant_single_rps"):
     ratio = base[key] / max(run[key], 1e-9)
     mark = "FAIL" if ratio > threshold else "ok"
     print(f"  {mark:4} {key}: {base[key]:.1f} -> {run[key]:.1f} rps "
@@ -200,6 +212,8 @@ print(f"  {mark:4} p99: {base['p99_us']:.0f} -> {run['p99_us']:.0f} us "
       f"({ratio:.2f}x)")
 if ratio > threshold:
     failures.append(f"p99 latency: {ratio:.2f}x over baseline")
+print(f"  info p99.9: {base['p999_us']:.0f} -> {run['p999_us']:.0f} us "
+      "(reported, not gated)")
 
 # The batching speedup itself: the batcher's win is the batch dimension it
 # hands the thread pool, so the 2x requirement only holds where there are
@@ -214,6 +228,22 @@ if run["speedup"] < floor:
     failures.append(
         f"batching speedup {run['speedup']:.2f}x under the {floor:.1f}x "
         f"floor for {cores} cores")
+
+# The int8 serial path must actually be faster than fp32 serial where the
+# VNNI micro-kernel runs; the portable fallback only promises identical
+# answers, not speed, so without VNNI this is report-only.
+if has_vnni:
+    qfloor = 1.05
+    mark = "FAIL" if run["quant_speedup"] < qfloor else "ok"
+    print(f"  {mark:4} quant_speedup: {run['quant_speedup']:.2f}x "
+          f"(floor {qfloor:.2f}x, AVX512-VNNI present)")
+    if run["quant_speedup"] < qfloor:
+        failures.append(
+            f"int8 speedup {run['quant_speedup']:.2f}x under the "
+            f"{qfloor:.2f}x floor")
+else:
+    print(f"  info quant_speedup: {run['quant_speedup']:.2f}x "
+          "(no AVX512-VNNI: reported, not gated)")
 
 if failures:
     print("\nserving perf check FAILED:")

@@ -1,5 +1,7 @@
 #include "cli/cli.h"
 
+#include "common/parse.h"
+
 // Command-line front end for the library.
 //
 //   lipformer_cli list
@@ -116,24 +118,14 @@ const OptionSpec* FindOptionSpec(const std::string& key) {
 
 }  // namespace
 
+// Thin wrappers over the shared strict parsers (common/parse.h), kept so
+// existing cli:: call sites and tests are untouched.
 bool ParseInt64(const std::string& s, int64_t* out) {
-  if (s.empty()) return false;
-  errno = 0;
-  char* end = nullptr;
-  const long long value = std::strtoll(s.c_str(), &end, 10);
-  if (errno != 0 || end != s.c_str() + s.size()) return false;
-  *out = value;
-  return true;
+  return lipformer::ParseInt64(s, out);
 }
 
 bool ParseDouble(const std::string& s, double* out) {
-  if (s.empty()) return false;
-  errno = 0;
-  char* end = nullptr;
-  const double value = std::strtod(s.c_str(), &end);
-  if (errno != 0 || end != s.c_str() + s.size()) return false;
-  *out = value;
-  return true;
+  return lipformer::ParseDouble(s, out);
 }
 
 std::string CliArgs::Get(const std::string& key,
@@ -671,11 +663,12 @@ int CmdServe(const CliArgs& args) {
   const serve::BatcherStats stats = batcher.Stats();
   std::fprintf(stderr,
                "served %lld requests in %lld batches (p50 %.3f ms, "
-               "p99 %.3f ms, %lld rejected, %lld expired)\n",
+               "p99 %.3f ms, p99.9 %.3f ms, %lld rejected, %lld expired)\n",
                static_cast<long long>(stats.completed),
                static_cast<long long>(stats.batches),
                stats.p50_latency_seconds * 1e3,
                stats.p99_latency_seconds * 1e3,
+               stats.p999_latency_seconds * 1e3,
                static_cast<long long>(stats.rejected_full),
                static_cast<long long>(stats.expired));
   return 0;

@@ -1,0 +1,40 @@
+#include "common/parse.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace lipformer {
+
+bool ParseInt64(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(s.c_str(), &end, 10);
+  // errno catches ERANGE (strtoll returned a clamped LLONG_MIN/MAX, not
+  // the spelled value); the end-pointer check catches partial consumption.
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseFloat(const std::string& s, float* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const float value = std::strtof(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace lipformer

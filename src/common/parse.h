@@ -1,0 +1,30 @@
+#ifndef LIPFORMER_COMMON_PARSE_H_
+#define LIPFORMER_COMMON_PARSE_H_
+
+#include <cstdint>
+#include <string>
+
+// Strict string-to-number parsing shared by the CLI front end and the
+// serving bundle metadata loader. "Strict" means: the whole string must
+// be consumed, and out-of-range values are an error instead of silently
+// clamping (strtoll saturates to LLONG_MAX and only reports it through
+// errno, which naive call sites ignore — exactly the bug that let a
+// bundle with hidden_dim=99999999999999999999 pass validation).
+
+namespace lipformer {
+
+// Base-10 integer; rejects empty strings, trailing junk and values
+// outside int64. `*out` is untouched on failure.
+bool ParseInt64(const std::string& s, int64_t* out);
+
+// Rejects empty strings, trailing junk ("0.1garbage"), and overflow to
+// +/-inf. "inf"/"nan" spellings parse (strtod accepts them); callers
+// range-check for their domain.
+bool ParseDouble(const std::string& s, double* out);
+
+// Like ParseDouble but float-width (overflow past FLT_MAX is an error).
+bool ParseFloat(const std::string& s, float* out);
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_COMMON_PARSE_H_

@@ -1,8 +1,17 @@
 #include "nn/linear.h"
 
 #include <cmath>
+#include <cstring>
+
+#include "common/thread_pool.h"
+#include "tensor/ops.h"
+#include "tensor/storage_pool.h"
 
 namespace lipformer {
+
+namespace {
+inline int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
+}  // namespace
 
 Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng, bool bias)
     : in_features_(in_features),
@@ -25,10 +34,82 @@ Variable Linear::Forward(const Variable& x) const {
   return Forward(x, Activation::kNone);
 }
 
+Status Linear::AttachQuantizedWeights(const std::vector<int8_t>& w8,
+                                      const Tensor& scale) {
+  if (scale.numel() != out_features_) {
+    return Status::InvalidArgument(
+        "quantized scale has " + std::to_string(scale.numel()) +
+        " entries, Linear has " + std::to_string(out_features_) +
+        " output features");
+  }
+  if (static_cast<int64_t>(w8.size()) != in_features_ * out_features_) {
+    return Status::InvalidArgument(
+        "quantized weight has " + std::to_string(w8.size()) +
+        " entries, Linear expects " +
+        std::to_string(in_features_ * out_features_));
+  }
+  auto state = std::make_unique<QuantState>();
+  state->packed = PackInt8Weight(w8.data(), in_features_, out_features_);
+  state->scale = scale.Clone();
+  // Keep the fp32 parameter in sync so a grad-enabled forward (or a
+  // re-save of the module) sees the same function the int8 path computes.
+  DequantizeWeightPerChannel(w8.data(), scale.data(), in_features_,
+                             out_features_,
+                             weight_.mutable_value().data());
+  quant_ = std::move(state);
+  return Status::OK();
+}
+
+Tensor Linear::QuantizedMatMul(const Tensor& x) const {
+  const int64_t in = in_features_;
+  const int64_t out = out_features_;
+  const int64_t m = x.numel() / in;
+  Shape out_shape = x.shape();
+  out_shape.back() = out;
+  Tensor y = Tensor::Empty(std::move(out_shape));
+  if (m == 0) return y;
+
+  // Row-quantize the activations. int8 rows live in reinterpreted pooled
+  // float storage (4 bytes per float); row scales in their own block.
+  Storage a8_storage = Storage::Acquire(CeilDiv(m * in, 4));
+  Storage row_scale_storage = Storage::Acquire(m);
+  int8_t* a8 = reinterpret_cast<int8_t*>(a8_storage.data());
+  float* row_scale = row_scale_storage.data();
+  const float* xd = x.data();
+  ParallelFor(m, /*grain=*/CeilDiv(4096, in), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      row_scale[r] = QuantizeRowDynamic(xd + r * in, in, a8 + r * in);
+    }
+  });
+
+  // Exact int32 GEMM, then dequantize with the separable scale
+  // row_scale[r] * col_scale[j].
+  Storage c32_storage = Storage::Acquire(m * out);  // int32 == float width
+  int32_t* c32 = reinterpret_cast<int32_t*>(c32_storage.data());
+  Int8GemmBlocked(a8, quant_->packed, m, c32);
+  AddMacCount(m * out * in);
+
+  const float* col_scale = quant_->scale.data();
+  float* yd = y.data();
+  ParallelFor(m, /*grain=*/CeilDiv(8192, out), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float sr = row_scale[r];
+      const int32_t* crow = c32 + r * out;
+      float* yrow = yd + r * out;
+      for (int64_t j = 0; j < out; ++j) {
+        yrow[j] = static_cast<float>(crow[j]) * (sr * col_scale[j]);
+      }
+    }
+  });
+  return y;
+}
+
 Variable Linear::Forward(const Variable& x, Activation act) const {
   LIPF_CHECK_EQ(x.size(-1), in_features_)
       << "Linear expects last dim " << in_features_;
-  Variable y = MatMul(x, weight_);
+  const bool use_quant = quant_ != nullptr && !training() && !GradEnabled();
+  Variable y = use_quant ? Variable(QuantizedMatMul(x.value()))
+                         : MatMul(x, weight_);
   if (!has_bias_) return ApplyActivation(y, act);
   switch (act) {
     case Activation::kNone:

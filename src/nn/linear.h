@@ -1,10 +1,12 @@
 #ifndef LIPFORMER_NN_LINEAR_H_
 #define LIPFORMER_NN_LINEAR_H_
 
+#include <memory>
 #include <vector>
 
 #include "nn/activations.h"
 #include "nn/module.h"
+#include "tensor/gemm_int8.h"
 
 namespace lipformer {
 
@@ -12,6 +14,15 @@ namespace lipformer {
 // y [..., out]. Weight layout is [in, out] so the forward is a plain
 // matmul. Initialization follows the fan-in uniform rule U(-1/sqrt(in),
 // 1/sqrt(in)).
+//
+// Quantized serving: AttachQuantizedWeights installs prepacked
+// per-channel int8 weights (loaded from an int8 serving bundle, see
+// serve/quantize.h). While attached, eval-mode forwards under NoGradGuard
+// run the int8 path — activations quantized row-wise on the fly,
+// int8 x int8 -> int32 GEMM, dequantize + fp32 bias/activation epilogue.
+// Training-mode or grad-enabled forwards keep using the fp32 weight (the
+// bundle loader fills it with the dequantized values), so autograd never
+// sees the integer path.
 class Linear : public Module {
  public:
   Linear(int64_t in_features, int64_t out_features, Rng& rng,
@@ -23,17 +34,36 @@ class Linear : public Module {
   // unfused activation after the fused bias-add).
   Variable Forward(const Variable& x, Activation act) const;
 
+  // w8: [in, out] row-major per-channel symmetric int8 weight, scale:
+  // [out] fp32 per-output-channel scales. Also overwrites the fp32
+  // weight parameter with the dequantized values so both execution paths
+  // describe the same (quantized) function. InvalidArgument on shape
+  // mismatch.
+  Status AttachQuantizedWeights(const std::vector<int8_t>& w8,
+                                const Tensor& scale);
+  bool has_quantized_weights() const { return quant_ != nullptr; }
+
   int64_t in_features() const { return in_features_; }
   int64_t out_features() const { return out_features_; }
   const Variable& weight() const { return weight_; }
   const Variable& bias() const { return bias_; }
 
  private:
+  struct QuantState {
+    Int8PackedWeight packed;  // prepacked at attach time
+    Tensor scale;             // [out]
+  };
+
+  // x [..., in] -> [..., out]: row-wise dynamic activation quantization,
+  // Int8GemmBlocked, per-element dequantize (no bias/activation).
+  Tensor QuantizedMatMul(const Tensor& x) const;
+
   int64_t in_features_;
   int64_t out_features_;
   bool has_bias_;
   Variable weight_;
   Variable bias_;
+  std::unique_ptr<QuantState> quant_;
 };
 
 // Multi-layer perceptron: Linear -> act -> ... -> Linear. `dims` lists

@@ -39,6 +39,23 @@ void Module::CollectParameters(
   }
 }
 
+std::vector<std::pair<std::string, Module*>> Module::NamedModules() {
+  std::vector<std::pair<std::string, Module*>> out;
+  // Iterative depth-first walk matching CollectParameters' ordering.
+  std::vector<std::pair<std::string, Module*>> stack{{"", this}};
+  while (!stack.empty()) {
+    auto [prefix, module] = stack.back();
+    stack.pop_back();
+    out.emplace_back(prefix, module);
+    for (auto it = module->children_.rbegin(); it != module->children_.rend();
+         ++it) {
+      stack.emplace_back(
+          prefix.empty() ? it->first : prefix + "." + it->first, it->second);
+    }
+  }
+  return out;
+}
+
 std::vector<std::pair<std::string, Rng*>> Module::NamedRngs() {
   std::vector<std::pair<std::string, Rng*>> out;
   CollectRngs("", &out);

@@ -66,6 +66,12 @@ class Module {
   // trailing bytes.
   Status LoadParametersLegacyV1(const std::string& path);
 
+  // This module and every (transitive) child, depth-first, paired with
+  // the child-module path ("" for this module itself) that prefixes its
+  // parameter names in ParameterNames(). Used by the serving quantizer to
+  // locate the nn::Linear modules owning each "<path>.weight" parameter.
+  std::vector<std::pair<std::string, Module*>> NamedModules();
+
   // Live RNG streams of this module tree (e.g. per-Dropout mask streams),
   // named by child-module path like ParameterNames(). Exact training
   // resume serializes them: a mid-run snapshot that restored weights but

@@ -48,6 +48,8 @@ std::future<Result<Tensor>> Batcher::Submit(
   }
   std::future<Result<Tensor>> future = request.promise.get_future();
 
+  std::vector<Request> swept;
+  bool accepted = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutdown_) {
@@ -56,17 +58,57 @@ std::future<Result<Tensor>> Batcher::Submit(
       return rejected_future;
     }
     if (static_cast<int64_t>(queue_.size()) >= options_.queue_capacity) {
-      ++rejected_full_;
-      rejected.set_value(Status::Unavailable(
-          "serving queue full (" + std::to_string(options_.queue_capacity) +
-          " pending requests); retry later"));
-      return rejected_future;
+      // A queue pinned at capacity by already-expired requests must not
+      // bounce fresh work: those entries can never occupy batch slots
+      // (RunOneBatch discards them), so evict them here instead of
+      // waiting for the worker to reach them.
+      swept = SweepExpiredLocked(Clock::now());
     }
-    ++submitted_;
-    queue_.push_back(std::move(request));
+    if (static_cast<int64_t>(queue_.size()) >= options_.queue_capacity) {
+      ++rejected_full_;
+    } else {
+      ++submitted_;
+      queue_.push_back(std::move(request));
+      accepted = true;
+    }
+  }
+  // Fulfill outside mu_ so a caller blocked on one of these futures never
+  // contends with the worker for the queue lock on wake-up.
+  for (Request& stale : swept) {
+    stale.promise.set_value(Status::DeadlineExceeded(
+        "request expired before its batch was executed"));
+  }
+  if (!accepted) {
+    rejected.set_value(Status::Unavailable(
+        "serving queue full (" + std::to_string(options_.queue_capacity) +
+        " pending requests); retry later"));
+    return rejected_future;
   }
   cv_.notify_all();
   return future;
+}
+
+int64_t Batcher::LiveQueueCountLocked(Clock::time_point now) const {
+  int64_t live = 0;
+  for (const Request& request : queue_) {
+    if (!request.has_deadline || now < request.deadline) ++live;
+  }
+  return live;
+}
+
+std::vector<Batcher::Request> Batcher::SweepExpiredLocked(
+    Clock::time_point now) {
+  std::vector<Request> swept;
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->has_deadline && now >= it->deadline) {
+      swept.push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  expired_ += static_cast<int64_t>(swept.size());
+  return swept;
 }
 
 void Batcher::Shutdown() {
@@ -94,8 +136,11 @@ void Batcher::WorkerLoop() {
       // On shutdown the remaining queue is executed immediately.
       const auto wait_until = Clock::now() + options_.max_delay;
       cv_.wait_until(lock, wait_until, [this] {
+        // Count only live requests: expired entries are discarded by
+        // RunOneBatch, so treating them as occupants would cut the
+        // coalescing wait short and fire an under-filled batch.
         return shutdown_ ||
-               static_cast<int64_t>(queue_.size()) >= options_.max_batch_size;
+               LiveQueueCountLocked(Clock::now()) >= options_.max_batch_size;
       });
     }
     RunOneBatch(&lock);
@@ -183,6 +228,7 @@ BatcherStats Batcher::Stats() const {
   if (latency_.count() > 0) {
     stats.p50_latency_seconds = latency_.Percentile(50.0);
     stats.p99_latency_seconds = latency_.Percentile(99.0);
+    stats.p999_latency_seconds = latency_.Percentile(99.9);
   }
   return stats;
 }

@@ -51,6 +51,7 @@ struct BatcherStats {
   int64_t batches = 0;         // batched Forward calls
   double p50_latency_seconds = 0;  // submit -> completion
   double p99_latency_seconds = 0;
+  double p999_latency_seconds = 0;  // tail beyond p99: batching stalls
   // histogram[s] = number of executed batches of size s+1
   // (index 0 = size 1 ... index max_batch_size-1 = full batches).
   std::vector<int64_t> batch_size_histogram;
@@ -92,6 +93,16 @@ class Batcher {
   // Pops up to max_batch_size requests (expiring stale ones) and answers
   // them with one PredictBatch. Returns false when queue was empty.
   bool RunOneBatch(std::unique_lock<std::mutex>* lock);
+
+  // Queued requests whose deadline has not passed at `now` — the ones
+  // that can actually occupy batch slots. Requires mu_ held.
+  int64_t LiveQueueCountLocked(std::chrono::steady_clock::time_point now)
+      const;
+  // Removes expired requests from the queue and bumps expired_; requires
+  // mu_ held. The caller must fail the returned promises with
+  // DeadlineExceeded after releasing mu_.
+  std::vector<Request> SweepExpiredLocked(
+      std::chrono::steady_clock::time_point now);
 
   InferenceSession* session_;
   BatcherOptions options_;

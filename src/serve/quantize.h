@@ -1,0 +1,61 @@
+#ifndef LIPFORMER_SERVE_QUANTIZE_H_
+#define LIPFORMER_SERVE_QUANTIZE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+// Offline bundle quantizer (DESIGN.md "Quantized inference"): converts a
+// fp32 serving bundle (serve/session.h) into an int8 variant of the same
+// checkpoint-v2 format. Every nn::Linear weight [in, out] is replaced by
+// two reserved tensors in the "__quant__." namespace:
+//
+//   __quant__.<param>.w8     int8 values byte-packed into a float tensor
+//                            of shape {ceil(in*out / 4)} (raw bytes, no
+//                            float interpretation — the v2 container only
+//                            carries float payloads)
+//   __quant__.<param>.scale  fp32 per-output-channel scales, shape {out}
+//
+// and the metadata gains quantized=int8. Biases, norm parameters, the
+// fitted scaler and all other tensors stay fp32 and are copied through
+// unchanged. InferenceSession::Open recognizes the metadata flag and
+// loads the int8 path transparently; the `quantize_bundle` tool is the
+// CLI front end.
+//
+// Not every Linear is worth quantizing: below kQuantMinLinearDim in
+// either dimension the per-row activation-quantize pass and the kGemmNR
+// column-panel padding cost more than the int8 micro-kernel saves
+// (LiPFormer's patch head is Linear(n_patches -> n_target_patches),
+// e.g. 7 -> 2). Such layers are copied through as fp32 and served by
+// the fp32 GEMM; the decision is a pure function of the weight shape,
+// so batched and serial inference still take identical code paths.
+
+namespace lipformer {
+namespace serve {
+
+// Metadata key/value marking an int8 bundle.
+inline constexpr char kMetaQuantized[] = "quantized";
+inline constexpr char kQuantSchemeInt8[] = "int8";
+
+// Linear weights with in_features or out_features below this stay fp32
+// (one kGemmNR column panel / one AVX-512 depth vector).
+inline constexpr int64_t kQuantMinLinearDim = 16;
+
+// Reserved tensor names for the quantized form of parameter `param`.
+std::string QuantWeightTensorName(const std::string& param);
+std::string QuantScaleTensorName(const std::string& param);
+
+// Reads the fp32 bundle at `in_path` (full per-tensor name/shape
+// verification against the architecture its metadata describes),
+// quantizes every Linear weight per-channel to int8, and writes the
+// quantized bundle to `out_path`. Fails with InvalidArgument when the
+// input is not a serving bundle or is already quantized, and when
+// `out_path` exists unless `force` is set.
+Status QuantizeBundleFile(const std::string& in_path,
+                          const std::string& out_path, bool force);
+
+}  // namespace serve
+}  // namespace lipformer
+
+#endif  // LIPFORMER_SERVE_QUANTIZE_H_

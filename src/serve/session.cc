@@ -1,12 +1,17 @@
 #include "serve/session.h"
 
-#include <cstdlib>
+#include <cstring>
+#include <map>
 #include <utility>
+#include <vector>
 
 #include "autograd/variable.h"
+#include "common/parse.h"
 #include "core/lipformer.h"
 #include "data/time_features.h"
 #include "data/window_dataset.h"
+#include "nn/linear.h"
+#include "serve/quantize.h"
 
 namespace lipformer {
 namespace serve {
@@ -27,19 +32,117 @@ constexpr char kMetaDropout[] = "dropout";
 constexpr char kMetaSeed[] = "seed";
 constexpr char kMetaNumCovariates[] = "num_covariates";
 
+inline int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
 Status ParseMetaInt(const Checkpoint& ckpt, const std::string& key,
                     int64_t* out) {
   const std::string value = ckpt.Meta(key, "");
   if (value.empty()) {
     return Status::InvalidArgument("bundle metadata missing '" + key + "'");
   }
-  char* end = nullptr;
-  const long long parsed = std::strtoll(value.c_str(), &end, 10);
-  if (end == value.c_str() || *end != '\0') {
+  // lipformer::ParseInt64 is strict: a value that overflows int64 (strtoll
+  // would silently clamp it to LLONG_MAX) or carries trailing junk is an
+  // error, not a garbage dimension.
+  if (!lipformer::ParseInt64(value, out)) {
     return Status::InvalidArgument("bundle metadata '" + key +
                                    "' is not an integer: " + value);
   }
-  *out = parsed;
+  return Status::OK();
+}
+
+Status ParseMetaFloat(const Checkpoint& ckpt, const std::string& key,
+                      const std::string& def, float* out) {
+  const std::string value = ckpt.Meta(key, def);
+  if (!lipformer::ParseFloat(value, out)) {
+    return Status::InvalidArgument("bundle metadata '" + key +
+                                   "' is not a number: " + value);
+  }
+  return Status::OK();
+}
+
+// Loads the parameters of an int8 bundle (serve/quantize.h): plain fp32
+// tensors fill their parameters directly, and each Linear weight is
+// reconstructed from its "__quant__.<name>.{w8,scale}" pair — attached
+// prepacked for the int8 forward and dequantized into the fp32 parameter.
+Status LoadQuantizedParameters(Forecaster* model, const Checkpoint& ckpt,
+                               const std::string& path) {
+  std::map<std::string, Linear*> linear_weights;
+  for (auto& [prefix, module] : model->NamedModules()) {
+    if (auto* lin = dynamic_cast<Linear*>(module)) {
+      linear_weights.emplace(prefix.empty() ? "weight" : prefix + ".weight",
+                             lin);
+    }
+  }
+
+  std::vector<std::string> names = model->ParameterNames();
+  std::vector<Variable> params = model->Parameters();
+  size_t quantized = 0;
+  for (size_t i = 0; i < names.size(); ++i) {
+    const std::string& name = names[i];
+    auto lin_it = linear_weights.find(name);
+    const CheckpointTensor* w8t =
+        lin_it != linear_weights.end()
+            ? ckpt.Find(QuantWeightTensorName(name))
+            : nullptr;
+    if (w8t != nullptr) {
+      Linear* lin = lin_it->second;
+      const CheckpointTensor* scale = ckpt.Find(QuantScaleTensorName(name));
+      if (scale == nullptr) {
+        return Status::InvalidArgument(
+            "quantized bundle " + path + " has " + QuantWeightTensorName(name) +
+            " but no matching scale tensor");
+      }
+      const int64_t numel = lin->in_features() * lin->out_features();
+      if (w8t->data.numel() != CeilDiv(numel, 4)) {
+        return Status::InvalidArgument(
+            "quantized weight for '" + name + "' in " + path + " has " +
+            std::to_string(w8t->data.numel()) + " packed floats, expected " +
+            std::to_string(CeilDiv(numel, 4)));
+      }
+      if (scale->data.numel() != lin->out_features()) {
+        return Status::InvalidArgument(
+            "quantized scale for '" + name + "' in " + path + " has " +
+            std::to_string(scale->data.numel()) + " entries, expected " +
+            std::to_string(lin->out_features()));
+      }
+      std::vector<int8_t> w8(static_cast<size_t>(numel));
+      std::memcpy(w8.data(), w8t->data.data(), w8.size());
+      LIPF_RETURN_IF_ERROR(lin->AttachQuantizedWeights(w8, scale->data));
+      ++quantized;
+      continue;
+    }
+    const CheckpointTensor* entry = ckpt.Find(name);
+    if (entry == nullptr) {
+      return Status::InvalidArgument("quantized bundle " + path +
+                                     " has no tensor named '" + name + "'");
+    }
+    if (!SameShape(entry->data.shape(), params[i].shape())) {
+      return Status::InvalidArgument(
+          "shape mismatch for parameter '" + name + "' in " + path +
+          ": checkpoint has " + ShapeToString(entry->data.shape()) +
+          ", module expects " + ShapeToString(params[i].shape()));
+    }
+    const float* src = entry->data.data();
+    std::copy(src, src + params[i].numel(),
+              params[i].mutable_value().data());
+  }
+  if (quantized == 0) {
+    return Status::InvalidArgument(
+        "bundle " + path +
+        " claims quantized=int8 but carries no __quant__ tensors");
+  }
+  // Every non-reserved tensor must have landed in a parameter; a surplus
+  // means the file belongs to a different architecture.
+  size_t plain = 0;
+  for (const CheckpointTensor& t : ckpt.tensors) {
+    if (t.name.rfind(kReservedTensorPrefix, 0) != 0) ++plain;
+  }
+  if (plain != names.size() - quantized) {
+    return Status::InvalidArgument(
+        "parameter count mismatch in " + path + ": checkpoint has " +
+        std::to_string(plain) + " fp32 tensors, module expects " +
+        std::to_string(names.size() - quantized));
+  }
   return Status::OK();
 }
 
@@ -91,62 +194,85 @@ Status SaveModelBundle(const std::string& path, const std::string& model_name,
   return WriteCheckpoint(path, ckpt);
 }
 
-Result<std::unique_ptr<InferenceSession>> InferenceSession::Open(
-    const std::string& path) {
-  Result<Checkpoint> loaded = ReadCheckpoint(path);
-  if (!loaded.ok()) return loaded.status();
-  const Checkpoint& ckpt = loaded.value();
+Status ParseBundleConfig(const Checkpoint& ckpt, const std::string& path,
+                         std::string* model_name, ForecasterDims* dims,
+                         ModelOptions* options) {
   if (ckpt.Meta(kMetaBundle, "") != "1") {
     return Status::InvalidArgument(
         path + " is a bare parameter checkpoint, not a serving bundle; "
         "re-save it with `lipformer_cli train --save=...` (which writes "
         "model config and scaler alongside the weights)");
   }
-
-  const std::string model_name = ckpt.Meta(kMetaModel, "");
-  ForecasterDims dims;
-  ModelOptions options;
+  *model_name = ckpt.Meta(kMetaModel, "");
   int64_t tmp = 0;
-  LIPF_RETURN_IF_ERROR(ParseMetaInt(ckpt, kMetaInputLen, &dims.input_len));
-  LIPF_RETURN_IF_ERROR(ParseMetaInt(ckpt, kMetaPredLen, &dims.pred_len));
-  LIPF_RETURN_IF_ERROR(ParseMetaInt(ckpt, kMetaChannels, &dims.channels));
-  LIPF_RETURN_IF_ERROR(ParseMetaInt(ckpt, kMetaPatchLen, &options.patch_len));
+  LIPF_RETURN_IF_ERROR(ParseMetaInt(ckpt, kMetaInputLen, &dims->input_len));
+  LIPF_RETURN_IF_ERROR(ParseMetaInt(ckpt, kMetaPredLen, &dims->pred_len));
+  LIPF_RETURN_IF_ERROR(ParseMetaInt(ckpt, kMetaChannels, &dims->channels));
   LIPF_RETURN_IF_ERROR(
-      ParseMetaInt(ckpt, kMetaHiddenDim, &options.hidden_dim));
-  LIPF_RETURN_IF_ERROR(ParseMetaInt(ckpt, kMetaNumHeads, &options.num_heads));
+      ParseMetaInt(ckpt, kMetaPatchLen, &options->patch_len));
   LIPF_RETURN_IF_ERROR(
-      ParseMetaInt(ckpt, kMetaNumLayers, &options.num_layers));
+      ParseMetaInt(ckpt, kMetaHiddenDim, &options->hidden_dim));
+  LIPF_RETURN_IF_ERROR(
+      ParseMetaInt(ckpt, kMetaNumHeads, &options->num_heads));
+  LIPF_RETURN_IF_ERROR(
+      ParseMetaInt(ckpt, kMetaNumLayers, &options->num_layers));
   LIPF_RETURN_IF_ERROR(ParseMetaInt(ckpt, kMetaSeed, &tmp));
-  options.seed = static_cast<uint64_t>(tmp);
+  options->seed = static_cast<uint64_t>(tmp);
   LIPF_RETURN_IF_ERROR(
-      ParseMetaInt(ckpt, kMetaNumCovariates, &options.num_covariates));
-  options.dropout =
-      std::strtof(ckpt.Meta(kMetaDropout, "0.1").c_str(), nullptr);
+      ParseMetaInt(ckpt, kMetaNumCovariates, &options->num_covariates));
+  LIPF_RETURN_IF_ERROR(
+      ParseMetaFloat(ckpt, kMetaDropout, "0.1", &options->dropout));
 
   bool known = false;
   for (const std::string& name : RegisteredModelNames()) {
-    if (name == model_name) known = true;
+    if (name == *model_name) known = true;
   }
   if (!known) {
     return Status::InvalidArgument("bundle " + path +
-                                   " names unknown model '" + model_name +
+                                   " names unknown model '" + *model_name +
                                    "'");
   }
-  if (dims.input_len <= 0 || dims.pred_len <= 0 || dims.channels <= 0) {
+  if (dims->input_len <= 0 || dims->pred_len <= 0 || dims->channels <= 0) {
     return Status::InvalidArgument("bundle " + path +
                                    " has non-positive dimensions");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<InferenceSession>> InferenceSession::Open(
+    const std::string& path) {
+  Result<Checkpoint> loaded = ReadCheckpoint(path);
+  if (!loaded.ok()) return loaded.status();
+  const Checkpoint& ckpt = loaded.value();
+
+  std::string model_name;
+  ForecasterDims dims;
+  ModelOptions options;
+  LIPF_RETURN_IF_ERROR(
+      ParseBundleConfig(ckpt, path, &model_name, &dims, &options));
+  const std::string quant_scheme = ckpt.Meta(kMetaQuantized, "");
+  if (!quant_scheme.empty() && quant_scheme != kQuantSchemeInt8) {
+    return Status::InvalidArgument("bundle " + path +
+                                   " uses unsupported quantization scheme '" +
+                                   quant_scheme + "'");
   }
 
   auto session = std::unique_ptr<InferenceSession>(new InferenceSession());
   session->model_name_ = model_name;
   session->num_covariates_ = options.num_covariates;
+  session->quantized_ = !quant_scheme.empty();
   session->model_ = CreateModel(model_name, dims, options);
   session->model_->SetTraining(false);
   session->model_->SetRequiresGrad(false);
-  // The per-tensor name/shape verification inside LoadParameters is what
+  // The per-tensor name/shape verification inside the loaders is what
   // makes the metadata trustworthy: a bundle whose weights belong to a
   // different architecture fails here, naming the offending parameter.
-  LIPF_RETURN_IF_ERROR(session->model_->LoadParameters(path));
+  if (session->quantized_) {
+    LIPF_RETURN_IF_ERROR(
+        LoadQuantizedParameters(session->model_.get(), ckpt, path));
+  } else {
+    LIPF_RETURN_IF_ERROR(session->model_->LoadParameters(path));
+  }
 
   const CheckpointTensor* mean = ckpt.Find(kScalerMeanTensor);
   const CheckpointTensor* std_t = ckpt.Find(kScalerStdTensor);

@@ -36,6 +36,16 @@ Status SaveModelBundle(const std::string& path, const std::string& model_name,
                        const ModelOptions& options, const Forecaster& model,
                        const StandardScaler& scaler);
 
+// Parses and validates the architecture metadata of a serving bundle:
+// bundle marker present, model name registered, dimensions positive, and
+// every value strictly parsed (out-of-range integers and trailing junk
+// are InvalidArgument, never silently clamped). `path` is used only for
+// error messages. Shared by InferenceSession::Open and the bundle
+// quantizer (serve/quantize.h).
+Status ParseBundleConfig(const Checkpoint& ckpt, const std::string& path,
+                         std::string* model_name, ForecasterDims* dims,
+                         ModelOptions* options);
+
 // A loaded model + scaler ready for inference. Forwards run in eval mode
 // under NoGradGuard on pooled buffers. Safe for concurrent callers: a
 // mutex serializes model access (modules keep lazily-built caches, so
@@ -62,6 +72,9 @@ class InferenceSession {
   int64_t pred_len() const { return model_->pred_len(); }
   int64_t channels() const { return model_->channels(); }
   int64_t num_covariates() const { return num_covariates_; }
+  // True when the bundle carried int8 weights (serve/quantize.h) and
+  // Predict runs the quantized Linear path.
+  bool quantized() const { return quantized_; }
 
  private:
   InferenceSession() = default;
@@ -70,6 +83,7 @@ class InferenceSession {
   std::unique_ptr<Forecaster> model_;
   StandardScaler scaler_;
   int64_t num_covariates_ = 0;
+  bool quantized_ = false;
   std::mutex mu_;  // serializes Forward on the shared model
 };
 

@@ -1,0 +1,96 @@
+#ifndef LIPFORMER_TENSOR_GEMM_INT8_H_
+#define LIPFORMER_TENSOR_GEMM_INT8_H_
+
+#include <cstdint>
+#include <vector>
+
+// Int8 inference GEMM for the quantized serving path (DESIGN.md
+// "Quantized inference"): weights are per-channel symmetric int8,
+// activations are quantized row-wise at run time, accumulation is exact
+// int32, dequantization back to fp32 happens in the caller's epilogue.
+//
+// The kernel mirrors the register-tiling / cache-blocking structure of the
+// fp32 GEMM (tensor/gemm.h): B (the weight) is packed once into
+// kGemmNR-wide column panels, A is walked in kGemmMR-row micro-panels, and
+// a kGemmMR x kGemmNR int32 register tile drives the inner loop. Two
+// int8-specific twists:
+//
+//  - k is traversed in groups of four (kInt8KUnroll). Packed panels
+//    interleave four consecutive depth values per column so one 4-byte
+//    load of A and one kGemmNR*4-byte load of B feed a dot-product step.
+//    On AVX-512 VNNI this maps to a single vpdpbusd per A row.
+//  - vpdpbusd multiplies UNSIGNED a bytes by signed b bytes, so A is
+//    packed with a +128 bias (s8 -> u8) and the packer records per-column
+//    sums of B; the epilogue subtracts 128 * colsum[j] to recover the
+//    exact signed product. The portable fallback computes the identical
+//    biased arithmetic, so both paths return bit-identical int32 results
+//    and both match Int8GemmReference exactly (integer accumulation is
+//    associative — unlike the fp32 kernel there is no FMA-contraction
+//    tolerance; tests compare with memcmp).
+//
+// Unlike the fp32 path there is no batched variant: quantized GEMMs only
+// occur against 2-D weight matrices (nn::Linear); activation-activation
+// products (attention) stay fp32.
+
+namespace lipformer {
+
+// Depth values interleaved per packed column; matches the 4-byte grain of
+// vpdpbusd. The packers zero-pad k to a multiple of this.
+inline constexpr int64_t kInt8KUnroll = 4;
+
+// A weight matrix [k, n] prepacked for repeated Int8GemmBlocked calls
+// (layout documented above). Prepacking at load time removes the B-pack
+// phase from the serving hot path entirely — weights are static.
+struct Int8PackedWeight {
+  int64_t k = 0;
+  int64_t n = 0;
+  // Column panels: npanels x (kq * kGemmNR * kInt8KUnroll) bytes where
+  // kq = ceil(k / kInt8KUnroll).
+  std::vector<int8_t> panels;
+  // colsum[j] = sum_p w[p, j], used for the +128 bias correction.
+  std::vector<int32_t> colsum;
+};
+
+// ---- Quantizers ----
+
+// Per-channel symmetric weight quantization: for each column j of
+// w [k, n], scale[j] = max_p |w[p, j]| / 127 (1.0 for an all-zero
+// column) and w8[p, j] = nearbyint(w[p, j] / scale[j]), round half to
+// even. |w8| <= 127 by construction (-128 never occurs).
+void QuantizeWeightPerChannel(const float* w, int64_t k, int64_t n,
+                              int8_t* w8, float* scale);
+
+// Dequantize back: w[p, j] = w8[p, j] * scale[j]. Round-tripping a
+// quantized matrix is exact; round-tripping an arbitrary matrix is within
+// scale[j] / 2 per element (tested in gemm_test.cc).
+void DequantizeWeightPerChannel(const int8_t* w8, const float* scale,
+                                int64_t k, int64_t n, float* w);
+
+// Row-wise dynamic activation quantization: scale = max_j |x[j]| / 127
+// over the single row x [n] (1.0 for an all-zero row), returned;
+// x8[j] = nearbyint(x[j] / scale). Row-wise (not whole-tensor) scales
+// keep each sample's quantized values independent of what else shares the
+// batch, which is what preserves the serving stack's bitwise
+// batched == serial guarantee (serve/session.h).
+float QuantizeRowDynamic(const float* x, int64_t n, int8_t* x8);
+
+// ---- Kernels ----
+
+// Packs w8 [k, n] row-major into the panel layout above.
+Int8PackedWeight PackInt8Weight(const int8_t* w8, int64_t k, int64_t n);
+
+// c [m, n] int32 = a [m, w.k] int8 x w, exact signed product. Rows are
+// distributed over the shared thread pool with shape-derived chunk
+// boundaries; integer accumulation makes the result independent of the
+// split anyway.
+void Int8GemmBlocked(const int8_t* a, const Int8PackedWeight& w, int64_t m,
+                     int32_t* c);
+
+// Correctness gate: textbook ijk triple loop over unpacked operands.
+// Int8GemmBlocked must match this bitwise for all shapes.
+void Int8GemmReference(const int8_t* a, const int8_t* b, int64_t m,
+                       int64_t n, int64_t k, int32_t* c);
+
+}  // namespace lipformer
+
+#endif  // LIPFORMER_TENSOR_GEMM_INT8_H_

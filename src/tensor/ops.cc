@@ -1037,5 +1037,8 @@ bool MacCountingEnabled() {
 }
 void ResetMacCount() { g_mac_count.store(0, std::memory_order_relaxed); }
 int64_t MacCount() { return g_mac_count.load(std::memory_order_relaxed); }
+void AddMacCount(int64_t macs) {
+  if (MacsEnabled()) AddMacs(macs);
+}
 
 }  // namespace lipformer

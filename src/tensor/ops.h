@@ -162,6 +162,10 @@ void SetMacCountingEnabled(bool enabled);
 bool MacCountingEnabled();
 void ResetMacCount();
 int64_t MacCount();
+// Adds `macs` to the counter iff counting is enabled. For matmul-shaped
+// kernels living outside this file (the quantized Linear path) so MACs
+// stay comparable between fp32 and int8 runs.
+void AddMacCount(int64_t macs);
 
 }  // namespace lipformer
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/parse.h"
 #include "data/csv.h"
 #include "data/synthetic.h"
 
@@ -107,6 +108,17 @@ TEST(CliNumberParseTest, ParseDoubleIsStrict) {
   EXPECT_FALSE(ParseDouble("", &v));
   EXPECT_FALSE(ParseDouble("0.1x", &v));
   EXPECT_FALSE(ParseDouble("nanx", &v));
+}
+
+TEST(CliNumberParseTest, ParseFloatIsStrict) {
+  // The shared strict parser (common/parse.h) behind the bundle
+  // metadata's dropout field.
+  float v = 0;
+  EXPECT_TRUE(lipformer::ParseFloat("0.1", &v));
+  EXPECT_FLOAT_EQ(v, 0.1f);
+  EXPECT_FALSE(lipformer::ParseFloat("", &v));
+  EXPECT_FALSE(lipformer::ParseFloat("0.1garbage", &v));
+  EXPECT_FALSE(lipformer::ParseFloat("1e99999", &v));  // overflow
 }
 
 TEST(CliLoadSeriesTest, RegistryDataset) {

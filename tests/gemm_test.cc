@@ -5,12 +5,16 @@
 // mask in attention.
 
 #include <cmath>
+#include <cstring>
+#include <random>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "autograd/ops.h"
 #include "autograd/variable.h"
 #include "nn/attention.h"
+#include "tensor/gemm_int8.h"
 #include "tensor/ops.h"
 #include "tests/test_util.h"
 
@@ -190,6 +194,94 @@ TEST(CausalMaskTest, MaskOverloadMatchesCausalFlag) {
   Tensor masked =
       ScaledDotProductAttention(q, k, v, MakeCausalMask(5, 5)).value();
   EXPECT_TRUE(AllClose(causal, masked, 0.0f, 0.0f));
+}
+
+// ---- Int8 quantized GEMM (ISSUE 6) ----
+
+// Deterministic int8 fill in [-127, 127] (-128 never occurs, matching
+// what QuantizeWeightPerChannel produces).
+std::vector<int8_t> RandomInt8(int64_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> dist(-127, 127);
+  std::vector<int8_t> out(static_cast<size_t>(n));
+  for (int8_t& v : out) v = static_cast<int8_t>(dist(rng));
+  return out;
+}
+
+TEST(Int8GemmTest, BlockedMatchesReferenceBitwise) {
+  // Same tail-case philosophy as the fp32 table: single element,
+  // sub-tile, around one MR/NR tile, primes, and shapes straddling the
+  // MR=4 / NR=16 / KC=256 / MC=128 block boundaries. Integer
+  // accumulation is exact, so the match is memcmp, not AllClose.
+  const int64_t shapes[][3] = {
+      {1, 1, 1},   {2, 3, 5},     {7, 11, 13},   {17, 19, 23},
+      {4, 16, 16}, {5, 17, 16},   {129, 63, 65}, {31, 300, 33},
+      {3, 257, 2}, {64, 64, 129}, {130, 513, 17},
+  };
+  uint64_t seed = 900;
+  for (const auto& s : shapes) {
+    const int64_t m = s[0], k = s[1], n = s[2];
+    std::vector<int8_t> a = RandomInt8(m * k, seed++);
+    std::vector<int8_t> b = RandomInt8(k * n, seed++);
+    Int8PackedWeight packed = PackInt8Weight(b.data(), k, n);
+    std::vector<int32_t> got(static_cast<size_t>(m * n), -1);
+    std::vector<int32_t> want(static_cast<size_t>(m * n), -2);
+    Int8GemmBlocked(a.data(), packed, m, got.data());
+    Int8GemmReference(a.data(), b.data(), m, n, k, want.data());
+    ASSERT_EQ(0, std::memcmp(got.data(), want.data(),
+                             got.size() * sizeof(int32_t)))
+        << "m=" << m << " k=" << k << " n=" << n;
+  }
+}
+
+TEST(Int8GemmTest, QuantizeRoundTripWithinHalfScale) {
+  const int64_t k = 37, n = 29;
+  Tensor w = RandomTensor({k, n}, 901, 3.0f);
+  std::vector<int8_t> w8(static_cast<size_t>(k * n));
+  std::vector<float> scale(static_cast<size_t>(n));
+  QuantizeWeightPerChannel(w.data(), k, n, w8.data(), scale.data());
+  std::vector<float> back(static_cast<size_t>(k * n));
+  DequantizeWeightPerChannel(w8.data(), scale.data(), k, n, back.data());
+  for (int64_t p = 0; p < k; ++p) {
+    for (int64_t j = 0; j < n; ++j) {
+      EXPECT_LE(static_cast<int>(std::abs(w8[p * n + j])), 127);
+      // Round-to-nearest never moves a value by more than scale/2.
+      EXPECT_LE(std::abs(back[p * n + j] - w.data()[p * n + j]),
+                scale[j] * 0.5f + 1e-7f);
+    }
+  }
+  // A second quantize -> dequantize pass is a fixed point: the values are
+  // already exact multiples of their scale.
+  std::vector<int8_t> w8_again(static_cast<size_t>(k * n));
+  std::vector<float> scale_again(static_cast<size_t>(n));
+  QuantizeWeightPerChannel(back.data(), k, n, w8_again.data(),
+                           scale_again.data());
+  std::vector<float> back_again(static_cast<size_t>(k * n));
+  DequantizeWeightPerChannel(w8_again.data(), scale_again.data(), k, n,
+                             back_again.data());
+  EXPECT_EQ(0, std::memcmp(back.data(), back_again.data(),
+                           back.size() * sizeof(float)));
+}
+
+TEST(Int8GemmTest, QuantizeHandlesZeroColumnsAndRows) {
+  const int64_t k = 5, n = 3;
+  std::vector<float> w(static_cast<size_t>(k * n), 0.0f);
+  for (int64_t p = 0; p < k; ++p) w[p * n + 1] = 2.0f;  // only column 1
+  std::vector<int8_t> w8(w.size());
+  std::vector<float> scale(static_cast<size_t>(n));
+  QuantizeWeightPerChannel(w.data(), k, n, w8.data(), scale.data());
+  EXPECT_EQ(1.0f, scale[0]);  // all-zero column: unit scale, zero codes
+  EXPECT_EQ(1.0f, scale[2]);
+  for (int64_t p = 0; p < k; ++p) {
+    EXPECT_EQ(0, w8[p * n + 0]);
+    EXPECT_EQ(127, w8[p * n + 1]);
+    EXPECT_EQ(0, w8[p * n + 2]);
+  }
+
+  std::vector<float> zero_row(7, 0.0f);
+  std::vector<int8_t> x8(7, 42);
+  EXPECT_EQ(1.0f, QuantizeRowDynamic(zero_row.data(), 7, x8.data()));
+  for (int8_t v : x8) EXPECT_EQ(0, v);
 }
 
 TEST(CausalMaskTest, AttentionCacheSurvivesShapeChanges) {

@@ -1,0 +1,62 @@
+// Converts a fp32 serving bundle into the int8 variant served by the
+// quantized inference path (serve/quantize.h, DESIGN.md "Quantized
+// inference"): every Linear weight becomes per-channel symmetric int8
+// plus fp32 scales; biases, norms and the fitted scaler stay fp32. The
+// output is a regular checkpoint-v2 bundle that `lipformer_cli serve
+// --load` and InferenceSession::Open pick up transparently via its
+// quantized=int8 metadata.
+//
+//   quantize_bundle --in=model.ckpt --out=model_int8.ckpt [--force]
+
+#include <cstdio>
+#include <string>
+
+#include "cli/cli.h"
+#include "serve/quantize.h"
+
+namespace lipformer {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: quantize_bundle --in=FILE --out=FILE [--force]\n"
+               "see the header of tools/quantize_bundle.cc\n");
+  return 2;
+}
+
+int Run(int argc, char** argv) {
+  // Reuse the CLI parser with argv[0] standing in for the command slot.
+  cli::CliArgs args = cli::Parse(argc + 1, argv - 1);
+  for (const auto& [key, value] : args.options) {
+    if (key != "in" && key != "out" && key != "force") {
+      std::fprintf(stderr, "error: unknown option --%s\n", key.c_str());
+      return Usage();
+    }
+  }
+  if (!args.stragglers.empty()) {
+    std::fprintf(stderr, "error: unexpected argument '%s'\n",
+                 args.stragglers.front().c_str());
+    return Usage();
+  }
+  for (const char* required : {"in", "out"}) {
+    if (!args.Has(required)) {
+      std::fprintf(stderr, "error: missing --%s\n", required);
+      return Usage();
+    }
+  }
+
+  const Status st = serve::QuantizeBundleFile(
+      args.Get("in", ""), args.Get("out", ""), args.Has("force"));
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("quantized %s -> %s (int8 per-channel weights)\n",
+              args.Get("in", "").c_str(), args.Get("out", "").c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace lipformer
+
+int main(int argc, char** argv) { return lipformer::Run(argc, argv); }
