@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
 # Builds the repo under a sanitizer (ThreadSanitizer by default) and runs
 # the test suite, so the thread-pool tensor backend stays race-free and
-# the checkpoint/snapshot serialization code stays UB-free.
+# the checkpoint/snapshot serialization code stays UB-free. The suite
+# includes the AOT inference-plan tests (tests/plan_test.cc); under
+# `thread`, PlanTest.ManyThreadsShareOnePlan hammers one immutable
+# compiled plan from 8 threads, which is the race check for the
+# plan-shared / arena-per-request contract of serve/plan.h.
 #
 # Usage:
 #   scripts/check_sanitize.sh [thread|address|undefined]

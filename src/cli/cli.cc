@@ -52,6 +52,10 @@
 //   --requests=FILE   request lines (default: stdin)
 //   --max-batch=N     micro-batcher coalescing cap (default 16)
 //   --max-delay-ms=N  micro-batcher max wait for stragglers (default 2)
+//   --no-plan         disable the AOT inference-plan path and serve from
+//                     the module forward (serve/plan.h); results are
+//                     bitwise identical either way. LIPF_NO_PLAN=1 in the
+//                     environment does the same.
 //
 // Unknown --options, stray non-option arguments and malformed numbers are
 // usage errors (they used to be silently ignored / parsed as 0).
@@ -68,6 +72,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util/profiler.h"
 #include "common/atomic_file.h"
 #include "common/interrupt.h"
 #include "common/thread_pool.h"
@@ -107,6 +112,7 @@ constexpr OptionSpec kOptionSpecs[] = {
     {"snapshot", OptionKind::kString}, {"snapshot-every", OptionKind::kInt},
     {"resume", OptionKind::kString},   {"force", OptionKind::kFlag},
     {"lr-schedule", OptionKind::kString},
+    {"no-plan", OptionKind::kFlag},
 };
 
 const OptionSpec* FindOptionSpec(const std::string& key) {
@@ -557,8 +563,10 @@ int CmdServe(const CliArgs& args) {
                          "(a bundle written by train --save)\n");
     return 2;
   }
+  serve::SessionOptions session_options;
+  session_options.use_plan = !args.Has("no-plan");
   Result<std::unique_ptr<serve::InferenceSession>> opened =
-      serve::InferenceSession::Open(args.Get("load", ""));
+      serve::InferenceSession::Open(args.Get("load", ""), session_options);
   if (!opened.ok()) {
     std::fprintf(stderr, "error: %s\n", opened.status().ToString().c_str());
     return 1;
@@ -573,6 +581,26 @@ int CmdServe(const CliArgs& args) {
                static_cast<long long>(session->channels()),
                static_cast<long long>(session->input_len() *
                                       session->channels()));
+  {
+    const serve::SessionPlanStats ps = session->plan_stats();
+    if (!ps.enabled) {
+      std::fprintf(stderr, "inference plan: disabled (module path)\n");
+    } else if (!ps.compile_error.empty()) {
+      std::fprintf(stderr, "inference plan: fallback to module path (%s)\n",
+                   ps.compile_error.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "inference plan: %lld ops, %lld-byte arena, %lld "
+                   "constants, %lld prepacked GEMMs, %lld fused "
+                   "transposes\n",
+                   static_cast<long long>(ps.plan.num_ops),
+                   static_cast<long long>(ps.plan.arena_bytes),
+                   static_cast<long long>(ps.plan.num_constants),
+                   static_cast<long long>(ps.plan.prepacked_gemms),
+                   static_cast<long long>(ps.plan.fused_gemm_operands));
+    }
+  }
+  session->SetPlanProfiling(true);
 
   serve::BatcherOptions batcher_options;
   batcher_options.max_batch_size = args.GetInt("max-batch", 16);
@@ -671,6 +699,21 @@ int CmdServe(const CliArgs& args) {
                stats.p999_latency_seconds * 1e3,
                static_cast<long long>(stats.rejected_full),
                static_cast<long long>(stats.expired));
+  const serve::SessionPlanStats ps = session->plan_stats();
+  if (ps.enabled && ps.compile_error.empty()) {
+    std::fprintf(stderr,
+                 "plan: %lld plan / %lld module request(s), %lld plan(s) "
+                 "compiled\n",
+                 static_cast<long long>(ps.plan_requests),
+                 static_cast<long long>(ps.module_requests),
+                 static_cast<long long>(ps.plans_compiled));
+    for (const serve::PlanOpTiming& t : ps.timings) {
+      std::fprintf(stderr, "plan:   %-22s %s calls  %s\n", t.name,
+                   FormatCount(static_cast<double>(t.calls)).c_str(),
+                   FormatSeconds(static_cast<double>(t.total_ns) * 1e-9)
+                       .c_str());
+    }
+  }
   return 0;
 }
 

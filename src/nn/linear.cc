@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/thread_pool.h"
+#include "tensor/op_trace.h"
 #include "tensor/ops.h"
 #include "tensor/storage_pool.h"
 
@@ -12,6 +13,36 @@ namespace lipformer {
 namespace {
 inline int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
 }  // namespace
+
+void QuantLinearForward(const float* x, int64_t m, int64_t in_features,
+                        int64_t out_features, const Int8PackedWeight& packed,
+                        const float* col_scale, int8_t* a8, float* row_scale,
+                        int32_t* c32, float* y) {
+  const int64_t in = in_features;
+  const int64_t out = out_features;
+  // Row-quantize the activations.
+  ParallelFor(m, /*grain=*/CeilDiv(4096, in), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      row_scale[r] = QuantizeRowDynamic(x + r * in, in, a8 + r * in);
+    }
+  });
+
+  // Exact int32 GEMM, then dequantize with the separable scale
+  // row_scale[r] * col_scale[j].
+  Int8GemmBlocked(a8, packed, m, c32);
+  AddMacCount(m * out * in);
+
+  ParallelFor(m, /*grain=*/CeilDiv(8192, out), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float sr = row_scale[r];
+      const int32_t* crow = c32 + r * out;
+      float* yrow = y + r * out;
+      for (int64_t j = 0; j < out; ++j) {
+        yrow[j] = static_cast<float>(crow[j]) * (sr * col_scale[j]);
+      }
+    }
+  });
+}
 
 Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng, bool bias)
     : in_features_(in_features),
@@ -69,38 +100,22 @@ Tensor Linear::QuantizedMatMul(const Tensor& x) const {
   Tensor y = Tensor::Empty(std::move(out_shape));
   if (m == 0) return y;
 
-  // Row-quantize the activations. int8 rows live in reinterpreted pooled
-  // float storage (4 bytes per float); row scales in their own block.
+  // Scratch from the pool: int8 rows live in reinterpreted float storage
+  // (4 bytes per float), row scales and the int32 accumulator (same width
+  // as float) in their own blocks.
   Storage a8_storage = Storage::Acquire(CeilDiv(m * in, 4));
   Storage row_scale_storage = Storage::Acquire(m);
-  int8_t* a8 = reinterpret_cast<int8_t*>(a8_storage.data());
-  float* row_scale = row_scale_storage.data();
-  const float* xd = x.data();
-  ParallelFor(m, /*grain=*/CeilDiv(4096, in), [&](int64_t r0, int64_t r1) {
-    for (int64_t r = r0; r < r1; ++r) {
-      row_scale[r] = QuantizeRowDynamic(xd + r * in, in, a8 + r * in);
-    }
-  });
-
-  // Exact int32 GEMM, then dequantize with the separable scale
-  // row_scale[r] * col_scale[j].
-  Storage c32_storage = Storage::Acquire(m * out);  // int32 == float width
-  int32_t* c32 = reinterpret_cast<int32_t*>(c32_storage.data());
-  Int8GemmBlocked(a8, quant_->packed, m, c32);
-  AddMacCount(m * out * in);
-
-  const float* col_scale = quant_->scale.data();
-  float* yd = y.data();
-  ParallelFor(m, /*grain=*/CeilDiv(8192, out), [&](int64_t r0, int64_t r1) {
-    for (int64_t r = r0; r < r1; ++r) {
-      const float sr = row_scale[r];
-      const int32_t* crow = c32 + r * out;
-      float* yrow = yd + r * out;
-      for (int64_t j = 0; j < out; ++j) {
-        yrow[j] = static_cast<float>(crow[j]) * (sr * col_scale[j]);
-      }
-    }
-  });
+  Storage c32_storage = Storage::Acquire(m * out);
+  QuantLinearForward(x.data(), m, in, out, quant_->packed,
+                     quant_->scale.data(),
+                     reinterpret_cast<int8_t*>(a8_storage.data()),
+                     row_scale_storage.data(),
+                     reinterpret_cast<int32_t*>(c32_storage.data()),
+                     y.data());
+  if (trace::Active()) {
+    trace::RecordQuantLinear(x, quant_->scale, y, m, in, out,
+                             &quant_->packed);
+  }
   return y;
 }
 

@@ -66,6 +66,18 @@ class Linear : public Module {
   std::unique_ptr<QuantState> quant_;
 };
 
+// Raw quantized-linear forward shared by Linear::QuantizedMatMul and the
+// AOT plan executor (serve/plan_exec.cc): row-wise dynamic activation
+// quantization into a8 (m*in int8s), Int8GemmBlocked into c32 (m*out
+// int32s), per-element dequantize into y (m*out floats) with the
+// separable scale row_scale[r] * col_scale[j]. Caller provides all
+// scratch; row_scale holds m floats. One compiled loop for both paths
+// keeps them bitwise identical by construction. Charges m*out*in MACs.
+void QuantLinearForward(const float* x, int64_t m, int64_t in_features,
+                        int64_t out_features, const Int8PackedWeight& packed,
+                        const float* col_scale, int8_t* a8, float* row_scale,
+                        int32_t* c32, float* y);
+
 // Multi-layer perceptron: Linear -> act -> ... -> Linear. `dims` lists
 // layer widths including input and output (at least 2 entries). No
 // activation after the final layer.

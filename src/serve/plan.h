@@ -1,0 +1,159 @@
+#ifndef LIPFORMER_SERVE_PLAN_H_
+#define LIPFORMER_SERVE_PLAN_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/plan_exec.h"
+#include "tensor/tensor.h"
+
+// Ahead-of-time inference plans. Serving shapes are static per bundle, so
+// InferenceSession traces the model's forward ONCE per batch size and
+// compiles the trace into a flat op program plus a preplanned activation
+// arena:
+//
+//   * Trace. A trace::Recorder (tensor/op_trace.h) captures every forward
+//     kernel invocation with its resolved dims and operand pointers.
+//     Values are identified by data pointer; the recorder keeps every
+//     operand Tensor alive so the storage pool cannot recycle a pointer
+//     mid-trace. Storage-sharing views (Reshape/Squeeze/Unsqueeze,
+//     eval-mode Dropout) keep the pointer and need no records.
+//   * Classify. An operand produced by an earlier record (or the plan
+//     input) is an activation; anything else is a constant — weights,
+//     attention masks, the zero time-feature tensors the session builds —
+//     and the plan takes ownership of its Tensor so the pointer stays
+//     valid for the plan's lifetime.
+//   * Elide. Identity copies (full-range Slice, layout-preserving Permute
+//     such as the head split/merge at num_heads == 1, single-input
+//     Concat) are removed at compile time by aliasing output to input.
+//   * Fuse. A non-identity Permute whose only consumer is a GEMM operand
+//     is folded into that GEMM's pack phase when the permuted view is a
+//     separable gather (offset(row, col) == row_off[row] + col_off[col])
+//     — e.g. the attention head-split transposes and the 4-D patch
+//     reshuffle. The pack reads the pre-permute source directly
+//     (GemmBatch row/column offset overrides), writing identical panel
+//     bytes, so the transpose copy disappears from the program with
+//     bitwise-identical results.
+//   * Arena. Each activation gets a [def, last_use] interval; a first-fit
+//     allocator with hole coalescing lays all of them out in one slab
+//     (offsets 64-byte aligned). Execution leases one pooled slab per
+//     request — every intermediate of the forward costs zero pool
+//     lookups.
+//   * Prepack. Constant B operands of fp32 GEMMs are packed into panel
+//     layout once at compile time (PackGemmB); the hot path runs the
+//     compute phase only. Quantized Linears keep their prepacked int8
+//     weights and get arena scratch for activation quantization.
+//   * Validate. The compiled program is executed against the module
+//     forward on the trace input AND on a second, different input;
+//     outputs must match bitwise (memcmp). The second input catches any
+//     input-dependent value that escaped tracing and was wrongly frozen
+//     as a constant. Ops with data-dependent control flow (IndexSelect,
+//     Autocorrelation, ...) poison the trace outright and compilation
+//     fails cleanly, so the session falls back to the module path.
+//
+// Plans are immutable after Compile and shareable across threads: the
+// only per-request state is the leased arena.
+
+namespace lipformer {
+namespace serve {
+
+// Compile-time facts about one plan, for stats output and tests.
+struct PlanStats {
+  int64_t batch_size = 0;
+  int64_t num_ops = 0;          // executable records
+  int64_t num_traced = 0;       // records captured by the trace
+  int64_t num_elided = 0;       // identity copies removed
+  int64_t fused_gemm_operands = 0;  // permutes folded into GEMM packing
+  int64_t arena_floats = 0;     // per-request slab size
+  int64_t arena_bytes = 0;
+  int64_t num_constants = 0;    // captured constant tensors
+  int64_t constant_bytes = 0;   // bytes the plan keeps alive (excl. weights)
+  int64_t prepacked_gemms = 0;  // fp32 GEMMs with compile-time packed B
+  int64_t prepacked_bytes = 0;
+};
+
+// Aggregated per-op-kind timing (profiling mode only).
+struct PlanOpTiming {
+  const char* name = nullptr;
+  int64_t calls = 0;
+  int64_t total_ns = 0;
+};
+
+class InferencePlan {
+ public:
+  // A module forward at the plan's fixed shapes: scaled input in, scaled
+  // prediction out. Called up to three times during Compile (once traced,
+  // twice for validation).
+  using ForwardFn = std::function<Tensor(const Tensor&)>;
+
+  // Traces `forward` at sample_input's shape and compiles it.
+  // check_input must have the same shape but different values; it drives
+  // the second bitwise validation run. Fails (Status::Internal) when the
+  // trace was poisoned by an uncompilable op, an operand cannot be
+  // classified, or either validation run is not bitwise identical to the
+  // module path.
+  static Result<std::shared_ptr<const InferencePlan>> Compile(
+      const ForwardFn& forward, const Tensor& sample_input,
+      const Tensor& check_input);
+
+  // Runs the program against a pooled arena slab. `input` must match the
+  // compile-time input shape (LIPF_CHECK — the session validated the
+  // request already). Thread-safe; bitwise identical to the module
+  // forward on the same input.
+  Tensor Execute(const Tensor& input) const;
+
+  const PlanStats& stats() const { return stats_; }
+  const Shape& input_shape() const { return input_shape_; }
+  const Shape& output_shape() const { return output_shape_; }
+  int64_t executions() const {
+    return executions_.load(std::memory_order_relaxed);
+  }
+
+  // Per-op-kind wall-clock accounting. Off by default (two clock reads
+  // per op); `lipformer_cli serve` and the profiling pass of
+  // bench_serving turn it on.
+  void set_profiling(bool enabled) const {
+    profiling_.store(enabled, std::memory_order_relaxed);
+  }
+  bool profiling() const {
+    return profiling_.load(std::memory_order_relaxed);
+  }
+  // Kinds with at least one recorded call, in program-kind order.
+  std::vector<PlanOpTiming> OpTimings() const;
+
+ private:
+  InferencePlan() = default;
+
+  std::vector<PlanOp> ops_;
+  Shape input_shape_;
+  Shape output_shape_;
+  int64_t arena_floats_ = 0;
+  int64_t input_off_ = -1;  // -1: input unused by any surviving op
+  // Output location: arena offset, or a constant/input alias.
+  int64_t output_off_ = -1;
+  const float* output_const_ = nullptr;
+  bool output_is_input_ = false;
+  // Constants captured from the trace; holding the Tensor pins the
+  // underlying storage so the raw pointers in ops_ stay valid. (Prepacked
+  // int8 weights are owned by the session's model, which outlives the
+  // plan.)
+  std::vector<Tensor> constants_;
+  // Compile-time packed B panels, one buffer per prepacked GEMM; inner
+  // vectors never reallocate after Compile so their data() is stable.
+  std::vector<std::vector<float>> prepacked_;
+  PlanStats stats_;
+
+  mutable std::atomic<bool> profiling_{false};
+  mutable PlanProfile profile_;
+  mutable std::atomic<int64_t> executions_{0};
+};
+
+}  // namespace serve
+}  // namespace lipformer
+
+#endif  // LIPFORMER_SERVE_PLAN_H_

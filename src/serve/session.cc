@@ -241,6 +241,11 @@ Status ParseBundleConfig(const Checkpoint& ckpt, const std::string& path,
 
 Result<std::unique_ptr<InferenceSession>> InferenceSession::Open(
     const std::string& path) {
+  return Open(path, SessionOptions());
+}
+
+Result<std::unique_ptr<InferenceSession>> InferenceSession::Open(
+    const std::string& path, const SessionOptions& session_options) {
   Result<Checkpoint> loaded = ReadCheckpoint(path);
   if (!loaded.ok()) return loaded.status();
   const Checkpoint& ckpt = loaded.value();
@@ -296,7 +301,106 @@ Result<std::unique_ptr<InferenceSession>> InferenceSession::Open(
     }
     session->scaler_.Restore(mean->data.Clone(), std_t->data.Clone());
   }
+
+  // LIPF_NO_PLAN is the operational kill switch mirroring the CLI's
+  // --no-plan; a set (any value) variable wins over SessionOptions.
+  session->use_plan_ =
+      session_options.use_plan && std::getenv("LIPF_NO_PLAN") == nullptr;
+  if (session->use_plan_) {
+    // Precompile the dominant serving shape so the first request does not
+    // pay the (few-forwards) compile cost. Larger batch sizes compile
+    // lazily on first sight. A failure here just records the fallback.
+    session->PlanForBatch(1);
+  }
   return session;
+}
+
+Tensor InferenceSession::ModuleForwardScaled(const Tensor& x_scaled) {
+  const int64_t b = x_scaled.size(0);
+  Batch batch;
+  batch.size = b;
+  batch.x = x_scaled;
+  // Serving requests carry raw values only; implicit time features and
+  // future covariates are zero (bundles record num_covariates so models
+  // that read batch.y_cov_num still see the channel count they expect).
+  batch.x_time = Tensor(Shape{b, input_len(), kNumTimeFeatures});
+  batch.y_time = Tensor(Shape{b, pred_len(), kNumTimeFeatures});
+  batch.y_cov_num = Tensor(Shape{b, pred_len(), num_covariates_});
+  batch.y_cov_cat = Tensor(Shape{b, pred_len(), 0});
+  std::lock_guard<std::mutex> lock(mu_);
+  NoGradGuard no_grad;
+  return model_->Forward(batch).value();
+}
+
+Tensor InferenceSession::ModuleForwardRaw(const Tensor& histories) {
+  const Tensor x =
+      scaler_.fitted() ? scaler_.Transform(histories) : histories;
+  Tensor scaled_pred = ModuleForwardScaled(x);
+  return scaler_.fitted() ? scaler_.InverseTransform(scaled_pred)
+                          : scaled_pred;
+}
+
+std::shared_ptr<const InferencePlan> InferenceSession::PlanForBatch(
+    int64_t b) {
+  if (!use_plan_) return nullptr;
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  auto it = plans_.find(b);
+  if (it != plans_.end()) return it->second;
+
+  // Compile under plan_mu_ (rare, a handful of forwards); concurrent
+  // requests for other batch sizes briefly queue here, never on the hot
+  // path. Trace and validation inputs only need distinct values — any
+  // fixed-seed noise exercises the graph.
+  Rng rng(0x9e3779b97f4a7c15ull ^ static_cast<uint64_t>(b));
+  const Shape in_shape{b, input_len(), channels()};
+  Tensor sample = Tensor::Randn(in_shape, rng);
+  Tensor check = Tensor::Randn(in_shape, rng);
+  Result<std::shared_ptr<const InferencePlan>> compiled =
+      InferencePlan::Compile(
+          [this](const Tensor& x) { return ModuleForwardRaw(x); },
+          sample, check);
+  std::shared_ptr<const InferencePlan> plan;
+  if (compiled.ok()) {
+    plan = compiled.value();
+    plan->set_profiling(plan_profiling_);
+  } else if (plan_error_.empty()) {
+    plan_error_ = compiled.status().message();
+  }
+  plans_.emplace(b, plan);  // null entry caches the failure
+  return plan;
+}
+
+SessionPlanStats InferenceSession::plan_stats() const {
+  SessionPlanStats s;
+  s.enabled = use_plan_;
+  s.plan_requests = plan_requests_.load(std::memory_order_relaxed);
+  s.module_requests = module_requests_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  s.compile_error = plan_error_;
+  std::map<std::string, size_t> by_name;
+  for (const auto& [b, plan] : plans_) {
+    if (plan == nullptr) continue;
+    if (s.plans_compiled == 0 || b == 1) s.plan = plan->stats();
+    s.plans_compiled += 1;
+    for (const PlanOpTiming& t : plan->OpTimings()) {
+      auto [it, fresh] = by_name.emplace(t.name, s.timings.size());
+      if (fresh) {
+        s.timings.push_back(t);
+      } else {
+        s.timings[it->second].calls += t.calls;
+        s.timings[it->second].total_ns += t.total_ns;
+      }
+    }
+  }
+  return s;
+}
+
+void InferenceSession::SetPlanProfiling(bool enabled) {
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  plan_profiling_ = enabled;
+  for (const auto& [b, plan] : plans_) {
+    if (plan != nullptr) plan->set_profiling(enabled);
+  }
 }
 
 Result<Tensor> InferenceSession::Predict(const Tensor& history) {
@@ -323,25 +427,19 @@ Result<Tensor> InferenceSession::PredictBatch(const Tensor& histories) {
     return Status::InvalidArgument("PredictBatch got an empty batch");
   }
 
-  Batch batch;
-  batch.size = b;
-  batch.x = scaler_.fitted() ? scaler_.Transform(histories) : histories;
-  // Serving requests carry raw values only; implicit time features and
-  // future covariates are zero (bundles record num_covariates so models
-  // that read batch.y_cov_num still see the channel count they expect).
-  batch.x_time = Tensor(Shape{b, input_len(), kNumTimeFeatures});
-  batch.y_time = Tensor(Shape{b, pred_len(), kNumTimeFeatures});
-  batch.y_cov_num = Tensor(Shape{b, pred_len(), num_covariates_});
-  batch.y_cov_cat = Tensor(Shape{b, pred_len(), 0});
-
-  Tensor scaled_pred;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    NoGradGuard no_grad;
-    scaled_pred = model_->Forward(batch).value();
+  // Plan path when available: the compiled program is immutable, so this
+  // runs without the module mutex, bitwise identical to the module
+  // request path — scaler arithmetic included — as validated at compile
+  // time. Null plan (disabled or uncompilable model) falls back to the
+  // module.
+  if (std::shared_ptr<const InferencePlan> plan = PlanForBatch(b)) {
+    Tensor pred = plan->Execute(histories);
+    plan_requests_.fetch_add(1, std::memory_order_relaxed);
+    return pred;
   }
-  return scaler_.fitted() ? scaler_.InverseTransform(scaled_pred)
-                          : scaled_pred;
+  Tensor pred = ModuleForwardRaw(histories);
+  module_requests_.fetch_add(1, std::memory_order_relaxed);
+  return pred;
 }
 
 }  // namespace serve

@@ -1,13 +1,17 @@
 #ifndef LIPFORMER_SERVE_SESSION_H_
 #define LIPFORMER_SERVE_SESSION_H_
 
+#include <atomic>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "data/scaler.h"
 #include "models/factory.h"
 #include "serve/checkpoint.h"
+#include "serve/plan.h"
 
 // Train-once / serve-many: a serving bundle is a checkpoint v2 file that
 // additionally carries the model architecture (factory name + dims +
@@ -46,17 +50,42 @@ Status ParseBundleConfig(const Checkpoint& ckpt, const std::string& path,
                          std::string* model_name, ForecasterDims* dims,
                          ModelOptions* options);
 
+// Session knobs. `use_plan` controls the AOT plan path (serve/plan.h);
+// the LIPF_NO_PLAN environment variable (any value) force-disables it
+// regardless, and a model whose forward cannot be compiled (data-
+// dependent ops) falls back to the module path automatically.
+struct SessionOptions {
+  bool use_plan = true;
+};
+
+// Plan-path observability for `lipformer_cli serve` stats and
+// bench_serving (aggregated over the session's per-batch-size plan
+// cache).
+struct SessionPlanStats {
+  bool enabled = false;          // plan path on for this session
+  int64_t plans_compiled = 0;    // distinct batch sizes compiled
+  std::string compile_error;     // first failure reason, if any
+  int64_t plan_requests = 0;     // PredictBatch calls served by a plan
+  int64_t module_requests = 0;   // PredictBatch calls on the module path
+  PlanStats plan;                // batch-size-1 plan (or first compiled)
+  std::vector<PlanOpTiming> timings;  // summed across plans; profiling only
+};
+
 // A loaded model + scaler ready for inference. Forwards run in eval mode
 // under NoGradGuard on pooled buffers. Safe for concurrent callers: a
-// mutex serializes model access (modules keep lazily-built caches, so
-// Forward is not reentrant); the dynamic batcher (serve/batcher.h) is the
-// intended way to get concurrency — it coalesces concurrent requests into
-// one batched Forward instead of interleaving many small ones.
+// mutex serializes module-path model access (modules keep lazily-built
+// caches, so Forward is not reentrant), while the plan path executes an
+// immutable compiled program against per-request arenas and runs fully
+// concurrently; the dynamic batcher (serve/batcher.h) coalesces
+// concurrent requests into one batched forward either way.
 class InferenceSession {
  public:
   // Reads a bundle written by SaveModelBundle and reconstructs the model.
+  // The default options precompile the batch-size-1 plan at Open.
   static Result<std::unique_ptr<InferenceSession>> Open(
       const std::string& path);
+  static Result<std::unique_ptr<InferenceSession>> Open(
+      const std::string& path, const SessionOptions& options);
 
   // history: [input_len, channels] raw units -> [pred_len, channels].
   Result<Tensor> Predict(const Tensor& history);
@@ -76,15 +105,46 @@ class InferenceSession {
   // Predict runs the quantized Linear path.
   bool quantized() const { return quantized_; }
 
+  // True when the AOT plan path is on for this session (options + env).
+  bool plan_enabled() const { return use_plan_; }
+  // The compiled plan for batch size b, compiling (and caching) it on
+  // first use. Null when the plan path is disabled or compilation failed
+  // for this model (the failure is cached too — no recompile storm).
+  std::shared_ptr<const InferencePlan> PlanForBatch(int64_t b);
+  // Aggregated plan counters; `timings` is populated while profiling.
+  SessionPlanStats plan_stats() const;
+  // Toggles per-op timing on every cached and future plan.
+  void SetPlanProfiling(bool enabled);
+
  private:
   InferenceSession() = default;
+
+  // One module forward at fixed shapes: scaled [b, input_len, channels]
+  // in, scaled [b, pred_len, channels] out, under mu_ + NoGradGuard.
+  Tensor ModuleForwardScaled(const Tensor& x_scaled);
+  // Full module request path: raw histories in, raw predictions out
+  // (scaler transform + forward + inverse transform). Shared by the
+  // module serving path and plan compilation/tracing, so a compiled plan
+  // covers the scaler arithmetic too.
+  Tensor ModuleForwardRaw(const Tensor& histories);
 
   std::string model_name_;
   std::unique_ptr<Forecaster> model_;
   StandardScaler scaler_;
   int64_t num_covariates_ = 0;
   bool quantized_ = false;
-  std::mutex mu_;  // serializes Forward on the shared model
+  bool use_plan_ = true;
+  std::mutex mu_;  // serializes module-path Forward on the shared model
+
+  // Per-batch-size plan cache. A null entry records a failed compile so
+  // the fallback is decided once. plan_mu_ never nests inside mu_
+  // (compilation takes plan_mu_ then mu_ via ModuleForwardScaled).
+  mutable std::mutex plan_mu_;
+  std::map<int64_t, std::shared_ptr<const InferencePlan>> plans_;
+  std::string plan_error_;
+  bool plan_profiling_ = false;
+  std::atomic<int64_t> plan_requests_{0};
+  std::atomic<int64_t> module_requests_{0};
 };
 
 }  // namespace serve

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "tensor/op_trace.h"
+
 namespace lipformer {
 
 void Fft(std::vector<std::complex<float>>& a, bool inverse) {
@@ -47,6 +49,10 @@ int64_t NextPowerOfTwo(int64_t n) {
 }
 
 Tensor Autocorrelation(const Tensor& x) {
+  // Input-dependent output produced outside the recorded kernel set: a
+  // trace would freeze it as a constant, so it poisons plan compilation.
+  // (DftBasis/InverseDftBasis are shape-only constants and are safe.)
+  if (trace::Active()) trace::RecordUnsupported("Autocorrelation");
   LIPF_CHECK_EQ(x.dim(), 2);
   const int64_t rows = x.size(0);
   const int64_t n = x.size(1);

@@ -40,6 +40,21 @@ struct GemmBatch {
   const int64_t* a_mat_index = nullptr;  // [nbatch] matrix index into a
   const int64_t* b_mat_index = nullptr;  // [nbatch] matrix index into b
   int64_t num_b_mats = 1;                // distinct matrices stored in b
+  // Separable-gather overrides, used by AOT plans to fold a transpose
+  // copy into the pack phase. When set (always in row/col pairs), stored
+  // element (r, c) of the matrix for batch position bi is read from
+  //   a[a_row_offset[bi * rows + r] + a_col_offset[c]]
+  // instead of the dense layout, where rows x cols are the STORED dims
+  // ([m, k], or [k, m] under trans_a; a_row_offset covers all nbatch
+  // positions, already resolved through a_mat_index). b_row_offset /
+  // b_col_offset do the same for the stored B matrix packed into each
+  // slot bm (b_row_offset is [num_b_mats * rows]). Packing reads
+  // identical values in identical order, so results stay bitwise equal
+  // to packing a dense transpose copy. A gather on A requires !trans_a.
+  const int64_t* a_row_offset = nullptr;
+  const int64_t* a_col_offset = nullptr;
+  const int64_t* b_row_offset = nullptr;
+  const int64_t* b_col_offset = nullptr;
 };
 
 // c[bi] = opA(a[batch.a_mat_index[bi]]) * opB(b[batch.b_mat_index[bi]]),
@@ -49,6 +64,30 @@ struct GemmBatch {
 void PackedGemmBatched(const float* a, bool trans_a, const float* b,
                        bool trans_b, float* c, int64_t m, int64_t n,
                        int64_t k, const GemmBatch& batch);
+
+// Floats occupied by one [k, n] B matrix in packed-panel form
+// (ceil(n / kGemmNR) zero-padded panels of k * kGemmNR floats each).
+inline constexpr int64_t PackedGemmBSize(int64_t n, int64_t k) {
+  return ((n + kGemmNR - 1) / kGemmNR) * k * kGemmNR;
+}
+
+// Packs every column panel of one stored B matrix ([k, n], or [n, k] when
+// trans_b) into dst (PackedGemmBSize(n, k) floats) — the exact layout
+// PackedGemmBatched builds internally on every call. Pure data movement;
+// the AOT plan compiler (serve/plan.cc) runs this once per constant
+// weight matrix at compile time. Serial (compile-time only, not hot).
+void PackGemmB(const float* b, bool trans_b, int64_t n, int64_t k,
+               float* dst);
+
+// Compute phase of PackedGemmBatched against B panels already packed by
+// PackGemmB: packed_b holds batch.num_b_mats consecutive packed matrices
+// (batch.b_mat_index selects among them). Bitwise identical to
+// PackedGemmBatched on the same operands — it is the same compute loop,
+// minus the per-call packing.
+void PackedGemmBatchedPrepacked(const float* a, bool trans_a,
+                                const float* packed_b, float* c, int64_t m,
+                                int64_t n, int64_t k,
+                                const GemmBatch& batch);
 
 }  // namespace lipformer
 

@@ -7,6 +7,8 @@
 
 #include "common/thread_pool.h"
 #include "tensor/gemm.h"
+#include "tensor/op_trace.h"
+#include "tensor/ops_raw.h"
 
 namespace lipformer {
 
@@ -81,60 +83,17 @@ int64_t StridedOffset(int64_t i, const Shape& shape, const Shape& strides,
   return off;
 }
 
-template <typename F>
-Tensor BinaryOp(const Tensor& a, const Tensor& b, F f) {
-  if (SameShape(a.shape(), b.shape())) {
-    Tensor out = Tensor::Empty(a.shape());
-    const float* pa = a.data();
-    const float* pb = b.data();
-    float* po = out.data();
-    ParallelFor(a.numel(), kElementwiseGrain,
-                [&](int64_t begin, int64_t end) {
-                  for (int64_t i = begin; i < end; ++i) {
-                    po[i] = f(pa[i], pb[i]);
-                  }
-                });
-    return out;
+// Raw-pointer variant of StridedOffset for the out-variant kernels.
+int64_t StridedOffsetRaw(int64_t i, const int64_t* shape,
+                         const int64_t* strides, int64_t nd, int64_t* idx) {
+  int64_t off = 0;
+  for (int64_t d = nd - 1; d >= 0; --d) {
+    const int64_t id = i % shape[d];
+    i /= shape[d];
+    off += id * strides[d];
+    if (idx != nullptr) idx[d] = id;
   }
-  const Shape out_shape = BroadcastShape(a.shape(), b.shape());
-  Tensor out = Tensor::Empty(out_shape);
-  const int64_t nd = static_cast<int64_t>(out_shape.size());
-  const Shape sa = BroadcastStrides(a.shape(), out_shape);
-  const Shape sb = BroadcastStrides(b.shape(), out_shape);
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  ParallelFor(out.numel(), kElementwiseGrain, [&](int64_t begin, int64_t end) {
-    // Seed the odometer at the chunk's first element, then walk serially.
-    std::vector<int64_t> idx(nd, 0);
-    int64_t oa = StridedOffset(begin, out_shape, sa, &idx);
-    int64_t ob = StridedOffset(begin, out_shape, sb, nullptr);
-    for (int64_t i = begin; i < end; ++i) {
-      po[i] = f(pa[oa], pb[ob]);
-      // Increment the multi-index (odometer).
-      for (int64_t d = nd - 1; d >= 0; --d) {
-        ++idx[d];
-        oa += sa[d];
-        ob += sb[d];
-        if (idx[d] < out_shape[d]) break;
-        idx[d] = 0;
-        oa -= sa[d] * out_shape[d];
-        ob -= sb[d] * out_shape[d];
-      }
-    }
-  });
-  return out;
-}
-
-template <typename F>
-Tensor UnaryOp(const Tensor& a, F f) {
-  Tensor out = Tensor::Empty(a.shape());
-  const float* pa = a.data();
-  float* po = out.data();
-  ParallelFor(a.numel(), kElementwiseGrain, [&](int64_t begin, int64_t end) {
-    for (int64_t i = begin; i < end; ++i) po[i] = f(pa[i]);
-  });
-  return out;
+  return off;
 }
 
 // Splits shape into (outer, dim_size, inner) around `dim` for reductions.
@@ -174,6 +133,368 @@ inline float GeluGrad(float x) {
 
 }  // namespace
 
+// ---- Raw out-variant kernels (tensor/ops_raw.h) ----
+// These hold the actual loops; the public ops below are shape prologues
+// around them, and the plan executor (serve/plan_exec.cc) calls them with
+// arena pointers. One compiled loop per kernel keeps module and plan
+// paths bitwise identical by construction.
+
+namespace raw {
+
+namespace {
+
+template <typename F>
+void BinarySameT(const float* pa, const float* pb, float* po, int64_t n,
+                 F f) {
+  ParallelFor(n, kElementwiseGrain, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      po[i] = f(pa[i], pb[i]);
+    }
+  });
+}
+
+template <typename F>
+void BinaryBcastT(const float* pa, const float* pb, float* po,
+                  const int64_t* oshape, const int64_t* sa,
+                  const int64_t* sb, int64_t nd, int64_t numel, F f) {
+  ParallelFor(numel, kElementwiseGrain, [&](int64_t begin, int64_t end) {
+    // Seed the odometer at the chunk's first element, then walk serially.
+    std::vector<int64_t> idx(nd, 0);
+    int64_t oa = StridedOffsetRaw(begin, oshape, sa, nd, idx.data());
+    int64_t ob = StridedOffsetRaw(begin, oshape, sb, nd, nullptr);
+    for (int64_t i = begin; i < end; ++i) {
+      po[i] = f(pa[oa], pb[ob]);
+      // Increment the multi-index (odometer).
+      for (int64_t d = nd - 1; d >= 0; --d) {
+        ++idx[d];
+        oa += sa[d];
+        ob += sb[d];
+        if (idx[d] < oshape[d]) break;
+        idx[d] = 0;
+        oa -= sa[d] * oshape[d];
+        ob -= sb[d] * oshape[d];
+      }
+    }
+  });
+}
+
+template <typename F>
+void UnaryT(const float* pa, float* po, int64_t n, F f) {
+  ParallelFor(n, kElementwiseGrain, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) po[i] = f(pa[i]);
+  });
+}
+
+template <typename F>
+void BinaryDispatch(Bin op, F run) {
+  switch (op) {
+    case Bin::kAdd:
+      run([](float x, float y) { return x + y; });
+      return;
+    case Bin::kSub:
+      run([](float x, float y) { return x - y; });
+      return;
+    case Bin::kMul:
+      run([](float x, float y) { return x * y; });
+      return;
+    case Bin::kDiv:
+      run([](float x, float y) { return x / y; });
+      return;
+    case Bin::kMax:
+      run([](float x, float y) { return std::max(x, y); });
+      return;
+    case Bin::kMin:
+      run([](float x, float y) { return std::min(x, y); });
+      return;
+  }
+}
+
+template <typename F>
+void UnaryDispatch(Un op, float s, F run) {
+  switch (op) {
+    case Un::kAddScalar:
+      run([s](float x) { return x + s; });
+      return;
+    case Un::kMulScalar:
+      run([s](float x) { return x * s; });
+      return;
+    case Un::kPowScalar:
+      run([s](float x) { return std::pow(x, s); });
+      return;
+    case Un::kNeg:
+      run([](float x) { return -x; });
+      return;
+    case Un::kExp:
+      run([](float x) { return std::exp(x); });
+      return;
+    case Un::kLog:
+      run([](float x) { return std::log(x); });
+      return;
+    case Un::kSqrt:
+      run([](float x) { return std::sqrt(x); });
+      return;
+    case Un::kAbs:
+      run([](float x) { return std::fabs(x); });
+      return;
+    case Un::kSin:
+      run([](float x) { return std::sin(x); });
+      return;
+    case Un::kCos:
+      run([](float x) { return std::cos(x); });
+      return;
+    case Un::kTanh:
+      run([](float x) { return std::tanh(x); });
+      return;
+    case Un::kSigmoid:
+      run([](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+      return;
+    case Un::kRelu:
+      run([](float x) { return x > 0.0f ? x : 0.0f; });
+      return;
+    case Un::kGelu:
+      run([](float x) { return GeluFwd(x); });
+      return;
+  }
+}
+
+}  // namespace
+
+void BinarySame(Bin op, const float* a, const float* b, float* out,
+                int64_t n) {
+  BinaryDispatch(op, [&](auto f) { BinarySameT(a, b, out, n, f); });
+}
+
+void BinaryBcast(Bin op, const float* a, const float* b, float* out,
+                 const int64_t* oshape, const int64_t* sa, const int64_t* sb,
+                 int64_t nd, int64_t numel) {
+  BinaryDispatch(op, [&](auto f) {
+    BinaryBcastT(a, b, out, oshape, sa, sb, nd, numel, f);
+  });
+}
+
+void Unary(Un op, float s, const float* a, float* out, int64_t n) {
+  UnaryDispatch(op, s, [&](auto f) { UnaryT(a, out, n, f); });
+}
+
+void PermuteCopy(const float* pi, float* po, const int64_t* oshape,
+                 const int64_t* gather, int64_t nd, int64_t numel) {
+  // Gather parallelized over output positions; chunks write disjoint
+  // ranges of po, so the result is chunking-independent.
+  ParallelFor(numel, kCopyGrain, [&](int64_t begin, int64_t end) {
+    // Seed the odometer at the chunk's first element, then walk serially.
+    std::vector<int64_t> idx(nd, 0);
+    int64_t src = StridedOffsetRaw(begin, oshape, gather, nd, idx.data());
+    for (int64_t i = begin; i < end; ++i) {
+      po[i] = pi[src];
+      for (int64_t d = nd - 1; d >= 0; --d) {
+        ++idx[d];
+        src += gather[d];
+        if (idx[d] < oshape[d]) break;
+        idx[d] = 0;
+        src -= gather[d] * oshape[d];
+      }
+    }
+  });
+}
+
+void SliceCopy(const float* pi, float* po, int64_t outer, int64_t mid,
+               int64_t inner, int64_t start, int64_t len) {
+  ParallelFor(outer, GrainFor(kCopyGrain, len * inner),
+              [&](int64_t o_begin, int64_t o_end) {
+                for (int64_t o = o_begin; o < o_end; ++o) {
+                  const float* src = pi + (o * mid + start) * inner;
+                  float* dst = po + o * len * inner;
+                  std::memcpy(dst, src,
+                              sizeof(float) * static_cast<size_t>(len * inner));
+                }
+              });
+}
+
+void ConcatCopyOne(const float* pi, float* po, int64_t outer, int64_t mid,
+                   int64_t mid_out, int64_t offset, int64_t inner) {
+  ParallelFor(outer, GrainFor(kCopyGrain, mid * inner),
+              [&](int64_t o_begin, int64_t o_end) {
+                for (int64_t o = o_begin; o < o_end; ++o) {
+                  float* dst = po + (o * mid_out + offset) * inner;
+                  const float* src = pi + o * mid * inner;
+                  std::memcpy(dst, src,
+                              sizeof(float) *
+                                  static_cast<size_t>(mid * inner));
+                }
+              });
+}
+
+void SumDim(const float* pi, float* po, int64_t outer, int64_t mid,
+            int64_t inner) {
+  // One chunk owns each output element's full accumulation, in the serial
+  // order, so sums are bitwise identical at any thread count.
+  ParallelFor(outer * inner, GrainFor(kReductionGrain, mid),
+              [&](int64_t begin, int64_t end) {
+                for (int64_t e = begin; e < end; ++e) {
+                  const int64_t o = e / inner;
+                  const int64_t i = e % inner;
+                  float acc = 0.0f;
+                  for (int64_t m = 0; m < mid; ++m) {
+                    acc += pi[(o * mid + m) * inner + i];
+                  }
+                  po[e] = acc;
+                }
+              });
+}
+
+void SoftmaxDim(const float* pi, float* po, int64_t outer, int64_t mid,
+                int64_t inner) {
+  ParallelFor(outer * inner, GrainFor(kReductionGrain, 3 * mid),
+              [&](int64_t begin, int64_t end) {
+                for (int64_t e = begin; e < end; ++e) {
+                  const int64_t o = e / inner;
+                  const int64_t i = e % inner;
+                  const int64_t base = o * mid * inner + i;
+                  float mx = pi[base];
+                  for (int64_t m = 1; m < mid; ++m) {
+                    mx = std::max(mx, pi[base + m * inner]);
+                  }
+                  float denom = 0.0f;
+                  for (int64_t m = 0; m < mid; ++m) {
+                    const float ex = std::exp(pi[base + m * inner] - mx);
+                    po[base + m * inner] = ex;
+                    denom += ex;
+                  }
+                  const float inv = 1.0f / denom;
+                  for (int64_t m = 0; m < mid; ++m) {
+                    po[base + m * inner] *= inv;
+                  }
+                }
+              });
+}
+
+void LogSoftmaxDim(const float* pi, float* po, int64_t outer, int64_t mid,
+                   int64_t inner) {
+  ParallelFor(outer * inner, GrainFor(kReductionGrain, 3 * mid),
+              [&](int64_t begin, int64_t end) {
+                for (int64_t e = begin; e < end; ++e) {
+                  const int64_t o = e / inner;
+                  const int64_t i = e % inner;
+                  const int64_t base = o * mid * inner + i;
+                  float mx = pi[base];
+                  for (int64_t m = 1; m < mid; ++m) {
+                    mx = std::max(mx, pi[base + m * inner]);
+                  }
+                  float denom = 0.0f;
+                  for (int64_t m = 0; m < mid; ++m) {
+                    denom += std::exp(pi[base + m * inner] - mx);
+                  }
+                  const float log_denom = std::log(denom) + mx;
+                  for (int64_t m = 0; m < mid; ++m) {
+                    po[base + m * inner] = pi[base + m * inner] - log_denom;
+                  }
+                }
+              });
+}
+
+namespace {
+
+// Row-wise driver for the bias-add epilogue: rows of x's last dim against
+// the 1-d bias, act applied scalar-wise. Keeps the act dispatch outside
+// the inner loop.
+template <typename F>
+void AddBiasEpilogueT(const float* pi, const float* pb, float* po,
+                      int64_t rows, int64_t c, F f) {
+  ParallelFor(rows, GrainFor(kElementwiseGrain, c),
+              [&](int64_t begin, int64_t end) {
+                for (int64_t r = begin; r < end; ++r) {
+                  const float* x_row = pi + r * c;
+                  float* out_row = po + r * c;
+                  for (int64_t j = 0; j < c; ++j) {
+                    out_row[j] = f(x_row[j] + pb[j]);
+                  }
+                }
+              });
+}
+
+}  // namespace
+
+void AddBiasActRows(const float* x, const float* bias, float* out,
+                    int64_t rows, int64_t c, FusedAct act) {
+  switch (act) {
+    case FusedAct::kRelu:
+      AddBiasEpilogueT(x, bias, out, rows, c,
+                       [](float z) { return z > 0.0f ? z : 0.0f; });
+      return;
+    case FusedAct::kGelu:
+      AddBiasEpilogueT(x, bias, out, rows, c,
+                       [](float z) { return GeluFwd(z); });
+      return;
+    case FusedAct::kNone:
+      break;
+  }
+  AddBiasEpilogueT(x, bias, out, rows, c, [](float z) { return z; });
+}
+
+namespace {
+
+template <typename F>
+void BroadcastMidT(const float* pa, const float* pb, float* po, int64_t rows,
+                   int64_t t, int64_t c, F f) {
+  ParallelFor(rows, GrainFor(kElementwiseGrain, c),
+              [&](int64_t begin, int64_t end) {
+                for (int64_t r = begin; r < end; ++r) {
+                  const float* a_row = pa + r * c;
+                  const float* b_row = pb + (r / t) * c;
+                  float* out_row = po + r * c;
+                  for (int64_t j = 0; j < c; ++j) {
+                    out_row[j] = f(a_row[j], b_row[j]);
+                  }
+                }
+              });
+}
+
+}  // namespace
+
+void BroadcastMidRows(bool sub_op, const float* a, const float* b,
+                      float* out, int64_t rows, int64_t t, int64_t c) {
+  if (sub_op) {
+    BroadcastMidT(a, b, out, rows, t, c,
+                  [](float x, float y) { return x - y; });
+  } else {
+    BroadcastMidT(a, b, out, rows, t, c,
+                  [](float x, float y) { return x + y; });
+  }
+}
+
+}  // namespace raw
+
+namespace {
+
+Tensor BinaryImpl(raw::Bin op, const Tensor& a, const Tensor& b) {
+  if (SameShape(a.shape(), b.shape())) {
+    Tensor out = Tensor::Empty(a.shape());
+    raw::BinarySame(op, a.data(), b.data(), out.data(), a.numel());
+    if (trace::Active()) trace::RecordBinarySame(op, a, b, out);
+    return out;
+  }
+  const Shape out_shape = BroadcastShape(a.shape(), b.shape());
+  Tensor out = Tensor::Empty(out_shape);
+  const Shape sa = BroadcastStrides(a.shape(), out_shape);
+  const Shape sb = BroadcastStrides(b.shape(), out_shape);
+  raw::BinaryBcast(op, a.data(), b.data(), out.data(), out_shape.data(),
+                   sa.data(), sb.data(),
+                   static_cast<int64_t>(out_shape.size()), out.numel());
+  if (trace::Active()) {
+    trace::RecordBinaryBcast(op, a, b, out, out_shape, sa, sb);
+  }
+  return out;
+}
+
+Tensor UnaryImpl(raw::Un op, float s, const Tensor& a) {
+  Tensor out = Tensor::Empty(a.shape());
+  raw::Unary(op, s, a.data(), out.data(), a.numel());
+  if (trace::Active()) trace::RecordUnary(op, s, a, out);
+  return out;
+}
+
+}  // namespace
+
 Shape BroadcastShape(const Shape& a, const Shape& b) {
   const int64_t nd = std::max(a.size(), b.size());
   const Shape pa = PadShape(a, nd);
@@ -195,67 +516,47 @@ Shape BroadcastShape(const Shape& a, const Shape& b) {
 }
 
 Tensor Add(const Tensor& a, const Tensor& b) {
-  return BinaryOp(a, b, [](float x, float y) { return x + y; });
+  return BinaryImpl(raw::Bin::kAdd, a, b);
 }
 Tensor Sub(const Tensor& a, const Tensor& b) {
-  return BinaryOp(a, b, [](float x, float y) { return x - y; });
+  return BinaryImpl(raw::Bin::kSub, a, b);
 }
 Tensor Mul(const Tensor& a, const Tensor& b) {
-  return BinaryOp(a, b, [](float x, float y) { return x * y; });
+  return BinaryImpl(raw::Bin::kMul, a, b);
 }
 Tensor Div(const Tensor& a, const Tensor& b) {
-  return BinaryOp(a, b, [](float x, float y) { return x / y; });
+  return BinaryImpl(raw::Bin::kDiv, a, b);
 }
 Tensor Maximum(const Tensor& a, const Tensor& b) {
-  return BinaryOp(a, b, [](float x, float y) { return std::max(x, y); });
+  return BinaryImpl(raw::Bin::kMax, a, b);
 }
 Tensor Minimum(const Tensor& a, const Tensor& b) {
-  return BinaryOp(a, b, [](float x, float y) { return std::min(x, y); });
+  return BinaryImpl(raw::Bin::kMin, a, b);
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
-  return UnaryOp(a, [s](float x) { return x + s; });
+  return UnaryImpl(raw::Un::kAddScalar, s, a);
 }
 Tensor MulScalar(const Tensor& a, float s) {
-  return UnaryOp(a, [s](float x) { return x * s; });
+  return UnaryImpl(raw::Un::kMulScalar, s, a);
 }
 Tensor PowScalar(const Tensor& a, float p) {
-  return UnaryOp(a, [p](float x) { return std::pow(x, p); });
+  return UnaryImpl(raw::Un::kPowScalar, p, a);
 }
 
-Tensor Neg(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return -x; });
-}
-Tensor Exp(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::exp(x); });
-}
-Tensor Log(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::log(x); });
-}
-Tensor Sqrt(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::sqrt(x); });
-}
-Tensor Abs(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::fabs(x); });
-}
-Tensor Sin(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::sin(x); });
-}
-Tensor Cos(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::cos(x); });
-}
-Tensor Tanh(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::tanh(x); });
-}
+Tensor Neg(const Tensor& a) { return UnaryImpl(raw::Un::kNeg, 0.0f, a); }
+Tensor Exp(const Tensor& a) { return UnaryImpl(raw::Un::kExp, 0.0f, a); }
+Tensor Log(const Tensor& a) { return UnaryImpl(raw::Un::kLog, 0.0f, a); }
+Tensor Sqrt(const Tensor& a) { return UnaryImpl(raw::Un::kSqrt, 0.0f, a); }
+Tensor Abs(const Tensor& a) { return UnaryImpl(raw::Un::kAbs, 0.0f, a); }
+Tensor Sin(const Tensor& a) { return UnaryImpl(raw::Un::kSin, 0.0f, a); }
+Tensor Cos(const Tensor& a) { return UnaryImpl(raw::Un::kCos, 0.0f, a); }
+Tensor Tanh(const Tensor& a) { return UnaryImpl(raw::Un::kTanh, 0.0f, a); }
 Tensor Sigmoid(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+  return UnaryImpl(raw::Un::kSigmoid, 0.0f, a);
 }
-Tensor Relu(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return x > 0.0f ? x : 0.0f; });
-}
-Tensor Gelu(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return GeluFwd(x); });
-}
+Tensor Relu(const Tensor& a) { return UnaryImpl(raw::Un::kRelu, 0.0f, a); }
+Tensor Gelu(const Tensor& a) { return UnaryImpl(raw::Un::kGelu, 0.0f, a); }
 
 namespace {
 
@@ -307,6 +608,10 @@ Tensor MatMulImpl(const Tensor& a, const Tensor& b, bool trans_a,
     PackedGemmBatched(a.data(), /*trans_a=*/false, b.data(), trans_b,
                       out.data(), nbatch * m, n, k, flat);
     if (MacsEnabled()) AddMacs(nbatch * m * n * k);
+    if (trace::Active()) {
+      trace::RecordGemm(a, b, out, /*trans_a=*/false, trans_b, nbatch * m, n,
+                        k, flat);
+    }
     return out;
   }
 
@@ -328,6 +633,9 @@ Tensor MatMulImpl(const Tensor& a, const Tensor& b, bool trans_a,
   PackedGemmBatched(a.data(), trans_a, b.data(), trans_b, out.data(), m, n,
                     k, gb);
   if (MacsEnabled()) AddMacs(nbatch * m * n * k);
+  if (trace::Active()) {
+    trace::RecordGemm(a, b, out, trans_a, trans_b, m, n, k, gb);
+  }
   return out;
 }
 
@@ -363,6 +671,7 @@ Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
 Tensor MatMulReference(const Tensor& a_in, const Tensor& b_in) {
   // The pre-blocking serial ikj kernel, retained verbatim as the ground
   // truth the packed GEMM is tested against. Serial, no MAC accounting.
+  if (trace::Active()) trace::RecordUnsupported("MatMulReference");
   Tensor a = a_in;
   Tensor b = b_in;
   bool squeeze_m = false;
@@ -448,25 +757,9 @@ Tensor Permute(const Tensor& t, const std::vector<int64_t>& perm) {
   Shape gather(nd);
   for (int64_t i = 0; i < nd; ++i) gather[i] = in_strides[perm[i]];
 
-  const float* pi = t.data();
-  float* po = out.data();
-  // Gather parallelized over output positions; chunks write disjoint
-  // ranges of po, so the result is chunking-independent.
-  ParallelFor(t.numel(), kCopyGrain, [&](int64_t begin, int64_t end) {
-    // Seed the odometer at the chunk's first element, then walk serially.
-    std::vector<int64_t> idx(nd, 0);
-    int64_t src = StridedOffset(begin, out_shape, gather, &idx);
-    for (int64_t i = begin; i < end; ++i) {
-      po[i] = pi[src];
-      for (int64_t d = nd - 1; d >= 0; --d) {
-        ++idx[d];
-        src += gather[d];
-        if (idx[d] < out_shape[d]) break;
-        idx[d] = 0;
-        src -= gather[d] * out_shape[d];
-      }
-    }
-  });
+  raw::PermuteCopy(t.data(), out.data(), out_shape.data(), gather.data(), nd,
+                   t.numel());
+  if (trace::Active()) trace::RecordPermute(t, out, out_shape, gather);
   return out;
 }
 
@@ -492,18 +785,11 @@ Tensor Slice(const Tensor& t, int64_t dim, int64_t start, int64_t end) {
   Shape out_shape = t.shape();
   out_shape[dim] = end - start;
   Tensor out = Tensor::Empty(out_shape);
-  const float* pi = t.data();
-  float* po = out.data();
   const int64_t len = end - start;
-  ParallelFor(outer, GrainFor(kCopyGrain, len * inner),
-              [&](int64_t o_begin, int64_t o_end) {
-                for (int64_t o = o_begin; o < o_end; ++o) {
-                  const float* src = pi + (o * mid + start) * inner;
-                  float* dst = po + o * len * inner;
-                  std::memcpy(dst, src,
-                              sizeof(float) * static_cast<size_t>(len * inner));
-                }
-              });
+  raw::SliceCopy(t.data(), out.data(), outer, mid, inner, start, len);
+  if (trace::Active()) {
+    trace::RecordSlice(t, out, outer, mid, inner, start, len);
+  }
   return out;
 }
 
@@ -524,28 +810,25 @@ Tensor Concat(const std::vector<Tensor>& ts, int64_t dim) {
   Tensor out = Tensor::Empty(out_shape);
   int64_t outer, mid_out, inner;
   SplitAt(out_shape, dim, &outer, &mid_out, &inner);
-  float* po = out.data();
   int64_t offset = 0;
+  std::vector<int64_t> mids;
+  mids.reserve(ts.size());
   for (const Tensor& t : ts) {
     const int64_t mid = t.size(dim);
-    const float* pi = t.data();
-    ParallelFor(outer, GrainFor(kCopyGrain, mid * inner),
-                [&](int64_t o_begin, int64_t o_end) {
-                  for (int64_t o = o_begin; o < o_end; ++o) {
-                    float* dst = po + (o * mid_out + offset) * inner;
-                    const float* src = pi + o * mid * inner;
-                    std::memcpy(dst, src,
-                                sizeof(float) *
-                                    static_cast<size_t>(mid * inner));
-                  }
-                });
+    raw::ConcatCopyOne(t.data(), out.data(), outer, mid, mid_out, offset,
+                       inner);
+    mids.push_back(mid);
     offset += mid;
+  }
+  if (trace::Active()) {
+    trace::RecordConcat(ts, out, outer, mid_out, inner, mids);
   }
   return out;
 }
 
 Tensor IndexSelect(const Tensor& t, int64_t dim,
                    const std::vector<int64_t>& indices) {
+  if (trace::Active()) trace::RecordUnsupported("IndexSelect");
   dim = NormalizeDim(dim, t.dim());
   int64_t outer, mid, inner;
   SplitAt(t.shape(), dim, &outer, &mid, &inner);
@@ -576,6 +859,7 @@ Tensor IndexSelect(const Tensor& t, int64_t dim,
 }
 
 Tensor Pad(const Tensor& t, int64_t dim, int64_t before, int64_t after) {
+  if (trace::Active()) trace::RecordUnsupported("Pad");
   dim = NormalizeDim(dim, t.dim());
   LIPF_CHECK_GE(before, 0);
   LIPF_CHECK_GE(after, 0);
@@ -612,22 +896,10 @@ Tensor Sum(const Tensor& t, int64_t dim, bool keepdim) {
   Shape out_shape = t.shape();
   out_shape[dim] = 1;
   Tensor out = Tensor::Empty(out_shape);
-  const float* pi = t.data();
-  float* po = out.data();
-  // One chunk owns each output element's full accumulation, in the serial
-  // order, so sums are bitwise identical at any thread count.
-  ParallelFor(outer * inner, GrainFor(kReductionGrain, mid),
-              [&](int64_t begin, int64_t end) {
-                for (int64_t e = begin; e < end; ++e) {
-                  const int64_t o = e / inner;
-                  const int64_t i = e % inner;
-                  float acc = 0.0f;
-                  for (int64_t m = 0; m < mid; ++m) {
-                    acc += pi[(o * mid + m) * inner + i];
-                  }
-                  po[e] = acc;
-                }
-              });
+  raw::SumDim(t.data(), out.data(), outer, mid, inner);
+  if (trace::Active()) {
+    trace::RecordReduction(trace::OpKind::kSum, t, out, outer, mid, inner);
+  }
   return keepdim ? out : out.Squeeze(dim);
 }
 
@@ -638,6 +910,7 @@ Tensor Mean(const Tensor& t, int64_t dim, bool keepdim) {
 }
 
 std::pair<Tensor, Tensor> Max(const Tensor& t, int64_t dim) {
+  if (trace::Active()) trace::RecordUnsupported("Max");
   dim = NormalizeDim(dim, t.dim());
   int64_t outer, mid, inner;
   SplitAt(t.shape(), dim, &outer, &mid, &inner);
@@ -670,6 +943,7 @@ std::pair<Tensor, Tensor> Max(const Tensor& t, int64_t dim) {
 }
 
 float SumAll(const Tensor& t) {
+  if (trace::Active()) trace::RecordUnsupported("SumAll");
   const float* p = t.data();
   double acc = 0.0;
   for (int64_t i = 0; i < t.numel(); ++i) acc += p[i];
@@ -701,6 +975,7 @@ Tensor ReduceToShape(const Tensor& t, const Shape& target) {
 
 Tensor BroadcastTo(const Tensor& t, const Shape& shape) {
   if (SameShape(t.shape(), shape)) return t;
+  if (trace::Active()) trace::RecordUnsupported("BroadcastTo");
   LIPF_CHECK(SameShape(BroadcastShape(t.shape(), shape), shape))
       << "cannot broadcast " << ShapeToString(t.shape()) << " to "
       << ShapeToString(shape);
@@ -731,30 +1006,11 @@ Tensor Softmax(const Tensor& t, int64_t dim) {
   int64_t outer, mid, inner;
   SplitAt(t.shape(), dim, &outer, &mid, &inner);
   Tensor out = Tensor::Empty(t.shape());
-  const float* pi = t.data();
-  float* po = out.data();
-  ParallelFor(outer * inner, GrainFor(kReductionGrain, 3 * mid),
-              [&](int64_t begin, int64_t end) {
-                for (int64_t e = begin; e < end; ++e) {
-                  const int64_t o = e / inner;
-                  const int64_t i = e % inner;
-                  const int64_t base = o * mid * inner + i;
-                  float mx = pi[base];
-                  for (int64_t m = 1; m < mid; ++m) {
-                    mx = std::max(mx, pi[base + m * inner]);
-                  }
-                  float denom = 0.0f;
-                  for (int64_t m = 0; m < mid; ++m) {
-                    const float ex = std::exp(pi[base + m * inner] - mx);
-                    po[base + m * inner] = ex;
-                    denom += ex;
-                  }
-                  const float inv = 1.0f / denom;
-                  for (int64_t m = 0; m < mid; ++m) {
-                    po[base + m * inner] *= inv;
-                  }
-                }
-              });
+  raw::SoftmaxDim(t.data(), out.data(), outer, mid, inner);
+  if (trace::Active()) {
+    trace::RecordReduction(trace::OpKind::kSoftmax, t, out, outer, mid,
+                           inner);
+  }
   return out;
 }
 
@@ -763,28 +1019,11 @@ Tensor LogSoftmax(const Tensor& t, int64_t dim) {
   int64_t outer, mid, inner;
   SplitAt(t.shape(), dim, &outer, &mid, &inner);
   Tensor out = Tensor::Empty(t.shape());
-  const float* pi = t.data();
-  float* po = out.data();
-  ParallelFor(outer * inner, GrainFor(kReductionGrain, 3 * mid),
-              [&](int64_t begin, int64_t end) {
-                for (int64_t e = begin; e < end; ++e) {
-                  const int64_t o = e / inner;
-                  const int64_t i = e % inner;
-                  const int64_t base = o * mid * inner + i;
-                  float mx = pi[base];
-                  for (int64_t m = 1; m < mid; ++m) {
-                    mx = std::max(mx, pi[base + m * inner]);
-                  }
-                  float denom = 0.0f;
-                  for (int64_t m = 0; m < mid; ++m) {
-                    denom += std::exp(pi[base + m * inner] - mx);
-                  }
-                  const float log_denom = std::log(denom) + mx;
-                  for (int64_t m = 0; m < mid; ++m) {
-                    po[base + m * inner] = pi[base + m * inner] - log_denom;
-                  }
-                }
-              });
+  raw::LogSoftmaxDim(t.data(), out.data(), outer, mid, inner);
+  if (trace::Active()) {
+    trace::RecordReduction(trace::OpKind::kLogSoftmax, t, out, outer, mid,
+                           inner);
+  }
   return out;
 }
 
@@ -792,27 +1031,16 @@ Tensor LogSoftmax(const Tensor& t, int64_t dim) {
 // MulScalar -> AddConst -> Softmax chain (and its backward), whose
 // kernels round every intermediate to float. GCC contracts mul+add into
 // fma even across statements at -O3 -march=native, which would skip one
-// rounding, so contraction is off for exactly these two functions.
+// rounding, so contraction is off for exactly these functions (the raw
+// row kernel carries the loops; both entry points live in the region).
 #pragma GCC push_options
 #pragma GCC optimize("fp-contract=off")
 
-Tensor ScaledMaskedSoftmax(const Tensor& t, float scale, const Tensor* mask) {
-  LIPF_CHECK_GE(t.dim(), 1);
-  const int64_t mid = t.size(-1);
-  const int64_t rows = t.numel() / std::max<int64_t>(1, mid);
-  int64_t sq = 1;
-  const float* pm = nullptr;
-  if (mask != nullptr) {
-    LIPF_CHECK_EQ(mask->dim(), 2);
-    LIPF_CHECK_EQ(mask->size(1), mid);
-    LIPF_CHECK_GE(t.dim(), 2);
-    LIPF_CHECK_EQ(t.size(-2), mask->size(0));
-    sq = mask->size(0);
-    pm = mask->data();
-  }
-  Tensor out = Tensor::Empty(t.shape());
-  const float* pi = t.data();
-  float* po = out.data();
+namespace raw {
+
+void ScaledMaskedSoftmaxRows(const float* pi, float* po, int64_t rows,
+                             int64_t mid, float scale, const float* pm,
+                             int64_t sq) {
   ParallelFor(rows, GrainFor(kReductionGrain, 3 * mid),
               [&](int64_t begin, int64_t end) {
                 for (int64_t r = begin; r < end; ++r) {
@@ -844,11 +1072,38 @@ Tensor ScaledMaskedSoftmax(const Tensor& t, float scale, const Tensor* mask) {
                   }
                 }
               });
+}
+
+}  // namespace raw
+
+Tensor ScaledMaskedSoftmax(const Tensor& t, float scale, const Tensor* mask) {
+  LIPF_CHECK_GE(t.dim(), 1);
+  const int64_t mid = t.size(-1);
+  const int64_t rows = t.numel() / std::max<int64_t>(1, mid);
+  int64_t sq = 1;
+  const float* pm = nullptr;
+  if (mask != nullptr) {
+    LIPF_CHECK_EQ(mask->dim(), 2);
+    LIPF_CHECK_EQ(mask->size(1), mid);
+    LIPF_CHECK_GE(t.dim(), 2);
+    LIPF_CHECK_EQ(t.size(-2), mask->size(0));
+    sq = mask->size(0);
+    pm = mask->data();
+  }
+  Tensor out = Tensor::Empty(t.shape());
+  raw::ScaledMaskedSoftmaxRows(t.data(), out.data(), rows, mid, scale, pm,
+                               sq);
+  if (trace::Active()) {
+    trace::RecordScaledMaskedSoftmax(t, mask, out, rows, mid, sq, scale);
+  }
   return out;
 }
 
 Tensor ScaledMaskedSoftmaxBackward(const Tensor& g, const Tensor& y,
                                    float scale) {
+  if (trace::Active()) {
+    trace::RecordUnsupported("ScaledMaskedSoftmaxBackward");
+  }
   LIPF_CHECK(SameShape(g.shape(), y.shape()));
   LIPF_CHECK_GE(y.dim(), 1);
   const int64_t mid = y.size(-1);
@@ -883,35 +1138,8 @@ Tensor ScaledMaskedSoftmaxBackward(const Tensor& g, const Tensor& y,
 
 namespace {
 
-// Row-wise driver for the bias-add epilogue: rows of x's last dim against
-// the 1-d bias, act applied scalar-wise. Keeps the act dispatch outside
-// the inner loop.
-template <typename F>
-Tensor AddBiasEpilogue(const Tensor& x, const Tensor& bias, F f) {
-  LIPF_CHECK_EQ(bias.dim(), 1);
-  const int64_t c = bias.size(0);
-  LIPF_CHECK_GE(x.dim(), 1);
-  LIPF_CHECK_EQ(x.size(-1), c);
-  const int64_t rows = x.numel() / std::max<int64_t>(1, c);
-  Tensor out = Tensor::Empty(x.shape());
-  const float* pi = x.data();
-  const float* pb = bias.data();
-  float* po = out.data();
-  ParallelFor(rows, GrainFor(kElementwiseGrain, c),
-              [&](int64_t begin, int64_t end) {
-                for (int64_t r = begin; r < end; ++r) {
-                  const float* x_row = pi + r * c;
-                  float* out_row = po + r * c;
-                  for (int64_t j = 0; j < c; ++j) {
-                    out_row[j] = f(x_row[j] + pb[j]);
-                  }
-                }
-              });
-  return out;
-}
-
-// Same traversal for the backward: f(g, z) with z the recomputed
-// pre-activation.
+// Same traversal as the forward epilogue for the backward: f(g, z) with z
+// the recomputed pre-activation.
 template <typename F>
 Tensor AddBiasEpilogueBwd(const Tensor& g, const Tensor& x,
                           const Tensor& bias, F f) {
@@ -940,20 +1168,20 @@ Tensor AddBiasEpilogueBwd(const Tensor& g, const Tensor& x,
 }  // namespace
 
 Tensor AddBiasAct(const Tensor& x, const Tensor& bias, FusedAct act) {
-  switch (act) {
-    case FusedAct::kRelu:
-      return AddBiasEpilogue(x, bias,
-                             [](float z) { return z > 0.0f ? z : 0.0f; });
-    case FusedAct::kGelu:
-      return AddBiasEpilogue(x, bias, [](float z) { return GeluFwd(z); });
-    case FusedAct::kNone:
-      break;
-  }
-  return AddBiasEpilogue(x, bias, [](float z) { return z; });
+  LIPF_CHECK_EQ(bias.dim(), 1);
+  const int64_t c = bias.size(0);
+  LIPF_CHECK_GE(x.dim(), 1);
+  LIPF_CHECK_EQ(x.size(-1), c);
+  const int64_t rows = x.numel() / std::max<int64_t>(1, c);
+  Tensor out = Tensor::Empty(x.shape());
+  raw::AddBiasActRows(x.data(), bias.data(), out.data(), rows, c, act);
+  if (trace::Active()) trace::RecordAddBiasAct(x, bias, out, rows, c, act);
+  return out;
 }
 
 Tensor AddBiasActBackward(const Tensor& g, const Tensor& x,
                           const Tensor& bias, FusedAct act) {
+  if (trace::Active()) trace::RecordUnsupported("AddBiasActBackward");
   switch (act) {
     case FusedAct::kRelu:
       return AddBiasEpilogueBwd(
@@ -969,8 +1197,7 @@ Tensor AddBiasActBackward(const Tensor& g, const Tensor& x,
 
 namespace {
 
-template <typename F>
-Tensor BroadcastMidOp(const Tensor& a, const Tensor& b, F f) {
+Tensor BroadcastMidImpl(bool sub_op, const Tensor& a, const Tensor& b) {
   LIPF_CHECK_EQ(a.dim(), 3);
   LIPF_CHECK_EQ(b.dim(), 3);
   LIPF_CHECK_EQ(b.size(1), 1);
@@ -979,31 +1206,22 @@ Tensor BroadcastMidOp(const Tensor& a, const Tensor& b, F f) {
   const int64_t t = a.size(1);
   const int64_t c = a.size(2);
   Tensor out = Tensor::Empty(a.shape());
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  ParallelFor(a.size(0) * t, GrainFor(kElementwiseGrain, c),
-              [&](int64_t begin, int64_t end) {
-                for (int64_t r = begin; r < end; ++r) {
-                  const float* a_row = pa + r * c;
-                  const float* b_row = pb + (r / t) * c;
-                  float* out_row = po + r * c;
-                  for (int64_t j = 0; j < c; ++j) {
-                    out_row[j] = f(a_row[j], b_row[j]);
-                  }
-                }
-              });
+  raw::BroadcastMidRows(sub_op, a.data(), b.data(), out.data(),
+                        a.size(0) * t, t, c);
+  if (trace::Active()) {
+    trace::RecordBroadcastMid(sub_op, a, b, out, a.size(0) * t, t, c);
+  }
   return out;
 }
 
 }  // namespace
 
 Tensor SubBroadcastMid(const Tensor& a, const Tensor& b) {
-  return BroadcastMidOp(a, b, [](float x, float y) { return x - y; });
+  return BroadcastMidImpl(/*sub_op=*/true, a, b);
 }
 
 Tensor AddBroadcastMid(const Tensor& a, const Tensor& b) {
-  return BroadcastMidOp(a, b, [](float x, float y) { return x + y; });
+  return BroadcastMidImpl(/*sub_op=*/false, a, b);
 }
 
 bool AllClose(const Tensor& a, const Tensor& b, float atol, float rtol) {

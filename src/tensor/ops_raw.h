@@ -1,0 +1,101 @@
+#ifndef LIPFORMER_TENSOR_OPS_RAW_H_
+#define LIPFORMER_TENSOR_OPS_RAW_H_
+
+#include <cstdint>
+
+#include "tensor/ops.h"
+
+// Raw "out-variant" forms of the forward tensor kernels: the exact inner
+// loops of tensor/ops.cc, taking precomputed dims and caller-provided
+// raw pointers instead of Tensors. The public ops in ops.cc call these
+// after their shape prologue, and the AOT plan executor
+// (serve/plan_exec.cc) calls them directly against arena offsets — one
+// compiled loop per kernel, so the two paths are bitwise identical by
+// construction, not by testing alone.
+//
+// All functions run on the shared thread pool with the same grains as the
+// public ops; chunk boundaries are functions of shape only, so outputs
+// are bitwise identical at every thread count (see tensor/ops.h).
+// Pointers must not alias outputs with inputs.
+
+namespace lipformer {
+namespace raw {
+
+enum class Bin : int32_t { kAdd, kSub, kMul, kDiv, kMax, kMin };
+enum class Un : int32_t {
+  kAddScalar,
+  kMulScalar,
+  kPowScalar,
+  kNeg,
+  kExp,
+  kLog,
+  kSqrt,
+  kAbs,
+  kSin,
+  kCos,
+  kTanh,
+  kSigmoid,
+  kRelu,
+  kGelu,
+};
+
+// Same-shape elementwise binary: out[i] = op(a[i], b[i]).
+void BinarySame(Bin op, const float* a, const float* b, float* out,
+                int64_t n);
+
+// Broadcast elementwise binary over the odometer walk: `oshape` is the
+// output shape, `sa`/`sb` the broadcast strides of a/b relative to it
+// (all length nd), numel the output element count.
+void BinaryBcast(Bin op, const float* a, const float* b, float* out,
+                 const int64_t* oshape, const int64_t* sa, const int64_t* sb,
+                 int64_t nd, int64_t numel);
+
+// Elementwise unary with optional scalar operand (AddScalar/MulScalar/
+// PowScalar read `s`; the rest ignore it).
+void Unary(Un op, float s, const float* a, float* out, int64_t n);
+
+// Permute gather: out[i] = in[dot(multi_index(i, oshape), gather)].
+void PermuteCopy(const float* in, float* out, const int64_t* oshape,
+                 const int64_t* gather, int64_t nd, int64_t numel);
+
+// Contiguous slice along the (outer, mid, inner) split: copies
+// mid range [start, start+len) per outer block.
+void SliceCopy(const float* in, float* out, int64_t outer, int64_t mid,
+               int64_t inner, int64_t start, int64_t len);
+
+// Copies one concat operand (mid slots wide) into an output whose concat
+// dim is mid_out slots wide, at slot offset `offset`.
+void ConcatCopyOne(const float* in, float* out, int64_t outer, int64_t mid,
+                   int64_t mid_out, int64_t offset, int64_t inner);
+
+// Sum over the mid dim of the (outer, mid, inner) split.
+void SumDim(const float* in, float* out, int64_t outer, int64_t mid,
+            int64_t inner);
+
+// Softmax / log-softmax over the mid dim (max-subtracted).
+void SoftmaxDim(const float* in, float* out, int64_t outer, int64_t mid,
+                int64_t inner);
+void LogSoftmaxDim(const float* in, float* out, int64_t outer, int64_t mid,
+                   int64_t inner);
+
+// Fused softmax(scale * x [+ mask]) over rows of width mid; mask (when
+// non-null) is [sq, mid] and row r uses mask row r % sq. Compiled with
+// fp-contract off (see ops.cc) so it stays bitwise equal to the unfused
+// chain.
+void ScaledMaskedSoftmaxRows(const float* in, float* out, int64_t rows,
+                             int64_t mid, float scale, const float* mask,
+                             int64_t sq);
+
+// act(x + bias) over rows of width c.
+void AddBiasActRows(const float* x, const float* bias, float* out,
+                    int64_t rows, int64_t c, FusedAct act);
+
+// a [rows, c] (-|+) b broadcast over groups of t rows (the [B, T, C] vs
+// [B, 1, C] instance-norm shift): b row index is r / t.
+void BroadcastMidRows(bool sub_op, const float* a, const float* b,
+                      float* out, int64_t rows, int64_t t, int64_t c);
+
+}  // namespace raw
+}  // namespace lipformer
+
+#endif  // LIPFORMER_TENSOR_OPS_RAW_H_

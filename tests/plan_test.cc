@@ -1,0 +1,367 @@
+#include "serve/plan.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/batcher.h"
+#include "serve/quantize.h"
+#include "serve/session.h"
+#include "tests/test_util.h"
+
+// AOT inference plans (serve/plan.h): the contract under test is bitwise
+// identity with the module path — same bundle, same input, byte-equal
+// output — for fp32 and quantized bundles, serial and batched, plus
+// clean fallback when a model's forward cannot be compiled.
+
+namespace lipformer {
+namespace {
+
+using testing::RandomTensor;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string FreshTempPath(const std::string& name) {
+  const std::string path = TempPath(name);
+  std::remove(path.c_str());
+  return path;
+}
+
+bool BitwiseEqual(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+serve::SessionOptions NoPlan() {
+  serve::SessionOptions o;
+  o.use_plan = false;
+  return o;
+}
+
+class PlanTest : public ::testing::Test {
+ protected:
+  // Same small-but-real LiPFormer bundle the session tests use:
+  // 24 -> 6 over 2 channels, hidden 8 (below the quantizer floor).
+  void SetUp() override {
+    dims_.input_len = 24;
+    dims_.pred_len = 6;
+    dims_.channels = 2;
+    options_.hidden_dim = 8;
+    options_.num_heads = 2;
+    options_.patch_len = 8;
+    options_.seed = 11;
+    std::unique_ptr<Forecaster> model =
+        CreateModel("lipformer", dims_, options_);
+    Rng rng(12);
+    scaler_.Fit(Tensor::Randn({64, dims_.channels}, rng));
+    path_ = TempPath("plan_bundle.ckpt");
+    ASSERT_TRUE(serve::SaveModelBundle(path_, "lipformer", options_, *model,
+                                       scaler_)
+                    .ok());
+  }
+
+  // Bundle whose attention projections (hidden 16) clear the quantizer's
+  // shape floor, so the int8 plan path actually has quantized Linears.
+  std::string QuantizedBundlePath() {
+    ModelOptions options = options_;
+    options.hidden_dim = 16;
+    std::unique_ptr<Forecaster> model =
+        CreateModel("lipformer", dims_, options);
+    const std::string fp32 = TempPath("plan_bundle_h16.ckpt");
+    EXPECT_TRUE(serve::SaveModelBundle(fp32, "lipformer", options, *model,
+                                       scaler_)
+                    .ok());
+    const std::string int8 = FreshTempPath("plan_bundle_h16_int8.ckpt");
+    EXPECT_TRUE(serve::QuantizeBundleFile(fp32, int8, /*force=*/false).ok());
+    return int8;
+  }
+
+  // Predictions from a plan-enabled session must be bitwise identical to
+  // a module-only session opened from the same bundle, at every batch
+  // size, and must actually have been served by a plan.
+  void ExpectPlanMatchesModule(const std::string& bundle,
+                               const std::vector<int64_t>& batch_sizes) {
+    auto planned = serve::InferenceSession::Open(bundle);
+    auto module = serve::InferenceSession::Open(bundle, NoPlan());
+    ASSERT_TRUE(planned.ok()) << planned.status().ToString();
+    ASSERT_TRUE(module.ok()) << module.status().ToString();
+    ASSERT_TRUE(planned.value()->plan_enabled());
+    ASSERT_FALSE(module.value()->plan_enabled());
+
+    const int64_t in = planned.value()->input_len();
+    const int64_t ch = planned.value()->channels();
+    int64_t requests = 0;
+    for (size_t i = 0; i < batch_sizes.size(); ++i) {
+      const int64_t b = batch_sizes[i];
+      const Tensor histories =
+          RandomTensor({b, in, ch}, 900 + static_cast<uint64_t>(i));
+      auto got = planned.value()->PredictBatch(histories);
+      auto want = module.value()->PredictBatch(histories);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      ASSERT_TRUE(want.ok()) << want.status().ToString();
+      EXPECT_TRUE(BitwiseEqual(got.value(), want.value()))
+          << "batch size " << b;
+      ++requests;
+    }
+
+    const serve::SessionPlanStats stats = planned.value()->plan_stats();
+    EXPECT_EQ(stats.compile_error, "");
+    EXPECT_EQ(stats.plan_requests, requests);
+    EXPECT_EQ(stats.module_requests, 0);
+    EXPECT_EQ(stats.plans_compiled,
+              static_cast<int64_t>(batch_sizes.size()) +
+                  (std::count(batch_sizes.begin(), batch_sizes.end(), 1)
+                       ? 0
+                       : 1));  // batch-1 plan precompiled at Open
+  }
+
+  ForecasterDims dims_;
+  ModelOptions options_;
+  StandardScaler scaler_;
+  std::string path_;
+};
+
+TEST_F(PlanTest, CompilesForLipformerBundleAtOpen) {
+  auto opened = serve::InferenceSession::Open(path_);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  serve::InferenceSession* session = opened.value().get();
+
+  ASSERT_TRUE(session->plan_enabled());
+  const serve::SessionPlanStats stats = session->plan_stats();
+  // Open precompiles the batch-1 plan; a compile failure would be a
+  // silent fallback every other test could miss, so pin it here.
+  EXPECT_EQ(stats.compile_error, "") << stats.compile_error;
+  EXPECT_EQ(stats.plans_compiled, 1);
+  EXPECT_EQ(stats.plan.batch_size, 1);
+  EXPECT_GT(stats.plan.num_ops, 0);
+  EXPECT_GE(stats.plan.num_traced, stats.plan.num_ops);
+  EXPECT_GT(stats.plan.num_elided, 0);  // head split/merge, full slices
+  // num_heads > 1 makes the attention head-split permutes non-identity;
+  // all of them feed GEMM operands and must fold into the pack phase.
+  EXPECT_GT(stats.plan.fused_gemm_operands, 0);
+  EXPECT_GT(stats.plan.arena_bytes, 0);
+  EXPECT_GT(stats.plan.num_constants, 0);
+  EXPECT_GT(stats.plan.prepacked_gemms, 0);
+
+  std::shared_ptr<const serve::InferencePlan> plan = session->PlanForBatch(1);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->input_shape(), (Shape{1, 24, 2}));
+  EXPECT_EQ(plan->output_shape(), (Shape{1, 6, 2}));
+}
+
+TEST_F(PlanTest, Fp32BitwiseMatchesModulePath) {
+  ExpectPlanMatchesModule(path_, {1, 3, 16});
+}
+
+TEST_F(PlanTest, QuantizedBitwiseMatchesModulePath) {
+  const std::string bundle = QuantizedBundlePath();
+  auto opened = serve::InferenceSession::Open(bundle);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  ASSERT_TRUE(opened.value()->quantized());
+  ExpectPlanMatchesModule(bundle, {1, 3, 16});
+}
+
+TEST_F(PlanTest, OddShapesBitwiseMatchModulePath) {
+  // Non-power-of-two everything: input 35 with patch 7, pred 9, three
+  // channels — exercises remainder slices and unaligned arena values.
+  ForecasterDims dims;
+  dims.input_len = 35;
+  dims.pred_len = 9;
+  dims.channels = 3;
+  ModelOptions options;
+  options.hidden_dim = 12;
+  options.num_heads = 2;
+  options.patch_len = 7;
+  options.seed = 29;
+  std::unique_ptr<Forecaster> model = CreateModel("lipformer", dims, options);
+  StandardScaler scaler;
+  Rng rng(30);
+  scaler.Fit(Tensor::Randn({48, dims.channels}, rng));
+  const std::string path = TempPath("plan_bundle_odd.ckpt");
+  ASSERT_TRUE(
+      serve::SaveModelBundle(path, "lipformer", options, *model, scaler)
+          .ok());
+  ExpectPlanMatchesModule(path, {1, 3, 5});
+}
+
+TEST_F(PlanTest, ManyThreadsShareOnePlan) {
+  // The plan is immutable and runs without the module mutex; hammer one
+  // session from many threads and require every result bitwise-correct.
+  // check_sanitize.sh runs this under TSan.
+  auto planned = serve::InferenceSession::Open(path_);
+  auto module = serve::InferenceSession::Open(path_, NoPlan());
+  ASSERT_TRUE(planned.ok());
+  ASSERT_TRUE(module.ok());
+  serve::InferenceSession* session = planned.value().get();
+
+  const int kThreads = 8;
+  const int kPerThread = 16;
+  std::vector<Tensor> windows;
+  std::vector<Tensor> expected;
+  for (int i = 0; i < kThreads * kPerThread; ++i) {
+    windows.push_back(RandomTensor({24, 2}, 500 + i));
+    auto want = module.value()->Predict(windows.back());
+    ASSERT_TRUE(want.ok());
+    expected.push_back(want.value());
+  }
+
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const int idx = t * kPerThread + i;
+        auto got = session->Predict(windows[idx]);
+        if (!got.ok() || !BitwiseEqual(got.value(), expected[idx])) {
+          ++mismatches[t];
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(mismatches[t], 0) << "thread " << t;
+  }
+
+  const serve::SessionPlanStats stats = session->plan_stats();
+  EXPECT_EQ(stats.plan_requests, kThreads * kPerThread);
+  EXPECT_EQ(stats.module_requests, 0);
+  std::shared_ptr<const serve::InferencePlan> plan = session->PlanForBatch(1);
+  ASSERT_NE(plan, nullptr);
+  // +2: Compile ran the program twice for bitwise validation.
+  EXPECT_EQ(plan->executions(), kThreads * kPerThread + 2);
+}
+
+TEST_F(PlanTest, BatcherServesConcurrentRequestsFromOnePlan) {
+  auto planned = serve::InferenceSession::Open(path_);
+  auto module = serve::InferenceSession::Open(path_, NoPlan());
+  ASSERT_TRUE(planned.ok());
+  ASSERT_TRUE(module.ok());
+
+  const int kClients = 6;
+  const int kPerClient = 4;
+  std::vector<Tensor> windows;
+  std::vector<Tensor> expected;
+  for (int i = 0; i < kClients * kPerClient; ++i) {
+    windows.push_back(RandomTensor({24, 2}, 700 + i));
+    auto want = module.value()->Predict(windows[i]);
+    ASSERT_TRUE(want.ok());
+    expected.push_back(want.value());
+  }
+
+  serve::BatcherOptions opts;
+  opts.max_batch_size = 4;
+  opts.max_delay = std::chrono::microseconds(200);
+  serve::Batcher batcher(planned.value().get(), opts);
+  std::vector<int> mismatches(kClients, 0);
+  std::vector<std::thread> clients;
+  for (int cl = 0; cl < kClients; ++cl) {
+    clients.emplace_back([&, cl] {
+      for (int i = 0; i < kPerClient; ++i) {
+        const int idx = cl * kPerClient + i;
+        auto got = batcher.Submit(windows[idx]).get();
+        if (!got.ok() || !BitwiseEqual(got.value(), expected[idx])) {
+          ++mismatches[cl];
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (int cl = 0; cl < kClients; ++cl) {
+    EXPECT_EQ(mismatches[cl], 0) << "client " << cl;
+  }
+
+  // Coalesced batches hit plans for their exact sizes; nothing fell
+  // back to the module path.
+  const serve::SessionPlanStats stats = planned.value()->plan_stats();
+  EXPECT_GT(stats.plan_requests, 0);
+  EXPECT_EQ(stats.module_requests, 0);
+}
+
+TEST_F(PlanTest, UncompilableModelFallsBackToModulePath) {
+  // Autoformer selects top autocorrelation lags with IndexSelect —
+  // data-dependent control flow poisons the trace, compilation fails, and
+  // the session must serve correct results from the module path.
+  std::unique_ptr<Forecaster> model =
+      CreateModel("autoformer", dims_, options_);
+  const std::string path = TempPath("plan_bundle_autoformer.ckpt");
+  ASSERT_TRUE(
+      serve::SaveModelBundle(path, "autoformer", options_, *model, scaler_)
+          .ok());
+
+  auto planned = serve::InferenceSession::Open(path);
+  auto module = serve::InferenceSession::Open(path, NoPlan());
+  ASSERT_TRUE(planned.ok()) << planned.status().ToString();
+  ASSERT_TRUE(module.ok());
+
+  EXPECT_TRUE(planned.value()->plan_enabled());
+  EXPECT_EQ(planned.value()->PlanForBatch(1), nullptr);
+  const Tensor histories = RandomTensor({2, 24, 2}, 41);
+  auto got = planned.value()->PredictBatch(histories);
+  auto want = module.value()->PredictBatch(histories);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_TRUE(want.ok());
+  EXPECT_TRUE(BitwiseEqual(got.value(), want.value()));
+
+  const serve::SessionPlanStats stats = planned.value()->plan_stats();
+  EXPECT_EQ(stats.plans_compiled, 0);
+  EXPECT_NE(stats.compile_error, "");
+  EXPECT_NE(stats.compile_error.find("data-dependent"), std::string::npos)
+      << stats.compile_error;
+  EXPECT_EQ(stats.plan_requests, 0);
+  EXPECT_EQ(stats.module_requests, 1);
+}
+
+TEST_F(PlanTest, SessionOptionDisablesPlanPath) {
+  auto opened = serve::InferenceSession::Open(path_, NoPlan());
+  ASSERT_TRUE(opened.ok());
+  serve::InferenceSession* session = opened.value().get();
+
+  EXPECT_FALSE(session->plan_enabled());
+  EXPECT_EQ(session->PlanForBatch(1), nullptr);
+  auto pred = session->Predict(RandomTensor({24, 2}, 55));
+  ASSERT_TRUE(pred.ok());
+
+  const serve::SessionPlanStats stats = session->plan_stats();
+  EXPECT_FALSE(stats.enabled);
+  EXPECT_EQ(stats.plans_compiled, 0);
+  EXPECT_EQ(stats.plan_requests, 0);
+  EXPECT_EQ(stats.module_requests, 1);
+}
+
+TEST_F(PlanTest, ProfilingReportsPerOpTimings) {
+  auto opened = serve::InferenceSession::Open(path_);
+  ASSERT_TRUE(opened.ok());
+  serve::InferenceSession* session = opened.value().get();
+
+  // Off by default: no timings even after traffic.
+  ASSERT_TRUE(session->Predict(RandomTensor({24, 2}, 60)).ok());
+  EXPECT_TRUE(session->plan_stats().timings.empty());
+
+  session->SetPlanProfiling(true);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(session->Predict(RandomTensor({24, 2}, 61 + i)).ok());
+  }
+  const serve::SessionPlanStats stats = session->plan_stats();
+  ASSERT_FALSE(stats.timings.empty());
+  int64_t calls = 0;
+  for (const serve::PlanOpTiming& t : stats.timings) {
+    EXPECT_NE(t.name, nullptr);
+    EXPECT_GT(t.calls, 0);
+    calls += t.calls;
+  }
+  // Three profiled executions of a fixed program.
+  EXPECT_EQ(calls, 3 * stats.plan.num_ops);
+}
+
+}  // namespace
+}  // namespace lipformer
