@@ -15,6 +15,8 @@
 // Phases (all serial timings are batch-1 closed-loop):
 //   1. module fp32:  --no-plan session; also the bitwise reference
 //   2. plan fp32:    default session; plan_speedup = plan / module
+//   2b. unfused plan fp32: LIPF_NO_FUSE session (no epilogue/chain
+//       fusion); fusion_speedup = fused plan / unfused plan
 //   3. batched:      `clients` threads through the micro-batcher (plan)
 //   4. module int8:  --no-plan quantized session; int8 bitwise reference
 //   5. plan int8:    default quantized session
@@ -22,11 +24,14 @@
 //
 // JSON output (consumed by check_perf.sh):
 //   {"single_rps": ..., "module_single_rps": ..., "plan_speedup": ...,
+//    "nofuse_single_rps": ..., "fusion_speedup": ...,
 //    "batched16_rps": ..., "speedup": ...,
 //    "p50_us": ..., "p99_us": ..., "p999_us": ...,
 //    "quant_single_rps": ..., "quant_module_rps": ...,
 //    "quant_plan_speedup": ..., "quant_speedup": ...,
-//    "plan_records": ..., "plan_arena_bytes": ...}
+//    "plan_records": ..., "plan_arena_bytes": ...,
+//    "plan_fused_epilogues": ..., "plan_fused_chains": ...,
+//    "plan_passes_eliminated": ..., "plan_arena_saved_bytes": ...}
 // single_rps / quant_single_rps stay the serial-throughput keys older
 // baselines gate on; they now measure the (default) plan path.
 // quant_speedup is the module-path int8/fp32 ratio (the VNNI GEMM
@@ -35,6 +40,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <future>
 #include <string>
@@ -229,6 +235,60 @@ int Run(int argc, char** argv) {
   const double plan_speedup = single_rps / module_single_rps;
   ClearStoragePool();
 
+  // Phase 2b — fused vs unfused plan, interleaved: LIPF_NO_FUSE disables
+  // the compile-time epilogue/chain fusion passes, isolating what fusion
+  // alone buys on the identical plan path (check_perf.sh gates the
+  // ratio). The fusion effect is a few percent, which phase-to-phase
+  // drift (frequency scaling on shared boxes) can swamp, so both
+  // sessions are timed in ALTERNATING best-of passes inside one phase —
+  // drift hits both sides equally and cancels out of the ratio. The env
+  // var is read once at Compile; set/restore around the session open is
+  // race-free here (single-threaded phase setup).
+  std::vector<Tensor> nofuse_outputs;
+  double nofuse_single_rps = -1.0;
+  double fused_single_rps = -1.0;
+  double fusion_speedup = 0.0;
+  {
+    const bool had_nofuse = std::getenv("LIPF_NO_FUSE") != nullptr;
+    setenv("LIPF_NO_FUSE", "1", 1);
+    auto nofuse_session = OpenSession(bundle_path, /*use_plan=*/true);
+    if (!had_nofuse) unsetenv("LIPF_NO_FUSE");
+    auto fused_session = OpenSession(bundle_path, /*use_plan=*/true);
+    if (nofuse_session == nullptr || fused_session == nullptr) return 1;
+    // Warmup + bitwise collection for the unfused plan (the fused plan's
+    // outputs were already checked in phase 2).
+    if (TimeSerial(nofuse_session.get(), requests, &nofuse_outputs, 1) < 0 ||
+        TimeSerial(fused_session.get(), requests, nullptr, 1) < 0) {
+      return 1;
+    }
+    // Paired passes back to back; the gated statistic is the MEDIAN of
+    // the per-pair ratios, so a load burst that corrupts one pass skews
+    // one ratio, not the result.
+    std::vector<double> ratios;
+    for (int rep = 0; rep < 9; ++rep) {
+      double pair_rps[2];
+      int side = 0;
+      for (serve::InferenceSession* session :
+           {nofuse_session.get(), fused_session.get()}) {
+        const auto start = Clock::now();
+        for (const Tensor& request : requests) {
+          if (!session->Predict(request).ok()) return 1;
+        }
+        pair_rps[side++] =
+            static_cast<double>(requests.size()) / SecondsSince(start);
+      }
+      nofuse_single_rps = std::max(nofuse_single_rps, pair_rps[0]);
+      fused_single_rps = std::max(fused_single_rps, pair_rps[1]);
+      ratios.push_back(pair_rps[1] / pair_rps[0]);
+    }
+    std::nth_element(ratios.begin(), ratios.begin() + ratios.size() / 2,
+                     ratios.end());
+    fusion_speedup = ratios[ratios.size() / 2];
+  }
+  const int64_t nofuse_mismatches = CountMismatches(nofuse_outputs, expected);
+  nofuse_outputs.clear();
+  ClearStoragePool();
+
   // Phase 3 — batched plan fp32: closed-loop load from `clients`
   // threads, each submitting its stripe of requests one at a time and
   // waiting for the answer, so at most `clients` requests are in
@@ -345,6 +405,15 @@ int Run(int argc, char** argv) {
                  static_cast<long long>(ps.plan.prepacked_gemms),
                  static_cast<long long>(ps.plan.prepacked_bytes),
                  static_cast<long long>(ps.plan.num_constants));
+    std::fprintf(stderr,
+                 "plan:    fusion %lld GEMM epilogues, %lld elementwise "
+                 "chains (%lld ops), %lld passes eliminated, %lld arena "
+                 "bytes saved\n",
+                 static_cast<long long>(ps.plan.fused_epilogues),
+                 static_cast<long long>(ps.plan.fused_chains),
+                 static_cast<long long>(ps.plan.fused_chain_ops),
+                 static_cast<long long>(ps.plan.passes_eliminated),
+                 static_cast<long long>(ps.plan.arena_saved_bytes));
     for (const serve::PlanOpTiming& t : ps.timings) {
       std::fprintf(stderr, "plan:      %-22s %6lld calls %10.1f us total\n",
                    t.name, static_cast<long long>(t.calls),
@@ -360,21 +429,24 @@ int Run(int argc, char** argv) {
   std::fprintf(stderr,
                "module:  %6.1f req/s (serial fp32, %lld requests, "
                "%lld threads)\n"
-               "plan:    %6.1f req/s (serial fp32, %.2fx over module)\n"
+               "plan:    %6.1f req/s (serial fp32, %.2fx over module, "
+               "%.2fx over unfused plan %.1f req/s)\n"
                "batched: %6.1f req/s (%lld clients, max_batch %lld, "
                "%lld batches, p50 %.0f us, p99 %.0f us, p99.9 %.0f us)\n"
                "int8:    %6.1f req/s plan (%.2fx over int8 module "
                "%.1f req/s; module int8/fp32 %.2fx)\n"
                "speedup: %.2fx batched, mismatches: %lld plan, %lld "
-               "batched, %lld int8, failures: %lld\n",
+               "unfused, %lld batched, %lld int8, failures: %lld\n",
                module_single_rps, static_cast<long long>(num_requests),
                static_cast<long long>(threads), single_rps, plan_speedup,
-               batched_rps, static_cast<long long>(clients),
+               fusion_speedup, nofuse_single_rps, batched_rps,
+               static_cast<long long>(clients),
                static_cast<long long>(max_batch),
                static_cast<long long>(stats.batches), p50_us, p99_us,
                p999_us, quant_rps, quant_plan_speedup, quant_module_rps,
                quant_speedup, speedup,
                static_cast<long long>(plan_mismatches),
+               static_cast<long long>(nofuse_mismatches),
                static_cast<long long>(mismatches),
                static_cast<long long>(quant_mismatches),
                static_cast<long long>(total_failures));
@@ -387,22 +459,32 @@ int Run(int argc, char** argv) {
     }
     std::fprintf(f,
                  "{\"single_rps\": %.3f, \"module_single_rps\": %.3f, "
-                 "\"plan_speedup\": %.4f, \"batched16_rps\": %.3f, "
+                 "\"plan_speedup\": %.4f, \"nofuse_single_rps\": %.3f, "
+                 "\"fusion_speedup\": %.4f, \"batched16_rps\": %.3f, "
                  "\"speedup\": %.4f, \"p50_us\": %.1f, \"p99_us\": %.1f, "
                  "\"p999_us\": %.1f, \"quant_single_rps\": %.3f, "
                  "\"quant_module_rps\": %.3f, \"quant_plan_speedup\": %.4f, "
                  "\"quant_speedup\": %.4f, \"plan_records\": %lld, "
-                 "\"plan_arena_bytes\": %lld}\n",
-                 single_rps, module_single_rps, plan_speedup, batched_rps,
+                 "\"plan_arena_bytes\": %lld, "
+                 "\"plan_fused_epilogues\": %lld, "
+                 "\"plan_fused_chains\": %lld, "
+                 "\"plan_passes_eliminated\": %lld, "
+                 "\"plan_arena_saved_bytes\": %lld}\n",
+                 single_rps, module_single_rps, plan_speedup,
+                 nofuse_single_rps, fusion_speedup, batched_rps,
                  speedup, p50_us, p99_us, p999_us, quant_rps,
                  quant_module_rps, quant_plan_speedup, quant_speedup,
                  static_cast<long long>(plan_stats.num_ops),
-                 static_cast<long long>(plan_stats.arena_bytes));
+                 static_cast<long long>(plan_stats.arena_bytes),
+                 static_cast<long long>(plan_stats.fused_epilogues),
+                 static_cast<long long>(plan_stats.fused_chains),
+                 static_cast<long long>(plan_stats.passes_eliminated),
+                 static_cast<long long>(plan_stats.arena_saved_bytes));
     std::fclose(f);
   }
 
-  if (plan_mismatches > 0 || mismatches > 0 || quant_mismatches > 0 ||
-      total_failures > 0) {
+  if (plan_mismatches > 0 || nofuse_mismatches > 0 || mismatches > 0 ||
+      quant_mismatches > 0 || total_failures > 0) {
     std::fprintf(stderr,
                  "FAIL: plan and batched outputs must be bitwise identical "
                  "to the module-path serial outputs\n");

@@ -28,9 +28,24 @@
 # reported. p99.9 is reported but not gated: at 256 requests it is the
 # max, which is scheduler noise, not code.
 #
+# The plan compiler's fusion pass (GEMM epilogues + elementwise chains,
+# DESIGN.md "Fusion pass") has its own floor: the fused plan vs the same
+# plan compiled with LIPF_NO_FUSE=1, measured inside bench_serving as the
+# median of interleaved paired passes. On this softmax-dominated model
+# fusion touches ~15% of runtime so the true win is a few percent —
+# inside shared-box noise — so the floor is set to catch fusion making
+# plans SLOWER (a regressed epilogue or chain kernel), not to prove the
+# win on every run.
+#
+# Every gate also emits one flat record (metric, value, baseline, ratio,
+# status); after the gates run they are merged into
+# results/BENCH_summary.json for scripts/summarize_results.py.
+#
 # Usage:
 #   scripts/check_perf.sh            # compare against the baseline
-#   scripts/check_perf.sh --update   # rewrite the baseline instead
+#   scripts/check_perf.sh --update   # rewrite the baselines, then run the
+#                                    # gates against them (ratio gates are
+#                                    # trivially 1.00x; floors still apply)
 #
 # Only threads:1 (and the un-threaded reference) rows are compared:
 # multi-thread wall times depend on how many cores the machine exposes,
@@ -58,9 +73,13 @@ echo "== building bench_kernels + bench_serving (Release)"
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j "$(nproc)" --target bench_kernels bench_serving
 
+# All temp files live under this one trap; add new ones here, not in a
+# second trap (a later `trap ... EXIT` replaces this one silently).
 RUN_OUT="$(mktemp /tmp/bench_kernels.XXXXXX.json)"
 SERVING_OUT="$(mktemp /tmp/bench_serving.XXXXXX.json)"
-trap 'rm -f "${RUN_OUT}" "${SERVING_OUT}"' EXIT
+KERNEL_RECORDS="$(mktemp /tmp/bench_summary_kernels.XXXXXX.json)"
+SERVING_RECORDS="$(mktemp /tmp/bench_summary_serving.XXXXXX.json)"
+trap 'rm -f "${RUN_OUT}" "${SERVING_OUT}" "${KERNEL_RECORDS}" "${SERVING_RECORDS}"' EXIT
 
 run_kernels() {
   echo "== running GEMM + train/inference step sweep"
@@ -86,7 +105,10 @@ if [ "${UPDATE}" = "1" ]; then
   cp "${RUN_OUT}" "${BASELINE}"
   cp "${SERVING_OUT}" "${SERVING_BASELINE}"
   echo "== baselines updated: ${BASELINE}, ${SERVING_BASELINE}"
-  exit 0
+  # Fall through to the gates: ratio comparisons are trivially 1.00x
+  # against the fresh baselines, but the absolute floors (plan_speedup,
+  # plan_fusion, batching) still validate the recording run, and the
+  # pass writes results/BENCH_summary.json.
 fi
 
 if [ ! -f "${BASELINE}" ] || [ ! -f "${SERVING_BASELINE}" ]; then
@@ -98,12 +120,14 @@ fi
 compare_kernels() {
   echo "== comparing single-thread best-of-reps against ${BASELINE}" \
        "(threshold ${THRESHOLD}x)"
-  python3 - "${BASELINE}" "${RUN_OUT}" "${THRESHOLD}" <<'EOF'
+  python3 - "${BASELINE}" "${RUN_OUT}" "${THRESHOLD}" \
+      "${KERNEL_RECORDS}" <<'EOF'
 import json
 import sys
 
-baseline_path, run_path, threshold = sys.argv[1], sys.argv[2], sys.argv[3]
+baseline_path, run_path, threshold, records_path = sys.argv[1:5]
 threshold = float(threshold)
+records = []
 
 
 ALLOC_COUNTERS = ("acquires_per_step", "heap_allocs_per_step")
@@ -157,6 +181,9 @@ for name, base_ns in sorted(base.items()):
     mark = "FAIL" if ratio > threshold else "ok"
     print(f"  {mark:4} {name}: {base_ns / 1e6:.3f} ms -> "
           f"{run_ns / 1e6:.3f} ms ({ratio:.2f}x)")
+    records.append({"gate": "kernels", "metric": name, "value": run_ns,
+                    "baseline": base_ns, "ratio": round(ratio, 4),
+                    "status": mark.strip()})
     if ratio > threshold:
         failures.append(f"{name}: {ratio:.2f}x slower")
 
@@ -174,8 +201,14 @@ for (name, counter), base_v in sorted(base_allocs.items()):
         continue
     mark = "FAIL" if run_v > base_v + 0.5 else "ok"
     print(f"  {mark:4} {name} {counter}: {base_v:.1f} -> {run_v:.1f}")
+    records.append({"gate": "kernels", "metric": f"{name}/{counter}",
+                    "value": run_v, "baseline": base_v,
+                    "ratio": round(run_v / base_v, 4) if base_v else 1.0,
+                    "status": mark.strip()})
     if run_v > base_v + 0.5:
         failures.append(f"{name}: {counter} rose {base_v:.1f} -> {run_v:.1f}")
+with open(records_path, "w") as f:
+    json.dump(records, f)
 if failures:
     print("\nperf check FAILED:")
     for f in failures:
@@ -194,14 +227,16 @@ compare_serving() {
   echo "== comparing serving throughput against ${SERVING_BASELINE}" \
        "(threshold ${THRESHOLD}x)"
   python3 - "${SERVING_BASELINE}" "${SERVING_OUT}" "${THRESHOLD}" \
-      "$(nproc)" "${HAS_VNNI}" <<'EOF'
+      "$(nproc)" "${HAS_VNNI}" "${SERVING_RECORDS}" <<'EOF'
 import json
 import sys
 
-baseline_path, run_path, threshold, cores, has_vnni = sys.argv[1:6]
+baseline_path, run_path, threshold, cores, has_vnni, records_path = \
+    sys.argv[1:7]
 threshold = float(threshold)
 cores = int(cores)
 has_vnni = has_vnni == "1"
+records = []
 
 with open(baseline_path) as f:
     base = json.load(f)
@@ -226,6 +261,9 @@ for key in ("single_rps", "module_single_rps", "batched16_rps",
     mark = "FAIL" if ratio > abs_threshold else "ok"
     print(f"  {mark:4} {key}: {base[key]:.1f} -> {run[key]:.1f} rps "
           f"({ratio:.2f}x slower)")
+    records.append({"gate": "serving", "metric": key, "value": run[key],
+                    "baseline": base[key], "ratio": round(ratio, 4),
+                    "status": mark.strip()})
     if ratio > abs_threshold:
         failures.append(f"{key}: {ratio:.2f}x below baseline")
 
@@ -234,6 +272,9 @@ ratio = run["p99_us"] / max(base["p99_us"], 1e-9)
 mark = "FAIL" if ratio > abs_threshold else "ok"
 print(f"  {mark:4} p99: {base['p99_us']:.0f} -> {run['p99_us']:.0f} us "
       f"({ratio:.2f}x)")
+records.append({"gate": "serving", "metric": "p99_us",
+                "value": run["p99_us"], "baseline": base["p99_us"],
+                "ratio": round(ratio, 4), "status": mark.strip()})
 if ratio > abs_threshold:
     failures.append(f"p99 latency: {ratio:.2f}x over baseline")
 print(f"  info p99.9: {base['p999_us']:.0f} -> {run['p999_us']:.0f} us "
@@ -252,6 +293,10 @@ floor = 2.0 if cores >= 4 else 0.70
 mark = "FAIL" if run["speedup"] < floor else "ok"
 print(f"  {mark:4} speedup: {run['speedup']:.2f}x "
       f"(floor {floor:.1f}x on {cores} cores)")
+records.append({"gate": "serving", "metric": "batching_speedup",
+                "value": run["speedup"], "baseline": floor,
+                "ratio": round(run["speedup"] / floor, 4),
+                "status": mark.strip()})
 if run["speedup"] < floor:
     failures.append(
         f"batching speedup {run['speedup']:.2f}x under the {floor:.1f}x "
@@ -265,12 +310,42 @@ pfloor = 1.15
 mark = "FAIL" if run["plan_speedup"] < pfloor else "ok"
 print(f"  {mark:4} plan_speedup: {run['plan_speedup']:.2f}x "
       f"(floor {pfloor:.2f}x, fp32 serial plan vs module)")
+records.append({"gate": "serving", "metric": "plan_speedup",
+                "value": run["plan_speedup"], "baseline": pfloor,
+                "ratio": round(run["plan_speedup"] / pfloor, 4),
+                "status": mark.strip()})
 if run["plan_speedup"] < pfloor:
     failures.append(
         f"plan speedup {run['plan_speedup']:.2f}x under the "
         f"{pfloor:.2f}x floor")
 print(f"  info quant_plan_speedup: {run['quant_plan_speedup']:.2f}x "
       "(int8 serial plan vs module; reported, not gated)")
+
+# The fusion pass's own floor: fused plan vs the same plan compiled with
+# LIPF_NO_FUSE=1, measured by bench_serving as the median of interleaved
+# paired passes (the two sides run back to back inside one phase, so the
+# statistic is immune to phase-to-phase frequency drift). On this
+# softmax-dominated model fusion touches ~15% of runtime and the true
+# effect is ~1-2% — inside shared-box noise — so the floor sits just
+# under parity: it catches fusion making plans SLOWER (a regressed
+# epilogue or chain kernel lands well below 0.98), which is the failure
+# mode that matters. The measured median is printed for eyeballing.
+ffloor = 0.98
+mark = "FAIL" if run["fusion_speedup"] < ffloor else "ok"
+print(f"  {mark:4} plan_fusion: {run['fusion_speedup']:.3f}x "
+      f"(floor {ffloor:.2f}x, fused vs LIPF_NO_FUSE=1 plan, "
+      "median of paired passes)")
+records.append({"gate": "serving", "metric": "plan_fusion",
+                "value": run["fusion_speedup"], "baseline": ffloor,
+                "ratio": round(run["fusion_speedup"] / ffloor, 4),
+                "status": mark.strip()})
+if run["fusion_speedup"] < ffloor:
+    failures.append(
+        f"fusion speedup {run['fusion_speedup']:.3f}x under the "
+        f"{ffloor:.2f}x floor")
+print(f"  info plan fusion stats: {run['plan_fused_epilogues']} GEMM "
+      f"epilogues, {run['plan_fused_chains']} chains, "
+      f"{run['plan_passes_eliminated']} passes eliminated")
 
 # The int8 serial path must actually be faster than fp32 serial where the
 # VNNI micro-kernel runs; the portable fallback only promises identical
@@ -289,6 +364,10 @@ if has_vnni:
     mark = "FAIL" if run["quant_speedup"] < qfloor else "ok"
     print(f"  {mark:4} quant_speedup: {run['quant_speedup']:.2f}x "
           f"(floor {qfloor:.2f}x module int8/fp32, AVX512-VNNI present)")
+    records.append({"gate": "serving", "metric": "quant_speedup",
+                    "value": run["quant_speedup"], "baseline": qfloor,
+                    "ratio": round(run["quant_speedup"] / qfloor, 4),
+                    "status": mark.strip()})
     if run["quant_speedup"] < qfloor:
         failures.append(
             f"int8 speedup {run['quant_speedup']:.2f}x under the "
@@ -296,6 +375,9 @@ if has_vnni:
 else:
     print(f"  info quant_speedup: {run['quant_speedup']:.2f}x "
           "(no AVX512-VNNI: reported, not gated)")
+
+with open(records_path, "w") as f:
+    json.dump(records, f)
 
 if failures:
     print("\nserving perf check FAILED:")
@@ -321,5 +403,24 @@ if ! compare_serving; then
   run_serving
   compare_serving
 fi
+
+# Consolidate the per-gate records (written by the compare steps, retries
+# overwrite them with the fresh measurements) into one flat summary.
+mkdir -p results
+python3 - "${KERNEL_RECORDS}" "${SERVING_RECORDS}" \
+    "results/BENCH_summary.json" <<'EOF'
+import json
+import sys
+
+records = []
+for path in sys.argv[1:3]:
+    with open(path) as f:
+        records.extend(json.load(f))
+out = sys.argv[3]
+with open(out, "w") as f:
+    json.dump({"records": records}, f, indent=1)
+    f.write("\n")
+print(f"== wrote {out} ({len(records)} gate records)")
+EOF
 
 echo "== perf check passed"

@@ -5,7 +5,13 @@
 # includes the AOT inference-plan tests (tests/plan_test.cc); under
 # `thread`, PlanTest.ManyThreadsShareOnePlan hammers one immutable
 # compiled plan from 8 threads, which is the race check for the
-# plan-shared / arena-per-request contract of serve/plan.h.
+# plan-shared / arena-per-request contract of serve/plan.h. The plan
+# suite also covers the fusion pass (PlanTest.FusionFiresOnDefaultConfig,
+# bitwise-identity checks run with fusion both on and off via
+# LIPF_NO_FUSE) and the arena liveness allocator's adversarial cases
+# (PlanTest.Arena*: interleaved lifetimes, same-size reuse, alignment,
+# overlap detection), so sanitizers see the fused kernels and the
+# allocator edge paths too.
 #
 # Usage:
 #   scripts/check_sanitize.sh [thread|address|undefined]

@@ -598,6 +598,15 @@ int CmdServe(const CliArgs& args) {
                    static_cast<long long>(ps.plan.num_constants),
                    static_cast<long long>(ps.plan.prepacked_gemms),
                    static_cast<long long>(ps.plan.fused_gemm_operands));
+      std::fprintf(stderr,
+                   "inference plan: fusion %lld GEMM epilogues, %lld "
+                   "elementwise chains (%lld ops), %lld passes "
+                   "eliminated, %lld arena bytes saved\n",
+                   static_cast<long long>(ps.plan.fused_epilogues),
+                   static_cast<long long>(ps.plan.fused_chains),
+                   static_cast<long long>(ps.plan.fused_chain_ops),
+                   static_cast<long long>(ps.plan.passes_eliminated),
+                   static_cast<long long>(ps.plan.arena_saved_bytes));
     }
   }
   session->SetPlanProfiling(true);

@@ -6,6 +6,7 @@
 #include "common/thread_pool.h"
 #include "tensor/op_trace.h"
 #include "tensor/ops.h"
+#include "tensor/ops_raw.h"
 #include "tensor/storage_pool.h"
 
 namespace lipformer {
@@ -14,10 +15,45 @@ namespace {
 inline int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
 }  // namespace
 
+// The dequantize pass (with its optional fused epilogue) is compiled with
+// fp-contract off: the epilogue's bias add must see the dequantized value
+// already rounded to fp32 — exactly what the unfused path stores to
+// memory — and contraction into an FMA would skip that rounding and break
+// the plan compiler's bitwise fused == unfused gate. The plain dequant
+// expression has no mul+add pair, so this costs the unfused path nothing.
+#pragma GCC push_options
+#pragma GCC optimize("fp-contract=off")
+namespace {
+
+void DequantRowsEpilogue(const int32_t* c32, const float* row_scale,
+                         const float* col_scale, float* y, int64_t m,
+                         int64_t out, const GemmEpilogue* epi) {
+  const bool fused = epi != nullptr && epi->enabled();
+  ParallelFor(m, /*grain=*/CeilDiv(8192, out), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float sr = row_scale[r];
+      const int32_t* crow = c32 + r * out;
+      float* yrow = y + r * out;
+      for (int64_t j = 0; j < out; ++j) {
+        yrow[j] = static_cast<float>(crow[j]) * (sr * col_scale[j]);
+      }
+      if (fused) {
+        raw::GemmEpilogueRegion(
+            yrow, out, 0, 1, 0, out, epi->bias, epi->act,
+            epi->residual != nullptr ? epi->residual + r * out : nullptr,
+            epi->res_op, epi->res_is_lhs);
+      }
+    }
+  });
+}
+
+}  // namespace
+#pragma GCC pop_options
+
 void QuantLinearForward(const float* x, int64_t m, int64_t in_features,
                         int64_t out_features, const Int8PackedWeight& packed,
                         const float* col_scale, int8_t* a8, float* row_scale,
-                        int32_t* c32, float* y) {
+                        int32_t* c32, float* y, const GemmEpilogue* epi) {
   const int64_t in = in_features;
   const int64_t out = out_features;
   // Row-quantize the activations.
@@ -28,20 +64,10 @@ void QuantLinearForward(const float* x, int64_t m, int64_t in_features,
   });
 
   // Exact int32 GEMM, then dequantize with the separable scale
-  // row_scale[r] * col_scale[j].
+  // row_scale[r] * col_scale[j] (+ the optional fused epilogue).
   Int8GemmBlocked(a8, packed, m, c32);
   AddMacCount(m * out * in);
-
-  ParallelFor(m, /*grain=*/CeilDiv(8192, out), [&](int64_t r0, int64_t r1) {
-    for (int64_t r = r0; r < r1; ++r) {
-      const float sr = row_scale[r];
-      const int32_t* crow = c32 + r * out;
-      float* yrow = y + r * out;
-      for (int64_t j = 0; j < out; ++j) {
-        yrow[j] = static_cast<float>(crow[j]) * (sr * col_scale[j]);
-      }
-    }
-  });
+  DequantRowsEpilogue(c32, row_scale, col_scale, y, m, out, epi);
 }
 
 Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng, bool bias)

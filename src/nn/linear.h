@@ -6,6 +6,7 @@
 
 #include "nn/activations.h"
 #include "nn/module.h"
+#include "tensor/gemm.h"
 #include "tensor/gemm_int8.h"
 
 namespace lipformer {
@@ -73,10 +74,16 @@ class Linear : public Module {
 // separable scale row_scale[r] * col_scale[j]. Caller provides all
 // scratch; row_scale holds m floats. One compiled loop for both paths
 // keeps them bitwise identical by construction. Charges m*out*in MACs.
+// A non-null `epi` fuses bias/activation and a residual binary into the
+// dequantize pass (AOT plans): each row is dequantized first and the
+// epilogue applied to the rounded fp32 values — the whole pass is
+// compiled with fp-contract off — so results stay bitwise identical to
+// running the unfused op sequence.
 void QuantLinearForward(const float* x, int64_t m, int64_t in_features,
                         int64_t out_features, const Int8PackedWeight& packed,
                         const float* col_scale, int8_t* a8, float* row_scale,
-                        int32_t* c32, float* y);
+                        int32_t* c32, float* y,
+                        const GemmEpilogue* epi = nullptr);
 
 // Multi-layer perceptron: Linear -> act -> ... -> Linear. `dims` lists
 // layer widths including input and output (at least 2 entries). No

@@ -1,0 +1,77 @@
+#ifndef LIPFORMER_SERVE_ARENA_H_
+#define LIPFORMER_SERVE_ARENA_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+// Liveness-driven arena layout for AOT inference plans (serve/plan.h).
+// The plan compiler walks the program in order, allocating each value at
+// its defining step and freeing it after its last use; ArenaLayout turns
+// that alloc/free stream into offsets inside one flat slab. Compile-time
+// only — the hot path just leases a slab of end() floats per request.
+
+namespace lipformer {
+namespace serve {
+
+// Arena offsets are aligned to 16 floats (64 bytes, one cache line) so
+// every value starts on the same boundary pooled Storage blocks do.
+inline constexpr int64_t kArenaAlignFloats = 16;
+
+inline int64_t ArenaAlignUp(int64_t n) {
+  return (n + kArenaAlignFloats - 1) / kArenaAlignFloats * kArenaAlignFloats;
+}
+
+// First-fit offset allocator with hole coalescing. All sizes are aligned
+// internally; offsets it returns are kArenaAlignFloats-aligned and two
+// simultaneously-live allocations never overlap (tested adversarially in
+// tests/plan_test.cc).
+class ArenaLayout {
+ public:
+  int64_t Alloc(int64_t numel) {
+    const int64_t need = ArenaAlignUp(numel);
+    if (need == 0) return 0;
+    for (size_t i = 0; i < holes_.size(); ++i) {
+      if (holes_[i].second >= need) {
+        const int64_t off = holes_[i].first;
+        holes_[i].first += need;
+        holes_[i].second -= need;
+        if (holes_[i].second == 0) holes_.erase(holes_.begin() + i);
+        return off;
+      }
+    }
+    const int64_t off = end_;
+    end_ += need;
+    return off;
+  }
+
+  void Free(int64_t off, int64_t numel) {
+    const int64_t len = ArenaAlignUp(numel);
+    if (len == 0) return;
+    // Insert sorted by start, then coalesce with both neighbors.
+    size_t i = 0;
+    while (i < holes_.size() && holes_[i].first < off) ++i;
+    holes_.insert(holes_.begin() + i, {off, len});
+    if (i + 1 < holes_.size() &&
+        holes_[i].first + holes_[i].second == holes_[i + 1].first) {
+      holes_[i].second += holes_[i + 1].second;
+      holes_.erase(holes_.begin() + i + 1);
+    }
+    if (i > 0 &&
+        holes_[i - 1].first + holes_[i - 1].second == holes_[i].first) {
+      holes_[i - 1].second += holes_[i].second;
+      holes_.erase(holes_.begin() + i);
+    }
+  }
+
+  int64_t end() const { return end_; }
+
+ private:
+  std::vector<std::pair<int64_t, int64_t>> holes_;  // {start, len}
+  int64_t end_ = 0;
+};
+
+}  // namespace serve
+}  // namespace lipformer
+
+#endif  // LIPFORMER_SERVE_ARENA_H_

@@ -75,6 +75,12 @@ struct PlanStats {
   int64_t constant_bytes = 0;   // bytes the plan keeps alive (excl. weights)
   int64_t prepacked_gemms = 0;  // fp32 GEMMs with compile-time packed B
   int64_t prepacked_bytes = 0;
+  // Fusion pass (DESIGN.md §11 "Fusion pass"):
+  int64_t fused_epilogues = 0;   // GEMMs that absorbed bias/act/residual
+  int64_t fused_chains = 0;      // kFusedChain ops emitted
+  int64_t fused_chain_ops = 0;   // elementwise ops absorbed into chains
+  int64_t passes_eliminated = 0; // whole memory passes removed by fusion
+  int64_t arena_saved_bytes = 0; // arena shrink vs the unfused layout
 };
 
 // Aggregated per-op-kind timing (profiling mode only).

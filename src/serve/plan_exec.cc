@@ -22,6 +22,28 @@ inline void RunOp(const PlanOp& op, float* base) {
   };
   float* out = base + op.out_off;
 
+  // Fused-epilogue resolution for kGemm / kQuantLinear: rebuild the
+  // GemmEpilogue view against this arena. Cheap (a few loads) and only
+  // materialized when the compile pass fused something.
+  GemmEpilogue epi_storage;
+  const GemmEpilogue* epi = nullptr;
+  if (op.ep_has_bias || op.ep_has_res) {
+    if (op.ep_has_bias) {
+      epi_storage.bias = op.ep_bias_const != nullptr
+                             ? op.ep_bias_const
+                             : base + op.ep_bias_off;
+      epi_storage.act = op.ep_act;
+    }
+    if (op.ep_has_res) {
+      epi_storage.residual = op.ep_res_const != nullptr
+                                 ? op.ep_res_const
+                                 : base + op.ep_res_off;
+      epi_storage.res_op = op.ep_res_op;
+      epi_storage.res_is_lhs = op.ep_res_is_lhs;
+    }
+    epi = &epi_storage;
+  }
+
   switch (op.kind) {
     case trace::OpKind::kBinary:
       raw::BinarySame(static_cast<raw::Bin>(op.sub), in(0), in(1), out,
@@ -52,10 +74,10 @@ inline void RunOp(const PlanOp& op, float* base) {
       }
       if (op.prepacked_b != nullptr) {
         PackedGemmBatchedPrepacked(in(0), op.trans_a, op.prepacked_b, out,
-                                   op.d[0], op.d[1], op.d[2], batch);
+                                   op.d[0], op.d[1], op.d[2], batch, epi);
       } else {
         PackedGemmBatched(in(0), op.trans_a, in(1), op.trans_b, out,
-                          op.d[0], op.d[1], op.d[2], batch);
+                          op.d[0], op.d[1], op.d[2], batch, epi);
       }
       AddMacCount(op.macs);
       return;
@@ -64,7 +86,8 @@ inline void RunOp(const PlanOp& op, float* base) {
       QuantLinearForward(in(0), op.d[0], op.d[1], op.d[2], *op.packed,
                          in(1), reinterpret_cast<int8_t*>(base + op.a8_off),
                          base + op.rs_off,
-                         reinterpret_cast<int32_t*>(base + op.c32_off), out);
+                         reinterpret_cast<int32_t*>(base + op.c32_off), out,
+                         epi);
       return;
     case trace::OpKind::kPermute:
       raw::PermuteCopy(in(0), out, op.aux0.data(), op.aux1.data(), op.d[1],
@@ -101,6 +124,28 @@ inline void RunOp(const PlanOp& op, float* base) {
       raw::BroadcastMidRows(op.sub != 0, in(0), in(1), out, op.d[0],
                             op.d[1], op.d[2]);
       return;
+    case trace::OpKind::kFusedChain: {
+      // Resolve the compile-time steps against this arena on the stack;
+      // chains are short (kMaxChainSteps) so this is a handful of loads.
+      raw::ChainStep steps[kMaxChainSteps];
+      const int64_t nsteps = static_cast<int64_t>(op.chain.size());
+      for (int64_t s = 0; s < nsteps; ++s) {
+        const PlanChainStep& ps = op.chain[s];
+        raw::ChainStep& st = steps[s];
+        st.is_binary = ps.is_binary;
+        st.prev_is_a = ps.prev_is_a;
+        st.sub = ps.sub;
+        st.scalar = ps.scalar;
+        if (ps.is_binary) {
+          st.other = ps.other_const != nullptr ? ps.other_const
+                                               : base + ps.other_off;
+          st.row_base = op.chain_bases[ps.base_idx].data();
+          st.inner_step = ps.inner_step;
+        }
+      }
+      raw::FusedChainRows(in(0), out, op.d[0], op.d[1], steps, nsteps);
+      return;
+    }
     case trace::OpKind::kNumKinds:
       break;
   }

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "tensor/ops_raw.h"
 #include "tensor/storage_pool.h"
 
 namespace lipformer {
@@ -184,7 +185,8 @@ void PackABlock(const float* a_mat, bool trans_a, int64_t m, int64_t k,
 // bitwise identical by construction.
 void ComputePackedGemm(const float* a, bool trans_a,
                        const float* packed_base, float* c, int64_t m,
-                       int64_t n, int64_t k, const GemmBatch& batch) {
+                       int64_t n, int64_t k, const GemmBatch& batch,
+                       const GemmEpilogue* epi) {
   const int64_t nbatch = batch.nbatch;
   const int64_t npanels = CeilDiv(n, kGemmNR);
   const int64_t panel_size = k * kGemmNR;
@@ -224,6 +226,10 @@ void ComputePackedGemm(const float* a, bool trans_a,
           const float* b_pack =
               packed_base + batch.b_mat_index[bi] * npanels * panel_size;
           float* c_base = c + bi * c_mat;
+          const float* res_base =
+              epi != nullptr && epi->residual != nullptr
+                  ? epi->residual + bi * c_mat
+                  : nullptr;
           for (int64_t pc = 0; pc < k; pc += kGemmKC) {
             const int64_t kc = std::min(kGemmKC, k - pc);
             for (int64_t ic = row0; ic < row1; ic += kGemmMC) {
@@ -264,20 +270,44 @@ void ComputePackedGemm(const float* a, bool trans_a,
               }
             }
           }
+          // The chunk's C rows are complete; apply the fused epilogue as
+          // one sweep over full-width contiguous rows while they are
+          // still warm. Keeping the sweep out of the blocked loops means
+          // it never competes with the packed A/B working set mid-GEMM.
+          if (epi != nullptr && epi->enabled()) {
+            raw::GemmEpilogueRegion(c_base, n, row0, row1 - row0, 0, n,
+                                    epi->bias, epi->act, res_base,
+                                    epi->res_op, epi->res_is_lhs);
+          }
           blk += rb1 - rb0;
         }
       });
+}
+
+// k == 0 degenerate case: C is all zeros; the epilogue (if any) still
+// runs over it so the fused op matches the unfused sequence.
+void ZeroGemmOutput(float* c, int64_t m, int64_t n, int64_t nbatch,
+                    const GemmEpilogue* epi) {
+  std::memset(c, 0, sizeof(float) * static_cast<size_t>(nbatch * m * n));
+  if (epi == nullptr || !epi->enabled()) return;
+  for (int64_t bi = 0; bi < nbatch; ++bi) {
+    raw::GemmEpilogueRegion(
+        c + bi * m * n, n, 0, m, 0, n, epi->bias, epi->act,
+        epi->residual != nullptr ? epi->residual + bi * m * n : nullptr,
+        epi->res_op, epi->res_is_lhs);
+  }
 }
 
 }  // namespace
 
 void PackedGemmBatched(const float* a, bool trans_a, const float* b,
                        bool trans_b, float* c, int64_t m, int64_t n,
-                       int64_t k, const GemmBatch& batch) {
+                       int64_t k, const GemmBatch& batch,
+                       const GemmEpilogue* epi) {
   const int64_t nbatch = batch.nbatch;
   if (nbatch == 0 || m == 0 || n == 0) return;
   if (k == 0) {
-    std::memset(c, 0, sizeof(float) * static_cast<size_t>(nbatch * m * n));
+    ZeroGemmOutput(c, m, n, nbatch, epi);
     return;
   }
   LIPF_CHECK(batch.a_mat_index != nullptr);
@@ -309,7 +339,7 @@ void PackedGemmBatched(const float* a, bool trans_a, const float* b,
                 }
               });
 
-  ComputePackedGemm(a, trans_a, packed_base, c, m, n, k, batch);
+  ComputePackedGemm(a, trans_a, packed_base, c, m, n, k, batch, epi);
 }
 
 void PackGemmB(const float* b, bool trans_b, int64_t n, int64_t k,
@@ -324,17 +354,17 @@ void PackGemmB(const float* b, bool trans_b, int64_t n, int64_t k,
 
 void PackedGemmBatchedPrepacked(const float* a, bool trans_a,
                                 const float* packed_b, float* c, int64_t m,
-                                int64_t n, int64_t k,
-                                const GemmBatch& batch) {
+                                int64_t n, int64_t k, const GemmBatch& batch,
+                                const GemmEpilogue* epi) {
   const int64_t nbatch = batch.nbatch;
   if (nbatch == 0 || m == 0 || n == 0) return;
   if (k == 0) {
-    std::memset(c, 0, sizeof(float) * static_cast<size_t>(nbatch * m * n));
+    ZeroGemmOutput(c, m, n, nbatch, epi);
     return;
   }
   LIPF_CHECK(batch.a_mat_index != nullptr);
   LIPF_CHECK(batch.b_mat_index != nullptr);
-  ComputePackedGemm(a, trans_a, packed_b, c, m, n, k, batch);
+  ComputePackedGemm(a, trans_a, packed_b, c, m, n, k, batch, epi);
 }
 
 }  // namespace lipformer

@@ -57,13 +57,34 @@ struct GemmBatch {
   const int64_t* b_col_offset = nullptr;
 };
 
+// Optional fused epilogue applied to each C region right after its final
+// KC depth block completes, while the region is still cache hot: bias add
+// + activation (act(c + bias[j]), the AddBiasActRows semantics) and/or a
+// residual elementwise binary against a tensor with C's exact layout
+// ([nbatch, m, n]). The AOT plan compiler (serve/plan.cc) uses this to
+// collapse GEMM + AddBiasAct (+ residual Binary) into one op with zero
+// extra passes over C; element semantics are shared with the unfused
+// kernels (raw::GemmEpilogueRegion), so results stay bitwise identical.
+// `act` is a FusedAct (tensor/ops.h), `res_op` a raw::Bin (ops_raw.h) —
+// int32 here to keep this header dependency-free.
+struct GemmEpilogue {
+  const float* bias = nullptr;      // [n], null: no bias/activation stage
+  int32_t act = 0;                  // FusedAct applied with the bias
+  const float* residual = nullptr;  // [nbatch * m * n], null: no residual
+  int32_t res_op = 0;               // raw::Bin for the residual stage
+  bool res_is_lhs = false;          // residual is the binary's left operand
+  bool enabled() const { return bias != nullptr || residual != nullptr; }
+};
+
 // c[bi] = opA(a[batch.a_mat_index[bi]]) * opB(b[batch.b_mat_index[bi]]),
 // where opX transposes the stored matrix when trans_x is set. Stored
 // shapes per matrix: a is [m, k] (or [k, m] if trans_a), b is [k, n] (or
-// [n, k] if trans_b), c is [m, n]. Runs on the shared thread pool.
+// [n, k] if trans_b), c is [m, n]. Runs on the shared thread pool. A
+// non-null `epi` is applied per cache-hot C region (see GemmEpilogue).
 void PackedGemmBatched(const float* a, bool trans_a, const float* b,
                        bool trans_b, float* c, int64_t m, int64_t n,
-                       int64_t k, const GemmBatch& batch);
+                       int64_t k, const GemmBatch& batch,
+                       const GemmEpilogue* epi = nullptr);
 
 // Floats occupied by one [k, n] B matrix in packed-panel form
 // (ceil(n / kGemmNR) zero-padded panels of k * kGemmNR floats each).
@@ -86,8 +107,8 @@ void PackGemmB(const float* b, bool trans_b, int64_t n, int64_t k,
 // minus the per-call packing.
 void PackedGemmBatchedPrepacked(const float* a, bool trans_a,
                                 const float* packed_b, float* c, int64_t m,
-                                int64_t n, int64_t k,
-                                const GemmBatch& batch);
+                                int64_t n, int64_t k, const GemmBatch& batch,
+                                const GemmEpilogue* epi = nullptr);
 
 }  // namespace lipformer
 

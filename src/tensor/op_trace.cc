@@ -32,6 +32,7 @@ const char* OpKindName(OpKind kind) {
     case OpKind::kScaledMaskedSoftmax: return "scaled_masked_softmax";
     case OpKind::kAddBiasAct: return "add_bias_act";
     case OpKind::kBroadcastMid: return "broadcast_mid";
+    case OpKind::kFusedChain: return "fused_chain";
     case OpKind::kNumKinds: break;
   }
   return "?";

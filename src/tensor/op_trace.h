@@ -49,6 +49,9 @@ enum class OpKind : int32_t {
   kScaledMaskedSoftmax,  // raw::ScaledMaskedSoftmaxRows
   kAddBiasAct,     // raw::AddBiasActRows; sub = FusedAct
   kBroadcastMid,   // raw::BroadcastMidRows; sub = 1 for Sub, 0 for Add
+  // Never traced: synthesized by the plan compiler's elementwise-chain
+  // fusion pass (serve/plan.cc) and executed via raw::FusedChainRows.
+  kFusedChain,
   kNumKinds,
 };
 

@@ -113,15 +113,11 @@ int64_t NormalizeDim(int64_t dim, int64_t ndim) {
   return dim;
 }
 
-// tanh-approximation GELU and its derivative, shared by the standalone
-// Gelu kernel, the fused AddBiasAct epilogue, and (via autograd) the Gelu
-// backward — one definition so fused and unfused paths agree bit for bit.
+// tanh-approximation GELU derivative; the forward lives out-of-line in
+// raw::GeluFwd (ops_raw.h) so every caller — standalone Gelu, the fused
+// AddBiasAct epilogue, the GEMM epilogue, the fused chain — shares one
+// compiled copy and fused and unfused paths agree bit for bit.
 constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
-
-inline float GeluFwd(float x) {
-  const float inner = kGeluC * (x + 0.044715f * x * x * x);
-  return 0.5f * x * (1.0f + std::tanh(inner));
-}
 
 inline float GeluGrad(float x) {
   const float inner = kGeluC * (x + 0.044715f * x * x * x);
@@ -140,6 +136,42 @@ inline float GeluGrad(float x) {
 // paths bitwise identical by construction.
 
 namespace raw {
+
+// One compiled copy for every caller (noinline): inlining into different
+// loop contexts could let the compiler contract the internal mul/add
+// pairs differently per call site, breaking the bitwise fused == unfused
+// guarantee gelu-activated paths rely on.
+__attribute__((noinline)) float GeluFwd(float x) {
+  const float inner = kGeluC * (x + 0.044715f * x * x * x);
+  return 0.5f * x * (1.0f + std::tanh(inner));
+}
+
+// Out-of-line cases of ApplyUn (ops_raw.h): each is an opaque libm call
+// (or GeluFwd), so there is nothing for a caller to contract across.
+float ApplyUnSlow(Un op, float s, float x) {
+  switch (op) {
+    case Un::kPowScalar:
+      return std::pow(x, s);
+    case Un::kExp:
+      return std::exp(x);
+    case Un::kLog:
+      return std::log(x);
+    case Un::kSin:
+      return std::sin(x);
+    case Un::kCos:
+      return std::cos(x);
+    case Un::kTanh:
+      return std::tanh(x);
+    case Un::kSigmoid:
+      return 1.0f / (1.0f + std::exp(-x));
+    case Un::kGelu:
+      return GeluFwd(x);
+    default:
+      break;
+  }
+  LIPF_CHECK(false) << "ApplyUnSlow: op has an inline fast path";
+  return 0.0f;
+}
 
 namespace {
 
@@ -185,26 +217,30 @@ void UnaryT(const float* pa, float* po, int64_t n, F f) {
   });
 }
 
+// Both dispatches route through ApplyBin/ApplyUn (ops_raw.h) with a
+// compile-time op, which folds each lambda to the bare operation — the
+// fused chain interpreter shares the same definitions with a runtime op,
+// so there is exactly one source of scalar semantics per operation.
 template <typename F>
 void BinaryDispatch(Bin op, F run) {
   switch (op) {
     case Bin::kAdd:
-      run([](float x, float y) { return x + y; });
+      run([](float x, float y) { return ApplyBin(Bin::kAdd, x, y); });
       return;
     case Bin::kSub:
-      run([](float x, float y) { return x - y; });
+      run([](float x, float y) { return ApplyBin(Bin::kSub, x, y); });
       return;
     case Bin::kMul:
-      run([](float x, float y) { return x * y; });
+      run([](float x, float y) { return ApplyBin(Bin::kMul, x, y); });
       return;
     case Bin::kDiv:
-      run([](float x, float y) { return x / y; });
+      run([](float x, float y) { return ApplyBin(Bin::kDiv, x, y); });
       return;
     case Bin::kMax:
-      run([](float x, float y) { return std::max(x, y); });
+      run([](float x, float y) { return ApplyBin(Bin::kMax, x, y); });
       return;
     case Bin::kMin:
-      run([](float x, float y) { return std::min(x, y); });
+      run([](float x, float y) { return ApplyBin(Bin::kMin, x, y); });
       return;
   }
 }
@@ -213,46 +249,46 @@ template <typename F>
 void UnaryDispatch(Un op, float s, F run) {
   switch (op) {
     case Un::kAddScalar:
-      run([s](float x) { return x + s; });
+      run([s](float x) { return ApplyUn(Un::kAddScalar, s, x); });
       return;
     case Un::kMulScalar:
-      run([s](float x) { return x * s; });
+      run([s](float x) { return ApplyUn(Un::kMulScalar, s, x); });
       return;
     case Un::kPowScalar:
-      run([s](float x) { return std::pow(x, s); });
+      run([s](float x) { return ApplyUn(Un::kPowScalar, s, x); });
       return;
     case Un::kNeg:
-      run([](float x) { return -x; });
+      run([](float x) { return ApplyUn(Un::kNeg, 0.0f, x); });
       return;
     case Un::kExp:
-      run([](float x) { return std::exp(x); });
+      run([](float x) { return ApplyUn(Un::kExp, 0.0f, x); });
       return;
     case Un::kLog:
-      run([](float x) { return std::log(x); });
+      run([](float x) { return ApplyUn(Un::kLog, 0.0f, x); });
       return;
     case Un::kSqrt:
-      run([](float x) { return std::sqrt(x); });
+      run([](float x) { return ApplyUn(Un::kSqrt, 0.0f, x); });
       return;
     case Un::kAbs:
-      run([](float x) { return std::fabs(x); });
+      run([](float x) { return ApplyUn(Un::kAbs, 0.0f, x); });
       return;
     case Un::kSin:
-      run([](float x) { return std::sin(x); });
+      run([](float x) { return ApplyUn(Un::kSin, 0.0f, x); });
       return;
     case Un::kCos:
-      run([](float x) { return std::cos(x); });
+      run([](float x) { return ApplyUn(Un::kCos, 0.0f, x); });
       return;
     case Un::kTanh:
-      run([](float x) { return std::tanh(x); });
+      run([](float x) { return ApplyUn(Un::kTanh, 0.0f, x); });
       return;
     case Un::kSigmoid:
-      run([](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+      run([](float x) { return ApplyUn(Un::kSigmoid, 0.0f, x); });
       return;
     case Un::kRelu:
-      run([](float x) { return x > 0.0f ? x : 0.0f; });
+      run([](float x) { return ApplyUn(Un::kRelu, 0.0f, x); });
       return;
     case Un::kGelu:
-      run([](float x) { return GeluFwd(x); });
+      run([](float x) { return ApplyUn(Un::kGelu, 0.0f, x); });
       return;
   }
 }
@@ -455,11 +491,203 @@ void BroadcastMidRows(bool sub_op, const float* a, const float* b,
                       float* out, int64_t rows, int64_t t, int64_t c) {
   if (sub_op) {
     BroadcastMidT(a, b, out, rows, t, c,
-                  [](float x, float y) { return x - y; });
+                  [](float x, float y) { return ApplyBin(Bin::kSub, x, y); });
   } else {
     BroadcastMidT(a, b, out, rows, t, c,
-                  [](float x, float y) { return x + y; });
+                  [](float x, float y) { return ApplyBin(Bin::kAdd, x, y); });
   }
+}
+
+void GemmEpilogueRegion(float* c, int64_t ldc, int64_t r0, int64_t nrows,
+                        int64_t j0, int64_t ncols, const float* bias,
+                        int32_t act, const float* residual, int32_t res_op,
+                        bool res_is_lhs) {
+  // Bias + activation first, exactly AddBiasEpilogueT's per-element
+  // expression (f(x + b), one add then the activation) restricted to the
+  // region; then the residual binary, exactly BinarySameT's. Each stage
+  // is a single IEEE op or an opaque GeluFwd call, so nothing contracts
+  // across them and the region matches the unfused op pair bit for bit.
+  for (int64_t r = r0; r < r0 + nrows; ++r) {
+    float* crow = c + r * ldc + j0;
+    if (bias != nullptr) {
+      const float* pb = bias + j0;
+      switch (static_cast<FusedAct>(act)) {
+        case FusedAct::kRelu:
+          for (int64_t j = 0; j < ncols; ++j) {
+            const float z = crow[j] + pb[j];
+            crow[j] = z > 0.0f ? z : 0.0f;
+          }
+          break;
+        case FusedAct::kGelu:
+          for (int64_t j = 0; j < ncols; ++j) {
+            crow[j] = GeluFwd(crow[j] + pb[j]);
+          }
+          break;
+        case FusedAct::kNone:
+          for (int64_t j = 0; j < ncols; ++j) {
+            crow[j] = crow[j] + pb[j];
+          }
+          break;
+      }
+    }
+    if (residual != nullptr) {
+      const float* rrow = residual + r * ldc + j0;
+      // Dispatch on the op OUTSIDE the element loop (a per-element switch
+      // blocks vectorization); ApplyBin with a compile-time op folds to
+      // the bare instruction.
+      auto sweep = [&](auto binop) {
+        if (res_is_lhs) {
+          for (int64_t j = 0; j < ncols; ++j) {
+            crow[j] = binop(rrow[j], crow[j]);
+          }
+        } else {
+          for (int64_t j = 0; j < ncols; ++j) {
+            crow[j] = binop(crow[j], rrow[j]);
+          }
+        }
+      };
+      switch (static_cast<Bin>(res_op)) {
+        case Bin::kAdd:
+          sweep([](float x, float y) { return ApplyBin(Bin::kAdd, x, y); });
+          break;
+        case Bin::kSub:
+          sweep([](float x, float y) { return ApplyBin(Bin::kSub, x, y); });
+          break;
+        case Bin::kMul:
+          sweep([](float x, float y) { return ApplyBin(Bin::kMul, x, y); });
+          break;
+        case Bin::kDiv:
+          sweep([](float x, float y) { return ApplyBin(Bin::kDiv, x, y); });
+          break;
+        case Bin::kMax:
+          sweep([](float x, float y) { return ApplyBin(Bin::kMax, x, y); });
+          break;
+        case Bin::kMin:
+          sweep([](float x, float y) { return ApplyBin(Bin::kMin, x, y); });
+          break;
+      }
+    }
+  }
+}
+
+namespace {
+
+// One binary chain step over one row, op and operand pattern resolved at
+// compile time so the sweep vectorizes (a per-element interpreter was
+// measurably slower than the unfused passes it replaced). src may alias
+// dst (in-place update from the second step on); reads and writes line
+// up per element, and ApplyBin is a single IEEE op, so the value stream
+// is identical to the unfused kernel's.
+template <Bin kOp, bool kPrevIsA, bool kDense>
+void ChainBinRow(const float* src, const float* other, float* dst,
+                 int64_t w) {
+  for (int64_t j = 0; j < w; ++j) {
+    const float o = other[kDense ? j : 0];
+    dst[j] = kPrevIsA ? ApplyBin(kOp, src[j], o) : ApplyBin(kOp, o, src[j]);
+  }
+}
+
+template <Bin kOp>
+void ChainBinRowOp(bool prev_is_a, bool dense, const float* src,
+                   const float* other, float* dst, int64_t w) {
+  if (prev_is_a) {
+    if (dense) {
+      ChainBinRow<kOp, true, true>(src, other, dst, w);
+    } else {
+      ChainBinRow<kOp, true, false>(src, other, dst, w);
+    }
+  } else if (dense) {
+    ChainBinRow<kOp, false, true>(src, other, dst, w);
+  } else {
+    ChainBinRow<kOp, false, false>(src, other, dst, w);
+  }
+}
+
+template <Un kOp>
+void ChainUnRow(float s, const float* src, float* dst, int64_t w) {
+  for (int64_t j = 0; j < w; ++j) dst[j] = ApplyUn(kOp, s, src[j]);
+}
+
+}  // namespace
+
+void FusedChainRows(const float* in, float* out, int64_t rows, int64_t w,
+                    const ChainStep* steps, int64_t nsteps) {
+  // Same ParallelFor grain the unfused elementwise kernels use; chunk
+  // boundaries are shape-derived so outputs are thread-count independent.
+  // Each step runs as its own tight loop over the (cache-hot) row —
+  // separate loops per step mean the compiler cannot contract operations
+  // across steps into FMAs, keeping the chain bitwise identical to the
+  // sequence of unfused passes.
+  ParallelFor(rows, GrainFor(kElementwiseGrain, w),
+              [&](int64_t begin, int64_t end) {
+                for (int64_t r = begin; r < end; ++r) {
+                  const float* src = in + r * w;
+                  float* dst = out + r * w;
+                  for (int64_t s = 0; s < nsteps; ++s) {
+                    const ChainStep& st = steps[s];
+                    if (st.is_binary) {
+                      const float* other = st.other + st.row_base[r];
+                      const bool dense = st.inner_step != 0;
+                      switch (static_cast<Bin>(st.sub)) {
+                        case Bin::kAdd:
+                          ChainBinRowOp<Bin::kAdd>(st.prev_is_a, dense, src,
+                                                   other, dst, w);
+                          break;
+                        case Bin::kSub:
+                          ChainBinRowOp<Bin::kSub>(st.prev_is_a, dense, src,
+                                                   other, dst, w);
+                          break;
+                        case Bin::kMul:
+                          ChainBinRowOp<Bin::kMul>(st.prev_is_a, dense, src,
+                                                   other, dst, w);
+                          break;
+                        case Bin::kDiv:
+                          ChainBinRowOp<Bin::kDiv>(st.prev_is_a, dense, src,
+                                                   other, dst, w);
+                          break;
+                        case Bin::kMax:
+                          ChainBinRowOp<Bin::kMax>(st.prev_is_a, dense, src,
+                                                   other, dst, w);
+                          break;
+                        case Bin::kMin:
+                          ChainBinRowOp<Bin::kMin>(st.prev_is_a, dense, src,
+                                                   other, dst, w);
+                          break;
+                      }
+                    } else {
+                      switch (static_cast<Un>(st.sub)) {
+                        case Un::kAddScalar:
+                          ChainUnRow<Un::kAddScalar>(st.scalar, src, dst, w);
+                          break;
+                        case Un::kMulScalar:
+                          ChainUnRow<Un::kMulScalar>(st.scalar, src, dst, w);
+                          break;
+                        case Un::kNeg:
+                          ChainUnRow<Un::kNeg>(st.scalar, src, dst, w);
+                          break;
+                        case Un::kSqrt:
+                          ChainUnRow<Un::kSqrt>(st.scalar, src, dst, w);
+                          break;
+                        case Un::kAbs:
+                          ChainUnRow<Un::kAbs>(st.scalar, src, dst, w);
+                          break;
+                        case Un::kRelu:
+                          ChainUnRow<Un::kRelu>(st.scalar, src, dst, w);
+                          break;
+                        default:
+                          // Transcendentals bottom out in opaque libm
+                          // calls; a runtime-dispatch loop loses nothing.
+                          for (int64_t j = 0; j < w; ++j) {
+                            dst[j] = ApplyUn(static_cast<Un>(st.sub),
+                                             st.scalar, src[j]);
+                          }
+                          break;
+                      }
+                    }
+                    src = dst;  // later steps update the row in place
+                  }
+                }
+              });
 }
 
 }  // namespace raw

@@ -1,6 +1,8 @@
 #ifndef LIPFORMER_TENSOR_OPS_RAW_H_
 #define LIPFORMER_TENSOR_OPS_RAW_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 
 #include "tensor/ops.h"
@@ -38,6 +40,60 @@ enum class Un : int32_t {
   kRelu,
   kGelu,
 };
+
+// tanh-approximation GELU forward. Deliberately a single out-of-line
+// definition (ops.cc, noinline): the standalone Gelu kernel, the fused
+// AddBiasAct epilogue, the GEMM epilogue and the fused elementwise chain
+// all call the one compiled copy, so no caller can be contracted (FMA)
+// differently from another — gelu outputs stay bitwise identical across
+// fused and unfused paths by construction.
+float GeluFwd(float x);
+
+// The single source of scalar semantics for Bin/Un: every elementwise
+// kernel — the dispatch tables below, the GEMM epilogue and the fused
+// chain interpreter — computes each element through these, so fused and
+// unfused paths share one definition per operation. Each case is either a
+// single IEEE operation or an opaque call (libm / GeluFwd), which leaves
+// the compiler nothing to contract across; inlining with a compile-time
+// `op` folds to the bare operation.
+inline float ApplyBin(Bin op, float x, float y) {
+  switch (op) {
+    case Bin::kAdd:
+      return x + y;
+    case Bin::kSub:
+      return x - y;
+    case Bin::kMul:
+      return x * y;
+    case Bin::kDiv:
+      return x / y;
+    case Bin::kMax:
+      return std::max(x, y);
+    case Bin::kMin:
+      return std::min(x, y);
+  }
+  return 0.0f;
+}
+
+float ApplyUnSlow(Un op, float s, float x);  // out-of-line libm cases
+
+inline float ApplyUn(Un op, float s, float x) {
+  switch (op) {
+    case Un::kAddScalar:
+      return x + s;
+    case Un::kMulScalar:
+      return x * s;
+    case Un::kNeg:
+      return -x;
+    case Un::kSqrt:
+      return std::sqrt(x);
+    case Un::kAbs:
+      return std::fabs(x);
+    case Un::kRelu:
+      return x > 0.0f ? x : 0.0f;
+    default:
+      return ApplyUnSlow(op, s, x);
+  }
+}
 
 // Same-shape elementwise binary: out[i] = op(a[i], b[i]).
 void BinarySame(Bin op, const float* a, const float* b, float* out,
@@ -94,6 +150,47 @@ void AddBiasActRows(const float* x, const float* bias, float* out,
 // [B, 1, C] instance-norm shift): b row index is r / t.
 void BroadcastMidRows(bool sub_op, const float* a, const float* b,
                       float* out, int64_t rows, int64_t t, int64_t c);
+
+// GEMM epilogue over one cache-hot region of C: for rows [r0, r0+nrows)
+// and columns [j0, j0+ncols) of a row-major [*, ldc] matrix, applies
+// act(c + bias[j]) (bias may be null) and then the residual binary
+// `res_op` against `residual` read at the same offsets as C (residual may
+// be null; res_is_lhs puts it on the binary's left). Element semantics
+// are exactly AddBiasActRows followed by BinarySame — same expressions,
+// same GeluFwd — so a GEMM with this epilogue is bitwise identical to the
+// unfused op sequence. Serial: the packed GEMM (tensor/gemm.cc) calls it
+// from inside its own ParallelFor chunks.
+void GemmEpilogueRegion(float* c, int64_t ldc, int64_t r0, int64_t nrows,
+                        int64_t j0, int64_t ncols, const float* bias,
+                        int32_t act, const float* residual, int32_t res_op,
+                        bool res_is_lhs);
+
+// One step of a fused elementwise chain (kFusedChain plan ops). The chain
+// kernel decomposes the output into rows x w elements and streams a value
+// v through the step list per element: unary steps apply ApplyUn, binary
+// steps combine v with `other[row_base[r] + j * inner_step]` via ApplyBin
+// (v is the left operand when prev_is_a). The per-row base table is
+// precomputed and numerically verified by the plan compiler
+// (serve/plan.cc), which is what lets one table-driven loop reproduce
+// same-shape, broadcast-mid and strided-broadcast operands alike.
+struct ChainStep {
+  bool is_binary = false;
+  bool prev_is_a = true;
+  int32_t sub = 0;   // Bin when binary, Un otherwise
+  float scalar = 0.0f;
+  const float* other = nullptr;
+  const int64_t* row_base = nullptr;
+  int64_t inner_step = 0;
+};
+
+// out[r * w + j] = chain(in[r * w + j]); one read-modify-write sweep over
+// the whole run of fused ops. Each element's value passes through the
+// identical scalar operations the unfused kernels apply (ApplyBin /
+// ApplyUn / GeluFwd), and the runtime step dispatch is an optimization
+// barrier between steps, so results are bitwise identical to running the
+// ops separately.
+void FusedChainRows(const float* in, float* out, int64_t rows, int64_t w,
+                    const ChainStep* steps, int64_t nsteps);
 
 }  // namespace raw
 }  // namespace lipformer

@@ -3,13 +3,16 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "serve/arena.h"
 #include "serve/batcher.h"
 #include "serve/quantize.h"
 #include "serve/session.h"
@@ -361,6 +364,190 @@ TEST_F(PlanTest, ProfilingReportsPerOpTimings) {
   }
   // Three profiled executions of a fixed program.
   EXPECT_EQ(calls, 3 * stats.plan.num_ops);
+}
+
+// The fusion pass must actually fire on the default LiPFormer config:
+// every Linear is bias+GEMM (epilogue fusion) and the de/normalization
+// around the model is an elementwise run (chain fusion). If these drop
+// to zero the pass has silently stopped matching and every fusion
+// benchmark measures nothing.
+TEST_F(PlanTest, FusionFiresOnDefaultConfig) {
+  auto opened = serve::InferenceSession::Open(path_);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  const serve::SessionPlanStats stats = opened.value()->plan_stats();
+  EXPECT_EQ(stats.compile_error, "");
+  EXPECT_GE(stats.plan.fused_epilogues, 1);
+  EXPECT_GE(stats.plan.fused_chains, 1);
+  // A chain absorbs at least two elementwise ops by construction.
+  EXPECT_GE(stats.plan.fused_chain_ops, 2 * stats.plan.fused_chains);
+  // Each absorbed epilogue op and each chained op beyond the first
+  // removes one whole read-modify-write pass. (>= because one GEMM can
+  // absorb both a bias and a residual and count once.)
+  EXPECT_GE(stats.plan.passes_eliminated,
+            stats.plan.fused_epilogues +
+                (stats.plan.fused_chain_ops - stats.plan.fused_chains));
+  EXPECT_GE(stats.plan.arena_saved_bytes, 0);
+}
+
+// LIPF_NO_FUSE=1 must disable the pass (counters at zero) and the
+// unfused plan must still serve bitwise-identical predictions — it is
+// the baseline side of the bench_serving fusion gate.
+TEST_F(PlanTest, NoFuseEnvDisablesFusionAndStaysBitwise) {
+  ASSERT_EQ(setenv("LIPF_NO_FUSE", "1", 1), 0);
+  auto unfused = serve::InferenceSession::Open(path_);
+  unsetenv("LIPF_NO_FUSE");
+  auto module = serve::InferenceSession::Open(path_, NoPlan());
+  ASSERT_TRUE(unfused.ok()) << unfused.status().ToString();
+  ASSERT_TRUE(module.ok()) << module.status().ToString();
+  ASSERT_TRUE(unfused.value()->plan_enabled());
+
+  const serve::SessionPlanStats stats = unfused.value()->plan_stats();
+  EXPECT_EQ(stats.compile_error, "");
+  EXPECT_EQ(stats.plan.fused_epilogues, 0);
+  EXPECT_EQ(stats.plan.fused_chains, 0);
+  EXPECT_EQ(stats.plan.fused_chain_ops, 0);
+  EXPECT_EQ(stats.plan.passes_eliminated, 0);
+
+  const Tensor histories = RandomTensor({3, 24, 2}, 77);
+  auto got = unfused.value()->PredictBatch(histories);
+  auto want = module.value()->PredictBatch(histories);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+  EXPECT_TRUE(BitwiseEqual(got.value(), want.value()));
+}
+
+// ---------------------------------------------------------------------
+// ArenaLayout (serve/arena.h): the liveness allocator behind plan
+// arenas. The invariants: offsets are 16-float (64-byte) aligned, two
+// simultaneously-live allocations never overlap, freed space is reused
+// (same-size churn must not grow the slab), and adjacent holes coalesce
+// so a large value fits where several small ones died.
+
+// Tracks live [off, off+len) intervals and fails on any overlap — the
+// one bug class an arena allocator must never have.
+class ArenaChecker {
+ public:
+  explicit ArenaChecker(serve::ArenaLayout* arena) : arena_(arena) {}
+
+  int64_t Alloc(int64_t numel) {
+    const int64_t off = arena_->Alloc(numel);
+    const int64_t len = serve::ArenaAlignUp(numel);
+    EXPECT_EQ(off % serve::kArenaAlignFloats, 0) << "unaligned offset";
+    for (size_t i = 0; i < live_.size(); ++i) {
+      const bool disjoint = off + len <= live_[i].off ||
+                            live_[i].off + live_[i].len <= off;
+      EXPECT_TRUE(disjoint) << "overlap: [" << off << "," << off + len
+                            << ") vs [" << live_[i].off << ","
+                            << live_[i].off + live_[i].len << ")";
+    }
+    live_.push_back({off, len});
+    return off;
+  }
+
+  void Free(int64_t off, int64_t numel) {
+    arena_->Free(off, numel);
+    for (size_t i = 0; i < live_.size(); ++i) {
+      if (live_[i].off == off) {
+        live_.erase(live_.begin() + i);
+        return;
+      }
+    }
+    FAIL() << "freed an offset that was not live: " << off;
+  }
+
+ private:
+  struct Interval {
+    int64_t off;
+    int64_t len;
+  };
+  serve::ArenaLayout* arena_;
+  std::vector<Interval> live_;
+};
+
+TEST(ArenaLayoutTest, SameSizeChurnReusesTheHole) {
+  serve::ArenaLayout arena;
+  const int64_t a = arena.Alloc(100);
+  const int64_t grown = arena.end();
+  arena.Free(a, 100);
+  // Ten generations of the same size must keep landing in a's hole.
+  for (int i = 0; i < 10; ++i) {
+    const int64_t b = arena.Alloc(100);
+    EXPECT_EQ(b, a);
+    arena.Free(b, 100);
+  }
+  EXPECT_EQ(arena.end(), grown);
+}
+
+TEST(ArenaLayoutTest, InterleavedLongAndShortLifetimes) {
+  serve::ArenaLayout arena;
+  ArenaChecker check(&arena);
+  // A long-lived value pinned at the bottom while short-lived pairs of
+  // different sizes churn above it — the pattern plan residuals create
+  // (defined early, consumed late, dozens of temporaries in between).
+  const int64_t pinned = check.Alloc(64);
+  int64_t high_water = 0;
+  for (int i = 0; i < 50; ++i) {
+    const int64_t s = check.Alloc(16 + (i % 7) * 16);
+    const int64_t t = check.Alloc(128);
+    check.Free(s, 16 + (i % 7) * 16);
+    const int64_t u = check.Alloc(48);
+    check.Free(t, 128);
+    check.Free(u, 48);
+    high_water = std::max(high_water, arena.end());
+  }
+  check.Free(pinned, 64);
+  // Reuse must keep the slab at its steady-state size, not 50 rounds of
+  // growth: one pinned value + the widest in-flight trio.
+  EXPECT_EQ(arena.end(), high_water);
+  EXPECT_LE(arena.end(),
+            serve::ArenaAlignUp(64) + serve::ArenaAlignUp(16 + 6 * 16) +
+                serve::ArenaAlignUp(128) + serve::ArenaAlignUp(48));
+}
+
+TEST(ArenaLayoutTest, AdjacentHolesCoalesceForLargeValues) {
+  serve::ArenaLayout arena;
+  ArenaChecker check(&arena);
+  // Four 32-float neighbors; free them out of order (middle pair last)
+  // so coalescing has to merge on both sides.
+  const int64_t a = check.Alloc(32);
+  const int64_t b = check.Alloc(32);
+  const int64_t c = check.Alloc(32);
+  const int64_t d = check.Alloc(32);
+  const int64_t grown = arena.end();
+  check.Free(a, 32);
+  check.Free(d, 32);
+  check.Free(b, 32);
+  check.Free(c, 32);
+  // One value the size of all four must fit in the merged hole.
+  const int64_t big = check.Alloc(128);
+  EXPECT_EQ(big, a);
+  EXPECT_EQ(arena.end(), grown);
+}
+
+TEST(ArenaLayoutTest, AdversarialChurnNeverOverlapsAndStaysAligned) {
+  serve::ArenaLayout arena;
+  ArenaChecker check(&arena);
+  // Deterministic pseudo-random alloc/free storm with odd (unaligned)
+  // sizes; ArenaChecker asserts alignment and non-overlap on every step.
+  std::vector<std::pair<int64_t, int64_t>> live;  // {off, numel}
+  uint64_t state = 0x9e3779b97f4a7c15ull;
+  for (int step = 0; step < 400; ++step) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const int64_t roll = static_cast<int64_t>((state >> 33) % 100);
+    if (live.size() > 8 || (roll < 40 && !live.empty())) {
+      const size_t victim = static_cast<size_t>((state >> 17) % live.size());
+      check.Free(live[victim].first, live[victim].second);
+      live.erase(live.begin() + victim);
+    } else {
+      const int64_t numel = 1 + static_cast<int64_t>((state >> 7) % 517);
+      live.push_back({check.Alloc(numel), numel});
+    }
+  }
+  for (size_t i = 0; i < live.size(); ++i) {
+    check.Free(live[i].first, live[i].second);
+  }
+  // Everything freed: the next allocation must reuse offset 0.
+  EXPECT_EQ(arena.Alloc(8), 0);
 }
 
 }  // namespace
