@@ -1,0 +1,629 @@
+// Open-loop Poisson load generator for the multi-tenant serving layer
+// (serve/registry.h). Unlike bench_serving's closed loops, arrivals here
+// follow a fixed-seed Poisson process at a target RPS that does not slow
+// down when the server does — the open-loop model that actually exposes
+// queueing delay. Reported per point: goodput (completed-ok/s), p50/p99/
+// p99.9 completion latency, and the failure count, across 1..N models
+// sharing one process.
+//
+// Every answer is also memcmp-checked against the owning model's
+// serial-session prediction for the same window, so tenant isolation and
+// the batched==serial bitwise contract are gated on every run.
+//
+// The --hot-reload phase (on by default) reruns the open loop on a
+// single model while the bundle file is atomically replaced mid-load:
+// it requires zero failed requests, every answer bitwise equal to the
+// OLD or the NEW model (never anything else — no torn predictions),
+// both generations observed, and afterwards publishes a corrupt bundle
+// and requires the reload to fail while the previous model keeps
+// answering. Any violation exits non-zero so scripts/check_perf.sh
+// gates it.
+//
+//   bench_loadgen [--models=N] [--duration-ms=N] [--threads=N]
+//                 [--max-batch=N] [--json=FILE] [--hot-reload=0|1]
+//
+// Target RPS values are calibrated as fractions (25%, 50%) of the
+// measured serial capacity of this box, not hardcoded, so the benchmark
+// is meaningful on a 1-core container and a 32-core server alike.
+//
+// JSON output (consumed by check_perf.sh):
+//   {"base_rps": ..., "points": [{"models": ..., "util": ...,
+//     "target_rps": ..., "offered": ..., "completed": ..., "failed": ...,
+//     "mismatched": ..., "goodput_rps": ..., "p50_us": ..., "p99_us": ...,
+//     "p999_us": ...}, ...],
+//    "hot_reload": {"requests": ..., "failed": ..., "torn": ...,
+//     "old_model": ..., "new_model": ..., "reloads": ...,
+//     "reload_failures": ..., "post_corrupt_ok": ...}}
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util/profiler.h"
+#include "common/atomic_file.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "data/scaler.h"
+#include "models/factory.h"
+#include "serve/registry.h"
+#include "serve/session.h"
+#include "tensor/storage_pool.h"
+
+namespace lipformer {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int64_t FlagInt(int argc, char** argv, const char* name, int64_t def) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      return std::stoll(arg.substr(prefix.size()));
+    }
+  }
+  return def;
+}
+
+std::string FlagStr(int argc, char** argv, const char* name,
+                    const std::string& def) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return def;
+}
+
+bool BitwiseEqual(const Tensor& a, const Tensor& b) {
+  return a.numel() == b.numel() &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+// Saves a paper-scale bundle (Weather-like 336->96, 21 channels) with
+// per-tenant weights (`seed`). Returns false on failure.
+bool SaveBundle(const std::string& path, const ForecasterDims& dims,
+                uint64_t seed) {
+  ModelOptions options;
+  options.hidden_dim = 64;
+  options.seed = seed;
+  std::unique_ptr<Forecaster> model = CreateModel("lipformer", dims, options);
+  Rng rng(seed + 1000);
+  StandardScaler scaler;
+  scaler.Fit(Tensor::Randn({256, dims.channels}, rng));
+  Status st =
+      serve::SaveModelBundle(path, "lipformer", options, *model, scaler);
+  if (!st.ok()) {
+    std::fprintf(stderr, "bundle save failed: %s\n", st.ToString().c_str());
+    return false;
+  }
+  return true;
+}
+
+// One submitted request waiting for its answer.
+struct InFlight {
+  std::future<Result<Tensor>> future;
+  Clock::time_point submitted;
+  int window = 0;
+};
+
+// Per-model FIFO of in-flight requests, drained by a waiter thread. The
+// batcher resolves futures in submit order per model, so the waiter's
+// future::get() returns at (almost exactly) each request's completion
+// time — giving honest completion-latency samples without polling.
+struct PendingQueue {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<InFlight> queue;
+  bool closed = false;
+
+  void Push(InFlight in_flight) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      queue.push_back(std::move(in_flight));
+    }
+    cv.notify_one();
+  }
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      closed = true;
+    }
+    cv.notify_all();
+  }
+};
+
+struct WaiterResult {
+  std::vector<double> latencies;  // seconds, completed-ok only
+  int64_t ok = 0;
+  int64_t failed = 0;
+  int64_t expected_a = 0;  // bitwise matches of reference set A
+  int64_t expected_b = 0;  // bitwise matches of reference set B
+  int64_t mismatched = 0;  // neither reference — torn or misrouted
+  Clock::time_point last_completion;
+  std::string first_error;
+};
+
+// Drains `pending` until closed-and-empty. Every ok answer is checked
+// against reference predictions `a` (and optionally `b`; hot reload
+// passes both generations) for the same window.
+void WaiterLoop(PendingQueue* pending, const std::vector<Tensor>* a,
+                const std::vector<Tensor>* b, WaiterResult* out) {
+  for (;;) {
+    InFlight in_flight;
+    {
+      std::unique_lock<std::mutex> lock(pending->mu);
+      pending->cv.wait(lock, [pending] {
+        return pending->closed || !pending->queue.empty();
+      });
+      if (pending->queue.empty()) return;
+      in_flight = std::move(pending->queue.front());
+      pending->queue.pop_front();
+    }
+    Result<Tensor> result = in_flight.future.get();
+    const Clock::time_point done = Clock::now();
+    if (!result.ok()) {
+      ++out->failed;
+      if (out->first_error.empty()) {
+        out->first_error = result.status().ToString();
+      }
+      continue;
+    }
+    ++out->ok;
+    out->last_completion = done;
+    out->latencies.push_back(
+        std::chrono::duration<double>(done - in_flight.submitted).count());
+    const Tensor& answer = result.value();
+    if (BitwiseEqual(answer, (*a)[in_flight.window])) {
+      ++out->expected_a;
+    } else if (b != nullptr && BitwiseEqual(answer, (*b)[in_flight.window])) {
+      ++out->expected_b;
+    } else {
+      ++out->mismatched;
+    }
+  }
+}
+
+struct PointResult {
+  int64_t models = 0;
+  double util = 0;
+  double target_rps = 0;
+  int64_t offered = 0;
+  int64_t completed = 0;
+  int64_t failed = 0;
+  int64_t mismatched = 0;
+  double goodput_rps = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double p999_us = 0;
+};
+
+// Open-loop run: Poisson arrivals at `target_rps` for `duration_s`,
+// uniformly routed across `names`. `expected[m][w]` is the reference
+// prediction of model m for window w; `expected_b` (optional) is a
+// second accepted reference set (hot reload). Submissions use kReject:
+// in an open-loop world a full queue is a failed request, not a stalled
+// client.
+PointResult RunPoint(serve::ModelRegistry* registry,
+                     const std::vector<std::string>& names,
+                     const std::vector<Tensor>& windows,
+                     const std::vector<std::vector<Tensor>>& expected,
+                     const std::vector<std::vector<Tensor>>* expected_b,
+                     double target_rps, double duration_s, uint64_t seed,
+                     std::vector<WaiterResult>* waiter_results_out) {
+  const size_t num_models = names.size();
+  // Pre-draw the whole arrival schedule so the dispatch loop does no RNG
+  // work: exponential interarrivals == Poisson process.
+  Rng rng(seed);
+  struct Arrival {
+    double at;
+    int model;
+    int window;
+  };
+  std::vector<Arrival> schedule;
+  double t = 0;
+  while (true) {
+    t += -std::log(1.0 - rng.Uniform()) / target_rps;
+    if (t >= duration_s) break;
+    Arrival arrival;
+    arrival.at = t;
+    arrival.model = static_cast<int>(rng.UniformInt(num_models));
+    arrival.window =
+        static_cast<int>(rng.UniformInt(static_cast<uint64_t>(windows.size())));
+    schedule.push_back(arrival);
+  }
+
+  std::vector<std::unique_ptr<PendingQueue>> pending(num_models);
+  std::vector<WaiterResult> results(num_models);
+  std::vector<std::thread> waiters;
+  for (size_t m = 0; m < num_models; ++m) {
+    pending[m] = std::make_unique<PendingQueue>();
+    waiters.emplace_back(WaiterLoop, pending[m].get(), &expected[m],
+                         expected_b == nullptr ? nullptr : &(*expected_b)[m],
+                         &results[m]);
+  }
+
+  const Clock::time_point start = Clock::now();
+  for (const Arrival& arrival : schedule) {
+    std::this_thread::sleep_until(
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(arrival.at)));
+    InFlight in_flight;
+    in_flight.submitted = Clock::now();
+    in_flight.window = arrival.window;
+    in_flight.future = registry->Submit(
+        names[static_cast<size_t>(arrival.model)], windows[arrival.window]);
+    pending[static_cast<size_t>(arrival.model)]->Push(std::move(in_flight));
+  }
+  for (size_t m = 0; m < num_models; ++m) pending[m]->Close();
+  for (std::thread& waiter : waiters) waiter.join();
+
+  PointResult point;
+  point.models = static_cast<int64_t>(num_models);
+  point.target_rps = target_rps;
+  point.offered = static_cast<int64_t>(schedule.size());
+  LatencyRecorder recorder;
+  Clock::time_point last = start;
+  for (const WaiterResult& result : results) {
+    point.completed += result.ok;
+    point.failed += result.failed;
+    point.mismatched += result.mismatched;
+    for (double latency : result.latencies) recorder.Record(latency);
+    if (result.ok > 0 && result.last_completion > last) {
+      last = result.last_completion;
+    }
+  }
+  const double elapsed = std::chrono::duration<double>(last - start).count();
+  point.goodput_rps = elapsed > 0 ? point.completed / elapsed : 0;
+  if (recorder.count() > 0) {
+    point.p50_us = recorder.Percentile(50.0) * 1e6;
+    point.p99_us = recorder.Percentile(99.0) * 1e6;
+    point.p999_us = recorder.Percentile(99.9) * 1e6;
+  }
+  if (waiter_results_out != nullptr) *waiter_results_out = std::move(results);
+  return point;
+}
+
+// Reference predictions for each window from a fresh serial session of
+// `path`. The registry's batched answers must be bitwise equal to these
+// (InferenceSession's batched==serial determinism contract).
+bool SerialReference(const std::string& path,
+                     const std::vector<Tensor>& windows,
+                     std::vector<Tensor>* out) {
+  serve::SessionOptions options;
+  auto session = serve::InferenceSession::Open(path, options);
+  if (!session.ok()) {
+    std::fprintf(stderr, "reference open failed: %s\n",
+                 session.status().ToString().c_str());
+    return false;
+  }
+  out->clear();
+  for (const Tensor& window : windows) {
+    auto prediction = session.value()->Predict(window);
+    if (!prediction.ok()) {
+      std::fprintf(stderr, "reference predict failed: %s\n",
+                   prediction.status().ToString().c_str());
+      return false;
+    }
+    out->push_back(prediction.value());
+  }
+  return true;
+}
+
+int Run(int argc, char** argv) {
+  const int64_t num_models = std::max<int64_t>(1, FlagInt(argc, argv, "models", 4));
+  const int64_t duration_ms = FlagInt(argc, argv, "duration-ms", 2000);
+  const int64_t threads = FlagInt(argc, argv, "threads", DefaultNumThreads());
+  const int64_t max_batch = FlagInt(argc, argv, "max-batch", 16);
+  const bool hot_reload = FlagInt(argc, argv, "hot-reload", 1) != 0;
+  const std::string json_path = FlagStr(argc, argv, "json", "");
+  SetNumThreads(static_cast<int>(threads));
+
+  ForecasterDims dims;
+  dims.input_len = 336;
+  dims.pred_len = 96;
+  dims.channels = 21;
+
+  std::vector<std::string> names;
+  std::vector<std::string> paths;
+  for (int64_t m = 0; m < num_models; ++m) {
+    names.push_back("m" + std::to_string(m));
+    paths.push_back("/tmp/lipformer_loadgen_m" + std::to_string(m) + ".ckpt");
+    if (!SaveBundle(paths.back(), dims, /*seed=*/7 + static_cast<uint64_t>(m))) {
+      return 1;
+    }
+  }
+
+  // Shared window pool; every model answers every window, each with its
+  // own weights.
+  Rng rng(11);
+  std::vector<Tensor> windows;
+  for (int i = 0; i < 8; ++i) {
+    windows.push_back(Tensor::Randn({dims.input_len, dims.channels}, rng));
+  }
+  std::vector<std::vector<Tensor>> expected(
+      static_cast<size_t>(num_models));
+  for (int64_t m = 0; m < num_models; ++m) {
+    if (!SerialReference(paths[static_cast<size_t>(m)], windows,
+                         &expected[static_cast<size_t>(m)])) {
+      return 1;
+    }
+  }
+
+  serve::RegistryOptions registry_options;
+  registry_options.batcher.max_batch_size = max_batch;
+  // Generous: admission control is bench_serving's / the tests' story;
+  // here a transient scheduler stall on a shared box must not turn into
+  // spurious rejections that fail the zero-failure gate.
+  registry_options.batcher.queue_capacity = 4096;
+  serve::ModelRegistry registry(registry_options);
+  for (int64_t m = 0; m < num_models; ++m) {
+    Status loaded = registry.Load(names[static_cast<size_t>(m)],
+                                  paths[static_cast<size_t>(m)]);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "load failed: %s\n", loaded.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Warm every model across every batch size: the session compiles one
+  // plan per batch size on first use, and letting that happen lazily on
+  // the measured path shows up as a compile storm in the first point's
+  // tail latencies (observed p50 60ms cold vs 2ms warm).
+  for (int64_t m = 0; m < num_models; ++m) {
+    serve::InferenceSession* session =
+        registry.Find(names[static_cast<size_t>(m)])->session();
+    for (int64_t k = 1; k <= max_batch; ++k) {
+      Tensor batch = Tensor::Empty({k, dims.input_len, dims.channels});
+      for (int64_t row = 0; row < k; ++row) {
+        std::memcpy(batch.data() + row * dims.input_len * dims.channels,
+                    windows[0].data(),
+                    static_cast<size_t>(dims.input_len * dims.channels) *
+                        sizeof(float));
+      }
+      if (!session->PredictBatch(batch).ok()) {
+        std::fprintf(stderr, "warmup predict failed\n");
+        return 1;
+      }
+    }
+  }
+
+  // Calibrate this box: serial closed-loop capacity of one model. All
+  // target RPS values are utilization fractions of it.
+  double base_rps;
+  {
+    serve::InferenceSession* session = registry.Find(names[0])->session();
+    for (int i = 0; i < 4; ++i) (void)session->Predict(windows[0]);
+    const Clock::time_point start = Clock::now();
+    int64_t calls = 0;
+    while (std::chrono::duration<double>(Clock::now() - start).count() <
+           0.3) {
+      auto prediction = session->Predict(windows[calls % 8]);
+      if (!prediction.ok()) {
+        std::fprintf(stderr, "calibration predict failed\n");
+        return 1;
+      }
+      ++calls;
+    }
+    base_rps = calls /
+               std::chrono::duration<double>(Clock::now() - start).count();
+  }
+  std::fprintf(stderr, "calibrated serial capacity: %.1f rps\n", base_rps);
+
+  const double duration_s = duration_ms / 1000.0;
+  const double utils[] = {0.25, 0.5};
+  std::vector<PointResult> points;
+  bool violations = false;
+  std::vector<int64_t> model_counts;
+  model_counts.push_back(1);
+  if (num_models > 1) model_counts.push_back(num_models);
+  for (int64_t count : model_counts) {
+    std::vector<std::string> subset(names.begin(), names.begin() + count);
+    for (double util : utils) {
+      PointResult point =
+          RunPoint(&registry, subset, windows, expected, nullptr,
+                   util * base_rps, duration_s,
+                   /*seed=*/1234 + static_cast<uint64_t>(count * 100 + util * 10),
+                   nullptr);
+      point.util = util;
+      points.push_back(point);
+      std::fprintf(stderr,
+                   "models=%lld util=%.2f target=%.1f rps: offered=%lld "
+                   "completed=%lld failed=%lld mismatched=%lld "
+                   "goodput=%.1f rps p50=%.0fus p99=%.0fus p99.9=%.0fus\n",
+                   static_cast<long long>(point.models), util,
+                   point.target_rps, static_cast<long long>(point.offered),
+                   static_cast<long long>(point.completed),
+                   static_cast<long long>(point.failed),
+                   static_cast<long long>(point.mismatched),
+                   point.goodput_rps, point.p50_us, point.p99_us,
+                   point.p999_us);
+      if (point.mismatched > 0) {
+        std::fprintf(stderr,
+                     "FAIL: %lld answer(s) did not match their model's "
+                     "serial prediction\n",
+                     static_cast<long long>(point.mismatched));
+        violations = true;
+      }
+    }
+  }
+
+  // Hot reload under live load.
+  int64_t hot_requests = 0, hot_failed = 0, hot_torn = 0;
+  int64_t hot_old = 0, hot_new = 0, hot_reloads = 0, hot_reload_failures = 0;
+  int64_t post_corrupt_ok = 0;
+  if (hot_reload) {
+    const std::string live_path = "/tmp/lipformer_loadgen_live.ckpt";
+    const std::string side_path = "/tmp/lipformer_loadgen_side.ckpt";
+    if (!SaveBundle(live_path, dims, /*seed=*/100) ||
+        !SaveBundle(side_path, dims, /*seed=*/101)) {
+      return 1;
+    }
+    std::vector<std::vector<Tensor>> expected_old(1), expected_new(1);
+    if (!SerialReference(live_path, windows, &expected_old[0]) ||
+        !SerialReference(side_path, windows, &expected_new[0])) {
+      return 1;
+    }
+
+    serve::RegistryOptions hot_options;
+    hot_options.batcher.max_batch_size = max_batch;
+    hot_options.batcher.queue_capacity = 4096;
+    hot_options.reload_poll = std::chrono::milliseconds(20);
+    serve::ModelRegistry hot_registry(hot_options);
+    Status loaded = hot_registry.Load("hot", live_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "hot load failed: %s\n", loaded.ToString().c_str());
+      return 1;
+    }
+
+    // Atomic publish of the NEW bundle mid-run: exactly what a deploy
+    // does (rename(2) over the served path).
+    const double hot_duration_s = std::max(1.6, duration_s);
+    std::thread publisher([&] {
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          hot_duration_s * 0.4));
+      if (std::rename(side_path.c_str(), live_path.c_str()) != 0) {
+        std::fprintf(stderr, "FAIL: rename publish failed\n");
+      }
+    });
+    std::vector<WaiterResult> hot_results;
+    PointResult hot_point = RunPoint(
+        &hot_registry, {"hot"}, windows, expected_old, &expected_new,
+        0.5 * base_rps, hot_duration_s, /*seed=*/991, &hot_results);
+    publisher.join();
+    hot_requests = hot_point.offered;
+    hot_failed = hot_point.failed;
+    for (const WaiterResult& result : hot_results) {
+      hot_old += result.expected_a;
+      hot_new += result.expected_b;
+      hot_torn += result.mismatched;
+      if (result.failed > 0 && !result.first_error.empty()) {
+        std::fprintf(stderr, "hot-reload first failure: %s\n",
+                     result.first_error.c_str());
+      }
+    }
+
+    // Corrupt publish: the reload must fail validation and the previous
+    // (new) generation must keep serving.
+    const char garbage[] = "not a checkpoint";
+    Status wrote = AtomicWriteFile(live_path, garbage, sizeof(garbage));
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "corrupt publish failed: %s\n",
+                   wrote.ToString().c_str());
+      return 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    for (int i = 0; i < 16; ++i) {
+      auto answer = hot_registry.Submit("hot", windows[i % 8]).get();
+      if (answer.ok() &&
+          BitwiseEqual(answer.value(), expected_new[0][i % 8])) {
+        ++post_corrupt_ok;
+      }
+    }
+    for (const serve::ModelInfo& info : hot_registry.Models()) {
+      hot_reloads = info.reloads;
+      hot_reload_failures = info.reload_failures;
+    }
+
+    std::fprintf(stderr,
+                 "hot reload: %lld requests, %lld failed, %lld torn, "
+                 "%lld old-model, %lld new-model, %lld reload(s), %lld "
+                 "failed reload(s), %lld/16 post-corrupt ok\n",
+                 static_cast<long long>(hot_requests),
+                 static_cast<long long>(hot_failed),
+                 static_cast<long long>(hot_torn),
+                 static_cast<long long>(hot_old),
+                 static_cast<long long>(hot_new),
+                 static_cast<long long>(hot_reloads),
+                 static_cast<long long>(hot_reload_failures),
+                 static_cast<long long>(post_corrupt_ok));
+
+    if (hot_failed != 0) {
+      std::fprintf(stderr, "FAIL: requests failed during hot reload\n");
+      violations = true;
+    }
+    if (hot_torn != 0) {
+      std::fprintf(stderr, "FAIL: torn predictions during hot reload\n");
+      violations = true;
+    }
+    if (hot_old == 0 || hot_new == 0) {
+      std::fprintf(stderr,
+                   "FAIL: expected answers from both generations "
+                   "(old=%lld new=%lld)\n",
+                   static_cast<long long>(hot_old),
+                   static_cast<long long>(hot_new));
+      violations = true;
+    }
+    if (hot_reload_failures < 1) {
+      std::fprintf(stderr, "FAIL: corrupt publish did not fail a reload\n");
+      violations = true;
+    }
+    if (post_corrupt_ok != 16) {
+      std::fprintf(stderr,
+                   "FAIL: previous model did not keep serving after the "
+                   "corrupt publish (%lld/16)\n",
+                   static_cast<long long>(post_corrupt_ok));
+      violations = true;
+    }
+  }
+
+  if (!json_path.empty()) {
+    FILE* json = std::fopen(json_path.c_str(), "w");
+    if (json == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(json, "{\"base_rps\": %.2f, \"points\": [", base_rps);
+    for (size_t i = 0; i < points.size(); ++i) {
+      const PointResult& p = points[i];
+      std::fprintf(
+          json,
+          "%s{\"models\": %lld, \"util\": %.2f, \"target_rps\": %.2f, "
+          "\"offered\": %lld, \"completed\": %lld, \"failed\": %lld, "
+          "\"mismatched\": %lld, \"goodput_rps\": %.2f, \"p50_us\": %.1f, "
+          "\"p99_us\": %.1f, \"p999_us\": %.1f}",
+          i == 0 ? "" : ", ", static_cast<long long>(p.models), p.util,
+          p.target_rps, static_cast<long long>(p.offered),
+          static_cast<long long>(p.completed),
+          static_cast<long long>(p.failed),
+          static_cast<long long>(p.mismatched), p.goodput_rps, p.p50_us,
+          p.p99_us, p.p999_us);
+    }
+    std::fprintf(json, "]");
+    if (hot_reload) {
+      std::fprintf(
+          json,
+          ", \"hot_reload\": {\"requests\": %lld, \"failed\": %lld, "
+          "\"torn\": %lld, \"old_model\": %lld, \"new_model\": %lld, "
+          "\"reloads\": %lld, \"reload_failures\": %lld, "
+          "\"post_corrupt_ok\": %lld}",
+          static_cast<long long>(hot_requests),
+          static_cast<long long>(hot_failed),
+          static_cast<long long>(hot_torn), static_cast<long long>(hot_old),
+          static_cast<long long>(hot_new),
+          static_cast<long long>(hot_reloads),
+          static_cast<long long>(hot_reload_failures),
+          static_cast<long long>(post_corrupt_ok));
+    }
+    std::fprintf(json, "}\n");
+    std::fclose(json);
+    std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+  }
+
+  return violations ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace lipformer
+
+int main(int argc, char** argv) { return lipformer::Run(argc, argv); }

@@ -37,6 +37,17 @@
 # plans SLOWER (a regressed epilogue or chain kernel), not to prove the
 # win on every run.
 #
+# Also runs bench_loadgen (the open-loop multi-model registry path). The
+# binary itself exits non-zero on hard correctness violations — any
+# failed or bitwise-mismatched answer at the gated utilizations, any
+# failed/torn request during the live hot-reload phase, or a corrupt
+# publish not keeping the previous model serving — so those gate on
+# every run. The SLO gates against results/BENCH_loadgen.json: goodput
+# must reach 85% of the offered Poisson rate at each (models, util)
+# point, and p50/p99 must stay within the wide absolute threshold of the
+# recorded baseline (open-loop tails carry the box's noise bursts on
+# both sides, like the serving numbers above).
+#
 # Every gate also emits one flat record (metric, value, baseline, ratio,
 # status); after the gates run they are merged into
 # results/BENCH_summary.json for scripts/summarize_results.py.
@@ -69,17 +80,21 @@ elif [ -n "${1:-}" ]; then
   exit 2
 fi
 
-echo "== building bench_kernels + bench_serving (Release)"
+echo "== building bench_kernels + bench_serving + bench_loadgen (Release)"
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build -j "$(nproc)" --target bench_kernels bench_serving
+cmake --build build -j "$(nproc)" --target bench_kernels bench_serving \
+  bench_loadgen
 
 # All temp files live under this one trap; add new ones here, not in a
 # second trap (a later `trap ... EXIT` replaces this one silently).
 RUN_OUT="$(mktemp /tmp/bench_kernels.XXXXXX.json)"
 SERVING_OUT="$(mktemp /tmp/bench_serving.XXXXXX.json)"
+LOADGEN_OUT="$(mktemp /tmp/bench_loadgen.XXXXXX.json)"
 KERNEL_RECORDS="$(mktemp /tmp/bench_summary_kernels.XXXXXX.json)"
 SERVING_RECORDS="$(mktemp /tmp/bench_summary_serving.XXXXXX.json)"
-trap 'rm -f "${RUN_OUT}" "${SERVING_OUT}" "${KERNEL_RECORDS}" "${SERVING_RECORDS}"' EXIT
+LOADGEN_RECORDS="$(mktemp /tmp/bench_summary_loadgen.XXXXXX.json)"
+trap 'rm -f "${RUN_OUT}" "${SERVING_OUT}" "${LOADGEN_OUT}" \
+  "${KERNEL_RECORDS}" "${SERVING_RECORDS}" "${LOADGEN_RECORDS}"' EXIT
 
 run_kernels() {
   echo "== running GEMM + train/inference step sweep"
@@ -96,24 +111,35 @@ run_serving() {
   ./build/bench/bench_serving --requests=256 --json="${SERVING_OUT}"
 }
 
+run_loadgen() {
+  echo "== running bench_loadgen (registry/hot-reload correctness gates" \
+       "unconditionally)"
+  ./build/bench/bench_loadgen --json="${LOADGEN_OUT}"
+}
+
 SERVING_BASELINE="results/BENCH_serving.json"
+LOADGEN_BASELINE="results/BENCH_loadgen.json"
 run_kernels
 run_serving
+run_loadgen
 
 if [ "${UPDATE}" = "1" ]; then
   mkdir -p results
   cp "${RUN_OUT}" "${BASELINE}"
   cp "${SERVING_OUT}" "${SERVING_BASELINE}"
-  echo "== baselines updated: ${BASELINE}, ${SERVING_BASELINE}"
+  cp "${LOADGEN_OUT}" "${LOADGEN_BASELINE}"
+  echo "== baselines updated: ${BASELINE}, ${SERVING_BASELINE}," \
+       "${LOADGEN_BASELINE}"
   # Fall through to the gates: ratio comparisons are trivially 1.00x
   # against the fresh baselines, but the absolute floors (plan_speedup,
   # plan_fusion, batching) still validate the recording run, and the
   # pass writes results/BENCH_summary.json.
 fi
 
-if [ ! -f "${BASELINE}" ] || [ ! -f "${SERVING_BASELINE}" ]; then
-  echo "error: missing baseline (${BASELINE} or ${SERVING_BASELINE});" \
-       "run $0 --update first" >&2
+if [ ! -f "${BASELINE}" ] || [ ! -f "${SERVING_BASELINE}" ] \
+    || [ ! -f "${LOADGEN_BASELINE}" ]; then
+  echo "error: missing baseline (${BASELINE}, ${SERVING_BASELINE} or" \
+       "${LOADGEN_BASELINE}); run $0 --update first" >&2
   exit 2
 fi
 
@@ -388,6 +414,101 @@ print("\nserving perf check passed")
 EOF
 }
 
+compare_loadgen() {
+  echo "== comparing load-generator SLOs against ${LOADGEN_BASELINE}" \
+       "(threshold ${THRESHOLD}x)"
+  python3 - "${LOADGEN_BASELINE}" "${LOADGEN_OUT}" "${THRESHOLD}" \
+      "${LOADGEN_RECORDS}" <<'EOF'
+import json
+import sys
+
+baseline_path, run_path, threshold, records_path = sys.argv[1:5]
+threshold = float(threshold)
+records = []
+
+with open(baseline_path) as f:
+    base = json.load(f)
+with open(run_path) as f:
+    run = json.load(f)
+
+failures = []
+
+# Open-loop latencies compare one run against one recorded run, so the
+# same wide margin as the serving gates applies (noise bursts land on
+# either side of the ratio).
+abs_threshold = max(threshold, 1.45)
+
+base_points = {(p["models"], p["util"]): p for p in base["points"]}
+
+# bench_loadgen already exited 0, which certifies failed == 0 and
+# mismatched == 0 at every point; the gates here are the SLO curve.
+for p in run["points"]:
+    key = (p["models"], p["util"])
+    label = f"m{p['models']}_u{p['util']:g}"
+    bp = base_points.get(key)
+    if bp is None:
+        failures.append(f"{label}: missing from baseline (run --update)")
+        continue
+
+    # Goodput tracks the offered Poisson rate (which carries sampling
+    # variance), so the floor is a fraction of the per-run target, not a
+    # ratio against the baseline's goodput.
+    floor = 0.85 * p["target_rps"]
+    mark = "FAIL" if p["goodput_rps"] < floor else "ok"
+    print(f"  {mark:4} {label} goodput: {p['goodput_rps']:.1f} rps "
+          f"(target {p['target_rps']:.1f}, floor {floor:.1f})")
+    records.append({"gate": "loadgen", "metric": f"{label}/goodput_rps",
+                    "value": p["goodput_rps"], "baseline": floor,
+                    "ratio": round(p["goodput_rps"] / max(floor, 1e-9), 4),
+                    "status": mark.strip()})
+    if p["goodput_rps"] < floor:
+        failures.append(
+            f"{label}: goodput {p['goodput_rps']:.1f} rps under the "
+            f"{floor:.1f} floor")
+
+    for metric in ("p50_us", "p99_us"):
+        ratio = p[metric] / max(bp[metric], 1e-9)
+        mark = "FAIL" if ratio > abs_threshold else "ok"
+        print(f"  {mark:4} {label} {metric}: {bp[metric]:.0f} -> "
+              f"{p[metric]:.0f} us ({ratio:.2f}x)")
+        records.append({"gate": "loadgen", "metric": f"{label}/{metric}",
+                        "value": p[metric], "baseline": bp[metric],
+                        "ratio": round(ratio, 4), "status": mark.strip()})
+        if ratio > abs_threshold:
+            failures.append(f"{label}: {metric} {ratio:.2f}x over baseline")
+    print(f"  info {label} p99.9: {bp['p999_us']:.0f} -> "
+          f"{p['p999_us']:.0f} us (reported, not gated)")
+
+# Hot-reload hard facts, re-asserted from the JSON so the summary records
+# them even though the binary's exit code already gates them.
+hr = run.get("hot_reload")
+if hr is not None:
+    ok = (hr["failed"] == 0 and hr["torn"] == 0 and hr["old_model"] > 0
+          and hr["new_model"] > 0 and hr["reload_failures"] >= 1
+          and hr["post_corrupt_ok"] == hr.get("post_corrupt_expected", 16))
+    mark = "ok" if ok else "FAIL"
+    print(f"  {mark:4} hot_reload: {hr['requests']} requests, "
+          f"{hr['failed']} failed, {hr['torn']} torn, "
+          f"{hr['old_model']}/{hr['new_model']} old/new, "
+          f"{hr['reload_failures']} rejected publish(es)")
+    records.append({"gate": "loadgen", "metric": "hot_reload_failed",
+                    "value": hr["failed"] + hr["torn"], "baseline": 0,
+                    "ratio": 1.0, "status": mark})
+    if not ok:
+        failures.append("hot_reload invariants violated (see line above)")
+
+with open(records_path, "w") as f:
+    json.dump(records, f)
+
+if failures:
+    print("\nloadgen perf check FAILED:")
+    for f in failures:
+        print(f"  {f}")
+    sys.exit(1)
+print("\nloadgen perf check passed")
+EOF
+}
+
 # One fresh-rerun retry per gate: this box's scheduler noise bursts
 # routinely push untouched kernels (BM_MatMulReference included) past the
 # threshold for one run, while a real regression reproduces on the
@@ -404,19 +525,25 @@ if ! compare_serving; then
   compare_serving
 fi
 
+if ! compare_loadgen; then
+  echo "== loadgen gate failed; retrying once against fresh measurements"
+  run_loadgen
+  compare_loadgen
+fi
+
 # Consolidate the per-gate records (written by the compare steps, retries
 # overwrite them with the fresh measurements) into one flat summary.
 mkdir -p results
-python3 - "${KERNEL_RECORDS}" "${SERVING_RECORDS}" \
+python3 - "${KERNEL_RECORDS}" "${SERVING_RECORDS}" "${LOADGEN_RECORDS}" \
     "results/BENCH_summary.json" <<'EOF'
 import json
 import sys
 
 records = []
-for path in sys.argv[1:3]:
+for path in sys.argv[1:4]:
     with open(path) as f:
         records.extend(json.load(f))
-out = sys.argv[3]
+out = sys.argv[4]
 with open(out, "w") as f:
     json.dump({"records": records}, f, indent=1)
     f.write("\n")

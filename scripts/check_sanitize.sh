@@ -11,7 +11,15 @@
 # LIPF_NO_FUSE) and the arena liveness allocator's adversarial cases
 # (PlanTest.Arena*: interleaved lifetimes, same-size reuse, alignment,
 # overlap detection), so sanitizers see the fused kernels and the
-# allocator edge paths too.
+# allocator edge paths too. The serving layer's concurrency edges ride
+# along as well: SessionTest.SubmitRacingShutdownResolvesEveryFuture
+# (32 submitters vs Shutdown), ResolvedCallerSeesItselfInCompletedStats
+# (the stats commit-before-fulfill ordering contract),
+# BlockingSubmitAppliesFlowControl / BlockingSubmitUnblocksOnShutdown
+# (the kBlock producer path), and ModelRegistryTest.
+# SubmitsNeverFailAcrossReloadStorm, which races four kBlock client
+# threads against alternating good/corrupt hot-reload publishes — the
+# TSan check for the registry's shared_ptr swap protocol.
 #
 # Usage:
 #   scripts/check_sanitize.sh [thread|address|undefined]

@@ -10,7 +10,11 @@
 namespace lipformer {
 
 namespace {
-bool g_grad_enabled = true;
+// Per-thread, like the dispatch-time checks that read it: a NoGradGuard
+// in one serving thread must not turn off tape recording for a trainer
+// (or another session) running concurrently, and a plain global here is
+// a data race once two threads predict at once.
+thread_local bool g_grad_enabled = true;
 std::atomic<int64_t> g_make_node_calls{0};
 }  // namespace
 

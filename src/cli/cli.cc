@@ -48,28 +48,46 @@
 //                     bitwise identical for every N)
 //
 // Serve options (see CmdServe for the request protocol):
-//   --load=FILE       serving bundle written by `train --save`
+//   --load=FILE       serving bundle written by `train --save`; repeatable
+//   --load=name=FILE  as name=FILE to serve several models from one
+//                     process (a bare FILE is served as "default"); route
+//                     requests with a "<name>|" line prefix
 //   --requests=FILE   request lines (default: stdin)
 //   --max-batch=N     micro-batcher coalescing cap (default 16)
 //   --max-delay-ms=N  micro-batcher max wait for stragglers (default 2)
+//   --queue-capacity=N  per-model bounded request queue (default 256);
+//                     the CLI producer blocks for a slot (flow control)
+//                     instead of surfacing backpressure as errors
+//   --reload-poll-ms=N  hot-reload watcher cadence (default 200, 0 = off):
+//                     publishing a new bundle over a loaded path with an
+//                     atomic rename swaps it in with zero downtime; a
+//                     bundle failing validation keeps the old model
+//                     serving and logs the error
 //   --no-plan         disable the AOT inference-plan path and serve from
 //                     the module forward (serve/plan.h); results are
 //                     bitwise identical either way. LIPF_NO_PLAN=1 in the
 //                     environment does the same.
 //
+// At runtime `serve` answers "!stats" request lines and SIGHUP with a
+// registry status dump (per-model reload + batcher counters) on stderr.
+//
 // Unknown --options, stray non-option arguments and malformed numbers are
 // usage errors (they used to be silently ignored / parsed as 0).
 
 #include <cerrno>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <future>
 #include <iostream>
 #include <map>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util/profiler.h"
@@ -81,6 +99,7 @@
 #include "data/registry.h"
 #include "models/factory.h"
 #include "serve/batcher.h"
+#include "serve/registry.h"
 #include "serve/session.h"
 #include "train/extended_metrics.h"
 #include "train/trainer.h"
@@ -109,6 +128,8 @@ constexpr OptionSpec kOptionSpecs[] = {
     {"threads", OptionKind::kInt},     {"load", OptionKind::kString},
     {"requests", OptionKind::kString}, {"max-batch", OptionKind::kInt},
     {"max-delay-ms", OptionKind::kInt},
+    {"queue-capacity", OptionKind::kInt},
+    {"reload-poll-ms", OptionKind::kInt},
     {"snapshot", OptionKind::kString}, {"snapshot-every", OptionKind::kInt},
     {"resume", OptionKind::kString},   {"force", OptionKind::kFlag},
     {"lr-schedule", OptionKind::kString},
@@ -165,13 +186,25 @@ CliArgs Parse(int argc, char** argv) {
     }
     arg = arg.substr(2);
     const size_t eq = arg.find('=');
-    if (eq == std::string::npos) {
-      args.options[arg] = "1";
-    } else {
-      args.options[arg.substr(0, eq)] = arg.substr(eq + 1);
-    }
+    std::string key = eq == std::string::npos ? arg : arg.substr(0, eq);
+    std::string value = eq == std::string::npos ? "1" : arg.substr(eq + 1);
+    args.options[key] = value;
+    args.ordered.emplace_back(std::move(key), std::move(value));
   }
   return args;
+}
+
+std::vector<std::string> CliArgs::GetAll(const std::string& key) const {
+  std::vector<std::string> values;
+  for (const auto& [k, v] : ordered) {
+    if (k == key) values.push_back(v);
+  }
+  // CliArgs built by hand (tests) may fill only the map.
+  if (values.empty()) {
+    auto it = options.find(key);
+    if (it != options.end()) values.push_back(it->second);
+  }
+  return values;
 }
 
 Status ValidateArgs(const CliArgs& args) {
@@ -180,7 +213,15 @@ Status ValidateArgs(const CliArgs& args) {
                                    args.stragglers.front() +
                                    "' (options are --key or --key=value)");
   }
-  for (const auto& [key, value] : args.options) {
+  // Check every occurrence: `--epochs=zz --epochs=3` leaves only "3" in
+  // the last-wins map, but the malformed first occurrence is still a
+  // usage error. Hand-built CliArgs (tests) may fill only the map, so
+  // validate the union of both.
+  std::vector<std::pair<std::string, std::string>> occurrences(
+      args.ordered.begin(), args.ordered.end());
+  occurrences.insert(occurrences.end(), args.options.begin(),
+                     args.options.end());
+  for (const auto& [key, value] : occurrences) {
     const OptionSpec* spec = FindOptionSpec(key);
     if (spec == nullptr) {
       return Status::InvalidArgument("unknown option --" + key);
@@ -550,76 +591,227 @@ int CmdForecast(const CliArgs& args) {
   return 0;
 }
 
-// Request protocol of `serve`: one request per line, the flattened
-// row-major [input_len, channels] history as comma-separated numbers.
-// Each answer line is the flattened [pred_len, channels] prediction (raw
-// units), or "error: ..." for malformed/rejected requests. Requests are
-// answered in input order but executed through the dynamic micro-batcher,
-// so concurrent lines coalesce into batched forwards. A summary with
-// throughput and latency percentiles goes to stderr on exit.
-int CmdServe(const CliArgs& args) {
-  if (!args.Has("load")) {
-    std::fprintf(stderr, "error: serve needs --load=FILE "
-                         "(a bundle written by train --save)\n");
-    return 2;
+bool SplitModelPrefix(const std::string& line, std::string* model,
+                      std::string* rest) {
+  const size_t bar = line.find('|');
+  if (bar == std::string::npos) {
+    model->clear();
+    *rest = line;
+    return true;
   }
-  serve::SessionOptions session_options;
-  session_options.use_plan = !args.Has("no-plan");
-  Result<std::unique_ptr<serve::InferenceSession>> opened =
-      serve::InferenceSession::Open(args.Get("load", ""), session_options);
-  if (!opened.ok()) {
-    std::fprintf(stderr, "error: %s\n", opened.status().ToString().c_str());
-    return 1;
+  *model = line.substr(0, bar);
+  *rest = line.substr(bar + 1);
+  return !model->empty();
+}
+
+bool ParseRequestValues(const std::string& csv, int64_t expected,
+                        std::vector<float>* values, std::string* error) {
+  values->clear();
+  values->reserve(static_cast<size_t>(expected));
+  int64_t fields = 0;
+  int64_t bad_field = 0;  // 1-based; 0 = all numeric so far
+  std::string bad_token;
+  std::stringstream stream(csv);
+  std::string field;
+  while (std::getline(stream, field, ',')) {
+    ++fields;
+    double value;
+    if (!ParseDouble(field, &value)) {
+      // Keep counting: the error should report the line's true field
+      // count, not how far parsing got (the old message said "got 2" for
+      // a 48-field line whose 3rd field was bad).
+      if (bad_field == 0) {
+        bad_field = fields;
+        bad_token = field;
+      }
+      continue;
+    }
+    if (bad_field == 0) values->push_back(static_cast<float>(value));
   }
-  serve::InferenceSession* session = opened.value().get();
+  if (bad_field == 0 && fields == expected) return true;
+  *error = "error: request needs " + std::to_string(expected) +
+           " comma-separated numbers, got " + std::to_string(fields);
+  if (bad_field != 0) {
+    *error += " (field " + std::to_string(bad_field) + ": '" + bad_token +
+              "' is not a number)";
+  }
+  return false;
+}
+
+namespace {
+
+// Startup banner for one model's compiled plan.
+void PrintPlanBanner(const serve::SessionPlanStats& ps) {
+  if (!ps.enabled) {
+    std::fprintf(stderr, "inference plan: disabled (module path)\n");
+  } else if (!ps.compile_error.empty()) {
+    std::fprintf(stderr, "inference plan: fallback to module path (%s)\n",
+                 ps.compile_error.c_str());
+  } else {
+    std::fprintf(stderr,
+                 "inference plan: %lld ops, %lld-byte arena, %lld "
+                 "constants, %lld prepacked GEMMs, %lld fused "
+                 "transposes\n",
+                 static_cast<long long>(ps.plan.num_ops),
+                 static_cast<long long>(ps.plan.arena_bytes),
+                 static_cast<long long>(ps.plan.num_constants),
+                 static_cast<long long>(ps.plan.prepacked_gemms),
+                 static_cast<long long>(ps.plan.fused_gemm_operands));
+    std::fprintf(stderr,
+                 "inference plan: fusion %lld GEMM epilogues, %lld "
+                 "elementwise chains (%lld ops), %lld passes "
+                 "eliminated, %lld arena bytes saved\n",
+                 static_cast<long long>(ps.plan.fused_epilogues),
+                 static_cast<long long>(ps.plan.fused_chains),
+                 static_cast<long long>(ps.plan.fused_chain_ops),
+                 static_cast<long long>(ps.plan.passes_eliminated),
+                 static_cast<long long>(ps.plan.arena_saved_bytes));
+  }
+}
+
+// Exit summary of one model's plan-vs-module traffic.
+void PrintPlanSummary(const std::string& name,
+                      const serve::SessionPlanStats& ps) {
+  if (!ps.enabled || !ps.compile_error.empty()) return;
   std::fprintf(stderr,
-               "serving %s (input=%lld horizon=%lld channels=%lld); one "
-               "request per line: %lld comma-separated values\n",
-               session->model_name().c_str(),
-               static_cast<long long>(session->input_len()),
-               static_cast<long long>(session->pred_len()),
-               static_cast<long long>(session->channels()),
-               static_cast<long long>(session->input_len() *
-                                      session->channels()));
-  {
-    const serve::SessionPlanStats ps = session->plan_stats();
-    if (!ps.enabled) {
-      std::fprintf(stderr, "inference plan: disabled (module path)\n");
-    } else if (!ps.compile_error.empty()) {
-      std::fprintf(stderr, "inference plan: fallback to module path (%s)\n",
-                   ps.compile_error.c_str());
-    } else {
-      std::fprintf(stderr,
-                   "inference plan: %lld ops, %lld-byte arena, %lld "
-                   "constants, %lld prepacked GEMMs, %lld fused "
-                   "transposes\n",
-                   static_cast<long long>(ps.plan.num_ops),
-                   static_cast<long long>(ps.plan.arena_bytes),
-                   static_cast<long long>(ps.plan.num_constants),
-                   static_cast<long long>(ps.plan.prepacked_gemms),
-                   static_cast<long long>(ps.plan.fused_gemm_operands));
-      std::fprintf(stderr,
-                   "inference plan: fusion %lld GEMM epilogues, %lld "
-                   "elementwise chains (%lld ops), %lld passes "
-                   "eliminated, %lld arena bytes saved\n",
-                   static_cast<long long>(ps.plan.fused_epilogues),
-                   static_cast<long long>(ps.plan.fused_chains),
-                   static_cast<long long>(ps.plan.fused_chain_ops),
-                   static_cast<long long>(ps.plan.passes_eliminated),
-                   static_cast<long long>(ps.plan.arena_saved_bytes));
+               "plan '%s': %lld plan / %lld module request(s), %lld "
+               "plan(s) compiled\n",
+               name.c_str(), static_cast<long long>(ps.plan_requests),
+               static_cast<long long>(ps.module_requests),
+               static_cast<long long>(ps.plans_compiled));
+  for (const serve::PlanOpTiming& t : ps.timings) {
+    std::fprintf(stderr, "plan:   %-22s %s calls  %s\n", t.name,
+                 FormatCount(static_cast<double>(t.calls)).c_str(),
+                 FormatSeconds(static_cast<double>(t.total_ns) * 1e-9)
+                     .c_str());
+  }
+}
+
+// Registry status dump for "!stats" request lines and SIGHUP.
+void PrintRegistryStatus(const serve::ModelRegistry& registry) {
+  const std::vector<serve::ModelInfo> models = registry.Models();
+  std::fprintf(stderr, "registry: %lld model(s)\n",
+               static_cast<long long>(models.size()));
+  for (const serve::ModelInfo& m : models) {
+    std::fprintf(
+        stderr,
+        "registry:   %s (%s): [%lld,%lld]->[%lld,%lld]%s%s "
+        "reloads=%lld failures=%lld submitted=%lld completed=%lld "
+        "rejected=%lld expired=%lld p50=%.3fms p99=%.3fms\n",
+        m.name.c_str(), m.path.c_str(), static_cast<long long>(m.input_len),
+        static_cast<long long>(m.channels), static_cast<long long>(m.pred_len),
+        static_cast<long long>(m.channels), m.quantized ? " int8" : "",
+        m.plan_enabled ? " plan" : "", static_cast<long long>(m.reloads),
+        static_cast<long long>(m.reload_failures),
+        static_cast<long long>(m.batcher.submitted),
+        static_cast<long long>(m.batcher.completed),
+        static_cast<long long>(m.batcher.rejected_full),
+        static_cast<long long>(m.batcher.expired),
+        m.batcher.p50_latency_seconds * 1e3,
+        m.batcher.p99_latency_seconds * 1e3);
+    if (!m.last_error.empty()) {
+      std::fprintf(stderr, "registry:   %s: last reload error: %s\n",
+                   m.name.c_str(), m.last_error.c_str());
     }
   }
-  session->SetPlanProfiling(true);
+}
 
-  serve::BatcherOptions batcher_options;
-  batcher_options.max_batch_size = args.GetInt("max-batch", 16);
-  batcher_options.max_delay =
+}  // namespace
+
+// Request protocol of `serve`: one request per line — the flattened
+// row-major [input_len, channels] history as comma-separated numbers,
+// optionally routed with a "<model>|" prefix when several models are
+// loaded (--load=name=FILE, repeatable; the prefix is required then).
+// Each answer line is the flattened [pred_len, channels] prediction (raw
+// units), or "error: ..." for malformed/rejected requests. Answers
+// stream in input order as each head-of-line request completes (a
+// dedicated writer thread), so interactive clients get responses without
+// waiting for EOF; requests still coalesce through each model's
+// micro-batcher. A "!stats" line or SIGHUP dumps registry status to
+// stderr; a per-model summary goes to stderr on exit.
+int CmdServe(const CliArgs& args) {
+  // --load is repeatable: name=FILE routes by name, bare FILE serves as
+  // "default".
+  std::vector<std::pair<std::string, std::string>> loads;
+  for (const std::string& value : args.GetAll("load")) {
+    const size_t eq = value.find('=');
+    std::string name =
+        eq == std::string::npos ? "default" : value.substr(0, eq);
+    std::string path = eq == std::string::npos ? value : value.substr(eq + 1);
+    if (name.empty() || path.empty()) {
+      std::fprintf(stderr,
+                   "error: --load expects FILE or name=FILE, got '%s'\n",
+                   value.c_str());
+      return 2;
+    }
+    for (const auto& [existing_name, existing_path] : loads) {
+      (void)existing_path;
+      if (existing_name == name) {
+        std::fprintf(stderr, "error: duplicate --load name '%s'\n",
+                     name.c_str());
+        return 2;
+      }
+    }
+    loads.emplace_back(std::move(name), std::move(path));
+  }
+  if (loads.empty()) {
+    std::fprintf(stderr,
+                 "error: serve needs --load=FILE or --load=name=FILE "
+                 "(a bundle written by train --save)\n");
+    return 2;
+  }
+
+  serve::RegistryOptions registry_options;
+  registry_options.session.use_plan = !args.Has("no-plan");
+  registry_options.batcher.max_batch_size = args.GetInt("max-batch", 16);
+  registry_options.batcher.max_delay =
       std::chrono::milliseconds(args.GetInt("max-delay-ms", 2));
-  if (batcher_options.max_batch_size < 1) {
+  registry_options.batcher.queue_capacity =
+      args.GetInt("queue-capacity", 256);
+  registry_options.reload_poll =
+      std::chrono::milliseconds(args.GetInt("reload-poll-ms", 200));
+  registry_options.verbose = true;
+  if (registry_options.batcher.max_batch_size < 1) {
     std::fprintf(stderr, "error: --max-batch must be >= 1\n");
     return 2;
   }
-  serve::Batcher batcher(session, batcher_options);
+  if (registry_options.batcher.queue_capacity < 1) {
+    std::fprintf(stderr, "error: --queue-capacity must be >= 1\n");
+    return 2;
+  }
+  if (registry_options.reload_poll.count() < 0) {
+    std::fprintf(stderr, "error: --reload-poll-ms must be >= 0\n");
+    return 2;
+  }
+
+  serve::ModelRegistry registry(registry_options);
+  for (const auto& [name, path] : loads) {
+    const Status loaded = registry.Load(name, path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: cannot load model '%s': %s\n",
+                   name.c_str(), loaded.ToString().c_str());
+      return 1;
+    }
+  }
+
+  const bool multi = registry.size() > 1;
+  for (const auto& [name, path] : loads) {
+    (void)path;
+    std::shared_ptr<serve::ServingModel> model = registry.Find(name);
+    serve::InferenceSession* session = model->session();
+    std::fprintf(
+        stderr,
+        "serving %s as '%s' (input=%lld horizon=%lld channels=%lld); one "
+        "request per line: %s%lld comma-separated values\n",
+        session->model_name().c_str(), name.c_str(),
+        static_cast<long long>(session->input_len()),
+        static_cast<long long>(session->pred_len()),
+        static_cast<long long>(session->channels()),
+        multi ? ("'" + name + "|' then ").c_str() : "",
+        static_cast<long long>(session->input_len() * session->channels()));
+    PrintPlanBanner(session->plan_stats());
+    session->SetPlanProfiling(true);
+  }
 
   std::ifstream file;
   std::istream* in = &std::cin;
@@ -636,91 +828,173 @@ int CmdServe(const CliArgs& args) {
   // Graceful shutdown: the first SIGINT/SIGTERM stops the accept loop
   // below; everything already submitted still drains through the batcher
   // and is answered before exit (a second signal kills the process).
+  // SIGHUP requests a registry status dump instead.
   InstallInterruptHandlers();
+  InstallStatsRequestHandler();
 
-  const int64_t window = session->input_len() * session->channels();
-  // Submit every request up front (so the batcher can coalesce), answer
-  // in order. A parse failure occupies its output line, not a model call.
-  std::vector<std::future<Result<Tensor>>> pending;
-  std::vector<std::string> parse_errors;  // aligned with pending; "" = ok
+  struct OutputSlot {
+    std::string error;  // non-empty: print this instead of a prediction
+    std::future<Result<Tensor>> future;
+  };
+  std::deque<OutputSlot> output_queue;
+  std::mutex output_mu;
+  std::condition_variable output_cv;
+  bool input_done = false;
+
+  // Bugfix: answers used to be printed only after the input loop hit
+  // EOF, so an interactive client never saw a response. A writer thread
+  // now blocks on the head-of-line future and streams each answer (still
+  // in input order) the moment it completes.
+  std::thread writer([&] {
+    for (;;) {
+      OutputSlot slot;
+      {
+        std::unique_lock<std::mutex> lock(output_mu);
+        output_cv.wait(lock,
+                       [&] { return input_done || !output_queue.empty(); });
+        if (output_queue.empty()) return;  // input done and drained
+        slot = std::move(output_queue.front());
+        output_queue.pop_front();
+      }
+      if (!slot.error.empty()) {
+        std::printf("%s\n", slot.error.c_str());
+        std::fflush(stdout);
+        continue;
+      }
+      Result<Tensor> result = slot.future.get();
+      if (!result.ok()) {
+        std::printf("error: %s\n", result.status().ToString().c_str());
+      } else {
+        const Tensor& pred = result.value();
+        const float* p = pred.data();
+        for (int64_t j = 0; j < pred.numel(); ++j) {
+          std::printf(j == 0 ? "%g" : ",%g", p[j]);
+        }
+        std::printf("\n");
+      }
+      std::fflush(stdout);
+    }
+  });
+  auto emit = [&](OutputSlot slot) {
+    {
+      std::lock_guard<std::mutex> lock(output_mu);
+      output_queue.push_back(std::move(slot));
+    }
+    output_cv.notify_one();
+  };
+  auto emit_error = [&](std::string message) {
+    OutputSlot slot;
+    slot.error = std::move(message);
+    emit(std::move(slot));
+  };
+
+  // SIGHUP can arrive while getline below is blocked on an idle stdin,
+  // so a small poller services the flag instead of the read loop.
+  std::mutex stats_mu;
+  std::condition_variable stats_cv;
+  bool stats_stop = false;
+  std::thread stats_poller([&] {
+    std::unique_lock<std::mutex> lock(stats_mu);
+    while (!stats_stop) {
+      stats_cv.wait_for(lock, std::chrono::milliseconds(100),
+                        [&] { return stats_stop; });
+      if (stats_stop) return;
+      if (ConsumeStatsRequest()) PrintRegistryStatus(registry);
+    }
+  });
+
   std::string line;
   while (!InterruptRequested() && std::getline(*in, line)) {
     if (line.empty()) continue;
-    std::vector<float> values;
-    values.reserve(static_cast<size_t>(window));
-    std::stringstream fields(line);
-    std::string field;
-    bool ok = true;
-    while (std::getline(fields, field, ',')) {
-      double value;
-      if (!ParseDouble(field, &value)) {
-        ok = false;
-        break;
-      }
-      values.push_back(static_cast<float>(value));
-    }
-    if (!ok || static_cast<int64_t>(values.size()) != window) {
-      parse_errors.push_back(
-          "error: request needs " + std::to_string(window) +
-          " comma-separated numbers, got " + std::to_string(values.size()));
-      pending.emplace_back();
+    if (line == "!stats") {
+      PrintRegistryStatus(registry);
       continue;
     }
-    parse_errors.emplace_back();
-    pending.push_back(batcher.Submit(
-        Tensor({session->input_len(), session->channels()},
-               std::move(values))));
+    std::string model_name;
+    std::string csv;
+    if (!SplitModelPrefix(line, &model_name, &csv)) {
+      emit_error("error: empty model name before '|'");
+      continue;
+    }
+    if (model_name.empty()) {
+      if (multi) {
+        emit_error("error: " + std::to_string(registry.size()) +
+                   " models are loaded; prefix the request with '<model>|'");
+        continue;
+      }
+      model_name = loads.front().first;
+    }
+    std::shared_ptr<serve::ServingModel> model = registry.Find(model_name);
+    if (model == nullptr) {
+      emit_error("error: no model named '" + model_name + "' (see --load)");
+      continue;
+    }
+    const int64_t input_len = model->session()->input_len();
+    const int64_t channels = model->session()->channels();
+    std::vector<float> values;
+    std::string parse_error;
+    if (!ParseRequestValues(csv, input_len * channels, &values,
+                            &parse_error)) {
+      emit_error(std::move(parse_error));
+      continue;
+    }
+    // Bugfix: a --requests file longer than the queue capacity used to
+    // overrun the bounded queue and surface backpressure as spurious
+    // Unavailable answers; kBlock applies flow control at the producer
+    // instead.
+    OutputSlot slot;
+    slot.future = registry.Submit(
+        model_name, Tensor({input_len, channels}, std::move(values)),
+        std::chrono::microseconds::zero(), serve::SubmitMode::kBlock);
+    emit(std::move(slot));
   }
 
   if (InterruptRequested()) {
+    size_t in_flight = 0;
+    {
+      std::lock_guard<std::mutex> lock(output_mu);
+      in_flight = output_queue.size();
+    }
     std::fprintf(stderr,
                  "shutdown requested; draining %lld in-flight request(s)\n",
-                 static_cast<long long>(pending.size()));
+                 static_cast<long long>(in_flight));
   }
 
-  for (size_t i = 0; i < pending.size(); ++i) {
-    if (!parse_errors[i].empty()) {
-      std::printf("%s\n", parse_errors[i].c_str());
-      continue;
-    }
-    Result<Tensor> result = pending[i].get();
-    if (!result.ok()) {
-      std::printf("error: %s\n", result.status().ToString().c_str());
-      continue;
-    }
-    const Tensor& pred = result.value();
-    const float* p = pred.data();
-    for (int64_t j = 0; j < pred.numel(); ++j) {
-      std::printf(j == 0 ? "%g" : ",%g", p[j]);
-    }
-    std::printf("\n");
+  {
+    std::lock_guard<std::mutex> lock(output_mu);
+    input_done = true;
   }
+  output_cv.notify_all();
+  writer.join();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu);
+    stats_stop = true;
+  }
+  stats_cv.notify_all();
+  stats_poller.join();
 
-  batcher.Shutdown();
-  const serve::BatcherStats stats = batcher.Stats();
-  std::fprintf(stderr,
-               "served %lld requests in %lld batches (p50 %.3f ms, "
-               "p99 %.3f ms, p99.9 %.3f ms, %lld rejected, %lld expired)\n",
-               static_cast<long long>(stats.completed),
-               static_cast<long long>(stats.batches),
-               stats.p50_latency_seconds * 1e3,
-               stats.p99_latency_seconds * 1e3,
-               stats.p999_latency_seconds * 1e3,
-               static_cast<long long>(stats.rejected_full),
-               static_cast<long long>(stats.expired));
-  const serve::SessionPlanStats ps = session->plan_stats();
-  if (ps.enabled && ps.compile_error.empty()) {
-    std::fprintf(stderr,
-                 "plan: %lld plan / %lld module request(s), %lld plan(s) "
-                 "compiled\n",
-                 static_cast<long long>(ps.plan_requests),
-                 static_cast<long long>(ps.module_requests),
-                 static_cast<long long>(ps.plans_compiled));
-    for (const serve::PlanOpTiming& t : ps.timings) {
-      std::fprintf(stderr, "plan:   %-22s %s calls  %s\n", t.name,
-                   FormatCount(static_cast<double>(t.calls)).c_str(),
-                   FormatSeconds(static_cast<double>(t.total_ns) * 1e-9)
-                       .c_str());
+  registry.Shutdown();
+  for (const serve::ModelInfo& m : registry.Models()) {
+    std::fprintf(
+        stderr,
+        "model '%s': served %lld requests in %lld batches (p50 %.3f ms, "
+        "p99 %.3f ms, p99.9 %.3f ms, %lld rejected, %lld expired, "
+        "%lld reload(s), %lld failed reload(s))\n",
+        m.name.c_str(), static_cast<long long>(m.batcher.completed),
+        static_cast<long long>(m.batcher.batches),
+        m.batcher.p50_latency_seconds * 1e3,
+        m.batcher.p99_latency_seconds * 1e3,
+        m.batcher.p999_latency_seconds * 1e3,
+        static_cast<long long>(m.batcher.rejected_full),
+        static_cast<long long>(m.batcher.expired),
+        static_cast<long long>(m.reloads),
+        static_cast<long long>(m.reload_failures));
+  }
+  for (const auto& [name, path] : loads) {
+    (void)path;
+    std::shared_ptr<serve::ServingModel> model = registry.Find(name);
+    if (model != nullptr) {
+      PrintPlanSummary(name, model->session()->plan_stats());
     }
   }
   return 0;

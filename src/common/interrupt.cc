@@ -12,6 +12,10 @@ volatile std::sig_atomic_t g_interrupted = 0;
 
 void HandleSignal(int /*signum*/) { g_interrupted = 1; }
 
+volatile std::sig_atomic_t g_stats_requested = 0;
+
+void HandleStatsSignal(int /*signum*/) { g_stats_requested = 1; }
+
 }  // namespace
 
 void InstallInterruptHandlers() {
@@ -24,6 +28,24 @@ void InstallInterruptHandlers() {
   sigaction(SIGINT, &action, nullptr);
   sigaction(SIGTERM, &action, nullptr);
 }
+
+void InstallStatsRequestHandler() {
+  struct sigaction action = {};
+  action.sa_handler = HandleStatsSignal;
+  sigemptyset(&action.sa_mask);
+  // Persistent and restarting: a status poke must neither uninstall
+  // itself nor make the server's blocking stdin read fail with EINTR.
+  action.sa_flags = SA_RESTART;
+  sigaction(SIGHUP, &action, nullptr);
+}
+
+bool ConsumeStatsRequest() {
+  if (g_stats_requested == 0) return false;
+  g_stats_requested = 0;
+  return true;
+}
+
+void RequestStats() { g_stats_requested = 1; }
 
 bool InterruptRequested() { return g_interrupted != 0; }
 

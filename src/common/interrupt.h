@@ -27,6 +27,18 @@ void RequestInterrupt();
 // Clears the flag (tests; a new CLI run starts clean anyway).
 void ClearInterrupt();
 
+// SIGHUP is repurposed as a status request for the serve loop: it sets a
+// separate flag that the server polls and clears after dumping registry
+// stats to stderr. Unlike the interrupt handlers this one is persistent
+// (SA_RESTART, no SA_RESETHAND): operators poke a long-lived server
+// repeatedly, and the blocking stdin read must not be aborted by it.
+void InstallStatsRequestHandler();
+
+// Returns true (and clears the flag) if a SIGHUP arrived since the last
+// call. Tests may set the flag directly with RequestStats().
+bool ConsumeStatsRequest();
+void RequestStats();
+
 }  // namespace lipformer
 
 #endif  // LIPFORMER_COMMON_INTERRUPT_H_

@@ -27,7 +27,7 @@ Batcher::Batcher(InferenceSession* session, BatcherOptions options)
 Batcher::~Batcher() { Shutdown(); }
 
 std::future<Result<Tensor>> Batcher::Submit(
-    Tensor history, std::chrono::microseconds deadline) {
+    Tensor history, std::chrono::microseconds deadline, SubmitMode mode) {
   std::promise<Result<Tensor>> rejected;
   std::future<Result<Tensor>> rejected_future = rejected.get_future();
   if (history.dim() != 2 || history.size(0) != session_->input_len() ||
@@ -50,26 +50,37 @@ std::future<Result<Tensor>> Batcher::Submit(
 
   std::vector<Request> swept;
   bool accepted = false;
+  bool shut_down = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (shutdown_) {
-      rejected.set_value(
-          Status::Unavailable("batcher is shut down"));
-      return rejected_future;
-    }
-    if (static_cast<int64_t>(queue_.size()) >= options_.queue_capacity) {
-      // A queue pinned at capacity by already-expired requests must not
-      // bounce fresh work: those entries can never occupy batch slots
-      // (RunOneBatch discards them), so evict them here instead of
-      // waiting for the worker to reach them.
-      swept = SweepExpiredLocked(Clock::now());
-    }
-    if (static_cast<int64_t>(queue_.size()) >= options_.queue_capacity) {
-      ++rejected_full_;
-    } else {
-      ++submitted_;
-      queue_.push_back(std::move(request));
-      accepted = true;
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      if (shutdown_) {
+        shut_down = true;
+        break;
+      }
+      if (static_cast<int64_t>(queue_.size()) >= options_.queue_capacity) {
+        // A queue pinned at capacity by already-expired requests must not
+        // bounce fresh work: those entries can never occupy batch slots
+        // (RunOneBatch discards them), so evict them here instead of
+        // waiting for the worker to reach them.
+        std::vector<Request> stale = SweepExpiredLocked(Clock::now());
+        for (Request& request_stale : stale) {
+          swept.push_back(std::move(request_stale));
+        }
+      }
+      if (static_cast<int64_t>(queue_.size()) < options_.queue_capacity) {
+        ++submitted_;
+        queue_.push_back(std::move(request));
+        accepted = true;
+        break;
+      }
+      if (mode == SubmitMode::kReject) {
+        ++rejected_full_;
+        break;
+      }
+      // kBlock: flow control. Wait for the worker to pop requests (or for
+      // shutdown); re-evaluate capacity from the top on every wake-up.
+      space_cv_.wait(lock);
     }
   }
   // Fulfill outside mu_ so a caller blocked on one of these futures never
@@ -78,10 +89,19 @@ std::future<Result<Tensor>> Batcher::Submit(
     stale.promise.set_value(Status::DeadlineExceeded(
         "request expired before its batch was executed"));
   }
+  if (!swept.empty()) {
+    // The sweep freed slots; one was (maybe) consumed above, any others
+    // can admit blocked submitters.
+    space_cv_.notify_all();
+  }
   if (!accepted) {
-    rejected.set_value(Status::Unavailable(
-        "serving queue full (" + std::to_string(options_.queue_capacity) +
-        " pending requests); retry later"));
+    if (shut_down) {
+      rejected.set_value(Status::Unavailable("batcher is shut down"));
+    } else {
+      rejected.set_value(Status::Unavailable(
+          "serving queue full (" + std::to_string(options_.queue_capacity) +
+          " pending requests); retry later"));
+    }
     return rejected_future;
   }
   cv_.notify_all();
@@ -117,6 +137,7 @@ void Batcher::Shutdown() {
     shutdown_ = true;
   }
   cv_.notify_all();
+  space_cv_.notify_all();  // unblock kBlock submitters with Unavailable
   // Separate mutex so concurrent Shutdown calls serialize on the join
   // without holding mu_ (the worker needs it to drain).
   std::lock_guard<std::mutex> join_lock(join_mu_);
@@ -167,6 +188,9 @@ bool Batcher::RunOneBatch(std::unique_lock<std::mutex>* lock) {
     ++batch_size_histogram_[batch.size() - 1];
   }
   lock->unlock();
+
+  // Every popped request (executed or expired) freed a queue slot.
+  if (!batch.empty() || !expired.empty()) space_cv_.notify_all();
 
   for (Request& request : expired) {
     request.promise.set_value(Status::DeadlineExceeded(

@@ -21,7 +21,9 @@
 //
 // Semantics:
 //  - Backpressure: Submit on a full queue fails fast with
-//    Status::Unavailable (the returned future is immediately ready).
+//    Status::Unavailable (the returned future is immediately ready), or —
+//    with SubmitMode::kBlock — waits for the worker to free a slot, so
+//    file-driven producers apply flow control instead of bouncing.
 //  - Deadlines: a request whose deadline passes before its batch is
 //    assembled completes with Status::DeadlineExceeded instead of
 //    occupying batch slots.
@@ -41,6 +43,12 @@ struct BatcherOptions {
   std::chrono::microseconds max_delay{1000};
   // Accepted-but-unexecuted request cap; Submit rejects beyond it.
   int64_t queue_capacity = 256;
+};
+
+// What Submit does when the bounded queue is at capacity.
+enum class SubmitMode {
+  kReject,  // fail fast with Unavailable (server-side backpressure)
+  kBlock,   // wait for a slot; only Shutdown turns this into Unavailable
 };
 
 struct BatcherStats {
@@ -68,11 +76,14 @@ class Batcher {
 
   // Enqueues one [input_len, channels] window. The future resolves to the
   // [pred_len, channels] prediction, or to Unavailable (queue full at
-  // submit), DeadlineExceeded (deadline hit before execution), or an
-  // InvalidArgument from shape validation. deadline: zero means none.
+  // submit in kReject mode, or shut down), DeadlineExceeded (deadline hit
+  // before execution), or an InvalidArgument from shape validation.
+  // deadline: zero means none. In kBlock mode a full queue blocks the
+  // caller until the worker frees a slot or the batcher shuts down.
   std::future<Result<Tensor>> Submit(
-      Tensor history, std::chrono::microseconds deadline =
-                          std::chrono::microseconds::zero());
+      Tensor history,
+      std::chrono::microseconds deadline = std::chrono::microseconds::zero(),
+      SubmitMode mode = SubmitMode::kReject);
 
   // Stops accepting, executes everything already accepted, joins the
   // worker. Idempotent; called by the destructor.
@@ -109,6 +120,9 @@ class Batcher {
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
+  // Signalled when the worker pops requests (slots freed) or on
+  // shutdown; kBlock submitters wait on it.
+  std::condition_variable space_cv_;
   std::deque<Request> queue_;
   bool shutdown_ = false;
 

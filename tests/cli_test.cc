@@ -180,6 +180,74 @@ TEST(CliMainTest, ListSucceeds) {
   EXPECT_EQ(Main(static_cast<int>(argv.size()), argv.data()), 0);
 }
 
+TEST(CliParseTest, RepeatedOptionsKeepEveryOccurrenceInOrder) {
+  CliArgs args = ParseVec({"prog", "serve", "--load=a=one.ckpt",
+                           "--max-batch=8", "--load=b=two.ckpt"});
+  EXPECT_TRUE(ValidateArgs(args).ok());
+  const std::vector<std::string> loads = args.GetAll("load");
+  ASSERT_EQ(loads.size(), 2u);
+  EXPECT_EQ(loads[0], "a=one.ckpt");
+  EXPECT_EQ(loads[1], "b=two.ckpt");
+  // The last-wins map still answers single-value lookups.
+  EXPECT_EQ(args.Get("load", ""), "b=two.ckpt");
+  EXPECT_EQ(args.GetAll("max-batch"), std::vector<std::string>{"8"});
+  EXPECT_TRUE(args.GetAll("absent").empty());
+}
+
+TEST(CliValidateTest, RejectsMalformedEarlierOccurrenceOfRepeatedOption) {
+  // The map keeps only "--epochs=3"; the malformed first occurrence must
+  // still be a usage error.
+  CliArgs args = ParseVec({"prog", "train", "--epochs=zz", "--epochs=3"});
+  const Status valid = ValidateArgs(args);
+  ASSERT_FALSE(valid.ok());
+  EXPECT_NE(valid.message().find("zz"), std::string::npos);
+}
+
+TEST(CliServeProtocolTest, SplitModelPrefix) {
+  std::string model;
+  std::string rest;
+  ASSERT_TRUE(SplitModelPrefix("m1|1,2,3", &model, &rest));
+  EXPECT_EQ(model, "m1");
+  EXPECT_EQ(rest, "1,2,3");
+
+  ASSERT_TRUE(SplitModelPrefix("1,2,3", &model, &rest));
+  EXPECT_EQ(model, "");
+  EXPECT_EQ(rest, "1,2,3");
+
+  EXPECT_FALSE(SplitModelPrefix("|1,2,3", &model, &rest));
+}
+
+TEST(CliServeProtocolTest, ParseRequestValuesHappyPath) {
+  std::vector<float> values;
+  std::string error;
+  ASSERT_TRUE(ParseRequestValues("1,2.5,-3,4e0", 4, &values, &error));
+  ASSERT_EQ(values.size(), 4u);
+  EXPECT_FLOAT_EQ(values[1], 2.5f);
+  EXPECT_FLOAT_EQ(values[2], -3.0f);
+}
+
+TEST(CliServeProtocolTest, ParseErrorReportsTrueFieldCountAndBadToken) {
+  std::vector<float> values;
+  std::string error;
+  // Bugfix: the old message reported the count at the first malformed
+  // field ("got 2"), not the line's true field count.
+  ASSERT_FALSE(ParseRequestValues("1,2,oops,4,5", 4, &values, &error));
+  EXPECT_NE(error.find("needs 4"), std::string::npos);
+  EXPECT_NE(error.find("got 5"), std::string::npos);
+  EXPECT_NE(error.find("field 3"), std::string::npos);
+  EXPECT_NE(error.find("'oops'"), std::string::npos);
+}
+
+TEST(CliServeProtocolTest, ParseErrorOnWrongCountAlone) {
+  std::vector<float> values;
+  std::string error;
+  ASSERT_FALSE(ParseRequestValues("1,2", 4, &values, &error));
+  EXPECT_NE(error.find("needs 4"), std::string::npos);
+  EXPECT_NE(error.find("got 2"), std::string::npos);
+  // All fields numeric: no offending token to name.
+  EXPECT_EQ(error.find("field"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace cli
 }  // namespace lipformer

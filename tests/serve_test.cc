@@ -814,5 +814,156 @@ TEST_F(SessionTest, SigtermStopsAcceptingButDrainsInFlightRequests) {
   ClearInterrupt();
 }
 
+// Submit racing Shutdown: whatever the interleaving, every future must
+// resolve — either accepted-then-drained (ok) or rejected (Unavailable)
+// — and the stats must account for exactly the accepted ones.
+TEST_F(SessionTest, SubmitRacingShutdownResolvesEveryFuture) {
+  auto opened = serve::InferenceSession::Open(path_);
+  ASSERT_TRUE(opened.ok());
+  serve::Batcher batcher(opened.value().get(), {});
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 16;
+  std::vector<std::future<Result<Tensor>>> futures(kClients * kPerClient);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        futures[c * kPerClient + i] =
+            batcher.Submit(RandomTensor({24, 2}, 600 + c * kPerClient + i));
+      }
+    });
+  }
+  batcher.Shutdown();  // races the submitters
+  for (std::thread& client : clients) client.join();
+
+  int64_t drained = 0;
+  int64_t rejected = 0;
+  for (auto& future : futures) {
+    Result<Tensor> result = future.get();
+    if (result.ok()) {
+      ++drained;
+    } else {
+      ASSERT_EQ(result.status().code(), StatusCode::kUnavailable);
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(drained + rejected, kClients * kPerClient);
+  const serve::BatcherStats stats = batcher.Stats();
+  EXPECT_EQ(stats.submitted, drained);   // accepted == drained: no loss
+  EXPECT_EQ(stats.completed, drained);
+}
+
+// Stats visibility ordering: a caller whose future resolved must already
+// see itself counted in completed (stats are committed before promises
+// are fulfilled).
+TEST_F(SessionTest, ResolvedCallerSeesItselfInCompletedStats) {
+  auto opened = serve::InferenceSession::Open(path_);
+  ASSERT_TRUE(opened.ok());
+  serve::Batcher batcher(opened.value().get(), {});
+
+  constexpr int kClients = 3;
+  std::vector<std::thread> clients;
+  std::vector<std::string> failures(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      int64_t my_resolved = 0;
+      for (int i = 0; i < 8; ++i) {
+        auto result =
+            batcher.Submit(RandomTensor({24, 2}, 700 + c * 8 + i)).get();
+        if (!result.ok()) {
+          failures[c] = result.status().ToString();
+          return;
+        }
+        ++my_resolved;
+        // At least my own completions must be visible; other clients
+        // only add to the count.
+        if (batcher.Stats().completed < my_resolved) {
+          failures[c] = "completed count ran behind a resolved future";
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  for (const std::string& failure : failures) {
+    EXPECT_TRUE(failure.empty()) << failure;
+  }
+}
+
+// The CLI flow-control path (SubmitMode::kBlock): producers outrunning a
+// tiny queue block for slots instead of harvesting Unavailable.
+TEST_F(SessionTest, BlockingSubmitAppliesFlowControl) {
+  auto opened = serve::InferenceSession::Open(path_);
+  ASSERT_TRUE(opened.ok());
+  serve::BatcherOptions options;
+  options.queue_capacity = 2;  // far smaller than the request count
+  options.max_batch_size = 2;
+  serve::Batcher batcher(opened.value().get(), options);
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 8;
+  std::vector<std::thread> clients;
+  std::vector<std::string> failures(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        auto result =
+            batcher
+                .Submit(RandomTensor({24, 2}, 800 + c * kPerClient + i),
+                        std::chrono::microseconds::zero(),
+                        serve::SubmitMode::kBlock)
+                .get();
+        if (!result.ok()) {
+          failures[c] = result.status().ToString();
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  for (const std::string& failure : failures) {
+    EXPECT_TRUE(failure.empty()) << failure;
+  }
+  const serve::BatcherStats stats = batcher.Stats();
+  EXPECT_EQ(stats.rejected_full, 0);  // nothing bounced
+  EXPECT_EQ(stats.completed, kClients * kPerClient);
+}
+
+// A blocked submitter must not deadlock on shutdown: it wakes and gets
+// the Unavailable rejection while the queued request still drains.
+TEST_F(SessionTest, BlockingSubmitUnblocksOnShutdown) {
+  auto opened = serve::InferenceSession::Open(path_);
+  ASSERT_TRUE(opened.ok());
+  serve::BatcherOptions options;
+  options.queue_capacity = 1;
+  // A coalescing wait long enough that the worker is still waiting for
+  // batch fill when Shutdown arrives (the queued request executes then).
+  options.max_batch_size = 64;
+  options.max_delay = std::chrono::seconds(30);
+  serve::Batcher batcher(opened.value().get(), options);
+
+  std::future<Result<Tensor>> queued =
+      batcher.Submit(RandomTensor({24, 2}, 900));  // fills the queue
+  std::promise<void> blocked_started;
+  std::future<Result<Tensor>> blocked_result;
+  std::thread blocked([&] {
+    blocked_started.set_value();
+    blocked_result = batcher.Submit(RandomTensor({24, 2}, 901),
+                                    std::chrono::microseconds::zero(),
+                                    serve::SubmitMode::kBlock);
+  });
+  blocked_started.get_future().get();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  batcher.Shutdown();
+  blocked.join();
+
+  Result<Tensor> drained = queued.get();
+  EXPECT_TRUE(drained.ok()) << drained.status().ToString();
+  Result<Tensor> rejected = blocked_result.get();
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
+}
+
 }  // namespace
 }  // namespace lipformer
