@@ -46,7 +46,13 @@
 # must reach 85% of the offered Poisson rate at each (models, util)
 # point, and p50/p99 must stay within the wide absolute threshold of the
 # recorded baseline (open-loop tails carry the box's noise bursts on
-# both sides, like the serving numbers above).
+# both sides, like the serving numbers above). The overload point (1.5x
+# calibrated capacity, per-request deadlines, retrying client) gates
+# separately and self-normalized against the same run's base_rps: the
+# admission-control shed rate stays bounded, goodput holds a floor, and
+# the hard zeros (requests executed past their deadline, non-finite
+# answers delivered, torn answers, breaker trips on the healthy path)
+# are re-asserted from the JSON.
 #
 # Every gate also emits one flat record (metric, value, baseline, ratio,
 # status); after the gates run they are merged into
@@ -478,6 +484,50 @@ for p in run["points"]:
             failures.append(f"{label}: {metric} {ratio:.2f}x over baseline")
     print(f"  info {label} p99.9: {bp['p999_us']:.0f} -> "
           f"{p['p999_us']:.0f} us (reported, not gated)")
+
+# Overload point: 1.5x the calibrated capacity on one model with
+# per-request deadlines, admission control and client retries. The
+# floors are self-normalizing against the same run's calibrated
+# base_rps, so no baseline entry is needed. The shed-rate ceiling bounds
+# admission control from above (at 1.5x utilization the excess is ~1/3
+# of offered; 0.50 leaves room for noise bursts), the goodput floor
+# bounds it from below (shedding everything would also "meet" the
+# deadline), and the zeros are the deadline/robustness invariants the
+# chaos gate asserts under faults, re-checked here on the healthy path.
+ov = run.get("overload")
+if ov is not None:
+    base_rps = run["base_rps"]
+    terminal_shed = ov["shed"] + ov["expired"]
+    shed_rate = terminal_shed / max(ov["offered"], 1)
+    checks = [
+        ("overload/shed_rate", shed_rate, 0.50, shed_rate <= 0.50),
+        ("overload/goodput_vs_capacity", ov["goodput_rps"],
+         0.50 * base_rps, ov["goodput_rps"] >= 0.50 * base_rps),
+        ("overload/executed_past_deadline",
+         ov["executed_past_deadline"], 0,
+         ov["executed_past_deadline"] == 0),
+        ("overload/nonfinite_delivered", ov["nonfinite"], 0,
+         ov["nonfinite"] == 0),
+        ("overload/server_nonfinite", ov["server_nonfinite"], 0,
+         ov["server_nonfinite"] == 0),
+        ("overload/mismatched", ov["mismatched"], 0,
+         ov["mismatched"] == 0),
+        ("overload/breaker_trips", ov["breaker_trips"], 0,
+         ov["breaker_trips"] == 0),
+    ]
+    for metric, value, bound, passed in checks:
+        mark = "ok" if passed else "FAIL"
+        print(f"  {mark:4} {metric}: {value:.2f} (bound {bound:.2f})")
+        records.append({"gate": "loadgen", "metric": metric,
+                        "value": value, "baseline": bound,
+                        "ratio": round(value / bound, 4) if bound else 1.0,
+                        "status": mark})
+        if not passed:
+            failures.append(f"{metric}: {value:.2f} violates {bound:.2f}")
+    print(f"  info overload: offered={ov['offered']} "
+          f"completed={ov['completed']} shed={ov['shed']} "
+          f"expired={ov['expired']} retries={ov['retries']} "
+          f"deadline={ov['deadline_ms']:.0f}ms")
 
 # Hot-reload hard facts, re-asserted from the JSON so the summary records
 # them even though the binary's exit code already gates them.

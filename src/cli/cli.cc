@@ -67,9 +67,29 @@
 //                     the module forward (serve/plan.h); results are
 //                     bitwise identical either way. LIPF_NO_PLAN=1 in the
 //                     environment does the same.
+//   --deadline-ms=N   per-request deadline (default 0 = none): a request
+//                     that cannot be answered in time completes with
+//                     "error: DeadlineExceeded" instead of occupying the
+//                     queue; admission control sheds with
+//                     "error: Overloaded ... retry after Nms" when the
+//                     estimated queue drain already exceeds the deadline
+//   --max-queue-delay-ms=N  admission cap on the estimated queue drain
+//                     (default 0 = off); requests behind a deeper backlog
+//                     are shed with "error: Overloaded" + retry-after
+//   --breaker-failures=N  consecutive request failures that trip the
+//                     per-model circuit breaker (default 8; 0 disables);
+//                     while open, requests answer "error: Unavailable:
+//                     circuit breaker open ... retry after Nms"
+//   --breaker-cooldown-ms=N  how long a tripped breaker stays open before
+//                     half-open probe requests test recovery (default 250)
 //
 // At runtime `serve` answers "!stats" request lines and SIGHUP with a
-// registry status dump (per-model reload + batcher counters) on stderr.
+// registry status dump (per-model reload + batcher counters) on stderr,
+// and "!health" request lines with one "health model=... breaker=..."
+// line per model on stdout (in answer order, so scripted clients can
+// poll health mid-stream). SIGPIPE is ignored: a client disconnecting
+// mid-stream drains in-flight requests and exits cleanly instead of
+// killing the server.
 //
 // Unknown --options, stray non-option arguments and malformed numbers are
 // usage errors (they used to be silently ignored / parsed as 0).
@@ -130,6 +150,10 @@ constexpr OptionSpec kOptionSpecs[] = {
     {"max-delay-ms", OptionKind::kInt},
     {"queue-capacity", OptionKind::kInt},
     {"reload-poll-ms", OptionKind::kInt},
+    {"deadline-ms", OptionKind::kInt},
+    {"max-queue-delay-ms", OptionKind::kInt},
+    {"breaker-failures", OptionKind::kInt},
+    {"breaker-cooldown-ms", OptionKind::kInt},
     {"snapshot", OptionKind::kString}, {"snapshot-every", OptionKind::kInt},
     {"resume", OptionKind::kString},   {"force", OptionKind::kFlag},
     {"lr-schedule", OptionKind::kString},
@@ -709,11 +733,56 @@ void PrintRegistryStatus(const serve::ModelRegistry& registry) {
         static_cast<long long>(m.batcher.expired),
         m.batcher.p50_latency_seconds * 1e3,
         m.batcher.p99_latency_seconds * 1e3);
+    std::fprintf(
+        stderr,
+        "registry:   %s: breaker=%s trips=%lld shed=%lld nonfinite=%lld "
+        "queue=%lld est_batch=%.3fms brownouts=%lld\n",
+        m.name.c_str(), serve::BreakerStateName(m.batcher.breaker.state),
+        static_cast<long long>(m.batcher.breaker.trips),
+        static_cast<long long>(m.batcher.shed_overload),
+        static_cast<long long>(m.batcher.nonfinite_answers),
+        static_cast<long long>(m.batcher.queue_depth),
+        m.batcher.cost_ewma_seconds * 1e3,
+        static_cast<long long>(m.batcher.brownout_batches));
     if (!m.last_error.empty()) {
       std::fprintf(stderr, "registry:   %s: last reload error: %s\n",
                    m.name.c_str(), m.last_error.c_str());
     }
   }
+}
+
+// One "!health" answer line per model: machine-parseable key=value pairs
+// (scripts/check_chaos.sh greps them; keep keys stable).
+std::string FormatHealthLines(const serve::ModelRegistry& registry) {
+  std::string out;
+  char buf[512];
+  for (const serve::ModelInfo& m : registry.Models()) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "health model=%s breaker=%s trips=%lld probes=%lld "
+        "breaker_rejected=%lld queue=%lld est_batch_ms=%.3f shed=%lld "
+        "expired=%lld nonfinite=%lld executed_past_deadline=%lld "
+        "brownouts=%lld retry_after_ms=%lld reloads=%lld "
+        "reload_failures=%lld",
+        m.name.c_str(), serve::BreakerStateName(m.batcher.breaker.state),
+        static_cast<long long>(m.batcher.breaker.trips),
+        static_cast<long long>(m.batcher.breaker.probes),
+        static_cast<long long>(m.batcher.breaker.rejected),
+        static_cast<long long>(m.batcher.queue_depth),
+        m.batcher.cost_ewma_seconds * 1e3,
+        static_cast<long long>(m.batcher.shed_overload),
+        static_cast<long long>(m.batcher.expired),
+        static_cast<long long>(m.batcher.nonfinite_answers),
+        static_cast<long long>(m.batcher.executed_past_deadline),
+        static_cast<long long>(m.batcher.brownout_batches),
+        static_cast<long long>(m.batcher.breaker.retry_after.count()),
+        static_cast<long long>(m.reloads),
+        static_cast<long long>(m.reload_failures));
+    if (!out.empty()) out += "\n";
+    out += buf;
+  }
+  if (out.empty()) out = "health (no models loaded)";
+  return out;
 }
 
 }  // namespace
@@ -770,6 +839,14 @@ int CmdServe(const CliArgs& args) {
       args.GetInt("queue-capacity", 256);
   registry_options.reload_poll =
       std::chrono::milliseconds(args.GetInt("reload-poll-ms", 200));
+  registry_options.batcher.max_queue_delay = std::chrono::microseconds(
+      1000 * args.GetInt("max-queue-delay-ms", 0));
+  registry_options.batcher.breaker.failure_threshold =
+      args.GetInt("breaker-failures", 8);
+  registry_options.batcher.breaker.cooldown =
+      std::chrono::milliseconds(args.GetInt("breaker-cooldown-ms", 250));
+  const std::chrono::microseconds request_deadline(
+      1000 * args.GetInt("deadline-ms", 0));
   registry_options.verbose = true;
   if (registry_options.batcher.max_batch_size < 1) {
     std::fprintf(stderr, "error: --max-batch must be >= 1\n");
@@ -781,6 +858,14 @@ int CmdServe(const CliArgs& args) {
   }
   if (registry_options.reload_poll.count() < 0) {
     std::fprintf(stderr, "error: --reload-poll-ms must be >= 0\n");
+    return 2;
+  }
+  if (request_deadline.count() < 0 ||
+      registry_options.batcher.max_queue_delay.count() < 0 ||
+      registry_options.batcher.breaker.cooldown.count() < 0) {
+    std::fprintf(stderr,
+                 "error: --deadline-ms, --max-queue-delay-ms and "
+                 "--breaker-cooldown-ms must be >= 0\n");
     return 2;
   }
 
@@ -828,9 +913,13 @@ int CmdServe(const CliArgs& args) {
   // Graceful shutdown: the first SIGINT/SIGTERM stops the accept loop
   // below; everything already submitted still drains through the batcher
   // and is answered before exit (a second signal kills the process).
-  // SIGHUP requests a registry status dump instead.
+  // SIGHUP requests a registry status dump instead. SIGPIPE must not
+  // kill the server from inside the writer thread when a client closes
+  // the answer stream mid-flight; the EPIPE surfaces on fflush instead
+  // and maps to a clean drain below.
   InstallInterruptHandlers();
   InstallStatsRequestHandler();
+  IgnoreSigPipe();
 
   struct OutputSlot {
     std::string error;  // non-empty: print this instead of a prediction
@@ -844,7 +933,12 @@ int CmdServe(const CliArgs& args) {
   // Bugfix: answers used to be printed only after the input loop hit
   // EOF, so an interactive client never saw a response. A writer thread
   // now blocks on the head-of-line future and streams each answer (still
-  // in input order) the moment it completes.
+  // in input order) the moment it completes. A client that closes the
+  // answer stream mid-flight (EPIPE/EOF on stdout, SIGPIPE ignored
+  // above) flips the sink to broken: the writer keeps consuming futures
+  // so the batcher drains, stops printing, and requests a graceful
+  // shutdown of the accept loop.
+  bool sink_broken = false;
   std::thread writer([&] {
     for (;;) {
       OutputSlot slot;
@@ -857,22 +951,32 @@ int CmdServe(const CliArgs& args) {
         output_queue.pop_front();
       }
       if (!slot.error.empty()) {
-        std::printf("%s\n", slot.error.c_str());
-        std::fflush(stdout);
-        continue;
-      }
-      Result<Tensor> result = slot.future.get();
-      if (!result.ok()) {
-        std::printf("error: %s\n", result.status().ToString().c_str());
-      } else {
-        const Tensor& pred = result.value();
-        const float* p = pred.data();
-        for (int64_t j = 0; j < pred.numel(); ++j) {
-          std::printf(j == 0 ? "%g" : ",%g", p[j]);
+        if (!sink_broken) {
+          std::printf("%s\n", slot.error.c_str());
+          std::fflush(stdout);
         }
-        std::printf("\n");
+      } else {
+        Result<Tensor> result = slot.future.get();
+        if (sink_broken) continue;  // drain without printing
+        if (!result.ok()) {
+          std::printf("error: %s\n", result.status().ToString().c_str());
+        } else {
+          const Tensor& pred = result.value();
+          const float* p = pred.data();
+          for (int64_t j = 0; j < pred.numel(); ++j) {
+            std::printf(j == 0 ? "%g" : ",%g", p[j]);
+          }
+          std::printf("\n");
+        }
+        std::fflush(stdout);
       }
-      std::fflush(stdout);
+      if (!sink_broken && std::ferror(stdout)) {
+        sink_broken = true;
+        std::fprintf(stderr,
+                     "client closed the answer stream (EPIPE); draining "
+                     "in-flight requests and shutting down\n");
+        RequestInterrupt();
+      }
     }
   });
   auto emit = [&](OutputSlot slot) {
@@ -910,6 +1014,13 @@ int CmdServe(const CliArgs& args) {
       PrintRegistryStatus(registry);
       continue;
     }
+    if (line == "!health") {
+      // Health rides the answer queue so it lands in stream order: a
+      // scripted client sees it after the answers to everything it
+      // already sent.
+      emit_error(FormatHealthLines(registry));
+      continue;
+    }
     std::string model_name;
     std::string csv;
     if (!SplitModelPrefix(line, &model_name, &csv)) {
@@ -945,7 +1056,7 @@ int CmdServe(const CliArgs& args) {
     OutputSlot slot;
     slot.future = registry.Submit(
         model_name, Tensor({input_len, channels}, std::move(values)),
-        std::chrono::microseconds::zero(), serve::SubmitMode::kBlock);
+        request_deadline, serve::SubmitMode::kBlock);
     emit(std::move(slot));
   }
 
@@ -979,6 +1090,7 @@ int CmdServe(const CliArgs& args) {
         stderr,
         "model '%s': served %lld requests in %lld batches (p50 %.3f ms, "
         "p99 %.3f ms, p99.9 %.3f ms, %lld rejected, %lld expired, "
+        "%lld shed, %lld nonfinite, %lld breaker trip(s), "
         "%lld reload(s), %lld failed reload(s))\n",
         m.name.c_str(), static_cast<long long>(m.batcher.completed),
         static_cast<long long>(m.batcher.batches),
@@ -987,6 +1099,9 @@ int CmdServe(const CliArgs& args) {
         m.batcher.p999_latency_seconds * 1e3,
         static_cast<long long>(m.batcher.rejected_full),
         static_cast<long long>(m.batcher.expired),
+        static_cast<long long>(m.batcher.shed_overload),
+        static_cast<long long>(m.batcher.nonfinite_answers),
+        static_cast<long long>(m.batcher.breaker.trips),
         static_cast<long long>(m.reloads),
         static_cast<long long>(m.reload_failures));
   }

@@ -19,6 +19,18 @@ struct FaultState {
   int64_t poison_grad_steps = 1;
   size_t write_budget = SIZE_MAX;
   size_t bytes_written = 0;
+  // Serving-path points. The *_at indices are 1-based and count calls
+  // since the spec was armed (infer_calls / open_calls reset on arm).
+  int64_t slow_infer_ms = 0;
+  int64_t slow_infer_at = 1;
+  int64_t slow_infer_count = -1;  // -1 = every call from slow_infer_at on
+  int64_t poison_output_at = -1;
+  int64_t poison_output_count = 1;
+  int64_t fail_open_at = -1;
+  int64_t fail_open_count = 1;
+  int64_t watcher_stall_ms = 0;
+  int64_t infer_calls = 0;
+  int64_t open_calls = 0;
   bool env_checked = false;
 };
 
@@ -32,8 +44,10 @@ std::mutex& Mu() {
   return mu;
 }
 
-void ArmLocked(const std::string& spec) {
-  FaultState& st = State();
+// Parses `spec` into *st. Returns false + *error on the first malformed
+// or unknown directive without touching the live state (the caller arms
+// all-or-nothing).
+bool ParseSpec(const std::string& spec, FaultState* st, std::string* error) {
   size_t pos = 0;
   while (pos < spec.size()) {
     size_t end = spec.find(',', pos);
@@ -42,30 +56,66 @@ void ArmLocked(const std::string& spec) {
     pos = end + 1;
     if (directive.empty()) continue;
     const size_t eq = directive.find('=');
-    LIPF_CHECK(eq != std::string::npos)
-        << "malformed fault directive '" << directive << "' (want key=value)";
+    if (eq == std::string::npos) {
+      *error = "malformed fault directive '" + directive + "' (want key=value)";
+      return false;
+    }
     const std::string key = directive.substr(0, eq);
     const std::string value = directive.substr(eq + 1);
     char* parse_end = nullptr;
     const long long parsed = std::strtoll(value.c_str(), &parse_end, 10);
-    LIPF_CHECK(parse_end != value.c_str() && *parse_end == '\0' && parsed >= 0)
-        << "fault directive '" << directive
-        << "' needs a non-negative integer value";
+    if (parse_end == value.c_str() || *parse_end != '\0' || parsed < 0) {
+      *error = "fault directive '" + directive +
+               "' needs a non-negative integer value";
+      return false;
+    }
     if (key == "kill_after_step") {
-      st.kill_after_step = parsed;
+      st->kill_after_step = parsed;
     } else if (key == "interrupt_after_step") {
-      st.interrupt_after_step = parsed;
+      st->interrupt_after_step = parsed;
     } else if (key == "poison_grad_at_step") {
-      st.poison_grad_at_step = parsed;
+      st->poison_grad_at_step = parsed;
     } else if (key == "poison_grad_steps") {
-      st.poison_grad_steps = parsed;
+      st->poison_grad_steps = parsed;
     } else if (key == "fail_write_after_bytes") {
-      st.write_budget = static_cast<size_t>(parsed);
-      st.bytes_written = 0;
+      st->write_budget = static_cast<size_t>(parsed);
+      st->bytes_written = 0;
+    } else if (key == "slow_infer_ms") {
+      st->slow_infer_ms = parsed;
+    } else if (key == "slow_infer_at") {
+      st->slow_infer_at = parsed;
+    } else if (key == "slow_infer_count") {
+      st->slow_infer_count = parsed;
+    } else if (key == "poison_output_at") {
+      st->poison_output_at = parsed;
+    } else if (key == "poison_output_count") {
+      st->poison_output_count = parsed;
+    } else if (key == "fail_open_at") {
+      st->fail_open_at = parsed;
+    } else if (key == "fail_open_count") {
+      st->fail_open_count = parsed;
+    } else if (key == "watcher_stall_ms") {
+      st->watcher_stall_ms = parsed;
     } else {
-      LIPF_CHECK(false) << "unknown fault injection point '" << key << "'";
+      *error = "unknown fault injection point '" + key + "'";
+      return false;
     }
   }
+  return true;
+}
+
+bool TryArmLocked(const std::string& spec, std::string* error) {
+  // Parse into a scratch copy first: a spec that fails halfway must not
+  // leave the earlier directives armed.
+  FaultState parsed = State();
+  if (!ParseSpec(spec, &parsed, error)) return false;
+  // Serving call indices are relative to the arming point, so the K-th
+  // "call" in a spec is deterministic no matter how many probes, plan
+  // validations, or earlier test phases already ran in this process.
+  parsed.infer_calls = 0;
+  parsed.open_calls = 0;
+  State() = parsed;
+  return true;
 }
 
 void EnsureEnvArmedLocked() {
@@ -75,7 +125,8 @@ void EnsureEnvArmedLocked() {
   const char* spec = std::getenv("LIPF_FAULT");
   if (spec != nullptr && spec[0] != '\0') {
     LIPF_LOG(Warning) << "fault injection armed from LIPF_FAULT: " << spec;
-    ArmLocked(spec);
+    std::string error;
+    LIPF_CHECK(TryArmLocked(spec, &error)) << error;
   }
 }
 
@@ -84,7 +135,16 @@ void EnsureEnvArmedLocked() {
 void Arm(const std::string& spec) {
   std::lock_guard<std::mutex> lock(Mu());
   State().env_checked = true;  // explicit arming overrides the environment
-  ArmLocked(spec);
+  std::string error;
+  // Unknown points or malformed values abort: a typo in a fault spec must
+  // never read as "the fault did not fire".
+  LIPF_CHECK(TryArmLocked(spec, &error)) << error;
+}
+
+bool TryArm(const std::string& spec, std::string* error) {
+  std::lock_guard<std::mutex> lock(Mu());
+  State().env_checked = true;
+  return TryArmLocked(spec, error);
 }
 
 void ArmFromEnv() {
@@ -143,6 +203,40 @@ bool ConsumeWriteBudget(size_t n, size_t* allowed) {
   st.bytes_written += remaining;
   *allowed = remaining;
   return true;
+}
+
+InferFault OnInferCall() {
+  std::lock_guard<std::mutex> lock(Mu());
+  EnsureEnvArmedLocked();
+  FaultState& st = State();
+  InferFault f;
+  if (st.slow_infer_ms <= 0 && st.poison_output_at < 0) return f;
+  const int64_t call = ++st.infer_calls;
+  if (st.slow_infer_ms > 0 && call >= st.slow_infer_at &&
+      (st.slow_infer_count < 0 ||
+       call < st.slow_infer_at + st.slow_infer_count)) {
+    f.delay_ms = st.slow_infer_ms;
+  }
+  if (st.poison_output_at >= 0 && call >= st.poison_output_at &&
+      call < st.poison_output_at + st.poison_output_count) {
+    f.poison_output = true;
+  }
+  return f;
+}
+
+bool ShouldFailOpen() {
+  std::lock_guard<std::mutex> lock(Mu());
+  EnsureEnvArmedLocked();
+  FaultState& st = State();
+  if (st.fail_open_at < 0) return false;
+  const int64_t call = ++st.open_calls;
+  return call >= st.fail_open_at && call < st.fail_open_at + st.fail_open_count;
+}
+
+int64_t WatcherStallMs() {
+  std::lock_guard<std::mutex> lock(Mu());
+  EnsureEnvArmedLocked();
+  return State().watcher_stall_ms;
 }
 
 }  // namespace fault

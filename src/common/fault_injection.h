@@ -5,11 +5,16 @@
 #include <cstdint>
 #include <string>
 
-// Deterministic fault injection for crash-safety tests. Injection points
-// are disarmed (and cost one branch on a cold flag) unless armed either
-// programmatically (unit tests) or through the LIPF_FAULT environment
-// variable (scripts/check_crash_resume.sh), whose value is a
-// comma-separated list of `point=value` directives:
+// Deterministic fault injection for crash-safety and chaos tests.
+// Injection points are disarmed (and cost one branch on a cold flag)
+// unless armed either programmatically (unit tests) or through the
+// LIPF_FAULT environment variable (scripts/check_crash_resume.sh,
+// scripts/check_chaos.sh), whose value is a comma-separated list of
+// `point=value` directives.
+//
+// Training-path directives (step counters are process-wide and
+// monotonic: a trainer resumed after a rollback re-runs batches under
+// fresh step indices, so a poison window never re-fires):
 //
 //   kill_after_step=K        _Exit(137) immediately after the K-th
 //                            optimizer step commits (1-based), simulating
@@ -26,9 +31,26 @@
 //                            budget of N bytes is truncated and fails
 //                            with IOError, simulating a crash mid-write.
 //
-// Step counters are process-wide and monotonic: a trainer resumed after a
-// rollback re-runs batches under fresh step indices, so a poison window
-// never re-fires.
+// Serving-path directives (call counters are 1-based and reset every
+// time Arm/TryArm succeeds, so "call K" means the K-th call after
+// arming, independent of what ran earlier in the process):
+//
+//   slow_infer_ms=M          every targeted PredictBatch sleeps M ms
+//                            before computing — a straggler/overload
+//                            fault. With slow_infer_at=K (default 1) and
+//                            slow_infer_count=N (default: all remaining)
+//                            only batched-forward calls K..K+N-1 stall.
+//   poison_output_at=K       overwrite the K-th batched forward's output
+//                            with NaN after computing, simulating a
+//                            numerically-broken model. poison_output_count=N
+//                            (default 1) poisons calls K..K+N-1.
+//   fail_open_at=K           the K-th InferenceSession::Open after arming
+//                            fails with an injected IOError;
+//                            fail_open_count=N (default 1) fails opens
+//                            K..K+N-1 — a bad/unreadable publish.
+//   watcher_stall_ms=M       every hot-reload watcher poll sleeps M ms
+//                            before scanning, simulating a stalled
+//                            watcher (slow disk, cgroup throttling).
 
 namespace lipformer {
 namespace fault {
@@ -37,6 +59,12 @@ namespace fault {
 // values abort via LIPF_CHECK — a typo in a fault spec must never read as
 // "the fault did not fire".
 void Arm(const std::string& spec);
+
+// Non-aborting variant for spec validation: returns false and fills
+// *error on a malformed or unknown directive, leaving every fault point
+// disarmed (a half-valid spec never half-arms). On success behaves like
+// Arm, including the serving-call-counter reset.
+bool TryArm(const std::string& spec, std::string* error);
 
 // Arms from the LIPF_FAULT environment variable if set. Called lazily by
 // every query below; calling it explicitly is never required.
@@ -59,6 +87,23 @@ bool ShouldPoisonGrad(int64_t step);
 // budget is exhausted mid-write, with *allowed set to the bytes that may
 // still be written before the injected failure (possibly 0).
 bool ConsumeWriteBudget(size_t n, size_t* allowed);
+
+// What InferenceSession::PredictBatch must inject on this call, if
+// anything. Each call to this function advances the (armed) serving
+// forward-call counter.
+struct InferFault {
+  int64_t delay_ms = 0;        // sleep this long before computing
+  bool poison_output = false;  // overwrite the result with NaN after
+};
+InferFault OnInferCall();
+
+// True when this InferenceSession::Open call must fail with an injected
+// IOError. Advances the (armed) open-call counter.
+bool ShouldFailOpen();
+
+// Milliseconds the hot-reload watcher must stall before this poll
+// (0 = disarmed).
+int64_t WatcherStallMs();
 
 }  // namespace fault
 }  // namespace lipformer

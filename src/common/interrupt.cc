@@ -39,6 +39,13 @@ void InstallStatsRequestHandler() {
   sigaction(SIGHUP, &action, nullptr);
 }
 
+void IgnoreSigPipe() {
+  struct sigaction action = {};
+  action.sa_handler = SIG_IGN;
+  sigemptyset(&action.sa_mask);
+  sigaction(SIGPIPE, &action, nullptr);
+}
+
 bool ConsumeStatsRequest() {
   if (g_stats_requested == 0) return false;
   g_stats_requested = 0;

@@ -39,6 +39,13 @@ void InstallStatsRequestHandler();
 bool ConsumeStatsRequest();
 void RequestStats();
 
+// Ignores SIGPIPE process-wide. A serving process writes answers to a
+// pipe/socket a client may close mid-stream; without this the default
+// disposition kills the whole server from inside the writer thread.
+// Writes then fail with EPIPE, which the serve loop maps to a clean
+// drain-and-shutdown. Idempotent.
+void IgnoreSigPipe();
+
 }  // namespace lipformer
 
 #endif  // LIPFORMER_COMMON_INTERRUPT_H_

@@ -22,6 +22,12 @@ enum class StatusCode {
   kUnavailable,
   // The request's deadline expired before it could be executed.
   kDeadlineExceeded,
+  // Admission control shed the request: the estimated queue drain exceeds
+  // what the caller can wait for. Distinct from kUnavailable (hard
+  // capacity bounce / shutdown): kOverloaded means "well-formed request,
+  // healthy model, but accepting it now would only produce a timeout" and
+  // carries a retry-after hint in the message.
+  kOverloaded,
 };
 
 class Status {
@@ -51,6 +57,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

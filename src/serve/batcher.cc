@@ -1,5 +1,7 @@
 #include "serve/batcher.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <utility>
 
@@ -12,13 +14,31 @@ using Clock = std::chrono::steady_clock;
 double Seconds(Clock::duration d) {
   return std::chrono::duration<double>(d).count();
 }
+
+int64_t CeilToMs(double seconds) {
+  return static_cast<int64_t>(std::ceil(std::max(0.0, seconds) * 1000.0));
+}
+
+// Smoothing factor of the per-batch cost EWMA: heavy enough on the new
+// sample that a straggler fault (slow-infer) inflates the estimate — and
+// thus the shed rate — within a few batches, light enough that one odd
+// batch does not swing admission.
+constexpr double kCostAlpha = 0.3;
+
+bool RowAllFinite(const float* row, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    if (!std::isfinite(row[i])) return false;
+  }
+  return true;
+}
 }  // namespace
 
 Batcher::Batcher(InferenceSession* session, BatcherOptions options)
-    : session_(session), options_(options) {
+    : session_(session), options_(options), breaker_(options.breaker) {
   LIPF_CHECK(session != nullptr);
   LIPF_CHECK_GT(options_.max_batch_size, 0);
   LIPF_CHECK_GT(options_.queue_capacity, 0);
+  cost_ewma_ = std::max(0.0, options_.cost_hint_seconds);
   batch_size_histogram_.assign(
       static_cast<size_t>(options_.max_batch_size), 0);
   worker_ = std::thread([this] { WorkerLoop(); });
@@ -51,6 +71,10 @@ std::future<Result<Tensor>> Batcher::Submit(
   std::vector<Request> swept;
   bool accepted = false;
   bool shut_down = false;
+  bool dead_on_arrival = false;
+  bool breaker_open = false;
+  bool overloaded = false;
+  int64_t retry_after_ms = 0;
   {
     std::unique_lock<std::mutex> lock(mu_);
     for (;;) {
@@ -58,29 +82,85 @@ std::future<Result<Tensor>> Batcher::Submit(
         shut_down = true;
         break;
       }
+      const auto now = Clock::now();
+      // Dead on arrival (or expired while blocked below): never enqueue
+      // work the worker could only discard.
+      if (request.has_deadline && now >= request.deadline) {
+        ++expired_;
+        dead_on_arrival = true;
+        break;
+      }
       if (static_cast<int64_t>(queue_.size()) >= options_.queue_capacity) {
         // A queue pinned at capacity by already-expired requests must not
         // bounce fresh work: those entries can never occupy batch slots
         // (RunOneBatch discards them), so evict them here instead of
         // waiting for the worker to reach them.
-        std::vector<Request> stale = SweepExpiredLocked(Clock::now());
+        std::vector<Request> stale = SweepExpiredLocked(now);
         for (Request& request_stale : stale) {
           swept.push_back(std::move(request_stale));
         }
       }
-      if (static_cast<int64_t>(queue_.size()) < options_.queue_capacity) {
-        ++submitted_;
-        queue_.push_back(std::move(request));
-        accepted = true;
-        break;
+      if (static_cast<int64_t>(queue_.size()) >= options_.queue_capacity) {
+        if (mode == SubmitMode::kReject) {
+          ++rejected_full_;
+          break;
+        }
+        // kBlock: flow control. Wait for the worker to pop requests (or
+        // for shutdown), but never past the request's own deadline —
+        // blocking until the slot frees and then enqueueing dead work
+        // would hand the worker a request it can only discard.
+        if (request.has_deadline) {
+          space_cv_.wait_until(lock, request.deadline);
+        } else {
+          space_cv_.wait(lock);
+        }
+        continue;  // re-evaluate shutdown/deadline/capacity from the top
       }
-      if (mode == SubmitMode::kReject) {
-        ++rejected_full_;
-        break;
+      // A slot is available; admission checks decide whether taking it
+      // is useful. Breaker first: a tripped model sheds instantly.
+      switch (breaker_.Admit(now)) {
+        case CircuitBreaker::Admission::kReject: {
+          breaker_open = true;
+          retry_after_ms = breaker_.Stats(now).retry_after.count();
+          break;
+        }
+        case CircuitBreaker::Admission::kAdmitProbe:
+          request.probe = true;
+          break;
+        case CircuitBreaker::Admission::kAdmit:
+          break;
       }
-      // kBlock: flow control. Wait for the worker to pop requests (or for
-      // shutdown); re-evaluate capacity from the top on every wake-up.
-      space_cv_.wait(lock);
+      if (breaker_open) break;
+      // EWMA admission: shed when the estimated drain of the current
+      // backlog (plus this request's own batch) cannot meet the deadline,
+      // or exceeds the configured queue-delay cap. Probes bypass this —
+      // they exist to reach the model. With no estimate yet (cost_ewma_
+      // == 0) deadline policing falls back to expiry sweeps.
+      if (!request.probe && cost_ewma_ > 0) {
+        const int64_t live = LiveQueueCountLocked(now);
+        const int64_t batches_ahead =
+            (live + options_.max_batch_size - 1) / options_.max_batch_size;
+        const double wait_estimate = batches_ahead * cost_ewma_;
+        const double total_estimate = wait_estimate + cost_ewma_;
+        const bool misses_deadline =
+            request.has_deadline &&
+            now + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(total_estimate)) >=
+                request.deadline;
+        const bool over_delay_cap =
+            options_.max_queue_delay.count() > 0 &&
+            wait_estimate > Seconds(options_.max_queue_delay);
+        if (misses_deadline || over_delay_cap) {
+          ++shed_overload_;
+          overloaded = true;
+          retry_after_ms = CeilToMs(wait_estimate);
+          break;
+        }
+      }
+      ++submitted_;
+      queue_.push_back(std::move(request));
+      accepted = true;
+      break;
     }
   }
   // Fulfill outside mu_ so a caller blocked on one of these futures never
@@ -97,6 +177,19 @@ std::future<Result<Tensor>> Batcher::Submit(
   if (!accepted) {
     if (shut_down) {
       rejected.set_value(Status::Unavailable("batcher is shut down"));
+    } else if (dead_on_arrival) {
+      rejected.set_value(Status::DeadlineExceeded(
+          "deadline expired before the request could be enqueued"));
+    } else if (breaker_open) {
+      rejected.set_value(Status::Unavailable(
+          "circuit breaker open for this model; retry after " +
+          std::to_string(std::max<int64_t>(retry_after_ms, 1)) + "ms"));
+    } else if (overloaded) {
+      rejected.set_value(Status::Overloaded(
+          "overloaded: estimated queue drain " +
+          std::to_string(retry_after_ms) +
+          "ms exceeds what this request can wait; retry after " +
+          std::to_string(std::max<int64_t>(retry_after_ms, 1)) + "ms"));
     } else {
       rejected.set_value(Status::Unavailable(
           "serving queue full (" + std::to_string(options_.queue_capacity) +
@@ -116,11 +209,24 @@ int64_t Batcher::LiveQueueCountLocked(Clock::time_point now) const {
   return live;
 }
 
+Clock::time_point Batcher::EarliestDeadlineLocked(
+    Clock::time_point now) const {
+  Clock::time_point earliest{};
+  for (const Request& request : queue_) {
+    if (!request.has_deadline || now >= request.deadline) continue;
+    if (earliest == Clock::time_point{} || request.deadline < earliest) {
+      earliest = request.deadline;
+    }
+  }
+  return earliest;
+}
+
 std::vector<Batcher::Request> Batcher::SweepExpiredLocked(
     Clock::time_point now) {
   std::vector<Request> swept;
   for (auto it = queue_.begin(); it != queue_.end();) {
     if (it->has_deadline && now >= it->deadline) {
+      if (it->probe) breaker_.AbandonProbe();
       swept.push_back(std::move(*it));
       it = queue_.erase(it);
     } else {
@@ -153,16 +259,41 @@ void Batcher::WorkerLoop() {
       continue;
     }
     if (!shutdown_) {
-      // Coalesce: give concurrent submitters max_delay to fill the batch.
-      // On shutdown the remaining queue is executed immediately.
-      const auto wait_until = Clock::now() + options_.max_delay;
-      cv_.wait_until(lock, wait_until, [this] {
-        // Count only live requests: expired entries are discarded by
-        // RunOneBatch, so treating them as occupants would cut the
-        // coalescing wait short and fire an under-filled batch.
-        return shutdown_ ||
-               LiveQueueCountLocked(Clock::now()) >= options_.max_batch_size;
-      });
+      // Coalesce: give concurrent submitters max_delay to fill the batch
+      // — but cap the wait at the earliest queued deadline (minus the
+      // estimated batch cost), so a nearly-expired head-of-line request
+      // fires its batch while it can still be answered instead of
+      // inflating the delay and expiring. On shutdown the remaining
+      // queue is executed immediately.
+      const auto batch_deadline = Clock::now() + options_.max_delay;
+      // Floor of 2: a single queued request is coalescing, not backlog,
+      // even when the queue capacity itself is 1.
+      const int64_t brownout_depth =
+          std::max<int64_t>(2, options_.queue_capacity / 2);
+      bool brownout = false;
+      for (;;) {
+        if (shutdown_) break;
+        const auto now = Clock::now();
+        const int64_t live = LiveQueueCountLocked(now);
+        if (live >= options_.max_batch_size) break;
+        if (live >= brownout_depth) {
+          // Brownout: the backlog is deep enough that waiting for
+          // stragglers only lengthens the queue; fire immediately.
+          brownout = true;
+          break;
+        }
+        auto wait_point = batch_deadline;
+        const auto earliest = EarliestDeadlineLocked(now);
+        if (earliest != Clock::time_point{}) {
+          const auto margin = std::chrono::duration_cast<Clock::duration>(
+              std::chrono::duration<double>(cost_ewma_));
+          const auto capped = earliest - margin;
+          if (capped < wait_point) wait_point = capped;
+        }
+        if (now >= wait_point) break;
+        cv_.wait_until(lock, wait_point);
+      }
+      if (brownout) ++brownout_batches_;
     }
     RunOneBatch(&lock);
   }
@@ -178,14 +309,11 @@ bool Batcher::RunOneBatch(std::unique_lock<std::mutex>* lock) {
     queue_.pop_front();
     if (request.has_deadline && now >= request.deadline) {
       ++expired_;
+      if (request.probe) breaker_.AbandonProbe();
       expired.push_back(std::move(request));
     } else {
       batch.push_back(std::move(request));
     }
-  }
-  if (!batch.empty()) {
-    ++batches_;
-    ++batch_size_histogram_[batch.size() - 1];
   }
   lock->unlock();
 
@@ -202,7 +330,45 @@ bool Batcher::RunOneBatch(std::unique_lock<std::mutex>* lock) {
     return false;
   }
 
-  const int64_t k = static_cast<int64_t>(batch.size());
+  // Resolves requests whose deadline has passed `at`, removing them from
+  // `requests` (order preserved). Stats committed before fulfillment, as
+  // everywhere.
+  const auto shed_expired = [&](std::vector<Request>* requests,
+                                Clock::time_point at) {
+    std::vector<Request> keep;
+    std::vector<Request> late;
+    keep.reserve(requests->size());
+    for (Request& request : *requests) {
+      if (request.has_deadline && at >= request.deadline) {
+        late.push_back(std::move(request));
+      } else {
+        keep.push_back(std::move(request));
+      }
+    }
+    *requests = std::move(keep);
+    if (late.empty()) return;
+    lock->lock();
+    expired_ += static_cast<int64_t>(late.size());
+    for (const Request& request : late) {
+      if (request.probe) breaker_.AbandonProbe();
+    }
+    lock->unlock();
+    for (Request& request : late) {
+      request.promise.set_value(Status::DeadlineExceeded(
+          "request expired before its batch was executed"));
+    }
+  };
+
+  // First shed: deadlines can pass between the formation sweep above and
+  // here (the worker may have slept in the coalescing wait since `now`).
+  // Doing it before the tensor build keeps dead rows out of the copy.
+  shed_expired(&batch, Clock::now());
+  if (batch.empty()) {
+    lock->lock();
+    return true;
+  }
+
+  int64_t k = static_cast<int64_t>(batch.size());
   const int64_t t = session_->input_len();
   const int64_t c = session_->channels();
   Tensor histories = Tensor::Empty({k, t, c});
@@ -211,29 +377,114 @@ bool Batcher::RunOneBatch(std::unique_lock<std::mutex>* lock) {
                 static_cast<size_t>(t * c) * sizeof(float));
   }
 
+  // Final shed AT execution start: deadlines that fell inside the
+  // tensor-build window above are caught here, compacting the already
+  // built batch, so the decision to execute and the execution itself
+  // share one timestamp — no request ever enters the model expired.
+  const auto exec_start = Clock::now();
+  {
+    bool any_late = false;
+    for (const Request& request : batch) {
+      if (request.has_deadline && exec_start >= request.deadline) {
+        any_late = true;
+        break;
+      }
+    }
+    if (any_late) {
+      int64_t w = 0;
+      for (int64_t i = 0; i < k; ++i) {
+        if (batch[static_cast<size_t>(i)].has_deadline &&
+            exec_start >= batch[static_cast<size_t>(i)].deadline) {
+          continue;
+        }
+        if (w != i) {
+          std::memcpy(histories.data() + w * t * c,
+                      histories.data() + i * t * c,
+                      static_cast<size_t>(t * c) * sizeof(float));
+        }
+        ++w;
+      }
+      shed_expired(&batch, exec_start);
+      if (batch.empty()) {
+        lock->lock();
+        return true;
+      }
+      k = static_cast<int64_t>(batch.size());
+      Tensor trimmed = Tensor::Empty({k, t, c});
+      std::memcpy(trimmed.data(), histories.data(),
+                  static_cast<size_t>(k * t * c) * sizeof(float));
+      histories = std::move(trimmed);
+    }
+  }
+
+  // Tripwire for the invariant above (the chaos gate asserts it stays
+  // 0): rows entering the model already expired. Structurally zero after
+  // the exec_start shed; counts only if that enforcement regresses.
+  int64_t past_deadline = 0;
+  for (const Request& request : batch) {
+    if (request.has_deadline && exec_start >= request.deadline) {
+      ++past_deadline;
+    }
+  }
+
   Result<Tensor> predictions = session_->PredictBatch(histories);
   const int64_t l = session_->pred_len();
   const auto done = Clock::now();
+  const double batch_seconds = Seconds(done - exec_start);
+
+  // A non-finite forecast must surface as a typed error, never as silent
+  // garbage to the client; each bad row also counts as a model failure
+  // for the breaker.
+  const bool batch_failed = !predictions.ok();
+  std::vector<bool> row_finite(static_cast<size_t>(k), true);
+  int64_t nonfinite = 0;
+  if (!batch_failed) {
+    const float* data = predictions.value().data();
+    for (int64_t i = 0; i < k; ++i) {
+      if (!RowAllFinite(data + i * l * c, l * c)) {
+        row_finite[static_cast<size_t>(i)] = false;
+        ++nonfinite;
+      }
+    }
+  }
 
   // Commit the stats BEFORE fulfilling any promise: a caller whose future
   // resolved must find itself counted in Stats(). (Latency is measured to
   // batch completion, not to promise delivery.)
   lock->lock();
+  ++batches_;
+  ++batch_size_histogram_[static_cast<size_t>(k) - 1];
   completed_ += k;
-  for (const Request& request : batch) {
+  nonfinite_answers_ += nonfinite;
+  executed_past_deadline_ += past_deadline;
+  cost_ewma_ = cost_ewma_ <= 0
+                   ? batch_seconds
+                   : (1.0 - kCostAlpha) * cost_ewma_ + kCostAlpha * batch_seconds;
+  for (int64_t i = 0; i < k; ++i) {
+    const Request& request = batch[static_cast<size_t>(i)];
     latency_.Record(Seconds(done - request.submitted_at));
+    if (!batch_failed && row_finite[static_cast<size_t>(i)]) {
+      breaker_.OnSuccess(request.probe);
+    } else {
+      breaker_.OnFailure(request.probe, done);
+    }
   }
   lock->unlock();
 
   for (int64_t i = 0; i < k; ++i) {
-    if (!predictions.ok()) {
-      batch[i].promise.set_value(predictions.status());
+    if (batch_failed) {
+      batch[static_cast<size_t>(i)].promise.set_value(predictions.status());
+      continue;
+    }
+    if (!row_finite[static_cast<size_t>(i)]) {
+      batch[static_cast<size_t>(i)].promise.set_value(Status::Internal(
+          "model produced a non-finite forecast; answer suppressed"));
       continue;
     }
     Tensor row = Tensor::Empty({l, c});
     std::memcpy(row.data(), predictions.value().data() + i * l * c,
                 static_cast<size_t>(l * c) * sizeof(float));
-    batch[i].promise.set_value(std::move(row));
+    batch[static_cast<size_t>(i)].promise.set_value(std::move(row));
   }
 
   lock->lock();
@@ -242,12 +493,20 @@ bool Batcher::RunOneBatch(std::unique_lock<std::mutex>* lock) {
 
 BatcherStats Batcher::Stats() const {
   std::lock_guard<std::mutex> lock(mu_);
+  const auto now = Clock::now();
   BatcherStats stats;
   stats.submitted = submitted_;
   stats.rejected_full = rejected_full_;
   stats.expired = expired_;
+  stats.shed_overload = shed_overload_;
   stats.completed = completed_;
+  stats.nonfinite_answers = nonfinite_answers_;
+  stats.executed_past_deadline = executed_past_deadline_;
   stats.batches = batches_;
+  stats.brownout_batches = brownout_batches_;
+  stats.queue_depth = LiveQueueCountLocked(now);
+  stats.cost_ewma_seconds = cost_ewma_;
+  stats.breaker = breaker_.Stats(now);
   stats.batch_size_histogram = batch_size_histogram_;
   if (latency_.count() > 0) {
     stats.p50_latency_seconds = latency_.Percentile(50.0);

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bench_util/profiler.h"
+#include "serve/breaker.h"
 #include "serve/session.h"
 
 // Dynamic micro-batching for the inference session. Concurrent callers
@@ -23,10 +24,27 @@
 //  - Backpressure: Submit on a full queue fails fast with
 //    Status::Unavailable (the returned future is immediately ready), or —
 //    with SubmitMode::kBlock — waits for the worker to free a slot, so
-//    file-driven producers apply flow control instead of bouncing.
-//  - Deadlines: a request whose deadline passes before its batch is
-//    assembled completes with Status::DeadlineExceeded instead of
-//    occupying batch slots.
+//    file-driven producers apply flow control instead of bouncing. A
+//    kBlock wait never outlives the request's own deadline: it turns
+//    into DeadlineExceeded instead of enqueueing dead work.
+//  - Deadlines propagate: a request whose deadline passes before its
+//    batch is assembled completes with Status::DeadlineExceeded instead
+//    of occupying batch slots, with a final shed immediately before the
+//    model call so expired work never executes; a nearly-expired
+//    head-of-line request caps the coalescing delay so its batch fires
+//    while it can still be answered.
+//  - Admission control: with a per-batch cost estimate (EWMA over
+//    executed batches, seeded from the session's Open-time probe), a
+//    request whose deadline cannot survive the estimated queue drain —
+//    or, with max_queue_delay set, any request behind a deeper backlog
+//    than that — is shed up front with Status::Overloaded plus a
+//    retry-after hint, instead of timing out downstream.
+//  - Degraded modes: consecutive failures (model errors or non-finite
+//    forecasts, which are suppressed into typed Internal errors) trip a
+//    per-model circuit breaker (serve/breaker.h) that sheds instantly
+//    while open and recovers through half-open probes. Under a deep
+//    backlog the worker browns out the coalescing delay (batches fire
+//    as soon as the worker is free) to shorten the queue.
 //  - Shutdown drains: pending accepted requests are still executed;
 //    only new submissions are rejected.
 //  - Determinism: results are bitwise identical to an unbatched
@@ -43,6 +61,16 @@ struct BatcherOptions {
   std::chrono::microseconds max_delay{1000};
   // Accepted-but-unexecuted request cap; Submit rejects beyond it.
   int64_t queue_capacity = 256;
+  // Admission cap on the estimated queue drain (excluding the request's
+  // own batch); zero disables it. Only enforced once a cost estimate
+  // exists (executed batches or cost_hint_seconds).
+  std::chrono::microseconds max_queue_delay{0};
+  // Seeds the per-batch EWMA cost estimate (seconds); the registry fills
+  // this from the session's Open-time timed probe. Zero means "no
+  // estimate yet": deadline admission stays off until a batch executes.
+  double cost_hint_seconds = 0;
+  // Per-model circuit breaker; failure_threshold <= 0 disables it.
+  BreakerOptions breaker;
 };
 
 // What Submit does when the bounded queue is at capacity.
@@ -55,8 +83,19 @@ struct BatcherStats {
   int64_t submitted = 0;       // accepted requests
   int64_t rejected_full = 0;   // bounced by backpressure
   int64_t expired = 0;         // deadline passed before execution
+  int64_t shed_overload = 0;   // admission control (Status::Overloaded)
   int64_t completed = 0;       // answered (ok or model error)
-  int64_t batches = 0;         // batched Forward calls
+  int64_t nonfinite_answers = 0;  // forecasts suppressed as Internal
+  // Requests whose deadline expired inside the tensor-build window right
+  // before the model call and were executed anyway. The final pre-
+  // execution shed keeps this at 0 for any realistic deadline; the chaos
+  // gate asserts it.
+  int64_t executed_past_deadline = 0;
+  int64_t batches = 0;            // batched Forward calls
+  int64_t brownout_batches = 0;   // fired with the coalescing delay cut
+  int64_t queue_depth = 0;        // live queued requests right now
+  double cost_ewma_seconds = 0;   // current per-batch cost estimate
+  BreakerStats breaker;
   double p50_latency_seconds = 0;  // submit -> completion
   double p99_latency_seconds = 0;
   double p999_latency_seconds = 0;  // tail beyond p99: batching stalls
@@ -76,10 +115,13 @@ class Batcher {
 
   // Enqueues one [input_len, channels] window. The future resolves to the
   // [pred_len, channels] prediction, or to Unavailable (queue full at
-  // submit in kReject mode, or shut down), DeadlineExceeded (deadline hit
-  // before execution), or an InvalidArgument from shape validation.
-  // deadline: zero means none. In kBlock mode a full queue blocks the
-  // caller until the worker frees a slot or the batcher shuts down.
+  // submit in kReject mode, breaker open, or shut down), Overloaded
+  // (admission control shed; message carries a retry-after hint),
+  // DeadlineExceeded (deadline hit before execution), Internal (the
+  // model produced a non-finite forecast), or an InvalidArgument from
+  // shape validation. deadline: zero means none. In kBlock mode a full
+  // queue blocks the caller until the worker frees a slot, the request's
+  // deadline passes, or the batcher shuts down.
   std::future<Result<Tensor>> Submit(
       Tensor history,
       std::chrono::microseconds deadline = std::chrono::microseconds::zero(),
@@ -98,6 +140,7 @@ class Batcher {
     std::chrono::steady_clock::time_point submitted_at;
     std::chrono::steady_clock::time_point deadline;  // epoch == none
     bool has_deadline = false;
+    bool probe = false;  // admitted as a half-open breaker probe
   };
 
   void WorkerLoop();
@@ -109,6 +152,10 @@ class Batcher {
   // that can actually occupy batch slots. Requires mu_ held.
   int64_t LiveQueueCountLocked(std::chrono::steady_clock::time_point now)
       const;
+  // Earliest future deadline among queued live requests (epoch when
+  // none carry one). Requires mu_ held.
+  std::chrono::steady_clock::time_point EarliestDeadlineLocked(
+      std::chrono::steady_clock::time_point now) const;
   // Removes expired requests from the queue and bumps expired_; requires
   // mu_ held. The caller must fail the returned promises with
   // DeadlineExceeded after releasing mu_.
@@ -130,8 +177,15 @@ class Batcher {
   int64_t submitted_ = 0;
   int64_t rejected_full_ = 0;
   int64_t expired_ = 0;
+  int64_t shed_overload_ = 0;
   int64_t completed_ = 0;
+  int64_t nonfinite_answers_ = 0;
+  int64_t executed_past_deadline_ = 0;
   int64_t batches_ = 0;
+  int64_t brownout_batches_ = 0;
+  // EWMA of executed batch duration (seconds); 0 = no estimate yet.
+  double cost_ewma_ = 0;
+  CircuitBreaker breaker_;
   std::vector<int64_t> batch_size_histogram_;
   LatencyRecorder latency_;
 

@@ -1,0 +1,105 @@
+#include "serve/breaker.h"
+
+#include <algorithm>
+
+namespace lipformer {
+namespace serve {
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::Admission CircuitBreaker::Admit(Clock::time_point now) {
+  if (!enabled()) return Admission::kAdmit;
+  switch (state_) {
+    case BreakerState::kClosed:
+      return Admission::kAdmit;
+    case BreakerState::kOpen:
+      if (now < open_until_) {
+        ++rejected_;
+        return Admission::kReject;
+      }
+      state_ = BreakerState::kHalfOpen;
+      probes_in_flight_ = 0;
+      probe_successes_ = 0;
+      [[fallthrough]];
+    case BreakerState::kHalfOpen:
+      // One probe in flight at a time: a broken model must see a trickle,
+      // not a thundering herd, while it proves itself.
+      if (probes_in_flight_ >= 1) {
+        ++rejected_;
+        return Admission::kReject;
+      }
+      ++probes_in_flight_;
+      ++probes_;
+      return Admission::kAdmitProbe;
+  }
+  return Admission::kAdmit;
+}
+
+void CircuitBreaker::OnSuccess(bool probe) {
+  if (!enabled()) return;
+  consecutive_failures_ = 0;
+  if (probe && state_ == BreakerState::kHalfOpen) {
+    probes_in_flight_ = std::max<int64_t>(0, probes_in_flight_ - 1);
+    if (++probe_successes_ >= options_.half_open_successes) {
+      state_ = BreakerState::kClosed;
+      probe_successes_ = 0;
+    }
+  }
+}
+
+void CircuitBreaker::OnFailure(bool probe, Clock::time_point now) {
+  if (!enabled()) return;
+  ++consecutive_failures_;
+  if (probe && state_ == BreakerState::kHalfOpen) {
+    // The model is still broken: re-open for another cooldown.
+    probes_in_flight_ = 0;
+    probe_successes_ = 0;
+    TripLocked(now);
+    return;
+  }
+  // Results from requests admitted before a trip keep arriving while the
+  // breaker is open/half-open; they only feed the failure counter. Only a
+  // CLOSED breaker trips on the threshold.
+  if (state_ == BreakerState::kClosed &&
+      consecutive_failures_ >= options_.failure_threshold) {
+    TripLocked(now);
+  }
+}
+
+void CircuitBreaker::AbandonProbe() {
+  if (!enabled()) return;
+  probes_in_flight_ = std::max<int64_t>(0, probes_in_flight_ - 1);
+}
+
+void CircuitBreaker::TripLocked(Clock::time_point now) {
+  state_ = BreakerState::kOpen;
+  open_until_ = now + options_.cooldown;
+  ++trips_;
+}
+
+BreakerStats CircuitBreaker::Stats(Clock::time_point now) const {
+  BreakerStats s;
+  s.state = state_;
+  s.trips = trips_;
+  s.probes = probes_;
+  s.rejected = rejected_;
+  s.consecutive_failures = consecutive_failures_;
+  if (enabled() && state_ == BreakerState::kOpen && open_until_ > now) {
+    s.retry_after = std::chrono::duration_cast<std::chrono::milliseconds>(
+        open_until_ - now);
+  }
+  return s;
+}
+
+}  // namespace serve
+}  // namespace lipformer

@@ -7,6 +7,8 @@
 #include <cstring>
 #include <utility>
 
+#include "common/fault_injection.h"
+
 namespace lipformer {
 namespace serve {
 
@@ -68,8 +70,12 @@ Status ModelRegistry::OpenModel(const std::string& path, FileSignature* sig,
 
   std::shared_ptr<ServingModel> fresh(new ServingModel());
   fresh->session_ = std::move(session.value());
-  fresh->batcher_ = std::make_unique<Batcher>(fresh->session_.get(),
-                                              options_.batcher);
+  // The session's Open-time timed probe seeds the batcher's admission
+  // cost model, so deadline-based shedding works from the first request.
+  BatcherOptions batcher_options = options_.batcher;
+  batcher_options.cost_hint_seconds = fresh->session_->probe_latency_seconds();
+  fresh->batcher_ =
+      std::make_unique<Batcher>(fresh->session_.get(), batcher_options);
   *model = std::move(fresh);
   return Status::OK();
 }
@@ -328,6 +334,12 @@ void ModelRegistry::WatcherLoop() {
                          [this] { return watcher_stop_; });
     if (watcher_stop_) return;
     lock.unlock();
+    // Chaos hook: a stalled watcher (slow disk, cgroup throttling) must
+    // only delay reloads, never serving — check_chaos.sh asserts that.
+    const int64_t stall_ms = fault::WatcherStallMs();
+    if (stall_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+    }
     std::vector<std::string> names = ModelNames();
     for (const std::string& name : names) {
       (void)ReloadImpl(name, /*from_watcher=*/true);

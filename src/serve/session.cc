@@ -1,11 +1,15 @@
 #include "serve/session.h"
 
+#include <chrono>
 #include <cstring>
+#include <limits>
 #include <map>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "autograd/variable.h"
+#include "common/fault_injection.h"
 #include "common/parse.h"
 #include "core/lipformer.h"
 #include "data/time_features.h"
@@ -246,6 +250,10 @@ Result<std::unique_ptr<InferenceSession>> InferenceSession::Open(
 
 Result<std::unique_ptr<InferenceSession>> InferenceSession::Open(
     const std::string& path, const SessionOptions& session_options) {
+  if (fault::ShouldFailOpen()) {
+    return Status::IOError("injected fault: InferenceSession::Open failed "
+                           "for " + path);
+  }
   Result<Checkpoint> loaded = ReadCheckpoint(path);
   if (!loaded.ok()) return loaded.status();
   const Checkpoint& ckpt = loaded.value();
@@ -311,6 +319,27 @@ Result<std::unique_ptr<InferenceSession>> InferenceSession::Open(
     // pay the (few-forwards) compile cost. Larger batch sizes compile
     // lazily on first sight. A failure here just records the fallback.
     session->PlanForBatch(1);
+  }
+  {
+    // Timed validation probe: one single-window forward on the path
+    // requests will actually take (plan when compiled, module
+    // otherwise). The measurement seeds the batcher's admission-control
+    // cost EWMA so shedding works from the very first request instead of
+    // waiting for the estimate to warm up.
+    Rng rng(0x517cc1b727220a95ull);
+    Tensor sample = Tensor::Randn(
+        {1, session->input_len(), session->channels()}, rng);
+    const auto probe_start = std::chrono::steady_clock::now();
+    Result<Tensor> probe = session->PredictBatch(sample);
+    if (!probe.ok()) return probe.status();
+    session->probe_latency_seconds_ =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      probe_start)
+            .count();
+    // The probe is internal: plan_requests/module_requests count requests
+    // served to callers, so the warm-up forward must not appear there.
+    session->plan_requests_.store(0, std::memory_order_relaxed);
+    session->module_requests_.store(0, std::memory_order_relaxed);
   }
   return session;
 }
@@ -427,18 +456,34 @@ Result<Tensor> InferenceSession::PredictBatch(const Tensor& histories) {
     return Status::InvalidArgument("PredictBatch got an empty batch");
   }
 
+  // Chaos hooks (common/fault_injection.h): slow_infer stalls this
+  // forward, poison_output corrupts its result — both no-ops unless a
+  // test armed them.
+  const fault::InferFault injected = fault::OnInferCall();
+  if (injected.delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(injected.delay_ms));
+  }
+
   // Plan path when available: the compiled program is immutable, so this
   // runs without the module mutex, bitwise identical to the module
   // request path — scaler arithmetic included — as validated at compile
   // time. Null plan (disabled or uncompilable model) falls back to the
   // module.
+  Tensor pred;
   if (std::shared_ptr<const InferencePlan> plan = PlanForBatch(b)) {
-    Tensor pred = plan->Execute(histories);
+    pred = plan->Execute(histories);
     plan_requests_.fetch_add(1, std::memory_order_relaxed);
-    return pred;
+  } else {
+    pred = ModuleForwardRaw(histories);
+    module_requests_.fetch_add(1, std::memory_order_relaxed);
   }
-  Tensor pred = ModuleForwardRaw(histories);
-  module_requests_.fetch_add(1, std::memory_order_relaxed);
+  if (injected.poison_output) {
+    float* data = pred.data();
+    const int64_t n = pred.numel();
+    for (int64_t i = 0; i < n; ++i) {
+      data[i] = std::numeric_limits<float>::quiet_NaN();
+    }
+  }
   return pred;
 }
 

@@ -105,6 +105,12 @@ class InferenceSession {
   // Predict runs the quantized Linear path.
   bool quantized() const { return quantized_; }
 
+  // Wall-clock seconds of the timed single-window forward run at Open
+  // (after plan compilation, so it measures the path requests will take).
+  // Seeds the batcher's admission-control cost EWMA; 0 if the probe was
+  // skipped.
+  double probe_latency_seconds() const { return probe_latency_seconds_; }
+
   // True when the AOT plan path is on for this session (options + env).
   bool plan_enabled() const { return use_plan_; }
   // The compiled plan for batch size b, compiling (and caching) it on
@@ -134,6 +140,7 @@ class InferenceSession {
   int64_t num_covariates_ = 0;
   bool quantized_ = false;
   bool use_plan_ = true;
+  double probe_latency_seconds_ = 0;
   std::mutex mu_;  // serializes module-path Forward on the shared model
 
   // Per-batch-size plan cache. A null entry records a failed compile so

@@ -240,8 +240,9 @@ TEST_F(PlanTest, ManyThreadsShareOnePlan) {
   EXPECT_EQ(stats.module_requests, 0);
   std::shared_ptr<const serve::InferencePlan> plan = session->PlanForBatch(1);
   ASSERT_NE(plan, nullptr);
-  // +2: Compile ran the program twice for bitwise validation.
-  EXPECT_EQ(plan->executions(), kThreads * kPerThread + 2);
+  // +3: Compile ran the program twice for bitwise validation, and Open's
+  // timed admission-control probe executed it once more.
+  EXPECT_EQ(plan->executions(), kThreads * kPerThread + 3);
 }
 
 TEST_F(PlanTest, BatcherServesConcurrentRequestsFromOnePlan) {

@@ -445,5 +445,76 @@ TEST_F(RobustnessTest, FailedSnapshotWritesOnlyWarnAndPreserveOldSnapshot) {
   EXPECT_TRUE(LoadTrainState(snap).ok());
 }
 
+// ---- Serving-path fault directive parsing ----
+
+TEST_F(RobustnessTest, TryArmRejectsMalformedAndUnknownDirectives) {
+  std::string error;
+  EXPECT_FALSE(fault::TryArm("slow_infer_ms", &error));
+  EXPECT_NE(error.find("key=value"), std::string::npos) << error;
+
+  EXPECT_FALSE(fault::TryArm("slow_infer_ms=abc", &error));
+  EXPECT_NE(error.find("non-negative integer"), std::string::npos) << error;
+
+  EXPECT_FALSE(fault::TryArm("slow_infer_ms=-3", &error));
+  EXPECT_FALSE(fault::TryArm("slow_infer_ms=5ms", &error));  // trailing junk
+
+  EXPECT_FALSE(fault::TryArm("bogus_point=1", &error));
+  EXPECT_NE(error.find("bogus_point"), std::string::npos) << error;
+}
+
+// A spec that mixes one valid directive with one bad directive must arm
+// nothing at all — a half-armed fault plan would make chaos runs
+// unreproducible.
+TEST_F(RobustnessTest, TryArmIsAllOrNothing) {
+  std::string error;
+  EXPECT_FALSE(fault::TryArm("fail_open_at=1,bogus=2", &error));
+  EXPECT_FALSE(fault::ShouldFailOpen());
+}
+
+TEST_F(RobustnessTest, ServingCallCountersAreOneBasedAndResetOnArm) {
+  std::string error;
+  ASSERT_TRUE(fault::TryArm("fail_open_at=2", &error)) << error;
+  EXPECT_FALSE(fault::ShouldFailOpen());  // call 1
+  EXPECT_TRUE(fault::ShouldFailOpen());   // call 2 (default count = 1)
+  EXPECT_FALSE(fault::ShouldFailOpen());  // call 3: window closed
+
+  // Re-arming resets the counter, so the window is "from now" — the
+  // chaos harness relies on this to retarget faults mid-run.
+  ASSERT_TRUE(fault::TryArm("fail_open_at=2,fail_open_count=2", &error))
+      << error;
+  EXPECT_FALSE(fault::ShouldFailOpen());  // call 1
+  EXPECT_TRUE(fault::ShouldFailOpen());   // call 2
+  EXPECT_TRUE(fault::ShouldFailOpen());   // call 3 (count = 2)
+  EXPECT_FALSE(fault::ShouldFailOpen());  // call 4
+}
+
+TEST_F(RobustnessTest, SlowAndPoisonWindowsComposeOnInferCalls) {
+  std::string error;
+  ASSERT_TRUE(fault::TryArm(
+      "slow_infer_ms=7,slow_infer_at=2,slow_infer_count=1,poison_output_at=3",
+      &error))
+      << error;
+  const fault::InferFault first = fault::OnInferCall();
+  EXPECT_EQ(first.delay_ms, 0);
+  EXPECT_FALSE(first.poison_output);
+  const fault::InferFault second = fault::OnInferCall();
+  EXPECT_EQ(second.delay_ms, 7);
+  EXPECT_FALSE(second.poison_output);
+  const fault::InferFault third = fault::OnInferCall();
+  EXPECT_EQ(third.delay_ms, 0);
+  EXPECT_TRUE(third.poison_output);
+  const fault::InferFault fourth = fault::OnInferCall();
+  EXPECT_EQ(fourth.delay_ms, 0);
+  EXPECT_FALSE(fourth.poison_output);
+}
+
+TEST_F(RobustnessTest, WatcherStallDirectiveArmsAndDisarms) {
+  std::string error;
+  ASSERT_TRUE(fault::TryArm("watcher_stall_ms=40", &error)) << error;
+  EXPECT_EQ(fault::WatcherStallMs(), 40);
+  fault::Disarm();
+  EXPECT_EQ(fault::WatcherStallMs(), 0);
+}
+
 }  // namespace
 }  // namespace lipformer

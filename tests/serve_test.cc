@@ -1,3 +1,5 @@
+#include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdint>
@@ -9,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/fault_injection.h"
 #include "common/interrupt.h"
 #include "data/synthetic.h"
 #include "nn/linear.h"
@@ -963,6 +966,246 @@ TEST_F(SessionTest, BlockingSubmitUnblocksOnShutdown) {
   Result<Tensor> rejected = blocked_result.get();
   ASSERT_FALSE(rejected.ok());
   EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
+}
+
+// ---- Overload & degradation (DESIGN.md "Overload & degradation") ----
+
+// Admission control: with a seeded cost estimate of 10s/batch, any
+// deadline under ~20s is unmeetable, so the shed decision is
+// deterministic — no load generation needed.
+TEST_F(SessionTest, AdmissionShedsWithOverloadedAndRetryAfter) {
+  auto opened = serve::InferenceSession::Open(path_);
+  ASSERT_TRUE(opened.ok());
+  serve::BatcherOptions options;
+  options.max_batch_size = 4;
+  options.cost_hint_seconds = 10.0;
+  serve::Batcher batcher(opened.value().get(), options);
+
+  auto shed = batcher.Submit(RandomTensor({24, 2}, 1000),
+                             /*deadline=*/std::chrono::microseconds(100000));
+  ASSERT_EQ(shed.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  Result<Tensor> rejected = shed.get();
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kOverloaded);
+  EXPECT_NE(rejected.status().message().find("retry after"),
+            std::string::npos)
+      << rejected.status().ToString();
+
+  // No deadline and no queue-delay cap: the same backlog estimate is not
+  // a reason to shed.
+  auto accepted = batcher.Submit(RandomTensor({24, 2}, 1001));
+  batcher.Shutdown();
+  Result<Tensor> answered = accepted.get();
+  ASSERT_TRUE(answered.ok()) << answered.status().ToString();
+
+  const serve::BatcherStats stats = batcher.Stats();
+  EXPECT_EQ(stats.shed_overload, 1);
+  EXPECT_EQ(stats.completed, 1);
+  EXPECT_EQ(stats.expired, 0);
+}
+
+// The queue-delay cap sheds deadline-less requests too once the
+// estimated backlog drain exceeds it.
+TEST_F(SessionTest, QueueDelayCapShedsBacklogOnlyRequests) {
+  auto opened = serve::InferenceSession::Open(path_);
+  ASSERT_TRUE(opened.ok());
+  serve::BatcherOptions options;
+  options.max_batch_size = 4;
+  options.max_delay = std::chrono::seconds(30);  // hold the first in queue
+  options.cost_hint_seconds = 10.0;
+  options.max_queue_delay = std::chrono::microseconds(1000);
+  serve::Batcher batcher(opened.value().get(), options);
+
+  // First request: empty queue, zero batches ahead — admitted.
+  auto first = batcher.Submit(RandomTensor({24, 2}, 1010));
+  // Second: one live request ahead means one 10s batch to drain, far
+  // over the 1ms cap.
+  auto second = batcher.Submit(RandomTensor({24, 2}, 1011));
+  ASSERT_EQ(second.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  Result<Tensor> capped = second.get();
+  ASSERT_FALSE(capped.ok());
+  EXPECT_EQ(capped.status().code(), StatusCode::kOverloaded);
+
+  batcher.Shutdown();
+  Result<Tensor> drained = first.get();
+  ASSERT_TRUE(drained.ok()) << drained.status().ToString();
+  EXPECT_EQ(batcher.Stats().shed_overload, 1);
+}
+
+// Satellite bugfix: a kBlock submit used to wait indefinitely for queue
+// space even when its own deadline had already passed. It must give up
+// at the deadline with the typed error instead of blocking behind a
+// 30-second coalescing wait.
+TEST_F(SessionTest, BlockingSubmitRespectsDeadlineWhileWaitingForSpace) {
+  auto opened = serve::InferenceSession::Open(path_);
+  ASSERT_TRUE(opened.ok());
+  serve::BatcherOptions options;
+  options.queue_capacity = 1;
+  options.max_batch_size = 64;
+  options.max_delay = std::chrono::seconds(30);
+  serve::Batcher batcher(opened.value().get(), options);
+
+  auto queued = batcher.Submit(RandomTensor({24, 2}, 1020));  // fills queue
+  const auto start = std::chrono::steady_clock::now();
+  Result<Tensor> blocked =
+      batcher
+          .Submit(RandomTensor({24, 2}, 1021),
+                  /*deadline=*/std::chrono::microseconds(30000),
+                  serve::SubmitMode::kBlock)
+          .get();
+  const auto waited = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(blocked.ok());
+  EXPECT_EQ(blocked.status().code(), StatusCode::kDeadlineExceeded);
+  // Generous bound: far under the 30s coalescing wait a slot would take,
+  // far over the 30ms deadline so scheduler noise cannot flake it.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(waited).count(),
+            10);
+  EXPECT_EQ(batcher.Stats().expired, 1);
+
+  batcher.Shutdown();
+  Result<Tensor> drained = queued.get();
+  ASSERT_TRUE(drained.ok()) << drained.status().ToString();
+}
+
+// A non-finite forecast must surface as a typed Internal error, never as
+// silent garbage delivered to the caller.
+TEST_F(SessionTest, NonFiniteForecastBecomesTypedInternalError) {
+  auto opened = serve::InferenceSession::Open(path_);
+  ASSERT_TRUE(opened.ok());
+  serve::Batcher batcher(opened.value().get(), {});
+
+  fault::Arm("poison_output_at=1");  // poison the next batched forward
+  Result<Tensor> poisoned =
+      batcher.Submit(RandomTensor({24, 2}, 1100)).get();
+  fault::Disarm();
+  ASSERT_FALSE(poisoned.ok());
+  EXPECT_EQ(poisoned.status().code(), StatusCode::kInternal);
+  EXPECT_NE(poisoned.status().message().find("non-finite"),
+            std::string::npos)
+      << poisoned.status().ToString();
+  EXPECT_EQ(batcher.Stats().nonfinite_answers, 1);
+
+  // The fault window closed; the model is healthy again.
+  Result<Tensor> clean = batcher.Submit(RandomTensor({24, 2}, 1101)).get();
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  batcher.Shutdown();
+}
+
+// Full breaker cycle: consecutive model failures trip it (instant typed
+// rejections), the cooldown admits a half-open probe, and the probe's
+// success closes it again.
+TEST_F(SessionTest, BreakerTripsAndRecoversViaHalfOpenProbes) {
+  auto opened = serve::InferenceSession::Open(path_);
+  ASSERT_TRUE(opened.ok());
+  serve::BatcherOptions options;
+  options.max_batch_size = 1;  // one request per batch: failures count 1:1
+  options.breaker.failure_threshold = 2;
+  options.breaker.cooldown = std::chrono::milliseconds(50);
+  options.breaker.half_open_successes = 1;
+  serve::Batcher batcher(opened.value().get(), options);
+
+  fault::Arm("poison_output_at=1,poison_output_count=2");
+  for (int i = 0; i < 2; ++i) {
+    Result<Tensor> bad = batcher.Submit(RandomTensor({24, 2}, 1200 + i)).get();
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), StatusCode::kInternal);
+  }
+  fault::Disarm();
+
+  // Tripped: the next submit bounces instantly, naming the breaker.
+  auto bounced = batcher.Submit(RandomTensor({24, 2}, 1210));
+  ASSERT_EQ(bounced.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  Result<Tensor> open_rejection = bounced.get();
+  ASSERT_FALSE(open_rejection.ok());
+  EXPECT_EQ(open_rejection.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(open_rejection.status().message().find("circuit breaker"),
+            std::string::npos)
+      << open_rejection.status().ToString();
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(70));  // > cooldown
+  // First submit after the cooldown rides as the half-open probe; its
+  // success closes the breaker for everyone after it.
+  Result<Tensor> probe = batcher.Submit(RandomTensor({24, 2}, 1211)).get();
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  Result<Tensor> after = batcher.Submit(RandomTensor({24, 2}, 1212)).get();
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+
+  const serve::BatcherStats stats = batcher.Stats();
+  EXPECT_EQ(stats.breaker.trips, 1);
+  EXPECT_GE(stats.breaker.probes, 1);
+  EXPECT_GE(stats.breaker.rejected, 1);
+  EXPECT_EQ(stats.breaker.state, serve::BreakerState::kClosed);
+  EXPECT_EQ(stats.nonfinite_answers, 2);
+  batcher.Shutdown();
+}
+
+// TSan coverage for the breaker's state transitions under concurrent
+// submitters while faults arm and clear underneath: every future must
+// resolve with a typed outcome (answer, Internal, or breaker/queue
+// Unavailable) — never hang, crash, or race.
+TEST_F(SessionTest, BreakerChurnUnderConcurrentSubmitsResolvesEverything) {
+  auto opened = serve::InferenceSession::Open(path_);
+  ASSERT_TRUE(opened.ok());
+  serve::BatcherOptions options;
+  options.max_batch_size = 2;
+  options.breaker.failure_threshold = 2;
+  options.breaker.cooldown = std::chrono::milliseconds(1);
+  options.breaker.half_open_successes = 1;
+  serve::Batcher batcher(opened.value().get(), options);
+
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 16;
+  std::atomic<int> resolved{0};
+  std::atomic<int> untyped{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        Result<Tensor> result =
+            batcher.Submit(RandomTensor({24, 2}, 1300 + c * kPerClient + i))
+                .get();
+        ++resolved;
+        if (result.ok()) continue;
+        const StatusCode code = result.status().code();
+        if (code != StatusCode::kInternal &&
+            code != StatusCode::kUnavailable) {
+          ++untyped;
+        }
+      }
+    });
+  }
+  // Concurrent stats reader: Stats() must never race the commit path.
+  std::atomic<bool> stop_stats{false};
+  std::thread stats_reader([&] {
+    while (!stop_stats.load()) {
+      (void)batcher.Stats();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  for (int round = 0; round < 6; ++round) {
+    fault::Arm("poison_output_at=1,poison_output_count=2");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    fault::Disarm();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  for (std::thread& client : clients) client.join();
+  stop_stats.store(true);
+  stats_reader.join();
+  fault::Disarm();
+
+  EXPECT_EQ(resolved.load(), kClients * kPerClient);
+  EXPECT_EQ(untyped.load(), 0);
+  batcher.Shutdown();
+  // The breaker must be in a coherent terminal state, not wedged by a
+  // lost probe.
+  const serve::BatcherStats stats = batcher.Stats();
+  EXPECT_GE(stats.breaker.trips, 0);
+  EXPECT_EQ(stats.completed + stats.expired + stats.rejected_full +
+                stats.shed_overload + stats.breaker.rejected,
+            kClients * kPerClient);
 }
 
 }  // namespace
